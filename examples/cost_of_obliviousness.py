@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""What does losing message content cost?  (Theorem 1 vs the classics.)
+
+Runs the paper's algorithm and five classic content-carrying elections
+(Chang-Roberts, Le Lann, Hirschberg-Sinclair, Peterson, Dolev-Klawe-
+Rodeh) on identical rings and prints the measured message counts, plus
+Theorem 4's lower bound showing the gap is inherent: any content-
+oblivious election must pay ``n * floor(log2(IDmax / n))`` pulses, so
+its cost necessarily grows with the ID space while content-carrying
+algorithms stay at ``O(n log n)``.
+
+Run:  python examples/cost_of_obliviousness.py
+"""
+
+import random
+
+from repro import lower_bound_pulses, run_terminating
+from repro.baselines import ALL_BASELINES, run_baseline
+
+
+def row(n: int, id_spread: int, seed: int = 0):
+    ids = random.Random(seed + id_spread).sample(range(1, id_spread + 1), n)
+    cells = {"n": n, "IDmax": max(ids)}
+    cells["oblivious"] = run_terminating(ids).total_pulses
+    for name, cls in ALL_BASELINES.items():
+        cells[name] = run_baseline(cls, ids).total_messages
+    cells["thm4 floor"] = lower_bound_pulses(n, max(ids))
+    return cells
+
+
+def main() -> None:
+    print("Messages to elect a leader on a 16-node asynchronous ring\n")
+    columns = [
+        "IDmax", "oblivious", "thm4 floor", "chang_roberts", "lelann",
+        "hirschberg_sinclair", "peterson", "dolev_klawe_rodeh", "franklin",
+    ]
+    header = "".join(f"{column:>20}" for column in columns)
+    print(header)
+    print("-" * len(header))
+    for id_spread in (16, 64, 256, 1024, 4096):
+        cells = row(16, id_spread)
+        print("".join(f"{cells[column]:>20}" for column in columns))
+
+    print(
+        "\nReading: the content-oblivious cost is pinned to IDmax "
+        "(Theorem 1: exactly n(2*IDmax+1)); content-carrying algorithms "
+        "ignore ID magnitude entirely.  Theorem 4's floor certifies the "
+        "growth is inherent — no content-oblivious algorithm escapes it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Repairing a scrambled ring: election + orientation without port order.
+
+This is the paper's Figure 1 scenario (Section 4): nodes of a ring have
+two ports in *arbitrary* order — none of them knows which port faces
+clockwise — and all message content is destroyed in transit.  Algorithm 3
+nevertheless elects the maximum-ID node and has every node label its
+clockwise port consistently, using exactly ``n(2*IDmax + 1)`` pulses
+(Theorem 2).  The algorithm stabilizes (all activity provably ceases) but
+cannot announce termination — that is inherent to non-oriented rings.
+
+Run:  python examples/orient_a_ring.py
+"""
+
+import random
+
+from repro import elect_leader_nonoriented
+from repro.core.nonoriented import run_nonoriented
+
+
+def main() -> None:
+    rng = random.Random(2024)
+    ids = [12, 31, 7, 25, 3, 18]
+    flips = [rng.random() < 0.5 for _ in ids]  # adversarial port scrambling
+
+    print("Non-oriented ring: per-node port scrambling (True = swapped):")
+    print(f"  ids   : {ids}")
+    print(f"  flips : {flips}\n")
+
+    outcome = run_nonoriented(ids, flips=flips)
+
+    leader = outcome.leaders[0]
+    print(f"Elected leader : node {leader} (ID {ids[leader]})")
+    print(f"Pulses sent    : {outcome.total_pulses} "
+          f"(paper's exact claim: {outcome.claimed_message_bound})")
+    print("Computed clockwise ports (one consistent rotation):")
+    for node_index, label in enumerate(outcome.cw_port_labels):
+        truth = outcome.topology.cw_port(node_index)
+        print(
+            f"  node {node_index} (ID {ids[node_index]:>2}): labels Port_{label} as CW"
+            f"   [ground-truth CW port: Port_{truth}]"
+        )
+    print(f"\nOrientation consistent: {outcome.orientation_consistent}")
+    assert outcome.orientation_consistent
+    assert outcome.total_pulses == outcome.claimed_message_bound
+
+    # The same thing through the uniform front door:
+    report = elect_leader_nonoriented(ids, flips=flips)
+    assert report.leader == leader
+    print("Front-door API agrees. Theorem 2 verified on this run.")
+
+
+if __name__ == "__main__":
+    main()

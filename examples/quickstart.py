@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Quickstart: elect a leader over a fully defective oriented ring.
+
+Every message between nodes is corrupted down to a contentless pulse,
+yet the ring elects its maximum-ID node with a *provably exact* message
+budget — ``n * (2*IDmax + 1)`` pulses (Theorem 1) — and terminates
+quiescently: when a node stops, no pulse is ever again in flight
+towards it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import elect_leader_oriented
+
+
+def main() -> None:
+    ids = [3, 7, 5, 2]  # unique positive IDs, clockwise around the ring
+
+    report = elect_leader_oriented(ids)
+
+    print("Content-oblivious leader election (Theorem 1)")
+    print(f"  ring (clockwise ids) : {ids}")
+    print(f"  elected leader       : node {report.leader} (ID {ids[report.leader]})")
+    print(f"  per-node outputs     : {[state.value for state in report.states]}")
+    print(f"  pulses sent          : {report.total_pulses}")
+    print(f"  paper's exact bound  : {report.claimed_bound}  (n(2*IDmax+1))")
+    print(f"  terminated           : {report.terminated}")
+    print(f"  quiescent            : {report.quiescent}")
+
+    assert report.leader == ids.index(max(ids))
+    assert report.total_pulses == report.claimed_bound
+    print("\nAll Theorem 1 guarantees verified on this run.")
+
+
+if __name__ == "__main__":
+    main()

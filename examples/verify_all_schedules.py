@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Exhaustively verifying Theorem 1 — every schedule, not a sample.
+
+The asynchronous adversary controls delivery order.  For small rings the
+reachable state space is finite and modest, so this example runs the
+bounded model checker over *all* schedules of several instances and
+prints the certificates: confluence (all executions funnel into the one
+correct terminal state), zero quiescent-termination violations, and the
+state/transition counts quantifying the covered nondeterminism.
+
+As a contrast, the same checker is pointed at the deliberately broken
+variant of Algorithm 2 (CCW buffering removed — the paper's "subtle
+prioritization" ablated) and finds its bad schedules automatically.
+
+Run:  python examples/verify_all_schedules.py
+"""
+
+from repro.core.terminating import TerminatingNode
+from repro.simulator.ring import build_oriented_ring
+from repro.verification import explore_all_schedules
+
+
+def check(ids, strict_lag=True):
+    def factory():
+        return build_oriented_ring(
+            [TerminatingNode(i, strict_lag=strict_lag) for i in ids]
+        ).network
+
+    return explore_all_schedules(factory)
+
+
+def main() -> None:
+    print("Algorithm 2 under ALL schedules (bounded model checking)\n")
+    print(f"{'ids':>14} {'states':>7} {'transitions':>12} "
+          f"{'terminals':>10} {'violations':>11} {'confluent':>10}")
+    for ids in ([1, 2], [2, 3, 1], [3, 1, 2], [1, 2, 3, 4]):
+        result = check(ids)
+        print(f"{str(ids):>14} {result.states_explored:>7} "
+              f"{result.transitions:>12} {len(result.terminal_fingerprints):>10} "
+              f"{result.quiescence_violations:>11} {str(result.confluent):>10}")
+        assert result.confluent and result.quiescence_violations == 0
+
+    print("\nNow the ablated variant (strict_lag=False) on ids [1, 2]:")
+    broken = check([1, 2], strict_lag=False)
+    print(f"  terminal states: {len(broken.terminal_fingerprints)} "
+          f"(should be 1), violations: {broken.quiescence_violations}")
+    print("  -> the model checker finds the lag discipline's necessity "
+          "without any hand-crafted adversary.")
+
+
+if __name__ == "__main__":
+    main()

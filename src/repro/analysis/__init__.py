@@ -1,0 +1,43 @@
+"""Analytical companions to the experiments: closed forms and statistics."""
+
+from repro.analysis.complexity import (
+    ComplexityComparison,
+    algorithm2_pulses,
+    algorithm3_doubled_pulses,
+    algorithm3_successor_pulses,
+    compare_with_baselines,
+    crossover_id_max,
+    lower_bound_gap,
+    warmup_pulses,
+)
+from repro.analysis.average_case import (
+    PlacementStats,
+    chang_roberts_expected_total,
+    harmonic,
+    measure_chang_roberts_over_placements,
+    measure_oblivious_over_placements,
+)
+from repro.analysis.stats import (
+    BernoulliEstimate,
+    estimate_success_rate,
+    wilson_interval,
+)
+
+__all__ = [
+    "ComplexityComparison",
+    "algorithm2_pulses",
+    "algorithm3_doubled_pulses",
+    "algorithm3_successor_pulses",
+    "compare_with_baselines",
+    "crossover_id_max",
+    "lower_bound_gap",
+    "warmup_pulses",
+    "BernoulliEstimate",
+    "estimate_success_rate",
+    "wilson_interval",
+    "PlacementStats",
+    "chang_roberts_expected_total",
+    "harmonic",
+    "measure_chang_roberts_over_placements",
+    "measure_oblivious_over_placements",
+]

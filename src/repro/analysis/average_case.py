@@ -1,0 +1,100 @@
+"""Average-case message counts for the classic baselines.
+
+Chang-Roberts' famous analysis: over a uniformly random circular
+placement of IDs, the expected number of candidate messages is
+:math:`n \\cdot H_n` (the n-th harmonic number) — each node's candidate
+message survives ``j`` hops with probability ``1/(j+1)``... summing to
+``H_n`` expected hops per candidate.  The paper's algorithm, by
+contrast, has *no* placement variance at all: its cost is the constant
+``n(2*IDmax+1)``.
+
+These helpers give the closed forms; the tests and the E5 bench compare
+them against measured averages over random placements.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def harmonic(n: int) -> float:
+    """The n-th harmonic number :math:`H_n = \\sum_{k=1}^n 1/k`."""
+    if n < 1:
+        raise ConfigurationError(f"harmonic number needs n >= 1, got {n}")
+    return sum(1.0 / k for k in range(1, n + 1))
+
+
+def chang_roberts_expected_candidate_messages(n: int) -> float:
+    """Expected candidate messages over random placements: :math:`nH_n`."""
+    return n * harmonic(n)
+
+
+def chang_roberts_expected_total(n: int) -> float:
+    """Expected total including the ``n`` announcement messages."""
+    return chang_roberts_expected_candidate_messages(n) + n
+
+
+@dataclass(frozen=True)
+class PlacementStats:
+    """Summary of measured message counts over random ID placements."""
+
+    n: int
+    trials: int
+    mean: float
+    minimum: int
+    maximum: int
+
+    @property
+    def spread(self) -> int:
+        """Max minus min: the placement sensitivity."""
+        return self.maximum - self.minimum
+
+
+def measure_chang_roberts_over_placements(
+    n: int, trials: int, seed: int = 0
+) -> PlacementStats:
+    """Run Chang-Roberts over ``trials`` random placements of ``1..n``."""
+    from repro.baselines import run_baseline
+    from repro.baselines.chang_roberts import ChangRobertsNode
+
+    rng = random.Random(seed)
+    counts: List[int] = []
+    base = list(range(1, n + 1))
+    for _ in range(trials):
+        ids = base[:]
+        rng.shuffle(ids)
+        counts.append(run_baseline(ChangRobertsNode, ids).total_messages)
+    return PlacementStats(
+        n=n,
+        trials=trials,
+        mean=sum(counts) / len(counts),
+        minimum=min(counts),
+        maximum=max(counts),
+    )
+
+
+def measure_oblivious_over_placements(
+    n: int, trials: int, seed: int = 0
+) -> PlacementStats:
+    """The same sweep for Algorithm 2: the spread must be exactly zero."""
+    from repro.core.terminating import run_terminating
+
+    rng = random.Random(seed)
+    counts: List[int] = []
+    base = list(range(1, n + 1))
+    for _ in range(trials):
+        ids = base[:]
+        rng.shuffle(ids)
+        counts.append(run_terminating(ids).total_pulses)
+    return PlacementStats(
+        n=n,
+        trials=trials,
+        mean=sum(counts) / len(counts),
+        minimum=min(counts),
+        maximum=max(counts),
+    )

@@ -1,0 +1,135 @@
+"""Closed-form message complexities and cross-algorithm comparisons.
+
+The paper's headline quantities, as checkable formulas:
+
+* Algorithm 1 (warm-up):            :math:`n \\cdot \\mathsf{ID}_{max}`
+* Algorithm 2 (Theorem 1):          :math:`n(2\\,\\mathsf{ID}_{max}+1)`
+* Algorithm 3, doubled (Prop 15):   :math:`n(4\\,\\mathsf{ID}_{max}-1)`
+* Algorithm 3, successor (Thm 2):   :math:`n(2\\,\\mathsf{ID}_{max}+1)`
+* Lower bound (Thm 4/20):           :math:`n\\lfloor\\log_2(\\mathsf{ID}_{max}/n)\\rfloor`
+
+plus the content-carrying baselines' counts for the E5 comparison, and
+the crossover solver: since the content-oblivious cost grows linearly in
+:math:`\\mathsf{ID}_{max}` while baselines depend only on ``n``, there is
+always an ID magnitude beyond which content-obliviousness costs more than
+any fixed baseline — Theorem 4 says that is *inherent*, not an artifact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.exceptions import ConfigurationError
+from repro.core.lower_bound import lower_bound_pulses
+
+
+def _check(n: int, id_max: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if id_max < n:
+        raise ConfigurationError(
+            f"IDmax={id_max} is impossible for n={n} unique positive IDs"
+        )
+
+
+def warmup_pulses(n: int, id_max: int) -> int:
+    """Algorithm 1's exact pulse count (Corollary 13)."""
+    _check(n, id_max)
+    return n * id_max
+
+
+def algorithm2_pulses(n: int, id_max: int) -> int:
+    """Theorem 1's exact pulse count."""
+    _check(n, id_max)
+    return n * (2 * id_max + 1)
+
+
+def algorithm3_doubled_pulses(n: int, id_max: int) -> int:
+    """Proposition 15's exact pulse count (virtual IDs ``2*ID-1+i``)."""
+    _check(n, id_max)
+    return n * (4 * id_max - 1)
+
+
+def algorithm3_successor_pulses(n: int, id_max: int) -> int:
+    """Theorem 2's exact pulse count (virtual IDs ``ID+i``)."""
+    _check(n, id_max)
+    return n * (2 * id_max + 1)
+
+
+def lower_bound_gap(n: int, id_max: int) -> float:
+    """Upper/lower bound ratio: how unsettled Section 7 leaves the gap.
+
+    Theorem 1 gives :math:`O(n\\,\\mathsf{ID}_{max})` while Theorem 4
+    gives :math:`\\Omega(n\\log(\\mathsf{ID}_{max}/n))`; the returned
+    ratio is exponential in general — the open problem the paper's
+    conclusion highlights.  Returns ``inf`` when the lower bound is 0
+    (i.e. :math:`\\mathsf{ID}_{max} < 2n`).
+    """
+    _check(n, id_max)
+    lower = lower_bound_pulses(n, id_max)
+    upper = algorithm2_pulses(n, id_max)
+    return upper / lower if lower else math.inf
+
+
+@dataclass(frozen=True)
+class ComplexityComparison:
+    """One row of the E5 comparison table."""
+
+    n: int
+    id_max: int
+    content_oblivious: int
+    lower_bound: int
+    baselines: Dict[str, int]
+
+    @property
+    def cheapest_baseline(self) -> str:
+        """Name of the cheapest content-carrying competitor."""
+        return min(self.baselines, key=self.baselines.get)  # type: ignore[arg-type]
+
+    @property
+    def oblivious_overhead(self) -> float:
+        """Content-oblivious cost over the cheapest baseline's cost."""
+        return self.content_oblivious / self.baselines[self.cheapest_baseline]
+
+
+def compare_with_baselines(n: int, id_max: int) -> ComplexityComparison:
+    """Analytic comparison row (worst-case formulas, not measurements).
+
+    Baseline entries use worst-case counts: Chang-Roberts
+    :math:`n(n+1)/2 + n`, Le Lann :math:`n^2`, and the standard
+    :math:`O(n\\log n)` ceilings for HS/Peterson/DKR (``4n log n + O(n)``
+    -flavoured; the benchmark measures real counts).
+    """
+    _check(n, id_max)
+    log_n = max(1, math.ceil(math.log2(n))) if n > 1 else 1
+    return ComplexityComparison(
+        n=n,
+        id_max=id_max,
+        content_oblivious=algorithm2_pulses(n, id_max),
+        lower_bound=lower_bound_pulses(n, id_max),
+        baselines={
+            "chang_roberts_worst": n * (n + 1) // 2 + n,
+            "lelann": n * n,
+            "hirschberg_sinclair_bound": 8 * n * (log_n + 1) + n,
+            "peterson_bound": 2 * n * (log_n + 1) + n,
+            "dolev_klawe_rodeh_bound": 2 * n * (log_n + 1) + n,
+        },
+    )
+
+
+def crossover_id_max(n: int, baseline_messages: int) -> int:
+    """Smallest IDmax making Algorithm 2 dearer than a given baseline cost.
+
+    Solves :math:`n(2\\,\\mathsf{ID}_{max}+1) > B` for the least integer
+    :math:`\\mathsf{ID}_{max} \\ge n`.  Below the returned value the
+    content-oblivious algorithm is actually *cheaper* than the baseline
+    (possible because tight ID spaces make :math:`\\mathsf{ID}_{max}`
+    comparable to ``n``).
+    """
+    if n < 1 or baseline_messages < 0:
+        raise ConfigurationError("need n >= 1 and a non-negative baseline cost")
+    # n(2m+1) > B  <=>  m > (B/n - 1)/2
+    threshold = (baseline_messages / n - 1.0) / 2.0
+    return max(n, math.floor(threshold) + 1)

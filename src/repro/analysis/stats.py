@@ -1,0 +1,78 @@
+"""Statistics helpers for the randomized experiments (Theorem 3, Lemma 18).
+
+"With high probability" claims cannot be asserted per-run; the anonymous-
+ring experiments estimate success rates over many seeded trials and check
+them against the paper's :math:`1 - O(n^{-c})` guarantee using Wilson
+score intervals (robust at success rates near 1, where a normal
+approximation would degenerate).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Tuple
+
+
+@dataclass(frozen=True)
+class BernoulliEstimate:
+    """A success-rate estimate with its Wilson confidence interval."""
+
+    successes: int
+    trials: int
+    low: float
+    high: float
+
+    @property
+    def rate(self) -> float:
+        """Point estimate of the success probability."""
+        return self.successes / self.trials
+
+    def consistent_with_at_least(self, p: float) -> bool:
+        """Could the true rate plausibly be ``>= p``?  (interval test)"""
+        return self.high >= p
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 2.576
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Args:
+        successes: Number of successful trials.
+        trials: Total trials (must be positive).
+        z: Normal quantile; the default 2.576 gives a ~99% interval.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes={successes} out of range for trials={trials}")
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+def estimate_success_rate(
+    trial_fn: Callable[[int], bool], seeds: Iterable[int], z: float = 2.576
+) -> BernoulliEstimate:
+    """Run ``trial_fn`` over seeds and summarize the success proportion.
+
+    Args:
+        trial_fn: Maps a seed to True (success) / False (failure).
+        seeds: Seeds to evaluate (one trial each).
+        z: Confidence quantile for the Wilson interval.
+    """
+    successes = 0
+    trials = 0
+    for seed in seeds:
+        trials += 1
+        if trial_fn(seed):
+            successes += 1
+    low, high = wilson_interval(successes, trials, z=z)
+    return BernoulliEstimate(successes=successes, trials=trials, low=low, high=high)

@@ -1,0 +1,14 @@
+"""Run the same algorithm nodes under real ``asyncio`` concurrency.
+
+The discrete-event engine explores schedules deterministically; this
+runtime demonstrates that nothing in the algorithms depends on it.  Every
+channel becomes an ``asyncio.Queue`` drained by its own task with random
+per-message delays, so deliveries interleave nondeterministically — yet
+election outcomes and exact pulse counts must (and do) match the paper's
+formulas, because the algorithms depend only on per-channel arrival
+order.
+"""
+
+from repro.asyncio_runtime.runtime import AsyncRunResult, run_network_asyncio
+
+__all__ = ["AsyncRunResult", "run_network_asyncio"]

@@ -1,0 +1,186 @@
+"""The asyncio execution backend.
+
+Semantics.  Each directed channel of a :class:`~repro.simulator.network.Network`
+is an ``asyncio.Queue`` with a dedicated delivery task: it takes the next
+message, sleeps a random (seeded) delay, and invokes the destination
+node's handler.  This realizes exactly the model's guarantees — FIFO per
+channel (single consumer task per queue), arbitrary finite cross-channel
+interleavings (random sleeps), no loss or duplication.
+
+Quiescence detection.  A global in-flight counter is incremented on every
+send and decremented after the corresponding handler returns.  Handlers
+are synchronous (no awaits), so each delivery is atomic within the event
+loop; when the counter returns to zero the network is quiescent and the
+run completes.  This is a valid distributed-termination shortcut only
+because the runtime is the omniscient substrate, not a node.
+
+Use :func:`run_network_asyncio` on a freshly built network (same builders
+as the discrete-event engine); node objects are reused unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.exceptions import ProtocolViolation, SimulationLimitExceeded
+from repro.simulator.network import Network
+from repro.simulator.node import NodeAPI, check_port
+
+
+@dataclass
+class AsyncRunResult:
+    """Outcome of one asyncio-backend run."""
+
+    quiescent: bool
+    total_sent: int
+    total_delivered: int
+    outputs: List[Any]
+    terminated: List[bool]
+    termination_order: List[int]
+    ignored_deliveries: int
+
+    @property
+    def all_terminated(self) -> bool:
+        return all(self.terminated)
+
+
+class _AsyncChannel:
+    """One directed FIFO channel backed by an asyncio queue."""
+
+    def __init__(self, channel_id: int, dst: tuple, defective: bool) -> None:
+        self.channel_id = channel_id
+        self.dst = dst
+        self.defective = defective
+        self.queue: "asyncio.Queue[Any]" = asyncio.Queue()
+
+
+class _AsyncNodeAPI(NodeAPI):
+    """Queue-backed capabilities for one node."""
+
+    __slots__ = ("_runtime", "_node_index")
+
+    def __init__(self, runtime: "_Runtime", node_index: int) -> None:
+        self._runtime = runtime
+        self._node_index = node_index
+
+    def send(self, port: int, content: Any = None) -> None:
+        self._runtime.send(self._node_index, check_port(port), content)
+
+    def terminate(self, output: Any = None) -> None:
+        self._runtime.terminate(self._node_index, output)
+
+
+class _Runtime:
+    """Shared mutable state of one asyncio run."""
+
+    def __init__(self, network: Network, rng: random.Random, max_delay: float) -> None:
+        self.network = network
+        self.rng = rng
+        self.max_delay = max_delay
+        self.channels = [
+            _AsyncChannel(channel.channel_id, channel.dst, channel.defective)
+            for channel in network.channels
+        ]
+        self.in_flight = 0
+        self.total_sent = 0
+        self.total_delivered = 0
+        self.ignored_deliveries = 0
+        self.termination_order: List[int] = []
+        self.apis = [
+            _AsyncNodeAPI(self, index) for index in range(len(network.nodes))
+        ]
+        self.quiescent_event = asyncio.Event()
+
+    def send(self, node_index: int, port: int, content: Any) -> None:
+        node = self.network.nodes[node_index]
+        if node.terminated:
+            raise ProtocolViolation(
+                f"node {node_index} attempted to send after terminating"
+            )
+        channel_id = self.network.out_channel[(node_index, port)]
+        channel = self.channels[channel_id]
+        payload = None if channel.defective else content
+        self.in_flight += 1
+        self.total_sent += 1
+        channel.queue.put_nowait(payload)
+
+    def terminate(self, node_index: int, output: Any) -> None:
+        self.network.nodes[node_index]._mark_terminated(output)
+        self.termination_order.append(node_index)
+
+    def deliver(self, channel: _AsyncChannel, content: Any) -> None:
+        receiver_index, receiver_port = channel.dst
+        receiver = self.network.nodes[receiver_index]
+        self.total_delivered += 1
+        if receiver.terminated:
+            self.ignored_deliveries += 1
+        else:
+            receiver.on_message(self.apis[receiver_index], receiver_port, content)
+        self.in_flight -= 1
+        if self.in_flight == 0:
+            self.quiescent_event.set()
+
+
+async def _channel_worker(runtime: _Runtime, channel: _AsyncChannel) -> None:
+    while True:
+        content = await channel.queue.get()
+        if runtime.max_delay > 0:
+            await asyncio.sleep(runtime.rng.uniform(0, runtime.max_delay))
+        runtime.deliver(channel, content)
+
+
+async def _run(network: Network, seed: int, max_delay: float, timeout: float) -> AsyncRunResult:
+    rng = random.Random(seed)
+    runtime = _Runtime(network, rng, max_delay)
+
+    for index, node in enumerate(network.nodes):
+        node.on_init(runtime.apis[index])
+
+    if runtime.in_flight > 0:
+        workers = [
+            asyncio.create_task(_channel_worker(runtime, channel))
+            for channel in runtime.channels
+        ]
+        try:
+            await asyncio.wait_for(runtime.quiescent_event.wait(), timeout=timeout)
+        except asyncio.TimeoutError:
+            raise SimulationLimitExceeded(
+                f"asyncio run did not reach quiescence within {timeout}s "
+                f"({runtime.in_flight} messages in flight)",
+                steps=runtime.total_delivered,
+            ) from None
+        finally:
+            for worker in workers:
+                worker.cancel()
+
+    return AsyncRunResult(
+        quiescent=True,
+        total_sent=runtime.total_sent,
+        total_delivered=runtime.total_delivered,
+        outputs=[node.output for node in network.nodes],
+        terminated=[node.terminated for node in network.nodes],
+        termination_order=list(runtime.termination_order),
+        ignored_deliveries=runtime.ignored_deliveries,
+    )
+
+
+def run_network_asyncio(
+    network: Network,
+    seed: int = 0,
+    max_delay: float = 0.001,
+    timeout: float = 60.0,
+) -> AsyncRunResult:
+    """Execute a network to quiescence under asyncio; synchronous wrapper.
+
+    Args:
+        network: Freshly built network (nodes must be unused).
+        seed: Seed for the per-message random delays.
+        max_delay: Upper bound (seconds) of each message's random delay;
+            0 disables sleeping (fast, still nondeterministic ordering
+            only through task scheduling fairness).
+        timeout: Wall-clock bound before declaring a livelock.
+    """
+    return asyncio.run(_run(network, seed, max_delay, timeout))

@@ -1,0 +1,59 @@
+"""Classic content-carrying leader-election baselines (related work).
+
+The paper's introduction situates its :math:`O(n \\cdot \\mathsf{ID}_{max})`
+content-oblivious algorithm against the classical asynchronous ring
+algorithms that may read message *content*:
+
+* :mod:`~repro.baselines.chang_roberts` — Chang & Roberts 1979,
+  unidirectional, :math:`O(n^2)` worst case / :math:`O(n\\log n)` average.
+* :mod:`~repro.baselines.lelann` — Le Lann 1977, unidirectional,
+  :math:`\\Theta(n^2)`.
+* :mod:`~repro.baselines.hirschberg_sinclair` — Hirschberg & Sinclair
+  1980, bidirectional, :math:`O(n \\log n)`.
+* :mod:`~repro.baselines.peterson` — Peterson 1982, unidirectional,
+  :math:`O(n \\log n)`.
+* :mod:`~repro.baselines.dolev_klawe_rodeh` — Dolev, Klawe & Rodeh 1982,
+  unidirectional, :math:`O(n \\log n)`.
+
+All run on the same simulator as the content-oblivious algorithms, with
+``defective=False`` channels, enabling the E5 apples-to-apples message
+count comparison: content costs :math:`O(n\\log n)` messages, losing
+content costs :math:`\\Theta(n \\cdot \\mathsf{ID}_{max})` pulses — and by
+Theorem 4 that gap is inherent, not an artifact.
+"""
+
+from repro.baselines.common import BaselineOutcome, run_baseline
+from repro.baselines.chang_roberts import ChangRobertsNode
+from repro.baselines.franklin import FranklinNode
+from repro.baselines.itai_rodeh import ItaiRodehNode, ItaiRodehOutcome, run_itai_rodeh
+from repro.baselines.lelann import LeLannNode
+from repro.baselines.hirschberg_sinclair import HirschbergSinclairNode
+from repro.baselines.peterson import PetersonNode
+from repro.baselines.dolev_klawe_rodeh import DolevKlaweRodehNode
+
+#: ID-carrying baselines sharing the ``node_factory(node_id)`` shape.
+#: (Itai-Rodeh is anonymous + randomized and has its own runner,
+#: :func:`run_itai_rodeh`.)
+ALL_BASELINES = {
+    "chang_roberts": ChangRobertsNode,
+    "lelann": LeLannNode,
+    "hirschberg_sinclair": HirschbergSinclairNode,
+    "peterson": PetersonNode,
+    "dolev_klawe_rodeh": DolevKlaweRodehNode,
+    "franklin": FranklinNode,
+}
+
+__all__ = [
+    "ALL_BASELINES",
+    "BaselineOutcome",
+    "run_baseline",
+    "ChangRobertsNode",
+    "FranklinNode",
+    "ItaiRodehNode",
+    "ItaiRodehOutcome",
+    "run_itai_rodeh",
+    "LeLannNode",
+    "HirschbergSinclairNode",
+    "PetersonNode",
+    "DolevKlaweRodehNode",
+]

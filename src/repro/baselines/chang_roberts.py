@@ -1,0 +1,77 @@
+"""Chang & Roberts 1979: unidirectional extrema-finding.
+
+Every node starts as a candidate and sends its ID clockwise.  A node
+relays IDs larger than its own (becoming passive), swallows smaller ones,
+and recognizes itself as leader when its own ID comes back around.  The
+leader then circulates an ``elected`` announcement so every node can
+terminate with the correct output.
+
+Message complexity: :math:`O(n^2)` worst case (IDs sorted descending
+clockwise... i.e. each candidate's ID travels far), :math:`O(n \\log n)`
+on average over ID placements; plus exactly ``n`` announcement messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.baselines.common import BaselineNode
+from repro.core.common import LeaderState
+from repro.exceptions import ProtocolViolation
+from repro.simulator.node import NodeAPI
+
+CANDIDATE = "candidate"
+ELECTED = "elected"
+
+
+class ChangRobertsNode(BaselineNode):
+    """One Chang-Roberts node (elects the maximum ID)."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(node_id)
+        self.participating = True
+
+    def on_init(self, api: NodeAPI) -> None:
+        self.send_cw(api, (CANDIDATE, self.node_id))
+
+    def on_cw_message(self, api: NodeAPI, content: Any) -> None:
+        kind, payload = content
+        if kind == CANDIDATE:
+            self._on_candidate(api, payload)
+        elif kind == ELECTED:
+            self._on_elected(api, payload)
+        else:  # pragma: no cover - no other kinds exist
+            raise ProtocolViolation(f"unknown message kind {kind!r}")
+
+    def on_ccw_message(self, api: NodeAPI, content: Any) -> None:
+        raise ProtocolViolation("Chang-Roberts is unidirectional (CW only)")
+
+    def _on_candidate(self, api: NodeAPI, candidate_id: int) -> None:
+        if candidate_id > self.node_id:
+            self.participating = False
+            self.send_cw(api, (CANDIDATE, candidate_id))
+        elif candidate_id == self.node_id:
+            # Our own ID survived the full circle: we are the maximum.
+            self.leader_id = self.node_id
+            self.send_cw(api, (ELECTED, self.node_id))
+        # A smaller ID is swallowed: its originator cannot win.
+
+    def _on_elected(self, api: NodeAPI, leader_id: int) -> None:
+        if leader_id == self.node_id:
+            # Announcement returned: everyone has been notified.
+            api.terminate(LeaderState.LEADER)
+            return
+        self.leader_id = leader_id
+        self.send_cw(api, (ELECTED, leader_id))
+        api.terminate(LeaderState.NON_LEADER)
+
+
+def chang_roberts_worst_case_messages(n: int) -> int:
+    """Exact worst-case candidate messages plus announcements.
+
+    The worst case places IDs increasing *counterclockwise* (so the ID at
+    CW-distance :math:`i` from the maximum travels :math:`i` hops...):
+    candidate messages total :math:`\\sum_{i=1}^{n} i = n(n+1)/2`, and the
+    announcement adds ``n``.
+    """
+    return n * (n + 1) // 2 + n

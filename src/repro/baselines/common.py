@@ -1,0 +1,123 @@
+"""Shared plumbing for the content-carrying baseline algorithms.
+
+Baselines reuse the oriented-ring port conventions of
+:mod:`repro.core.common` — ``Port_1`` faces clockwise, CW messages arrive
+at ``Port_0`` — but their channels are built with ``defective=False`` so
+message payloads survive transit.  Payloads are plain tuples whose first
+element is a message kind.
+
+Every baseline here elects the **maximum ID** (like the paper's
+algorithms, making outcomes directly comparable) and terminates with a
+``LeaderState`` output per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.common import (
+    CCW_ARRIVAL_PORT,
+    CCW_SEND_PORT,
+    CW_ARRIVAL_PORT,
+    CW_SEND_PORT,
+    LeaderState,
+    validate_unique_ids,
+)
+from repro.simulator.engine import Engine, RunResult
+from repro.simulator.node import Node, NodeAPI
+from repro.simulator.ring import build_oriented_ring
+from repro.simulator.scheduler import Scheduler
+
+
+class BaselineNode(Node):
+    """Base class: an ID-carrying node on a non-defective oriented ring."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__()
+        self.node_id = node_id
+        self.leader_id: Optional[int] = None
+
+    # -- direction helpers (content-carrying) --------------------------------
+
+    def send_cw(self, api: NodeAPI, message: Tuple[Any, ...]) -> None:
+        """Send a content message clockwise."""
+        api.send(CW_SEND_PORT, message)
+
+    def send_ccw(self, api: NodeAPI, message: Tuple[Any, ...]) -> None:
+        """Send a content message counterclockwise."""
+        api.send(CCW_SEND_PORT, message)
+
+    def on_message(self, api: NodeAPI, port: int, content: Any) -> None:
+        if port == CW_ARRIVAL_PORT:
+            self.on_cw_message(api, content)
+        else:
+            self.on_ccw_message(api, content)
+
+    def on_cw_message(self, api: NodeAPI, content: Any) -> None:
+        """Handle a clockwise-travelling message (arrived at ``Port_0``)."""
+        raise NotImplementedError
+
+    def on_ccw_message(self, api: NodeAPI, content: Any) -> None:
+        """Handle a counterclockwise-travelling message."""
+        raise NotImplementedError
+
+
+@dataclass
+class BaselineOutcome:
+    """Result of one baseline election."""
+
+    ids: List[int]
+    nodes: List[BaselineNode]
+    run: RunResult
+
+    @property
+    def outputs(self) -> List[Any]:
+        return [node.output for node in self.nodes]
+
+    @property
+    def leaders(self) -> List[int]:
+        """Indices of nodes that output Leader."""
+        return [
+            index
+            for index, node in enumerate(self.nodes)
+            if node.output is LeaderState.LEADER
+        ]
+
+    @property
+    def expected_leader(self) -> int:
+        """All our baselines elect the maximum ID."""
+        return max(range(len(self.ids)), key=lambda index: self.ids[index])
+
+    @property
+    def agreed_leader_ids(self) -> List[Optional[int]]:
+        """The leader ID as learned by each node (agreement check)."""
+        return [node.leader_id for node in self.nodes]
+
+    @property
+    def total_messages(self) -> int:
+        """Message complexity of the execution (announcements included)."""
+        return self.run.total_sent
+
+
+def run_baseline(
+    node_factory: Callable[[int], BaselineNode],
+    ids: Sequence[int],
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 10_000_000,
+) -> BaselineOutcome:
+    """Run a baseline election on a non-defective oriented ring.
+
+    Args:
+        node_factory: Builds one algorithm node per ID (e.g. the class).
+        ids: Unique positive node IDs in clockwise order.
+        scheduler: Asynchronous adversary; defaults to global FIFO.
+        max_steps: Engine safety bound.
+    """
+    validate_unique_ids(ids)
+    nodes = [node_factory(node_id) for node_id in ids]
+    topology = build_oriented_ring(nodes, defective=False)
+    result = Engine(
+        topology.network, scheduler=scheduler, max_steps=max_steps
+    ).run()
+    return BaselineOutcome(ids=list(ids), nodes=nodes, run=result)

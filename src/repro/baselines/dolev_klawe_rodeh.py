@@ -1,0 +1,84 @@
+"""Dolev, Klawe & Rodeh 1982: unidirectional :math:`O(n\\log n)` election.
+
+A close cousin of Peterson's algorithm.  Each phase, an active node with
+value ``v`` sends ``v``, receives its active predecessor's value ``v1``,
+forwards ``v1``, and receives ``v2`` (the value two actives back).  It
+stays active — adopting ``v1`` — iff ``v1 > max(v, v2)``; otherwise it
+relays from then on.  A node receiving its own current value (``v1 ==
+v``) holds the maximum alone and wins.
+
+As with Peterson, the winner is where the maximum value collapses, not
+necessarily the original maximum-ID node.
+
+Message complexity: :math:`2n` per phase, at most
+:math:`\\lceil\\log_2 n\\rceil + 1` phases — the classic
+:math:`2n\\log n + O(n)` bound — plus ``n`` announcement messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.baselines.common import BaselineNode
+from repro.core.common import LeaderState
+from repro.exceptions import ProtocolViolation
+from repro.simulator.node import NodeAPI
+
+VALUE = "value"
+ELECTED = "elected"
+
+
+class DolevKlaweRodehNode(BaselineNode):
+    """One DKR node.  Elects a unique leader (not necessarily max-ID)."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(node_id)
+        self.active = True
+        self.value = node_id
+        self.step = 1
+        self.v1: Optional[int] = None
+
+    def on_init(self, api: NodeAPI) -> None:
+        self.send_cw(api, (VALUE, self.value))
+
+    def on_ccw_message(self, api: NodeAPI, content: Any) -> None:
+        raise ProtocolViolation("DKR is unidirectional (CW only)")
+
+    def on_cw_message(self, api: NodeAPI, content: Any) -> None:
+        kind, payload = content
+        if kind == ELECTED:
+            self._on_elected(api, payload)
+        elif not self.active:
+            self.send_cw(api, content)
+        else:
+            self._active_step(api, payload)
+
+    def _active_step(self, api: NodeAPI, incoming: int) -> None:
+        if self.step == 1:
+            if incoming == self.value:
+                self._win(api)
+                return
+            self.v1 = incoming
+            self.send_cw(api, (VALUE, incoming))  # pass the predecessor's value
+            self.step = 2
+        else:
+            v2 = incoming
+            assert self.v1 is not None
+            if self.v1 > self.value and self.v1 > v2:
+                self.value = self.v1
+                self.step = 1
+                self.send_cw(api, (VALUE, self.value))
+            else:
+                self.active = False
+
+    def _win(self, api: NodeAPI) -> None:
+        self.leader_id = self.node_id
+        self.send_cw(api, (ELECTED, self.node_id))
+
+    def _on_elected(self, api: NodeAPI, leader_id: int) -> None:
+        if leader_id == self.node_id:
+            api.terminate(LeaderState.LEADER)
+            return
+        self.leader_id = leader_id
+        self.send_cw(api, (ELECTED, leader_id))
+        api.terminate(LeaderState.NON_LEADER)

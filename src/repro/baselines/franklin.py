@@ -1,0 +1,131 @@
+"""Franklin 1982: bidirectional :math:`O(n\\log n)` election.
+
+Every active node sends its ID in *both* directions each phase; relays
+forward.  An active node thus learns the IDs of its nearest active
+neighbors on both sides and survives iff it is a local maximum among
+actives (at least halving the actives per phase).  A node receiving its
+own ID is the only active left and wins; an announcement circulates.
+
+Elects the **maximum** ID (like Chang-Roberts/Le Lann/HS), with
+:math:`2n` messages per phase over :math:`O(\\log n)` phases plus ``n``
+announcement messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.baselines.common import BaselineNode
+from repro.core.common import LeaderState
+from repro.simulator.node import NodeAPI
+
+TID = "tid"
+ELECTED = "elected"
+
+
+class FranklinNode(BaselineNode):
+    """One Franklin node (elects the maximum ID)."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(node_id)
+        self.active = True
+        self.announced = False
+        self.from_ccw: Optional[int] = None  # nearest active CCW-side ID
+        self.from_cw: Optional[int] = None   # nearest active CW-side ID
+        # TIDs arriving beyond one-per-direction belong to the sender's
+        # NEXT phase (possible under asynchrony when this node is slow);
+        # they are buffered here and consumed after our phase decision —
+        # or forwarded if the decision demotes us to relay.
+        self._buffer = {"ccw": [], "cw": []}
+
+    def on_init(self, api: NodeAPI) -> None:
+        self._start_phase(api)
+
+    def _start_phase(self, api: NodeAPI) -> None:
+        self.from_ccw = None
+        self.from_cw = None
+        self.send_cw(api, (TID, self.node_id))
+        self.send_ccw(api, (TID, self.node_id))
+
+    # -- message handling --------------------------------------------------------
+
+    def on_cw_message(self, api: NodeAPI, content: Any) -> None:
+        # Arrived at Port_0: the message travelled clockwise, i.e. it was
+        # sent by some node on our counterclockwise side.
+        self._handle(api, content, came_from="ccw")
+
+    def on_ccw_message(self, api: NodeAPI, content: Any) -> None:
+        self._handle(api, content, came_from="cw")
+
+    def _forward(self, api: NodeAPI, content: Any, came_from: str) -> None:
+        if came_from == "ccw":
+            self.send_cw(api, content)  # keep travelling clockwise
+        else:
+            self.send_ccw(api, content)
+
+    def _handle(self, api: NodeAPI, content: Any, came_from: str) -> None:
+        kind, value = content
+        if kind == ELECTED:
+            self._on_elected(api, value, came_from)
+            return
+        if not self.active:
+            self._forward(api, content, came_from)
+            return
+        if value == self.node_id:
+            # Our own ID circled the ring: we are the only active left.
+            # (It circles from both directions; announce only once and
+            # swallow the second copy.)
+            if not self.announced:
+                self.announced = True
+                self.leader_id = self.node_id
+                self.send_cw(api, (ELECTED, self.node_id))
+            return
+        if came_from == "ccw":
+            if self.from_ccw is None:
+                self.from_ccw = value
+            else:
+                self._buffer["ccw"].append(value)
+        else:
+            if self.from_cw is None:
+                self.from_cw = value
+            else:
+                self._buffer["cw"].append(value)
+        if self.from_ccw is not None and self.from_cw is not None:
+            self._decide(api)
+
+    def _decide(self, api: NodeAPI) -> None:
+        # Iterative: buffered next-phase TIDs may complete several phase
+        # decisions back to back without touching the network.
+        while (
+            self.active
+            and self.from_ccw is not None
+            and self.from_cw is not None
+        ):
+            if self.node_id > self.from_ccw and self.node_id > self.from_cw:
+                self._start_phase(api)  # local maximum among actives: survive
+                for side in ("ccw", "cw"):
+                    if not self._buffer[side]:
+                        continue
+                    value = self._buffer[side].pop(0)
+                    if value == self.node_id:
+                        if not self.announced:
+                            self.announced = True
+                            self.leader_id = self.node_id
+                            self.send_cw(api, (ELECTED, self.node_id))
+                    elif side == "ccw":
+                        self.from_ccw = value
+                    else:
+                        self.from_cw = value
+            else:
+                self.active = False  # yield; from now on pure relay
+                for side in ("ccw", "cw"):
+                    while self._buffer[side]:
+                        self._forward(api, (TID, self._buffer[side].pop(0)), side)
+
+    def _on_elected(self, api: NodeAPI, leader_id: int, came_from: str) -> None:
+        if leader_id == self.node_id:
+            api.terminate(LeaderState.LEADER)
+            return
+        self.leader_id = leader_id
+        self._forward(api, (ELECTED, leader_id), came_from)
+        api.terminate(LeaderState.NON_LEADER)

@@ -1,0 +1,128 @@
+"""Hirschberg & Sinclair 1980: bidirectional :math:`O(n\\log n)` election.
+
+Candidates probe both directions to exponentially growing distances.  A
+probe carries ``(id, phase, hops)``; nodes with a larger ID swallow it,
+others relay it with a decremented hop budget, and the node at the
+distance boundary bounces a reply back.  A candidate whose two replies
+both return survives into the next phase with doubled reach; a probe
+that travels all the way around (arriving back at its originator)
+identifies the maximum-ID node, which announces and everyone terminates.
+
+Message complexity: each phase costs :math:`O(n)` across all surviving
+candidates, and there are :math:`O(\\log n)` phases, giving the classic
+:math:`O(n \\log n)` bound (``8 n (1 + \\lceil\\log_2 n\\rceil)`` is a
+convenient concrete ceiling, plus ``n`` announcement messages).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.baselines.common import BaselineNode
+from repro.core.common import LeaderState
+from repro.exceptions import ProtocolViolation
+from repro.simulator.node import NodeAPI
+
+PROBE = "probe"
+REPLY = "reply"
+ELECTED = "elected"
+
+
+class HirschbergSinclairNode(BaselineNode):
+    """One Hirschberg-Sinclair node (elects the maximum ID)."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(node_id)
+        self.phase = 0
+        self.replies_pending = 0
+        self.candidate = True
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _start_phase(self, api: NodeAPI) -> None:
+        hops = 2 ** self.phase
+        self.replies_pending = 2
+        self.send_cw(api, (PROBE, self.node_id, self.phase, hops))
+        self.send_ccw(api, (PROBE, self.node_id, self.phase, hops))
+
+    def on_init(self, api: NodeAPI) -> None:
+        self._start_phase(api)
+
+    # -- message handling (symmetric in direction) ------------------------------
+
+    def on_cw_message(self, api: NodeAPI, content: Any) -> None:
+        self._handle(api, content, arrived_cw=True)
+
+    def on_ccw_message(self, api: NodeAPI, content: Any) -> None:
+        self._handle(api, content, arrived_cw=False)
+
+    def _forward(self, api: NodeAPI, message: tuple, arrived_cw: bool) -> None:
+        """Keep a message moving in its direction of travel."""
+        if arrived_cw:
+            self.send_cw(api, message)
+        else:
+            self.send_ccw(api, message)
+
+    def _bounce(self, api: NodeAPI, message: tuple, arrived_cw: bool) -> None:
+        """Send a message back the way it came."""
+        if arrived_cw:
+            self.send_ccw(api, message)
+        else:
+            self.send_cw(api, message)
+
+    def _handle(self, api: NodeAPI, content: Any, arrived_cw: bool) -> None:
+        kind = content[0]
+        if kind == PROBE:
+            self._on_probe(api, content, arrived_cw)
+        elif kind == REPLY:
+            self._on_reply(api, content, arrived_cw)
+        elif kind == ELECTED:
+            self._on_elected(api, content, arrived_cw)
+        else:  # pragma: no cover
+            raise ProtocolViolation(f"unknown message kind {kind!r}")
+
+    def _on_probe(self, api: NodeAPI, content: Any, arrived_cw: bool) -> None:
+        _kind, probe_id, phase, hops = content
+        if probe_id == self.node_id:
+            # Our probe circled the whole ring: we hold the maximum ID.
+            self.leader_id = self.node_id
+            self.send_cw(api, (ELECTED, self.node_id))
+            return
+        if probe_id < self.node_id:
+            return  # swallow: this candidate cannot win
+        if hops > 1:
+            self._forward(api, (PROBE, probe_id, phase, hops - 1), arrived_cw)
+        else:
+            self._bounce(api, (REPLY, probe_id, phase), arrived_cw)
+
+    def _on_reply(self, api: NodeAPI, content: Any, arrived_cw: bool) -> None:
+        _kind, probe_id, phase = content
+        if probe_id != self.node_id:
+            self._forward(api, content, arrived_cw)
+            return
+        self.replies_pending -= 1
+        if self.replies_pending == 0:
+            self.phase += 1
+            self._start_phase(api)
+
+    def _on_elected(self, api: NodeAPI, content: Any, arrived_cw: bool) -> None:
+        _kind, leader_id = content
+        if leader_id == self.node_id:
+            api.terminate(LeaderState.LEADER)
+            return
+        self.leader_id = leader_id
+        self._forward(api, content, arrived_cw)
+        api.terminate(LeaderState.NON_LEADER)
+
+
+def hirschberg_sinclair_message_ceiling(n: int) -> int:
+    """A concrete :math:`O(n\\log n)` ceiling used by the E5 comparison.
+
+    Standard analysis: phase ``k`` involves at most
+    :math:`\\lceil n / 2^{k-1} \\rceil` candidates... bounded by
+    ``8n`` messages per phase over :math:`1 + \\lceil\\log_2 n\\rceil`
+    phases, plus the ``n`` announcement messages.
+    """
+    phases = 1 + math.ceil(math.log2(n)) if n > 1 else 1
+    return 8 * n * phases + n

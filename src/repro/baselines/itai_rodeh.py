@@ -1,0 +1,169 @@
+"""Itai & Rodeh 1981/1990: randomized election on anonymous rings, n known.
+
+The paper's Section 5 leans on Itai-Rodeh's impossibility result (no
+*terminating* anonymous election exists, even with randomness) to argue
+Theorem 3 cannot terminate.  The same paper's positive side — **with the
+ring size n known, a terminating randomized election exists** — is
+implemented here as a baseline, completing the contrast:
+
+| setting | IDs | n known | content | terminating election |
+|---|---|---|---|---|
+| Theorem 3 (this paper) | none | no | none (pulses) | impossible — stabilizes only |
+| Itai-Rodeh (here)      | none | yes | yes | w.p. 1, expected O(1) rounds |
+
+Protocol (per election round): every active node draws a random ID in
+``{1..k}`` and sends ``(round, id, hop=1, unique=True)`` clockwise.
+An active node receiving ``(round, id, hop, unique)``:
+
+* ``hop == n``: its own message came home — if still ``unique``, it is
+  the leader (announce); otherwise all maximum-drawers tied and enter
+  the next round;
+* ``id > own``: it loses — becomes passive and forwards (hop+1);
+* ``id == own``: a tie — forwards with ``unique=False``;
+* ``id < own``: purges the message.
+
+Passive nodes forward everything with ``hop + 1``.  Each round at least
+retains the maximum drawers; ties break with probability ≥ 1 − 1/k per
+round, so termination holds with probability 1 and expected O(1) rounds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from repro.core.common import CW_ARRIVAL_PORT, CW_SEND_PORT, LeaderState
+from repro.exceptions import ConfigurationError, ProtocolViolation
+from repro.simulator.engine import Engine, RunResult
+from repro.simulator.node import Node, NodeAPI
+from repro.simulator.ring import build_oriented_ring
+from repro.simulator.scheduler import Scheduler
+
+CANDIDATE = "candidate"
+ELECTED = "elected"
+
+
+class ItaiRodehNode(Node):
+    """One anonymous, randomized Itai-Rodeh node (ring size known)."""
+
+    def __init__(self, ring_size: int, rng: random.Random, id_space: int = 8) -> None:
+        super().__init__()
+        if ring_size < 1:
+            raise ConfigurationError(f"ring size must be positive, got {ring_size}")
+        if id_space < 2:
+            raise ConfigurationError(f"id space must be >= 2, got {id_space}")
+        self.ring_size = ring_size
+        self.id_space = id_space
+        self._rng = rng
+        self.active = True
+        self.round = 0
+        self.drawn_id: Optional[int] = None
+        self.rounds_used = 0
+
+    def on_init(self, api: NodeAPI) -> None:
+        if self.ring_size == 1:
+            api.terminate(LeaderState.LEADER)
+            return
+        self._new_round(api)
+
+    def _new_round(self, api: NodeAPI) -> None:
+        self.round += 1
+        self.rounds_used = self.round
+        self.drawn_id = self._rng.randint(1, self.id_space)
+        api.send(CW_SEND_PORT, (CANDIDATE, self.round, self.drawn_id, 1, True))
+
+    def on_message(self, api: NodeAPI, port: int, content: Any) -> None:
+        if port != CW_ARRIVAL_PORT:
+            raise ProtocolViolation("Itai-Rodeh is unidirectional (CW only)")
+        kind = content[0]
+        if kind == ELECTED:
+            self._on_elected(api, content[1])
+            return
+        _kind, msg_round, msg_id, hop, unique = content
+        if not self.active:
+            api.send(CW_SEND_PORT, (CANDIDATE, msg_round, msg_id, hop + 1, unique))
+            return
+        self._active_step(api, msg_round, msg_id, hop, unique)
+
+    def _active_step(
+        self, api: NodeAPI, msg_round: int, msg_id: int, hop: int, unique: bool
+    ) -> None:
+        if hop == self.ring_size:
+            # Our own candidate message completed the circle.
+            if unique:
+                api.send(CW_SEND_PORT, (ELECTED, self.round))
+            else:
+                self._new_round(api)  # tied at the maximum: redraw
+            return
+        if (msg_round, msg_id) > (self.round, self.drawn_id):
+            # A later round, or a larger draw this round: we lose.
+            self.active = False
+            api.send(CW_SEND_PORT, (CANDIDATE, msg_round, msg_id, hop + 1, unique))
+        elif (msg_round, msg_id) == (self.round, self.drawn_id):
+            # Same round, same draw: mark the tie and pass it on.
+            api.send(CW_SEND_PORT, (CANDIDATE, msg_round, msg_id, hop + 1, False))
+        # else: smaller draw (or stale round): purge.
+
+    def _on_elected(self, api: NodeAPI, token: Any) -> None:
+        if self.active:
+            # The announcement returned to its originator (the unique
+            # remaining active node): everyone is informed.
+            api.terminate(LeaderState.LEADER)
+            return
+        api.send(CW_SEND_PORT, (ELECTED, token))
+        api.terminate(LeaderState.NON_LEADER)
+
+
+@dataclass
+class ItaiRodehOutcome:
+    """Result of one Itai-Rodeh election."""
+
+    nodes: List[ItaiRodehNode]
+    run: RunResult
+
+    @property
+    def leaders(self) -> List[int]:
+        return [
+            index
+            for index, node in enumerate(self.nodes)
+            if node.output is LeaderState.LEADER
+        ]
+
+    @property
+    def rounds_used(self) -> int:
+        """Election rounds the winner needed (expected O(1))."""
+        return max(node.rounds_used for node in self.nodes)
+
+    @property
+    def total_messages(self) -> int:
+        return self.run.total_sent
+
+
+def run_itai_rodeh(
+    n: int,
+    seed: int = 0,
+    id_space: int = 8,
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 10_000_000,
+) -> ItaiRodehOutcome:
+    """Randomized anonymous election with known ring size.
+
+    Args:
+        n: Ring size, known to every node (the knowledge that makes
+            termination possible at all — Itai-Rodeh's Theorem 4.1).
+        seed: Master seed; each node gets an independent derived RNG.
+        id_space: Draw range ``{1..k}``; larger k = fewer tie rounds.
+        scheduler: Asynchronous adversary; defaults to global FIFO.
+        max_steps: Engine safety bound.
+    """
+    if n < 1:
+        raise ConfigurationError(f"need at least one node, got n={n}")
+    master = random.Random(seed)
+    nodes = [
+        ItaiRodehNode(n, rng=random.Random(master.getrandbits(64)), id_space=id_space)
+        for _ in range(n)
+    ]
+    topology = build_oriented_ring(nodes, defective=False)
+    result = Engine(topology.network, scheduler=scheduler, max_steps=max_steps).run()
+    return ItaiRodehOutcome(nodes=nodes, run=result)

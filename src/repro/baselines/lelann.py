@@ -1,0 +1,56 @@
+"""Le Lann 1977: everyone collects everyone's ID.
+
+Each node injects its ID clockwise; every node relays every foreign ID
+and absorbs its own when it completes the circle.  Because relays are
+FIFO and every node emits its own ID before relaying anything, a node's
+own ID is the *last* of the ``n`` IDs to reach it — so when it returns,
+the node has seen the complete ID set, elects the maximum, and
+terminates.  No announcement round is needed, and termination is
+quiescent by the same FIFO argument.
+
+Message complexity: exactly :math:`n^2` (each of ``n`` IDs travels ``n``
+hops).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.baselines.common import BaselineNode
+from repro.core.common import LeaderState
+from repro.exceptions import ProtocolViolation
+from repro.simulator.node import NodeAPI
+
+
+class LeLannNode(BaselineNode):
+    """One Le Lann node (elects the maximum ID)."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(node_id)
+        self.seen_ids: List[int] = [node_id]
+
+    def on_init(self, api: NodeAPI) -> None:
+        self.send_cw(api, ("id", self.node_id))
+
+    def on_cw_message(self, api: NodeAPI, content: Any) -> None:
+        _kind, incoming = content
+        if incoming == self.node_id:
+            # Own ID completed the circle: the collection is complete.
+            self.leader_id = max(self.seen_ids)
+            output = (
+                LeaderState.LEADER
+                if self.leader_id == self.node_id
+                else LeaderState.NON_LEADER
+            )
+            api.terminate(output)
+            return
+        self.seen_ids.append(incoming)
+        self.send_cw(api, ("id", incoming))
+
+    def on_ccw_message(self, api: NodeAPI, content: Any) -> None:
+        raise ProtocolViolation("Le Lann is unidirectional (CW only)")
+
+
+def lelann_exact_messages(n: int) -> int:
+    """Le Lann's schedule-independent cost: exactly :math:`n^2` messages."""
+    return n * n

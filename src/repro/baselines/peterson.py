@@ -1,0 +1,94 @@
+"""Peterson 1982: unidirectional :math:`O(n\\log n)` election.
+
+Lynch's formulation (Distributed Algorithms, ch. 15).  Nodes are
+``active`` or ``relay``.  Each phase, every active node sends its
+temporary ID (``tid``), receives its active predecessor's (``v1``),
+sends ``max(tid, v1)``, and receives ``v2``.  It survives (adopting
+``v1``) iff ``v1`` is a strict local maximum (``v1 > tid`` and
+``v1 > v2``); otherwise it becomes a relay.  At least half the actives
+drop each phase.  When a node receives its own ``tid`` back, that tid —
+necessarily the global maximum — has circled the remaining actives alone
+and the receiving node wins.
+
+Note the winner is the node *where the maximum tid collapses*, which is
+generally **not** the node that originally held the maximum ID — unlike
+Chang-Roberts/Le Lann/HS (and the paper's algorithms).  The tests
+therefore check single-leader agreement, not max-node victory.
+
+Message complexity: :math:`2n` per phase, :math:`O(\\log n)` phases,
+plus ``n`` announcement messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.baselines.common import BaselineNode
+from repro.core.common import LeaderState
+from repro.exceptions import ProtocolViolation
+from repro.simulator.node import NodeAPI
+
+TID = "tid"
+ELECTED = "elected"
+
+
+class PetersonNode(BaselineNode):
+    """One Peterson node.  Elects a unique leader (not necessarily max-ID)."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(node_id)
+        self.active = True
+        self.tid = node_id
+        self.step = 1  # which receive of the current phase we await
+        self.v1: Optional[int] = None
+
+    def on_init(self, api: NodeAPI) -> None:
+        self.send_cw(api, (TID, self.tid))
+
+    def on_ccw_message(self, api: NodeAPI, content: Any) -> None:
+        raise ProtocolViolation("Peterson is unidirectional (CW only)")
+
+    def on_cw_message(self, api: NodeAPI, content: Any) -> None:
+        kind, value = content
+        if kind == ELECTED:
+            self._on_elected(api, value)
+        elif not self.active:
+            self.send_cw(api, content)  # relays forward everything
+        else:
+            self._active_step(api, value)
+
+    def _active_step(self, api: NodeAPI, value: int) -> None:
+        if self.step == 1:
+            self.v1 = value
+            if value == self.tid:
+                self._win(api)
+                return
+            self.send_cw(api, (TID, max(self.tid, value)))
+            self.step = 2
+        else:
+            v2 = value
+            if v2 == self.tid:
+                self._win(api)
+                return
+            assert self.v1 is not None
+            # v2 is the predecessor's max(tid, its own v1), so the local-
+            # maximum test must be non-strict against v2: for the active
+            # predecessor holding the phase's largest tid, v2 == v1.
+            if self.v1 > self.tid and self.v1 >= v2:
+                self.tid = self.v1
+                self.step = 1
+                self.send_cw(api, (TID, self.tid))  # open the next phase
+            else:
+                self.active = False
+
+    def _win(self, api: NodeAPI) -> None:
+        self.leader_id = self.node_id
+        self.send_cw(api, (ELECTED, self.node_id))
+
+    def _on_elected(self, api: NodeAPI, leader_id: int) -> None:
+        if leader_id == self.node_id:
+            api.terminate(LeaderState.LEADER)
+            return
+        self.leader_id = leader_id
+        self.send_cw(api, (ELECTED, leader_id))
+        api.terminate(LeaderState.NON_LEADER)

@@ -1,0 +1,304 @@
+"""Command-line interface: the paper's results from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro elect --ids 3,7,5,2
+    python -m repro elect --setting nonoriented --ids 12,31,7 --flips 1,0,1
+    python -m repro elect --setting anonymous --n 12 --c 2 --seed 42
+    python -m repro compute --ids 14,3,27 --inputs 18,22,19 --op sum
+    python -m repro verify --ids 1,2,3
+    python -m repro solitude --max-id 16
+    python -m repro compare --n 16 --spread 256
+    python -m repro timeline --ids 2,3
+
+Every subcommand prints a plain-text report and exits 0 on success,
+1 when a guarantee failed to hold (useful in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.simulator.scheduler import Scheduler, all_standard_schedulers
+
+
+def _parse_int_list(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated ints, got {text!r}")
+
+
+def _parse_bool_list(text: str) -> List[bool]:
+    return [bool(value) for value in _parse_int_list(text)]
+
+
+def _scheduler(name: Optional[str]) -> Optional[Scheduler]:
+    if name is None:
+        return None
+    registry = all_standard_schedulers()
+    if name not in registry:
+        raise SystemExit(
+            f"unknown scheduler {name!r}; choose from {sorted(registry)}"
+        )
+    return registry[name]
+
+
+def _cmd_elect(args: argparse.Namespace) -> int:
+    from repro.core.election import (
+        elect_leader_anonymous,
+        elect_leader_nonoriented,
+        elect_leader_oriented,
+    )
+
+    if args.setting == "oriented":
+        report = elect_leader_oriented(args.ids, scheduler=_scheduler(args.scheduler))
+    elif args.setting == "nonoriented":
+        report = elect_leader_nonoriented(
+            args.ids, flips=args.flips, scheduler=_scheduler(args.scheduler)
+        )
+    else:
+        report = elect_leader_anonymous(
+            args.n, c=args.c, seed=args.seed, scheduler=_scheduler(args.scheduler)
+        )
+    print(f"setting      : {report.setting}")
+    print(f"ring size    : {report.n}")
+    print(f"leader       : {report.leader}")
+    print(f"states       : {[state.value for state in report.states]}")
+    print(f"pulses       : {report.total_pulses}")
+    if report.claimed_bound is not None:
+        exact = "exact match" if report.total_pulses == report.claimed_bound else "MISMATCH"
+        print(f"paper bound  : {report.claimed_bound}  ({exact})")
+    print(f"terminated   : {report.terminated}")
+    if report.cw_ports is not None:
+        print(f"cw ports     : {report.cw_ports}")
+    return 0 if report.succeeded else 1
+
+
+def _cmd_compute(args: argparse.Namespace) -> int:
+    if args.ids is not None:
+        from repro.core.composition import run_composed
+        from repro.defective.simulation import AllReduceProgram, GatherProgram, SizeProgram
+
+        programs = {
+            "sum": lambda: AllReduceProgram(lambda a, b: a + b),
+            "max": lambda: AllReduceProgram(max),
+            "min": lambda: AllReduceProgram(min),
+            "size": SizeProgram,
+            "gather": GatherProgram,
+        }
+        if args.op not in programs:
+            raise SystemExit(f"unknown op {args.op!r}; choose from {sorted(programs)}")
+        outcome = run_composed(args.ids, args.inputs, programs[args.op]())
+        print(f"leader (elected): node {outcome.leader}")
+        print(f"outputs         : {outcome.outputs}")
+        print(f"pulses          : {outcome.total_pulses}")
+        print(f"quiescent term  : {outcome.run.quiescently_terminated}")
+        return 0 if outcome.run.quiescently_terminated else 1
+    from repro.defective.simulation import run_defective_computation
+
+    try:
+        outcome = run_defective_computation(args.inputs, args.op, leader=args.leader)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    print(f"leader (given): node {args.leader}")
+    print(f"outputs       : {outcome.outputs}")
+    print(f"pulses        : {outcome.total_pulses}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.composition import run_simulated_composed
+    from repro.defective.ring_algorithms import (
+        SimBroadcast,
+        SimChangRoberts,
+        SimConvergecastSum,
+    )
+
+    ids = args.ids
+    if args.algorithm == "chang_roberts":
+        sims = [SimChangRoberts(node_id) for node_id in ids]
+    elif args.algorithm == "broadcast":
+        sims = [SimBroadcast() for _ in ids]
+        # The phase-1 winner is the max-ID node; it carries the value.
+        sims[max(range(len(ids)), key=lambda i: ids[i])] = SimBroadcast(args.value)
+    elif args.algorithm == "sum":
+        inputs = args.inputs if args.inputs is not None else list(ids)
+        if len(inputs) != len(ids):
+            raise SystemExit("--inputs must match --ids in length")
+        sims = [SimConvergecastSum(value) for value in inputs]
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+    outcome = run_simulated_composed(ids, sims)
+    print(f"phase-1 leader : node {outcome.leader}")
+    print(f"sim outputs    : {outcome.outputs}")
+    print(f"total pulses   : {outcome.total_pulses}")
+    print(f"quiescent term : {outcome.run.quiescently_terminated}")
+    return 0 if outcome.run.quiescently_terminated else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.terminating import TerminatingNode
+    from repro.core.warmup import WarmupNode
+    from repro.simulator.ring import build_oriented_ring
+    from repro.verification import explore_all_schedules
+
+    node_cls = {"warmup": WarmupNode, "terminating": TerminatingNode}[args.algorithm]
+
+    def factory():
+        return build_oriented_ring([node_cls(i) for i in args.ids]).network
+
+    result = explore_all_schedules(factory, max_states=args.max_states)
+    print(f"algorithm            : {args.algorithm}")
+    print(f"ids                  : {args.ids}")
+    print(f"reachable states     : {result.states_explored}")
+    print(f"transitions examined : {result.transitions}")
+    print(f"terminal states      : {len(result.terminal_fingerprints)}")
+    print(f"confluent            : {result.confluent}")
+    print(f"quiescence violations: {result.quiescence_violations}")
+    print(f"max pulses in flight : {result.max_in_flight}")
+    ok = result.confluent and result.quiescence_violations == 0
+    print("VERIFIED (all schedules)" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def _cmd_solitude(args: argparse.Namespace) -> int:
+    from repro.core.lower_bound import (
+        expected_algorithm2_pattern,
+        find_pattern_collision,
+        solitude_patterns,
+    )
+    from repro.core.terminating import TerminatingNode
+
+    patterns = solitude_patterns(
+        lambda node_id: TerminatingNode(node_id), range(1, args.max_id + 1)
+    )
+    print("ID  solitude pattern (0=CW pulse, 1=CCW pulse)")
+    for node_id in sorted(patterns):
+        marker = "" if patterns[node_id] == expected_algorithm2_pattern(node_id) else "  (!)"
+        print(f"{node_id:>2}  {patterns[node_id]}{marker}")
+    collision = find_pattern_collision(patterns)
+    print(f"collisions: {collision if collision else 'none (Lemma 22 holds)'}")
+    return 0 if collision is None else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.baselines import ALL_BASELINES, run_baseline
+    from repro.core.lower_bound import lower_bound_pulses
+    from repro.core.terminating import run_terminating
+
+    rng = random.Random(args.seed)
+    spread = max(args.spread, args.n)
+    ids = rng.sample(range(1, spread + 1), args.n)
+    print(f"ring: n={args.n}, IDmax={max(ids)} (spread {spread}, seed {args.seed})")
+    print(f"{'algorithm':>22}  messages")
+    oblivious = run_terminating(ids).total_pulses
+    print(f"{'content-oblivious':>22}  {oblivious}")
+    print(f"{'(theorem 4 floor)':>22}  {lower_bound_pulses(args.n, max(ids))}")
+    for name, cls in sorted(ALL_BASELINES.items()):
+        print(f"{name:>22}  {run_baseline(cls, ids).total_messages}")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.core.terminating import TerminatingNode
+    from repro.simulator.engine import Engine
+    from repro.simulator.ring import build_oriented_ring
+    from repro.simulator.timeline import render_space_time, summarize_counters
+
+    nodes = [TerminatingNode(node_id) for node_id in args.ids]
+    topology = build_oriented_ring(nodes)
+    result = Engine(topology.network, record_events=True).run()
+    labels = [f"id{node_id}" for node_id in args.ids]
+    print(render_space_time(result, len(args.ids), labels=labels, max_rows=args.rows))
+    print()
+    print(summarize_counters(result, len(args.ids)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Content-Oblivious Leader Election on Rings — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    elect = sub.add_parser("elect", help="run a leader election")
+    elect.add_argument("--setting", choices=["oriented", "nonoriented", "anonymous"],
+                       default="oriented")
+    elect.add_argument("--ids", type=_parse_int_list, default=None,
+                       help="clockwise unique IDs, e.g. 3,7,5,2")
+    elect.add_argument("--flips", type=_parse_bool_list, default=None,
+                       help="port flips for nonoriented, e.g. 1,0,1,0")
+    elect.add_argument("--n", type=int, default=8, help="ring size (anonymous)")
+    elect.add_argument("--c", type=float, default=2.0, help="confidence (anonymous)")
+    elect.add_argument("--seed", type=int, default=None)
+    elect.add_argument("--scheduler", default=None,
+                       help="global_fifo|lifo|random|round_robin|lag_ccw|lag_cw")
+    elect.set_defaults(func=_cmd_elect)
+
+    compute = sub.add_parser("compute", help="content-oblivious computation (Cor 5)")
+    compute.add_argument("--ids", type=_parse_int_list, default=None,
+                         help="elect first (omit to use --leader directly)")
+    compute.add_argument("--inputs", type=_parse_int_list, required=True)
+    compute.add_argument("--op", default="sum",
+                         help="sum|max|min|size|gather")
+    compute.add_argument("--leader", type=int, default=0,
+                         help="pre-set root when --ids is omitted")
+    compute.set_defaults(func=_cmd_compute)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="run a content-carrying algorithm over pulses (Cor 5, universal)",
+    )
+    simulate.add_argument("--ids", type=_parse_int_list, required=True,
+                          help="clockwise unique IDs (>= 3 nodes)")
+    simulate.add_argument("--algorithm",
+                          choices=["chang_roberts", "broadcast", "sum"],
+                          default="chang_roberts")
+    simulate.add_argument("--value", type=int, default=42,
+                          help="broadcast payload")
+    simulate.add_argument("--inputs", type=_parse_int_list, default=None,
+                          help="per-node inputs for sum")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    verify = sub.add_parser("verify", help="model-check ALL schedules (small rings)")
+    verify.add_argument("--ids", type=_parse_int_list, required=True)
+    verify.add_argument("--algorithm", choices=["warmup", "terminating"],
+                        default="terminating")
+    verify.add_argument("--max-states", type=int, default=2_000_000)
+    verify.set_defaults(func=_cmd_verify)
+
+    solitude = sub.add_parser("solitude", help="solitude patterns (Definition 21)")
+    solitude.add_argument("--max-id", type=int, default=16)
+    solitude.set_defaults(func=_cmd_solitude)
+
+    compare = sub.add_parser("compare", help="message counts vs classic baselines")
+    compare.add_argument("--n", type=int, default=16)
+    compare.add_argument("--spread", type=int, default=256)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(func=_cmd_compare)
+
+    timeline = sub.add_parser("timeline", help="ASCII space-time diagram of a run")
+    timeline.add_argument("--ids", type=_parse_int_list, required=True)
+    timeline.add_argument("--rows", type=int, default=60)
+    timeline.set_defaults(func=_cmd_timeline)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "elect" and args.setting != "anonymous" and args.ids is None:
+        parser.error("--ids is required for oriented/nonoriented elections")
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

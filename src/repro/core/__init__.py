@@ -1,0 +1,44 @@
+"""The paper's contribution: content-oblivious leader election on rings.
+
+Modules map one-to-one onto the paper's algorithms and proofs:
+
+* :mod:`repro.core.warmup` — Algorithm 1, quiescently *stabilizing*
+  election on oriented rings (Section 3.1).
+* :mod:`repro.core.terminating` — Algorithm 2, quiescently *terminating*
+  election on oriented rings (Section 3.2, Theorem 1).
+* :mod:`repro.core.nonoriented` — Algorithm 3, stabilizing election plus
+  ring orientation on non-oriented rings (Section 4, Proposition 15 and
+  Theorem 2).
+* :mod:`repro.core.anonymous` — Algorithm 4 ID sampling and the anonymous
+  pipeline (Section 5, Theorem 3, Lemma 18, Proposition 19).
+* :mod:`repro.core.election` — one-call front doors over all of the above.
+* :mod:`repro.core.invariants` — executable versions of Lemmas 6–14.
+* :mod:`repro.core.lower_bound` — solitude patterns and the
+  :math:`n\\lfloor\\log(\\mathrm{ID}_{max}/n)\\rfloor` lower bound
+  machinery (Section 6, Theorem 20).
+* :mod:`repro.core.composition` — Corollary 5: composing terminating
+  election with a second content-oblivious algorithm.
+"""
+
+from repro.core.common import LeaderState, validate_unique_ids
+from repro.core.election import (
+    ElectionReport,
+    elect_leader_anonymous,
+    elect_leader_nonoriented,
+    elect_leader_oriented,
+)
+from repro.core.nonoriented import IdScheme
+from repro.core.warmup import WarmupNode
+from repro.core.terminating import TerminatingNode
+
+__all__ = [
+    "LeaderState",
+    "validate_unique_ids",
+    "ElectionReport",
+    "elect_leader_anonymous",
+    "elect_leader_nonoriented",
+    "elect_leader_oriented",
+    "IdScheme",
+    "WarmupNode",
+    "TerminatingNode",
+]

@@ -1,0 +1,196 @@
+"""Theorem 3: leader election and orientation on anonymous rings.
+
+Section 5.  Nodes have no IDs — only independent randomness.  The paper's
+pipeline is: each node silently samples an ID via Algorithm 4
+(:mod:`repro.ids.sampling`), then all nodes run Algorithm 3.  By Lemma 16,
+Algorithm 3 succeeds whenever the maximal sampled ID is unique, which
+Lemma 18 shows holds with probability :math:`1 - O(n^{-c})`.
+
+The resulting algorithm reaches quiescence but cannot terminate — Itai and
+Rodeh's impossibility (a terminating anonymous algorithm cannot even count
+the ring) rules termination out, which our Theorem-3 pipeline inherits.
+
+This module also implements Proposition 19: a variant in which every node
+additionally maintains an *output ID*, resampled uniformly below
+:math:`\\min(\\rho_0, \\rho_1) - 1` whenever that minimum exceeds the
+current output ID.  At quiescence all output IDs are distinct w.h.p.,
+turning the anonymous ring into a unique-ID ring (setting (3) of the
+paper's separation).  Interpretation note (DESIGN.md): the resampling
+touches only the output label; the virtual IDs driving pulse dynamics are
+fixed at start, which is the only reading that leaves the already-proved
+Theorem 2 dynamics untouched.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.core.common import LeaderState
+from repro.core.nonoriented import (
+    IdScheme,
+    NonOrientedNode,
+    NonOrientedOutcome,
+    run_nonoriented,
+)
+from repro.ids.sampling import GeometricIdSampler, max_is_unique
+from repro.simulator.engine import Engine
+from repro.simulator.node import NodeAPI
+from repro.simulator.ring import build_nonoriented_ring
+from repro.simulator.scheduler import Scheduler
+
+
+@dataclass
+class AnonymousOutcome:
+    """Result of one anonymous-ring election attempt.
+
+    Attributes:
+        sampled_ids: The IDs privately drawn by the nodes (analysis-only;
+            the nodes never exchange them).
+        max_unique: Whether the maximal sampled ID was unique — Lemma 18's
+            good event, which implies success.
+        election: The underlying Algorithm 3 outcome.
+    """
+
+    sampled_ids: List[int]
+    max_unique: bool
+    election: NonOrientedOutcome
+
+    @property
+    def succeeded(self) -> bool:
+        """Exactly one leader elected *and* a consistent orientation."""
+        return (
+            len(self.election.leaders) == 1
+            and self.election.orientation_consistent
+        )
+
+    @property
+    def leader_holds_max_id(self) -> bool:
+        """On success, the winner is (a) node holding the maximal sample."""
+        leaders = self.election.leaders
+        if len(leaders) != 1:
+            return False
+        return self.sampled_ids[leaders[0]] == max(self.sampled_ids)
+
+
+def run_anonymous(
+    n: int,
+    c: float = 2.0,
+    seed: Optional[int] = None,
+    flips: Optional[Sequence[bool]] = None,
+    scheme: IdScheme = IdScheme.SUCCESSOR,
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 50_000_000,
+) -> AnonymousOutcome:
+    """Run the Theorem-3 pipeline on an anonymous ring of ``n`` nodes.
+
+    Args:
+        n: Ring size (the nodes do not know it).
+        c: Confidence parameter; failure probability is ``O(n**-c)``.
+        seed: Seed for both ID sampling and (if ``flips`` is None) the
+            adversarial port flips, making attempts reproducible.
+        flips: Optional explicit port flips; random when None.
+        scheme: Virtual-ID scheme handed to Algorithm 3.
+        scheduler: Asynchronous adversary; defaults to global FIFO.
+        max_steps: Engine safety bound — generous, as sampled IDs can be
+            polynomially large in ``n``.
+    """
+    rng = random.Random(seed)
+    sampler = GeometricIdSampler(c=c)
+    sampled = sampler.sample_many(n, rng)
+    if flips is None:
+        flips = [rng.random() < 0.5 for _ in range(n)]
+    election = run_nonoriented(
+        sampled,
+        flips=flips,
+        scheme=scheme,
+        scheduler=scheduler,
+        max_steps=max_steps,
+        require_unique_ids=False,
+    )
+    return AnonymousOutcome(
+        sampled_ids=sampled,
+        max_unique=max_is_unique(sampled),
+        election=election,
+    )
+
+
+class Prop19Node(NonOrientedNode):
+    """Algorithm 3 node with Proposition 19's output-ID resampling.
+
+    Attributes:
+        output_id: The node's current output label.  Starts at the
+            privately sampled ID; whenever a pulse arrives and
+            ``min(rho) > output_id``, it is resampled uniformly from
+            ``[1, min(rho) - 1]``.  At quiescence the labels are distinct
+            across the ring w.h.p.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        rng: random.Random,
+        scheme: IdScheme = IdScheme.SUCCESSOR,
+    ) -> None:
+        super().__init__(node_id, scheme=scheme)
+        self.output_id = node_id
+        self.resample_count = 0
+        self._rng = rng
+
+    def on_message(self, api: NodeAPI, port: int, content: Any) -> None:
+        super().on_message(api, port, content)
+        lo = min(self.rho)
+        if lo > self.output_id:
+            # lo > output_id >= 1 implies lo >= 2, so the range is valid.
+            self.output_id = self._rng.randint(1, lo - 1)
+            self.resample_count += 1
+
+
+@dataclass
+class Prop19Outcome:
+    """Result of a Proposition 19 run: unique-ID assignment w.h.p."""
+
+    sampled_ids: List[int]
+    output_ids: List[int]
+    election: NonOrientedOutcome
+
+    @property
+    def ids_distinct(self) -> bool:
+        """Proposition 19's claim: all output IDs distinct at quiescence."""
+        return len(set(self.output_ids)) == len(self.output_ids)
+
+
+def run_prop19(
+    n: int,
+    c: float = 2.0,
+    seed: Optional[int] = None,
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 50_000_000,
+) -> Prop19Outcome:
+    """Sample IDs (Algorithm 4), run the Prop-19 variant of Algorithm 3."""
+    if n < 1:
+        raise ConfigurationError(f"need at least one node, got n={n}")
+    rng = random.Random(seed)
+    sampler = GeometricIdSampler(c=c)
+    sampled = sampler.sample_many(n, rng)
+    flips = [rng.random() < 0.5 for _ in range(n)]
+    nodes = [
+        Prop19Node(node_id, rng=random.Random(rng.getrandbits(64)))
+        for node_id in sampled
+    ]
+    topology = build_nonoriented_ring(nodes, flips=flips)
+    run = Engine(topology.network, scheduler=scheduler, max_steps=max_steps).run()
+    election = NonOrientedOutcome(
+        ids=list(sampled),
+        nodes=nodes,
+        topology=topology,
+        run=run,
+        scheme=IdScheme.SUCCESSOR,
+    )
+    return Prop19Outcome(
+        sampled_ids=sampled,
+        output_ids=[node.output_id for node in nodes],
+        election=election,
+    )

@@ -1,0 +1,176 @@
+"""Executable versions of the paper's invariants (Lemmas 6-14, 17).
+
+Each function here either checks a *point-in-time* predicate against a
+running :class:`~repro.simulator.engine.Engine` (usable as an engine
+``invariant_hook``, i.e. evaluated after **every** delivery, so a passing
+run certifies the invariant along the entire execution) or evaluates an
+*end-state* predicate on a finished run.
+
+Lemma numbering follows the paper:
+
+* **Lemma 6** — counter invariant of Algorithm 1: while
+  :math:`\\rho_{cw} < \\mathsf{ID}_v`, node ``v`` has sent exactly one
+  pulse more than it received; once :math:`\\rho_{cw} \\ge \\mathsf{ID}_v`,
+  sent equals received.
+* **Lemma 7 / 17** — the maximal-ID node is the last to satisfy
+  :math:`\\rho_{cw} \\ge \\mathsf{ID}_v` (17 generalizes to non-unique IDs).
+* **Lemmas 8, 9 / Corollary 10 / Lemma 11** — quiescence holds iff every
+  node has :math:`\\rho_{cw} \\ge \\mathsf{ID}_v` iff every node has
+  :math:`\\rho_{cw} = \\sigma_{cw} = \\mathsf{ID}_{max}`.
+* **Corollary 13** — every execution ends in quiescence with each node
+  having sent and received exactly :math:`\\mathsf{ID}_{max}` pulses.
+* **Corollary 14** — :math:`\\rho_{cw}[v] \\le \\mathsf{ID}_{max}` at all
+  times.
+
+For Algorithm 2, the CW-instance invariants apply verbatim, the CCW
+instance satisfies the mirrored invariant until the termination pulse is
+emitted, and the *lag* invariant :math:`\\rho_{ccw} \\le \\rho_{cw}` holds
+at every node until the termination phase (this is what makes the line-14
+trigger unique to the leader).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.common import OrientedRingNode
+from repro.core.terminating import TerminatingNode
+from repro.core.warmup import WarmupNode
+from repro.simulator.engine import Engine
+
+
+class InvariantViolation(AssertionError):
+    """An executable lemma failed; carries a forensic description."""
+
+
+def _oriented_nodes(engine: Engine) -> List[OrientedRingNode]:
+    return [node for node in engine.network.nodes]  # type: ignore[list-item]
+
+
+def check_lemma6_cw(engine: Engine) -> None:
+    """Lemma 6 for the CW channel, checked after every delivery.
+
+    The check is evaluated between loop iterations (i.e. after a node's
+    handler fully ran), which is exactly the lemma's "end of each
+    iteration" proviso.  Buffered-but-unprocessed pulses count as still in
+    transit, matching the paper's footnote 2.
+    """
+    for index, node in enumerate(_oriented_nodes(engine)):
+        if node.rho_cw < node.node_id:
+            expected = node.rho_cw + 1
+        else:
+            expected = node.rho_cw
+        if node.sigma_cw != expected:
+            raise InvariantViolation(
+                f"Lemma 6 violated at node {index} (ID {node.node_id}): "
+                f"rho_cw={node.rho_cw}, sigma_cw={node.sigma_cw}, "
+                f"expected sigma_cw={expected}"
+            )
+
+
+def check_corollary14(engine: Engine) -> None:
+    """Corollary 14: no node ever receives more than IDmax CW pulses."""
+    nodes = _oriented_nodes(engine)
+    id_max = max(node.node_id for node in nodes)
+    for index, node in enumerate(nodes):
+        if node.rho_cw > id_max:
+            raise InvariantViolation(
+                f"Corollary 14 violated at node {index}: "
+                f"rho_cw={node.rho_cw} > IDmax={id_max}"
+            )
+
+
+def check_pulses_in_transit_match_lemma12(engine: Engine) -> None:
+    """Lemma 12's accounting: #pulses in transit equals |B| for Algorithm 1.
+
+    ``B`` is the set of nodes with :math:`\\rho_{cw} < \\mathsf{ID}_v`.
+    By Lemma 6 each contributes exactly one excess sent pulse, so the
+    number of CW pulses in flight (channel queues; node-internal buffers
+    do not exist for Algorithm 1) must equal ``|B|``.
+    """
+    nodes = _oriented_nodes(engine)
+    if not all(isinstance(node, WarmupNode) for node in nodes):
+        raise InvariantViolation(
+            "the in-transit accounting check applies to Algorithm 1 only"
+        )
+    lagging = sum(1 for node in nodes if node.rho_cw < node.node_id)
+    in_transit = engine.network.pending_messages()
+    if in_transit != lagging:
+        raise InvariantViolation(
+            f"Lemma 12 accounting violated: {in_transit} pulses in transit "
+            f"but |B|={lagging}"
+        )
+
+
+def check_ccw_lag(engine: Engine) -> None:
+    """Algorithm 2's lag discipline: rho_ccw <= rho_cw until termination.
+
+    Once some node has emitted the termination pulse, nodes may observe
+    :math:`\\rho_{ccw} = \\rho_{cw} + 1` exactly once (the pulse that makes
+    them terminate); any larger excess is a violation.
+    """
+    nodes = engine.network.nodes
+    for index, node in enumerate(nodes):
+        if not isinstance(node, TerminatingNode):
+            raise InvariantViolation("check_ccw_lag applies to Algorithm 2 only")
+        allowed_excess = 1 if _termination_phase_started(nodes) else 0
+        if node.rho_ccw > node.rho_cw + allowed_excess:
+            raise InvariantViolation(
+                f"CCW lag violated at node {index} (ID {node.node_id}): "
+                f"rho_ccw={node.rho_ccw} > rho_cw={node.rho_cw}"
+                f" + {allowed_excess}"
+            )
+
+
+def check_leader_event_unique(engine: Engine) -> None:
+    """The line-14 trigger fires only at the maximal-ID node.
+
+    ``term_pulse_sent`` records that a node observed
+    :math:`\\rho_{cw} = \\mathsf{ID}_v = \\rho_{ccw}`; Theorem 1's
+    correctness hinges on this being unique to :math:`\\ell`.
+    """
+    nodes = engine.network.nodes
+    id_max = max(node.node_id for node in nodes)  # type: ignore[attr-defined]
+    for index, node in enumerate(nodes):
+        if not isinstance(node, TerminatingNode):
+            raise InvariantViolation(
+                "check_leader_event_unique applies to Algorithm 2 only"
+            )
+        if node.term_pulse_sent and node.node_id != id_max:
+            raise InvariantViolation(
+                f"non-maximal node {index} (ID {node.node_id}, IDmax "
+                f"{id_max}) fired the leader-only termination trigger"
+            )
+
+
+def _termination_phase_started(nodes: Sequence) -> bool:
+    return any(
+        isinstance(node, TerminatingNode) and node.term_pulse_sent
+        for node in nodes
+    )
+
+
+def check_end_state_corollary13(nodes: Sequence[OrientedRingNode]) -> None:
+    """Corollary 13 at quiescence: all counters equal IDmax (CW channel)."""
+    id_max = max(node.node_id for node in nodes)
+    for index, node in enumerate(nodes):
+        if node.rho_cw != id_max or node.sigma_cw != id_max:
+            raise InvariantViolation(
+                f"Corollary 13 violated at node {index}: "
+                f"rho_cw={node.rho_cw}, sigma_cw={node.sigma_cw}, "
+                f"IDmax={id_max}"
+            )
+
+
+ALGORITHM1_HOOKS = (
+    check_lemma6_cw,
+    check_corollary14,
+    check_pulses_in_transit_match_lemma12,
+)
+
+ALGORITHM2_HOOKS = (
+    check_lemma6_cw,
+    check_corollary14,
+    check_ccw_lag,
+    check_leader_event_unique,
+)

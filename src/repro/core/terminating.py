@@ -1,0 +1,211 @@
+"""Algorithm 2: quiescently *terminating* leader election (Theorem 1).
+
+The paper's main algorithm (Section 3.2).  It runs two instances of
+Algorithm 1 — one clockwise, one counterclockwise — with the CCW instance
+deliberately lagging behind the CW one, plus a final termination pulse:
+
+* **CW instance** (listing lines 3–8): exactly Algorithm 1.
+* **CCW instance** (lines 9–13): starts at node ``v`` only once
+  :math:`\\rho_{cw} \\ge \\mathsf{ID}_v`; until then CCW pulses are left
+  unconsumed in the queue.  This buffering is the paper's "subtle
+  prioritization" of the CW instance and guarantees that the event
+  :math:`\\rho_{cw} = \\mathsf{ID}_v = \\rho_{ccw}` occurs *only* at the
+  maximal-ID node.
+* **Termination** (lines 14–18): the unique node observing
+  :math:`\\rho_{cw} = \\mathsf{ID}_v = \\rho_{ccw}` — the leader — emits
+  one extra CCW pulse.  Every node seeing :math:`\\rho_{ccw} > \\rho_{cw}`
+  for the first time forwards that pulse and terminates; the pulse returns
+  to the leader, which terminates last without forwarding it.
+
+Exact guarantees reproduced by the test-suite (Theorem 1):
+
+* exactly one Leader: the node with :math:`\\mathsf{ID}_{max}`;
+* message complexity exactly :math:`n(2\\,\\mathsf{ID}_{max} + 1)`;
+* quiescent termination: no pulse is in transit towards, or ever sent to,
+  a terminated node;
+* the leader terminates last (the composition hook of Section 1.1).
+
+Event-driven translation.  The listing is a polling loop: each iteration
+processes at most one CW pulse, then (if :math:`\\rho_{cw} \\ge ID`) at
+most one CCW pulse, then evaluates the trigger and exit conditions.  Here
+each delivery enqueues the pulse into a local buffer and runs the same
+loop until no buffered pulse is processable — observationally identical,
+because a pulse buffered at the node is indistinguishable from one the
+scheduler has not yet delivered.
+
+Ablation (``strict_lag=False``): disables the CCW buffering so CCW pulses
+are consumed regardless of :math:`\\rho_{cw}`.  Benchmark E7/A1 shows this
+breaks the algorithm — premature terminations, wrong leaders — i.e. the
+lag discipline is load-bearing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.exceptions import ProtocolViolation
+from repro.core.common import (
+    CW_ARRIVAL_PORT,
+    CCW_ARRIVAL_PORT,
+    LeaderState,
+    OrientedRingNode,
+    validate_unique_ids,
+)
+from repro.simulator.engine import Engine, RunResult
+from repro.simulator.node import NodeAPI
+from repro.simulator.ring import build_oriented_ring
+from repro.simulator.scheduler import Scheduler
+
+
+class TerminatingNode(OrientedRingNode):
+    """One node of Algorithm 2.
+
+    Attributes beyond :class:`~repro.core.common.OrientedRingNode`:
+        pending_cw / pending_ccw: Delivered-but-unprocessed pulse counts
+            (the node-local queues the listing polls with ``recv*()``).
+        term_pulse_sent: The node ran listing lines 14–15 (it is the
+            leader and has emitted the termination pulse).
+        strict_lag: When False, the CCW-lag discipline is ablated.
+    """
+
+    def __init__(self, node_id: int, strict_lag: bool = True) -> None:
+        super().__init__(node_id)
+        self.pending_cw = 0
+        self.pending_ccw = 0
+        self.term_pulse_sent = False
+        self.strict_lag = strict_lag
+
+    # -- event plumbing -----------------------------------------------------
+
+    def on_init(self, api: NodeAPI) -> None:
+        self.send_cw(api)  # line 1
+        self._drain(api)
+
+    def on_message(self, api: NodeAPI, port: int, content: Any) -> None:
+        if port == CW_ARRIVAL_PORT:
+            self.pending_cw += 1
+        elif port == CCW_ARRIVAL_PORT:
+            self.pending_ccw += 1
+        else:  # pragma: no cover - engine validates ports
+            raise ProtocolViolation(f"invalid arrival port {port}")
+        self._drain(api)
+
+    # -- the listing's repeat-loop, one pass per iteration --------------------
+
+    def _drain(self, api: NodeAPI) -> None:
+        """Run loop iterations until no buffered pulse is processable."""
+        while not self.terminated:
+            progressed = False
+
+            # Lines 3-8: the CW instance of Algorithm 1.
+            if self.pending_cw:
+                self.pending_cw -= 1
+                self.rho_cw += 1
+                if self.rho_cw == self.node_id:
+                    self.state = LeaderState.LEADER
+                else:
+                    self.state = LeaderState.NON_LEADER
+                    self.send_cw(api)
+                progressed = True
+
+            # Lines 9-13: the CCW instance, gated on rho_cw >= ID.
+            if self.rho_cw >= self.node_id or not self.strict_lag:
+                if self.sigma_ccw == 0 and self.rho_cw >= self.node_id:
+                    self.send_ccw(api)  # line 10: CCW instance's initial pulse
+                if self.pending_ccw:
+                    self.pending_ccw -= 1
+                    self.rho_ccw += 1
+                    if self.rho_ccw != self.node_id and not self.term_pulse_sent:
+                        self.send_ccw(api)  # line 13: relay within CCW instance
+                    progressed = True
+
+            # Lines 14-17: the unique leader event triggers termination.
+            if (
+                not self.term_pulse_sent
+                and self.rho_cw == self.node_id == self.rho_ccw
+            ):
+                self.term_pulse_sent = True
+                self.send_ccw(api)  # line 15: emit the termination pulse
+                # Lines 16-17 (wait for the pulse's return) are implicit:
+                # the node simply keeps handling events until the exit
+                # condition below fires.
+
+            # Line 18: exit condition `rho_ccw > rho_cw`.
+            if self.rho_ccw > self.rho_cw:
+                api.terminate(self.state)  # line 19: output and stop
+                return
+
+            if not progressed:
+                return
+
+
+def run_terminating(
+    ids: Sequence[int],
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 10_000_000,
+    strict_lag: bool = True,
+    strict_quiescence: bool = False,
+) -> "TerminatingOutcome":
+    """Run Algorithm 2 on an oriented ring with the given clockwise IDs.
+
+    Args:
+        ids: Unique positive node IDs in clockwise order.
+        scheduler: Asynchronous adversary; defaults to global FIFO.
+        max_steps: Engine safety bound.
+        strict_lag: Pass False to ablate the CCW-lag discipline (A1).
+        strict_quiescence: Raise on the first quiescent-termination
+            violation instead of recording it.
+
+    Returns:
+        A :class:`TerminatingOutcome` with outputs, counters, and the run.
+    """
+    validate_unique_ids(ids)
+    nodes = [TerminatingNode(node_id, strict_lag=strict_lag) for node_id in ids]
+    topology = build_oriented_ring(nodes)
+    result = Engine(
+        topology.network,
+        scheduler=scheduler,
+        max_steps=max_steps,
+        strict_quiescence=strict_quiescence,
+    ).run()
+    return TerminatingOutcome(ids=list(ids), nodes=nodes, run=result)
+
+
+class TerminatingOutcome:
+    """Final snapshot of one Algorithm 2 execution."""
+
+    def __init__(
+        self, ids: List[int], nodes: List[TerminatingNode], run: RunResult
+    ) -> None:
+        self.ids = ids
+        self.nodes = nodes
+        self.run = run
+
+    @property
+    def outputs(self) -> List[Optional[LeaderState]]:
+        """Per-node terminal outputs in clockwise ring order."""
+        return [node.output for node in self.nodes]
+
+    @property
+    def leaders(self) -> List[int]:
+        """Indices of nodes that *output* Leader at termination."""
+        return [
+            index
+            for index, node in enumerate(self.nodes)
+            if node.output is LeaderState.LEADER
+        ]
+
+    @property
+    def expected_leader(self) -> int:
+        """Index of the maximal-ID node — whom Theorem 1 says must win."""
+        return max(range(len(self.ids)), key=lambda index: self.ids[index])
+
+    @property
+    def total_pulses(self) -> int:
+        """Message complexity; Theorem 1 says exactly ``n * (2*IDmax + 1)``."""
+        return self.run.total_sent
+
+    @property
+    def theorem1_message_bound(self) -> int:
+        """The paper's exact complexity: :math:`n(2\\,\\mathsf{ID}_{max}+1)`."""
+        return len(self.ids) * (2 * max(self.ids) + 1)

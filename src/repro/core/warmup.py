@@ -1,0 +1,118 @@
+"""Algorithm 1: quiescently *stabilizing* leader election on oriented rings.
+
+The paper's warm-up algorithm (Section 3.1).  Every node starts by sending
+one clockwise pulse and then relays every received pulse clockwise, except
+for the single time when its received-pulse count :math:`\\rho_{cw}`
+reaches its own ID — that one pulse is absorbed and the node tentatively
+declares itself Leader.  Any later pulse reverts it to Non-Leader (and is
+relayed).
+
+Guarantees reproduced by the test-suite (Lemmas 6–14, Corollary 13):
+
+* The network always reaches quiescence, at which point every node has
+  sent and received exactly :math:`\\mathsf{ID}_{max}` clockwise pulses
+  (total message complexity :math:`n \\cdot \\mathsf{ID}_{max}`).
+* At quiescence exactly the maximal-ID node(s) hold state Leader — with
+  unique IDs, exactly one node (Lemma 16 covers non-unique IDs: every node
+  of maximal ID ends a Leader, so a unique *maximum* suffices).
+* Nodes never terminate: the algorithm stabilizes but cannot detect it.
+
+The node processes only clockwise pulses; receiving a CCW pulse is a
+wiring bug and raises :class:`~repro.exceptions.ProtocolViolation`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.exceptions import ProtocolViolation
+from repro.core.common import (
+    CW_ARRIVAL_PORT,
+    LeaderState,
+    OrientedRingNode,
+    validate_positive_ids,
+)
+from repro.simulator.engine import Engine, RunResult
+from repro.simulator.node import NodeAPI
+from repro.simulator.ring import build_oriented_ring
+from repro.simulator.scheduler import Scheduler
+
+
+class WarmupNode(OrientedRingNode):
+    """One node of Algorithm 1 (paper's listing, translated to events).
+
+    The listing's main loop polls ``recvCW()``; event-driven, that is: on
+    every CW pulse processed, increment :math:`\\rho_{cw}`; if it now
+    equals the node's ID, become (tentatively) Leader and absorb the
+    pulse; otherwise become Non-Leader and relay it clockwise.
+    """
+
+    def on_init(self, api: NodeAPI) -> None:
+        # Line 1: every node injects one clockwise pulse.
+        self.send_cw(api)
+
+    def on_message(self, api: NodeAPI, port: int, content: Any) -> None:
+        if port != CW_ARRIVAL_PORT:
+            raise ProtocolViolation(
+                f"WarmupNode(id={self.node_id}) received a CCW pulse; "
+                "Algorithm 1 uses the CW channel only"
+            )
+        self.rho_cw += 1                       # recvCW() consumed a pulse
+        if self.rho_cw == self.node_id:        # line 4
+            self.state = LeaderState.LEADER    # line 5: absorb, claim lead
+        else:
+            self.state = LeaderState.NON_LEADER  # lines 7-8: relay
+            self.send_cw(api)
+
+
+def run_warmup(
+    ids: Sequence[int],
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 10_000_000,
+) -> "WarmupOutcome":
+    """Run Algorithm 1 on an oriented ring with the given clockwise IDs.
+
+    Args:
+        ids: Node IDs in clockwise order.  Positive integers; duplicates
+            are allowed (Lemma 16) but then several Leaders may stabilize.
+        scheduler: Asynchronous adversary; defaults to global FIFO.
+        max_steps: Engine safety bound.
+
+    Returns:
+        A :class:`WarmupOutcome` with final states, counters, and the run.
+    """
+    validate_positive_ids(ids)
+    nodes = [WarmupNode(node_id) for node_id in ids]
+    topology = build_oriented_ring(nodes)
+    result = Engine(topology.network, scheduler=scheduler, max_steps=max_steps).run()
+    return WarmupOutcome(ids=list(ids), nodes=nodes, run=result)
+
+
+class WarmupOutcome:
+    """Final snapshot of one Algorithm 1 execution."""
+
+    def __init__(
+        self, ids: List[int], nodes: List[WarmupNode], run: RunResult
+    ) -> None:
+        self.ids = ids
+        self.nodes = nodes
+        self.run = run
+
+    @property
+    def states(self) -> List[LeaderState]:
+        """Per-node stabilized states, in clockwise ring order."""
+        return [node.state for node in self.nodes]
+
+    @property
+    def leaders(self) -> List[int]:
+        """Indices of nodes that stabilized as Leader."""
+        return [
+            index
+            for index, node in enumerate(self.nodes)
+            if node.state is LeaderState.LEADER
+        ]
+
+    @property
+    def total_pulses(self) -> int:
+        """Message complexity of the execution (should be n * IDmax)."""
+        return self.run.total_sent

@@ -1,0 +1,69 @@
+"""Content-oblivious computation over a fully defective ring with a root.
+
+This subpackage is the reproduction's stand-in for the root-based
+universal compiler of Censor-Hillel, Cohen, Gelles, and Sela [8], which
+Corollary 5 composes with the paper's leader election.  It implements a
+*circuit transport*: with an elected leader on an oriented ring, nodes
+exchange arbitrary non-negative integers using only contentless pulses,
+compute global functions, and terminate quiescently with the leader last.
+
+See :mod:`repro.defective.transport` for the protocol and its correctness
+argument, :mod:`repro.defective.encoding` for the value codecs, and
+:mod:`repro.defective.simulation` for ready-made programs (sum, max,
+size, gather, ...).
+"""
+
+from repro.defective.encoding import cantor_pair, cantor_unpair, encode_sequence, decode_sequence
+from repro.defective.simulation import (
+    AllReduceProgram,
+    GatherProgram,
+    MultiFoldProgram,
+    SizeProgram,
+    run_defective_computation,
+)
+from repro.defective.ring_algorithms import (
+    SimBroadcast,
+    SimChangRoberts,
+    SimConvergecastSum,
+    SimPingPong,
+)
+from repro.defective.transport import (
+    CircuitNode,
+    CircuitProgram,
+    TransportOutcome,
+    run_circuit_transport,
+    transport_pulse_cost,
+)
+from repro.defective.universal import (
+    SimulatedContext,
+    SimulatedRingNode,
+    UniversalNode,
+    UniversalOutcome,
+    simulate_ring_algorithm,
+)
+
+__all__ = [
+    "cantor_pair",
+    "cantor_unpair",
+    "encode_sequence",
+    "decode_sequence",
+    "AllReduceProgram",
+    "GatherProgram",
+    "MultiFoldProgram",
+    "SizeProgram",
+    "run_defective_computation",
+    "CircuitNode",
+    "CircuitProgram",
+    "TransportOutcome",
+    "run_circuit_transport",
+    "transport_pulse_cost",
+    "SimBroadcast",
+    "SimChangRoberts",
+    "SimConvergecastSum",
+    "SimPingPong",
+    "SimulatedContext",
+    "SimulatedRingNode",
+    "UniversalNode",
+    "UniversalOutcome",
+    "simulate_ring_algorithm",
+]

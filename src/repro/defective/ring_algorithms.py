@@ -1,0 +1,154 @@
+"""Simulated content-carrying algorithms for the universal interpreter.
+
+Each class here is an ordinary asynchronous message-passing ring
+algorithm — IDs, payloads, directions, the lot — written against
+:class:`~repro.defective.universal.SimulatedRingNode`, and therefore
+runnable over a **fully defective** ring via the interpreter.  The
+flagship is Chang-Roberts: the 1979 algorithm whose every message is an
+ID, executing in a network where no message can carry anything at all.
+
+Payload packing: messages are single non-negative ints; structured
+payloads use :func:`~repro.defective.encoding.cantor_pair`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.defective.encoding import cantor_pair, cantor_unpair
+from repro.defective.universal import CCW, CW, SimulatedContext, SimulatedRingNode
+
+_CANDIDATE = 0
+_ELECTED = 1
+
+
+class SimChangRoberts(SimulatedRingNode):
+    """Chang-Roberts 1979, simulated content-obliviously.
+
+    Identical logic to :class:`repro.baselines.chang_roberts.ChangRobertsNode`
+    (candidates clockwise, larger IDs survive, announcement circulates),
+    but every "message" is reconstructed from pulse counts by the
+    interpreter.  Final output: ``("leader"|"follower", winner_id)``.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.leader_id: Optional[int] = None
+
+    def on_start(self, ctx: SimulatedContext) -> None:
+        ctx.send_cw(cantor_pair(_CANDIDATE, self.node_id))
+
+    def on_receive(self, ctx: SimulatedContext, direction: str, payload: int) -> None:
+        kind, value = cantor_unpair(payload)
+        if kind == _CANDIDATE:
+            if value > self.node_id:
+                ctx.send_cw(payload)
+            elif value == self.node_id:
+                self.leader_id = self.node_id
+                ctx.send_cw(cantor_pair(_ELECTED, self.node_id))
+            # smaller: swallowed
+        else:  # _ELECTED
+            if value == self.node_id:
+                ctx.halt(("leader", self.node_id))
+            else:
+                self.leader_id = value
+                ctx.send_cw(payload)
+                ctx.halt(("follower", value))
+
+
+class SimBroadcast(SimulatedRingNode):
+    """Root floods a value both directions; everyone stores and halts.
+
+    Exercises bidirectional simulated messaging: the root sends its
+    value CW and CCW; each non-root forwards the first copy onward in
+    its direction of travel and halts.  The two waves die where they
+    meet (each node forwards at most once).
+    """
+
+    def __init__(self, value: Optional[int] = None) -> None:
+        self.value = value  # non-None only at the root
+        self.received: Optional[int] = None
+
+    def on_start(self, ctx: SimulatedContext) -> None:
+        if ctx.is_root:
+            assert self.value is not None, "root needs a broadcast value"
+            self.received = self.value
+            ctx.send_cw(self.value)
+            ctx.send_ccw(self.value)
+            ctx.halt(self.value)
+
+    def on_receive(self, ctx: SimulatedContext, direction: str, payload: int) -> None:
+        if self.received is not None:
+            return  # second wave: already have it, let it die
+        self.received = payload
+        if direction == CW:
+            ctx.send_cw(payload)
+        else:
+            ctx.send_ccw(payload)
+        ctx.halt(payload)
+
+
+class SimConvergecastSum(SimulatedRingNode):
+    """Root-coordinated sum: an accumulating token goes CW, result CCW?
+
+    No — simpler and fully asynchronous: the root sends an accumulator
+    clockwise; each node adds its input and forwards; when it returns,
+    the root broadcasts the total clockwise and everyone halts with it.
+    """
+
+    _ACC = 0
+    _RESULT = 1
+
+    def __init__(self, input_value: int) -> None:
+        self.input_value = input_value
+
+    def on_start(self, ctx: SimulatedContext) -> None:
+        if ctx.is_root:
+            ctx.send_cw(cantor_pair(self._ACC, self.input_value))
+
+    def on_receive(self, ctx: SimulatedContext, direction: str, payload: int) -> None:
+        kind, value = cantor_unpair(payload)
+        if kind == self._ACC:
+            if ctx.is_root:
+                # accumulator returned: value is the global sum
+                ctx.send_cw(cantor_pair(self._RESULT, value))
+                ctx.halt(value)
+            else:
+                ctx.send_cw(cantor_pair(self._ACC, value + self.input_value))
+        else:  # _RESULT
+            if not ctx.is_root:
+                ctx.send_cw(payload)
+                ctx.halt(value)
+            # root already halted; its copy would die here anyway
+
+
+class SimPingPong(SimulatedRingNode):
+    """Adjacent ping-pong: stress bidirectional FIFO of the interpreter.
+
+    The root sends ``k`` down-counting pings CW; its CW neighbor bounces
+    each back CCW; the root halts when all pongs returned, the neighbor
+    when the zero ping arrives.  All other nodes stay silent.
+    """
+
+    def __init__(self, rounds: int) -> None:
+        self.rounds = rounds
+        self.pongs = 0
+        self.pings_seen: List[int] = []
+
+    def on_start(self, ctx: SimulatedContext) -> None:
+        if ctx.is_root:
+            for k in range(self.rounds, -1, -1):
+                ctx.send_cw(k)
+
+    def on_receive(self, ctx: SimulatedContext, direction: str, payload: int) -> None:
+        if ctx.is_root:
+            self.pongs += 1
+            if self.pongs == self.rounds + 1:
+                ctx.halt(("root", self.pongs))
+            return
+        if direction == CW:
+            # A ping from the root (we are its CW neighbor).
+            self.pings_seen.append(payload)
+            ctx.send_ccw(payload)
+            if payload == 0:
+                ctx.halt(("neighbor", len(self.pings_seen)))

@@ -1,0 +1,218 @@
+"""Ready-made programs for the circuit transport.
+
+These are the content-carrying ring computations that Corollary 5 makes
+possible on fully defective rings once a leader exists:
+
+* :class:`AllReduceProgram` — fold everyone's input with an associative
+  operator and broadcast the result to all nodes (sum, max, min, ...).
+* :class:`SizeProgram` — every node learns the ring size ``n`` (the
+  quantity whose uncomputability *without* a leader drives the paper's
+  anonymous-ring impossibility discussion).
+* :class:`GatherProgram` — the leader collects the full input vector in
+  clockwise order, then broadcasts it; every node ends with all inputs.
+  This is computationally universal (any function of the inputs can then
+  be computed locally) at a polynomial unary-encoding cost.
+
+All programs leave each node's result in ``memory['output']``, which the
+transport also uses as the node's terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.defective.encoding import decode_sequence, encode_sequence
+from repro.defective.transport import (
+    CircuitNode,
+    CircuitProgram,
+    TransportOutcome,
+    run_circuit_transport,
+)
+from repro.simulator.scheduler import Scheduler
+
+
+class AllReduceProgram(CircuitProgram):
+    """Fold all inputs with ``fold_fn`` and broadcast the result.
+
+    Circuit 0 folds: the leader opens with its own input; every node
+    relays ``fold_fn(acc, input)``; the leader closes holding the global
+    fold.  Circuit 1 broadcasts that result unchanged.
+
+    Args:
+        fold_fn: Associative binary operator over non-negative ints.
+            (Associativity is not strictly required — the fold is applied
+            in clockwise ring order — but commutative/associative
+            operators make the result placement-independent.)
+    """
+
+    user_circuits = 2
+
+    def __init__(self, fold_fn: Callable[[int, int], int]) -> None:
+        self.fold_fn = fold_fn
+
+    def leader_open(self, circuit: int, ctx: CircuitNode) -> int:
+        if circuit == 0:
+            return ctx.input_value
+        return ctx.memory["output"]  # broadcast circuit carries the result
+
+    def on_relay(self, circuit: int, value: int, ctx: CircuitNode) -> int:
+        if circuit == 0:
+            return self.fold_fn(value, ctx.input_value)
+        ctx.memory["output"] = value
+        return value
+
+    def leader_close(self, circuit: int, value: int, ctx: CircuitNode) -> None:
+        if circuit == 0:
+            ctx.memory["output"] = value
+        # circuit 1: the broadcast came back around; nothing left to do.
+
+
+class SizeProgram(CircuitProgram):
+    """Every node learns the ring size.
+
+    The transport's census already tells the leader ``n`` and its closing
+    broadcast disseminates it, so this program only needs to copy the
+    learned size into the output slot — zero user circuits would suffice,
+    but we broadcast explicitly so the value flows through program
+    machinery too (exercising the full path).
+    """
+
+    user_circuits = 1
+
+    def leader_open(self, circuit: int, ctx: CircuitNode) -> int:
+        assert ctx.ring_size is not None
+        ctx.memory["output"] = ctx.ring_size
+        return ctx.ring_size
+
+    def on_relay(self, circuit: int, value: int, ctx: CircuitNode) -> int:
+        ctx.memory["output"] = value
+        return value
+
+    def leader_close(self, circuit: int, value: int, ctx: CircuitNode) -> None:
+        pass  # already stored at open time
+
+
+class GatherProgram(CircuitProgram):
+    """Collect every input (in clockwise order from the leader), everywhere.
+
+    Circuit 0 gathers: the value is an encoded sequence that every node
+    extends with its own input.  Circuit 1 broadcasts the encoded vector;
+    each node decodes it locally.  Unary encoding makes this exponential
+    in vector length for large inputs — use small demo inputs, as
+    Corollary 5 is about possibility, not bandwidth (see module docs).
+    """
+
+    user_circuits = 2
+
+    def leader_open(self, circuit: int, ctx: CircuitNode) -> int:
+        if circuit == 0:
+            return encode_sequence([ctx.input_value])
+        return encode_sequence(ctx.memory["output"])
+
+    def on_relay(self, circuit: int, value: int, ctx: CircuitNode) -> int:
+        if circuit == 0:
+            gathered = decode_sequence(value)
+            gathered.append(ctx.input_value)
+            return encode_sequence(gathered)
+        ctx.memory["output"] = decode_sequence(value)
+        return value
+
+    def leader_close(self, circuit: int, value: int, ctx: CircuitNode) -> None:
+        if circuit == 0:
+            ctx.memory["output"] = decode_sequence(value)
+
+
+class MultiFoldProgram(CircuitProgram):
+    """Several independent folds in one transport session.
+
+    Runs ``len(folds)`` fold circuits followed by one broadcast circuit
+    per fold, so every node ends with the full tuple of results in
+    ``memory['output']``.  Demonstrates (and tests) transports with many
+    user circuits — e.g. sum, max, and min of the inputs in a single
+    quiescently-terminating session.
+
+    Args:
+        folds: ``(name, fold_fn)`` pairs; each ``fold_fn`` is a binary
+            operator over non-negative ints, applied in clockwise order
+            starting from the leader's input.
+    """
+
+    def __init__(self, folds: Sequence[tuple]) -> None:
+        if not folds:
+            raise ValueError("need at least one fold")
+        self.folds = list(folds)
+        self.user_circuits = 2 * len(self.folds)
+
+    def _kind(self, circuit: int) -> tuple:
+        """Map a circuit index to ('fold'|'broadcast', fold_index)."""
+        k = len(self.folds)
+        if circuit < k:
+            return ("fold", circuit)
+        return ("broadcast", circuit - k)
+
+    def leader_open(self, circuit: int, ctx: CircuitNode) -> int:
+        kind, index = self._kind(circuit)
+        if kind == "fold":
+            return ctx.input_value
+        return ctx.memory["results"][index]
+
+    def on_relay(self, circuit: int, value: int, ctx: CircuitNode) -> int:
+        kind, index = self._kind(circuit)
+        if kind == "fold":
+            return self.folds[index][1](value, ctx.input_value)
+        ctx.memory.setdefault("results", {})[index] = value
+        self._publish(ctx)
+        return value
+
+    def leader_close(self, circuit: int, value: int, ctx: CircuitNode) -> None:
+        kind, index = self._kind(circuit)
+        if kind == "fold":
+            ctx.memory.setdefault("results", {})[index] = value
+            self._publish(ctx)
+
+    def _publish(self, ctx: CircuitNode) -> None:
+        results = ctx.memory.get("results", {})
+        if len(results) == len(self.folds):
+            ctx.memory["output"] = {
+                name: results[index] for index, (name, _fn) in enumerate(self.folds)
+            }
+
+
+def run_defective_computation(
+    inputs: Sequence[int],
+    operation: str = "sum",
+    leader: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 50_000_000,
+) -> TransportOutcome:
+    """One-call front door: compute ``operation`` over a defective ring.
+
+    Args:
+        inputs: Per-node non-negative inputs in clockwise order.
+        operation: ``"sum"``, ``"max"``, ``"min"``, ``"size"``, or
+            ``"gather"``.
+        leader: Index of the pre-elected root (compose with Theorem 1 via
+            :mod:`repro.core.composition` to remove this assumption).
+        scheduler: Asynchronous adversary; defaults to global FIFO.
+        max_steps: Engine safety bound.
+    """
+    programs: dict[str, CircuitProgram] = {
+        "sum": AllReduceProgram(lambda a, b: a + b),
+        "max": AllReduceProgram(max),
+        "min": AllReduceProgram(min),
+        "size": SizeProgram(),
+        "gather": GatherProgram(),
+    }
+    try:
+        program = programs[operation]
+    except KeyError:
+        raise ValueError(
+            f"unknown operation {operation!r}; choose from {sorted(programs)}"
+        ) from None
+    return run_circuit_transport(
+        inputs,
+        program,
+        leader=leader,
+        scheduler=scheduler,
+        max_steps=max_steps,
+    )

@@ -1,0 +1,360 @@
+"""The circuit transport: content over contentless pulses, given a root.
+
+This is the reproduction's ring-specific stand-in for the CCGS universal
+compiler [8] that Corollary 5 composes with.  Requirements: an *oriented*
+ring and a single distinguished node (the root/leader — exactly what the
+paper's Theorem 1 provides).  It delivers:
+
+* arbitrary non-negative integer payloads between neighbors, using only
+  pulse existence and order;
+* global computations structured as *circuits* (a value travelling the
+  full CW circle, folded at every hop);
+* **quiescent termination with the leader terminating last**, matching
+  the composability discipline of the paper's Section 1.1.
+
+Protocol.  At every moment exactly one logical *transmission* is active:
+the current speaker ``u`` sends value ``m`` to its CW neighbor ``v`` as
+
+1. ``m + 1`` *data ticks* on the direct CW channel ``u -> v``;
+2. ``v`` *acknowledges* every tick with one CCW pulse on the direct
+   channel ``v -> u``;
+3. after collecting all ``m + 1`` acks, ``u`` emits one *delimiter* pulse
+   CCW, which travels the long way around the ring — through every other
+   node, each forwarding it — and ends at ``v``;
+4. ``v`` absorbs the delimiter and decodes ``m`` as (ticks seen) − 1.
+   The receiver then becomes the next speaker.
+
+Why this is safe under full asynchrony (the correctness argument):
+
+* *No premature delimiter*: the delimiter is emitted only after the
+  receiver acknowledged every tick, so it is causally later than the
+  receiver's complete reception; it cannot "overtake" data.
+* *Role disambiguation by port*: ticks travel CW and thus arrive at the
+  receiver's ``Port_0``; acks and delimiters travel CCW and arrive at
+  ``Port_1``.  A node awaiting acks interprets ``Port_1`` arrivals as
+  acks; any other node interprets them as delimiters to forward.  These
+  interpretations can never collide because transmissions are serialized:
+  the next speaker starts only after absorbing the current delimiter, and
+  that delimiter passes through every bystander before reaching it —
+  so every bystander is back in its idle state, causally, before any
+  pulse of the next transmission can reach it.
+* *Serialization*: the speaker schedule is a fixed CW round-robin per
+  circuit, opened by the leader, so every node always knows its role.
+
+Circuit structure.  A run consists of ``2 + U`` circuits:
+
+* circuit 0 — *census*: the leader opens with value 1 and every node
+  relays value + 1, learning its CW distance from the leader (its
+  *position*); the leader closes it holding the ring size ``n``;
+* circuits 1..U — the user program's circuits (see
+  :class:`CircuitProgram`);
+* final circuit — *closing broadcast*: the leader circulates ``n``.
+  Knowing ``n`` and its position, every node computes exactly how many
+  delimiters remain to forward after its own closing speech and
+  terminates right after the last one — quiescently, leader last.
+
+Cost: a transmission of value ``m`` on an ``n``-ring costs
+``2(m + 1) + (n - 1)`` pulses (ticks + acks + delimiter hops), so content
+costs a constant factor over unary — the regime the paper's Section 1
+anticipates for fully defective networks.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError, ProtocolViolation
+from repro.simulator.engine import Engine, RunResult
+from repro.simulator.node import Node, NodeAPI, PORT_ONE, PORT_ZERO
+from repro.simulator.ring import build_oriented_ring
+from repro.simulator.scheduler import Scheduler
+
+#: Data ticks travel clockwise: sent from Port_1, arriving at Port_0.
+TICK_OUT, TICK_IN = PORT_ONE, PORT_ZERO
+#: Acks and delimiters travel counterclockwise: sent from Port_0,
+#: arriving at Port_1.
+CCW_OUT, CCW_IN = PORT_ZERO, PORT_ONE
+
+
+class CircuitProgram(abc.ABC):
+    """A user computation over the circuit transport.
+
+    The transport guarantees: per user circuit, the leader's
+    :meth:`leader_open` value travels clockwise, transformed at every
+    non-leader node by :meth:`on_relay`, and comes back to the leader's
+    :meth:`leader_close`.  All callbacks receive the node (``ctx``) whose
+    ``input_value``, ``position``, ``ring_size``, ``is_leader`` and
+    ``memory`` dict they may use.  Programs must be stateless — all
+    per-node state lives in ``ctx.memory``.
+    """
+
+    #: Number of user circuits (census and closing broadcast are added by
+    #: the transport itself).
+    user_circuits: int = 1
+
+    @abc.abstractmethod
+    def leader_open(self, circuit: int, ctx: "CircuitNode") -> int:
+        """Value the leader sends when opening user circuit ``circuit``."""
+
+    @abc.abstractmethod
+    def on_relay(self, circuit: int, value: int, ctx: "CircuitNode") -> int:
+        """Value a non-leader forwards after receiving ``value``."""
+
+    @abc.abstractmethod
+    def leader_close(self, circuit: int, value: int, ctx: "CircuitNode") -> None:
+        """Leader absorbs user circuit ``circuit``'s final ``value``."""
+
+
+class _State(enum.Enum):
+    IDLE = "idle"
+    RECEIVING = "receiving"
+    SENDING = "sending"
+
+
+class CircuitNode(Node):
+    """One node of the circuit transport (oriented ring, leader known).
+
+    Attributes:
+        is_leader: Whether this node is the distinguished root.
+        input_value: This node's private input to the computation.
+        position: CW distance from the leader (learned in the census).
+        ring_size: ``n`` (leader learns it in the census, everyone else in
+            the closing broadcast).
+        memory: Program scratch space and outputs.
+    """
+
+    def __init__(
+        self, is_leader: bool, input_value: int, program: CircuitProgram
+    ) -> None:
+        super().__init__()
+        if input_value < 0:
+            raise ConfigurationError(
+                f"transport inputs must be non-negative, got {input_value}"
+            )
+        self.is_leader = is_leader
+        self.input_value = input_value
+        self.program = program
+        self.position: Optional[int] = 0 if is_leader else None
+        self.ring_size: Optional[int] = None
+        self.memory: Dict[str, Any] = {}
+        self._state = _State.IDLE
+        self._ticks_seen = 0
+        self._acks_needed = 0
+        self._acks_seen = 0
+        self._circuits_received = 0
+        self._closing_speech = False  # current send belongs to the closing circuit
+        self._armed_countdown: Optional[int] = None
+        self.values_received: List[int] = []  # forensic log
+        self.values_sent: List[int] = []
+
+    # -- helpers --------------------------------------------------------------
+
+    @property
+    def _total_circuits(self) -> int:
+        return self.program.user_circuits + 2  # census + user + closing
+
+    @property
+    def _closing_index(self) -> int:
+        return self._total_circuits - 1
+
+    def _begin_send(self, api: NodeAPI, value: int, closing: bool) -> None:
+        self._state = _State.SENDING
+        self._acks_needed = value + 1
+        self._acks_seen = 0
+        self._closing_speech = closing
+        self.values_sent.append(value)
+        for _ in range(value + 1):
+            api.send(TICK_OUT)
+
+    # -- event handlers --------------------------------------------------------
+
+    def on_init(self, api: NodeAPI) -> None:
+        if self.is_leader:
+            # The leader opens the census; everyone else waits.
+            self._begin_send(api, 1, closing=False)
+
+    def on_message(self, api: NodeAPI, port: int, content: Any) -> None:
+        if port == TICK_IN:
+            self._on_tick(api)
+        else:
+            self._on_ccw(api)
+
+    def _on_tick(self, api: NodeAPI) -> None:
+        if self._state is _State.SENDING:
+            raise ProtocolViolation(
+                "data tick arrived while sending; transmissions must be "
+                "serialized — transport invariant broken"
+            )
+        self._state = _State.RECEIVING
+        self._ticks_seen += 1
+        api.send(CCW_OUT)  # acknowledge every tick
+
+    def _on_ccw(self, api: NodeAPI) -> None:
+        if self._state is _State.SENDING:
+            self._acks_seen += 1
+            if self._acks_seen == self._acks_needed:
+                api.send(CCW_OUT)  # the delimiter, long way to the receiver
+                self._state = _State.IDLE
+                self._after_send(api)
+            return
+        if self._state is _State.RECEIVING:
+            value = self._ticks_seen - 1
+            self._ticks_seen = 0
+            self._state = _State.IDLE
+            self._finalize_reception(api, value)
+            return
+        # IDLE: a bystander delimiter — forward it along its CCW way.
+        api.send(CCW_OUT)
+        if self._armed_countdown is not None:
+            self._armed_countdown -= 1
+            if self._armed_countdown == 0:
+                api.terminate(self.memory.get("output"))
+
+    def _after_send(self, api: NodeAPI) -> None:
+        """Post-delimiter bookkeeping; arms the termination countdown."""
+        if not self._closing_speech:
+            return
+        assert self.ring_size is not None and self.position is not None
+        remaining = self.ring_size - 1 - self.position
+        if remaining == 0:
+            api.terminate(self.memory.get("output"))
+        else:
+            self._armed_countdown = remaining
+
+    def _finalize_reception(self, api: NodeAPI, value: int) -> None:
+        circuit = self._circuits_received
+        self._circuits_received += 1
+        self.values_received.append(value)
+        if self.is_leader:
+            self._leader_finalize(api, circuit, value)
+        else:
+            self._follower_finalize(api, circuit, value)
+
+    def _leader_finalize(self, api: NodeAPI, circuit: int, value: int) -> None:
+        if circuit == 0:  # census closed: value is the ring size
+            self.ring_size = value
+        elif circuit < self._closing_index:
+            self.program.leader_close(circuit - 1, value, self)
+        else:  # closing broadcast returned: the entire program is done
+            api.terminate(self.memory.get("output"))
+            return
+        next_circuit = circuit + 1
+        if next_circuit < self._closing_index:
+            self._begin_send(
+                api, self.program.leader_open(next_circuit - 1, self), closing=False
+            )
+        else:
+            assert self.ring_size is not None
+            self._begin_send(api, self.ring_size, closing=True)
+
+    def _follower_finalize(self, api: NodeAPI, circuit: int, value: int) -> None:
+        if circuit == 0:  # census: learn my CW distance from the leader
+            self.position = value
+            self._begin_send(api, value + 1, closing=False)
+        elif circuit < self._closing_index:
+            relay = self.program.on_relay(circuit - 1, value, self)
+            if relay < 0:
+                raise ProtocolViolation(
+                    f"program produced negative relay value {relay}"
+                )
+            self._begin_send(api, relay, closing=False)
+        else:  # closing broadcast: learn n, relay unchanged, prepare to stop
+            self.ring_size = value
+            self._begin_send(api, value, closing=True)
+
+
+@dataclass
+class TransportOutcome:
+    """Result of one circuit-transport run."""
+
+    nodes: List[CircuitNode]
+    run: Optional[RunResult]
+
+    @property
+    def outputs(self) -> List[Any]:
+        """Per-node terminal outputs (``memory['output']``)."""
+        return [node.output for node in self.nodes]
+
+    @property
+    def total_pulses(self) -> int:
+        """Message complexity of the run (0 for the solo ``n = 1`` case)."""
+        return self.run.total_sent if self.run is not None else 0
+
+    @property
+    def leader_terminated_last(self) -> bool:
+        """Composability discipline: the root must be the final terminator."""
+        if self.run is None:
+            return True
+        order = self.run.termination_order
+        leader_index = next(
+            index for index, node in enumerate(self.nodes) if node.is_leader
+        )
+        return bool(order) and order[-1] == leader_index
+
+
+def run_circuit_transport(
+    inputs: Sequence[int],
+    program: CircuitProgram,
+    leader: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 50_000_000,
+    strict_quiescence: bool = True,
+) -> TransportOutcome:
+    """Run ``program`` over a fully defective oriented ring with a root.
+
+    Args:
+        inputs: Per-node private inputs, in clockwise order.
+        program: The computation to run.
+        leader: Index of the distinguished root node.
+        scheduler: Asynchronous adversary; defaults to global FIFO.
+        max_steps: Engine safety bound.
+        strict_quiescence: Raise on any quiescent-termination violation
+            (the transport is supposed to have none).
+    """
+    n = len(inputs)
+    if n < 1:
+        raise ConfigurationError("need at least one node")
+    if not 0 <= leader < n:
+        raise ConfigurationError(f"leader index {leader} out of range for n={n}")
+    nodes = [
+        CircuitNode(is_leader=(index == leader), input_value=inputs[index], program=program)
+        for index in range(n)
+    ]
+    if n == 1:
+        _run_solo(nodes[0])
+        return TransportOutcome(nodes=nodes, run=None)
+    # Ring order follows the input order; the census assigns positions
+    # relative to the leader, so no rotation is needed.
+    topology = build_oriented_ring(nodes)
+    result = Engine(
+        topology.network,
+        scheduler=scheduler,
+        max_steps=max_steps,
+        strict_quiescence=strict_quiescence,
+    ).run()
+    return TransportOutcome(nodes=nodes, run=result)
+
+
+def _run_solo(node: CircuitNode) -> None:
+    """Degenerate ``n = 1`` ring: the leader computes alone, no pulses."""
+    node.ring_size = 1
+    for circuit in range(node.program.user_circuits):
+        value = node.program.leader_open(circuit, node)
+        node.program.leader_close(circuit, value, node)
+    node._mark_terminated(node.memory.get("output"))
+
+
+def transport_pulse_cost(n: int, transmitted_values: Sequence[int]) -> int:
+    """Exact pulse cost of a transport run from its value schedule.
+
+    Each transmission of value ``m`` costs ``m + 1`` ticks, ``m + 1``
+    acks, and ``n - 1`` delimiter hops.  Tests reconstruct the schedule
+    from the nodes' ``values_sent`` logs and assert exact equality with
+    the engine's pulse count.
+    """
+    if n < 2:
+        return 0
+    return sum(2 * (value + 1) + (n - 1) for value in transmitted_values)

@@ -1,0 +1,415 @@
+"""A universal content-oblivious interpreter for ring algorithms.
+
+The circuit transport (:mod:`repro.defective.transport`) computes folds;
+this module goes the rest of the way to Corollary 5's "any asynchronous
+algorithm": given a root, it simulates **arbitrary** asynchronous
+message-passing ring algorithms — nodes that react to content-carrying
+messages from either neighbor by sending any number of messages to
+either neighbor — over channels that deliver only pulses.
+
+Mechanism: a serialization token.  The root launches a *token* that
+perpetually circulates clockwise.  Each token hop transfers a **frame**
+— a short sequence of small integers describing the bag of in-transit
+simulated messages, each a triple ``(offset, direction, payload)`` where
+``offset`` is the number of CW hops left to the destination.  One token
+hop at node ``w``:
+
+1. receive the frame; deliver every message with ``offset == 0`` to
+   ``w``'s simulated node (running its ``on_start`` on the token's first
+   visit);
+2. handlers may emit new messages: to the CW neighbor with offset 0, to
+   the CCW neighbor with offset ``n - 2`` (both land *after* the next
+   hop), tagged with their travel direction;
+3. decrement surviving offsets, update the *clean-hop* counter (reset on
+   any delivery, emission, or first visit; else +1), pass the frame on.
+
+When the root observes ``clean >= n`` — a full silent circle, which
+forces the bag empty (any pending message is delivered, resetting the
+counter, within ``n - 1`` hops) — the simulated execution is quiescent:
+the root replaces the token with a closing frame carrying ``n``, and all
+nodes terminate by position countdown, root last — quiescently.
+
+Wire format.  A frame is a list of values, each transferred by the
+transport's primitive (unary ticks on the direct CW channel, one ack per
+tick on the direct CCW channel, then a delimiter pulse the long way
+around).  Between consecutive values of one frame the receiver sends a
+*go* pulse on the direct CCW channel after absorbing the delimiter, so
+the next value's ticks can never mingle with the previous value's —
+keeping each value's count exact under full asynchrony.  Frames:
+
+* token:   ``[0, n, clean, k, (offset, dirbit, payload) * k]``
+* closing: ``[1, n]``
+
+Fidelity: the token order is one *legal* asynchronous schedule of the
+simulated algorithm (per-ordered-pair FIFO holds; every message is
+delivered within one circle).  Since asynchronous algorithms must be
+correct under every schedule, the simulation's outputs are genuine
+outputs of the simulated algorithm.
+
+Cost: a value ``m`` costs ``2(m+1) + (n-1) [+1 go]`` pulses, so frames
+cost linear-in-payload unary — small payloads recommended, as with all
+of Corollary 5's machinery.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, ProtocolViolation
+from repro.simulator.engine import Engine, RunResult
+from repro.simulator.node import Node, NodeAPI, PORT_ONE, PORT_ZERO
+from repro.simulator.ring import build_oriented_ring
+from repro.simulator.scheduler import Scheduler
+
+TICK_OUT, TICK_IN = PORT_ONE, PORT_ZERO
+CCW_OUT, CCW_IN = PORT_ZERO, PORT_ONE
+
+_TOKEN_TAG = 0
+_CLOSE_TAG = 1
+
+CW = "cw"
+CCW = "ccw"
+_DIR_BITS = {CW: 0, CCW: 1}
+_BITS_DIR = {0: CW, 1: CCW}
+
+#: Length of a closing frame: [CLOSE_TAG, n].
+_CLOSE_FRAME_LEN = 2
+
+
+class SimulatedContext:
+    """What a simulated node may do while handling an event."""
+
+    def __init__(self, interpreter: "UniversalNode") -> None:
+        self._interpreter = interpreter
+
+    def send_cw(self, payload: int) -> None:
+        """Send ``payload`` to the clockwise neighbor."""
+        self._interpreter._emit(CW, payload)
+
+    def send_ccw(self, payload: int) -> None:
+        """Send ``payload`` to the counterclockwise neighbor."""
+        self._interpreter._emit(CCW, payload)
+
+    def halt(self, output: Any = None) -> None:
+        """Record a final output; later messages are ignored."""
+        self._interpreter._halt(output)
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this simulated node runs at the interpreter's root."""
+        return self._interpreter.is_leader
+
+
+class SimulatedRingNode(abc.ABC):
+    """An asynchronous content-carrying ring algorithm, one node's worth.
+
+    Payloads are non-negative integers (pack richer data with
+    :func:`repro.defective.encoding.cantor_pair`).
+    """
+
+    @abc.abstractmethod
+    def on_start(self, ctx: SimulatedContext) -> None:
+        """Called once before any delivery to this node."""
+
+    @abc.abstractmethod
+    def on_receive(self, ctx: SimulatedContext, direction: str, payload: int) -> None:
+        """Called per delivered message.
+
+        Args:
+            ctx: Send/halt capabilities.
+            direction: ``"cw"`` if the message travelled clockwise (sent
+                by this node's CCW neighbor via ``send_cw``), else
+                ``"ccw"``.
+            payload: The message content.
+        """
+
+
+class _Phase(enum.Enum):
+    CENSUS = "census"
+    TOKEN = "token"
+    CLOSING = "closing"
+
+
+class UniversalNode(Node):
+    """One interpreter node hosting one simulated node."""
+
+    def __init__(self, is_leader: bool, simulated: SimulatedRingNode) -> None:
+        super().__init__()
+        self.is_leader = is_leader
+        self.simulated = simulated
+        self.position: Optional[int] = 0 if is_leader else None
+        self.ring_size: Optional[int] = None
+        self.sim_output: Any = None
+        self.sim_halted = False
+        self.sim_started = False
+        self.hops_processed = 0
+        self._phase = _Phase.CENSUS
+        # receiving state
+        self._receiving = False
+        self._ticks = 0
+        self._frame: List[int] = []
+        # sending state
+        self._send_queue: List[int] = []
+        self._awaiting_acks = False
+        self._awaiting_go = False
+        self._acks_needed = 0
+        self._acks_seen = 0
+        self._closing_speech = False
+        self._countdown: Optional[int] = None
+        self._outbox: List[Tuple[str, int]] = []
+
+    # -- simulated-node plumbing ----------------------------------------------
+
+    def _emit(self, direction: str, payload: int) -> None:
+        if not isinstance(payload, int) or isinstance(payload, bool) or payload < 0:
+            raise ConfigurationError(
+                f"simulated payloads must be non-negative ints, got {payload!r}"
+            )
+        self._outbox.append((direction, payload))
+
+    def _halt(self, output: Any) -> None:
+        self.sim_halted = True
+        self.sim_output = output
+
+    def _run_start(self) -> None:
+        if not self.sim_started:
+            self.sim_started = True
+            self.simulated.on_start(SimulatedContext(self))
+
+    def _deliver_sim(self, direction: str, payload: int) -> None:
+        if not self.sim_halted:
+            self.simulated.on_receive(SimulatedContext(self), direction, payload)
+
+    # -- frame sending -----------------------------------------------------------
+
+    def _begin_frame(self, api: NodeAPI, values: Sequence[int], closing: bool) -> None:
+        self._send_queue = list(values)
+        self._closing_speech = closing
+        self._send_next_value(api)
+
+    def _send_next_value(self, api: NodeAPI) -> None:
+        value = self._send_queue.pop(0)
+        self._awaiting_acks = True
+        self._awaiting_go = False
+        self._acks_needed = value + 1
+        self._acks_seen = 0
+        for _ in range(value + 1):
+            api.send(TICK_OUT)
+
+    @property
+    def _sending(self) -> bool:
+        return self._awaiting_acks or self._awaiting_go
+
+    # -- event handling ------------------------------------------------------------
+
+    def on_init(self, api: NodeAPI) -> None:
+        if self.is_leader:
+            self._begin_frame(api, [1], closing=False)  # census opens
+
+    def on_message(self, api: NodeAPI, port: int, content: Any) -> None:
+        if port == TICK_IN:
+            if self._sending:
+                raise ProtocolViolation("tick while sending: serialization broken")
+            self._receiving = True
+            self._ticks += 1
+            api.send(CCW_OUT)  # ack
+            return
+        # CCW arrivals: acks / go while sending, delimiters otherwise.
+        if self._awaiting_acks:
+            self._acks_seen += 1
+            if self._acks_seen == self._acks_needed:
+                api.send(CCW_OUT)  # delimiter, the long way to the receiver
+                self._awaiting_acks = False
+                if self._send_queue:
+                    self._awaiting_go = True  # wait for the receiver's go
+                else:
+                    self._after_frame_sent(api)
+            return
+        if self._awaiting_go:
+            self._awaiting_go = False
+            self._send_next_value(api)
+            return
+        if self._receiving:
+            # The delimiter: the current value's tick count is complete.
+            value = self._ticks - 1
+            self._ticks = 0
+            self._receiving = False
+            self._frame.append(value)
+            if self._frame_complete():
+                frame, self._frame = self._frame, []
+                self._process_frame(api, frame)
+            else:
+                api.send(CCW_OUT)  # go: release the next value's ticks
+            return
+        # IDLE bystander: forward the delimiter along its CCW way.
+        api.send(CCW_OUT)
+        if self._countdown is not None:
+            self._countdown -= 1
+            if self._countdown == 0:
+                api.terminate(self.sim_output)
+
+    def _after_frame_sent(self, api: NodeAPI) -> None:
+        if not self._closing_speech:
+            return
+        assert self.ring_size is not None and self.position is not None
+        remaining = _CLOSE_FRAME_LEN * (self.ring_size - 1 - self.position)
+        if remaining == 0:
+            api.terminate(self.sim_output)
+        else:
+            self._countdown = remaining
+
+    # -- frame parsing & processing ---------------------------------------------------
+
+    def _frame_complete(self) -> bool:
+        frame = self._frame
+        if self._phase is _Phase.CENSUS:
+            return len(frame) == 1
+        if frame[0] == _CLOSE_TAG:
+            return len(frame) == _CLOSE_FRAME_LEN
+        if len(frame) < 4:
+            return False
+        return len(frame) == 4 + 3 * frame[3]
+
+    def _process_frame(self, api: NodeAPI, frame: List[int]) -> None:
+        if self._phase is _Phase.CENSUS:
+            self._process_census(api, frame[0])
+        elif frame[0] == _CLOSE_TAG:
+            self._process_close(api, frame)
+        else:
+            self._process_token(api, frame)
+
+    def _process_census(self, api: NodeAPI, value: int) -> None:
+        self._phase = _Phase.TOKEN
+        if self.is_leader:
+            self.ring_size = value
+            self._run_start()
+            self._begin_frame(api, self._compose_token(clean=0, survivors=[]), closing=False)
+        else:
+            self.position = value
+            self._begin_frame(api, [value + 1], closing=False)
+
+    def _process_token(self, api: NodeAPI, frame: List[int]) -> None:
+        _tag, n, clean, count = frame[0], frame[1], frame[2], frame[3]
+        if len(frame) != 4 + 3 * count:  # pragma: no cover - parser enforces
+            raise ProtocolViolation(f"malformed token frame {frame}")
+        self.ring_size = n
+        triples = [
+            (frame[i], frame[i + 1], frame[i + 2])
+            for i in range(4, len(frame), 3)
+        ]
+        self._outbox = []
+        self._run_start()
+        survivors: List[Tuple[int, int, int]] = []
+        delivered = 0
+        for offset, dirbit, payload in triples:
+            if offset == 0:
+                delivered += 1
+                self._deliver_sim(_BITS_DIR[dirbit], payload)
+            else:
+                survivors.append((offset - 1, dirbit, payload))
+        self.hops_processed += 1
+        if delivered or self._outbox or self.hops_processed == 1:
+            clean = 0
+        else:
+            clean += 1
+        if self.is_leader and clean >= n and not survivors and not self._outbox:
+            # Simulated execution is quiescent: retire the token, close.
+            self._phase = _Phase.CLOSING
+            self._begin_frame(api, [_CLOSE_TAG, n], closing=True)
+            return
+        self._begin_frame(
+            api, self._compose_token(clean=clean, survivors=survivors), closing=False
+        )
+
+    def _compose_token(
+        self, clean: int, survivors: Sequence[Tuple[int, int, int]]
+    ) -> List[int]:
+        assert self.ring_size is not None
+        n = self.ring_size
+        bag = list(survivors)
+        for direction, payload in self._outbox:
+            offset = 0 if direction == CW else n - 2
+            bag.append((offset, _DIR_BITS[direction], payload))
+        self._outbox = []
+        frame: List[int] = [_TOKEN_TAG, n, clean, len(bag)]
+        for offset, dirbit, payload in bag:
+            frame.extend((offset, dirbit, payload))
+        return frame
+
+    def _process_close(self, api: NodeAPI, frame: List[int]) -> None:
+        if self.is_leader:
+            api.terminate(self.sim_output)
+            return
+        self.ring_size = frame[1]
+        self._phase = _Phase.CLOSING
+        self._begin_frame(api, list(frame), closing=True)
+
+
+@dataclass
+class UniversalOutcome:
+    """Result of one universal-interpreter run."""
+
+    nodes: List[UniversalNode]
+    run: RunResult
+
+    @property
+    def outputs(self) -> List[Any]:
+        """The simulated nodes' halt outputs, in ring order."""
+        return [node.sim_output for node in self.nodes]
+
+    @property
+    def total_pulses(self) -> int:
+        return self.run.total_sent
+
+    @property
+    def token_hops(self) -> int:
+        """Total token-processing events across the ring."""
+        return sum(node.hops_processed for node in self.nodes)
+
+    @property
+    def simulated_nodes(self) -> List[SimulatedRingNode]:
+        return [node.simulated for node in self.nodes]
+
+
+def simulate_ring_algorithm(
+    simulated_nodes: Sequence[SimulatedRingNode],
+    leader: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 20_000_000,
+    strict_quiescence: bool = True,
+) -> UniversalOutcome:
+    """Simulate an arbitrary content-carrying ring algorithm over pulses.
+
+    Args:
+        simulated_nodes: One :class:`SimulatedRingNode` per ring position
+            (clockwise order).  At least 3 nodes: the interpreter's
+            CW/CCW offset arithmetic needs distinct neighbors.
+        leader: The pre-elected root (Theorem 1 provides one; see
+            :func:`repro.core.composition.run_composed` for the same
+            composition pattern).
+        scheduler: Asynchronous adversary for the *pulse* layer.
+        max_steps: Engine bound (unary encoding is pulse-hungry).
+        strict_quiescence: Raise on any quiescent-termination violation.
+    """
+    n = len(simulated_nodes)
+    if n < 3:
+        raise ConfigurationError(
+            "the universal interpreter needs n >= 3 (distinct CW/CCW neighbors)"
+        )
+    if not 0 <= leader < n:
+        raise ConfigurationError(f"leader index {leader} out of range")
+    nodes = [
+        UniversalNode(is_leader=(index == leader), simulated=simulated)
+        for index, simulated in enumerate(simulated_nodes)
+    ]
+    topology = build_oriented_ring(nodes)
+    run = Engine(
+        topology.network,
+        scheduler=scheduler,
+        max_steps=max_steps,
+        strict_quiescence=strict_quiescence,
+    ).run()
+    return UniversalOutcome(nodes=nodes, run=run)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  The hierarchy is
+deliberately shallow: one class per failure *kind*, not per failure *site*.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation or algorithm was configured with invalid parameters.
+
+    Examples: a ring with zero nodes, duplicate IDs handed to an algorithm
+    that requires unique IDs, a non-positive ID, or a scheduler seed of the
+    wrong type.
+    """
+
+
+class SimulationLimitExceeded(ReproError):
+    """The engine hit its safety step limit before reaching quiescence.
+
+    This almost always indicates a livelocked protocol (or a limit that is
+    simply too small for the workload).  The exception carries the engine's
+    partial statistics to aid debugging.
+    """
+
+    def __init__(self, message: str, steps: int) -> None:
+        super().__init__(message)
+        self.steps = steps
+
+
+class ProtocolViolation(ReproError):
+    """A node behaved in a way the model forbids.
+
+    For instance, a node attempted to send a pulse after entering its
+    terminating state, or an algorithm declared two leaders.
+    """
+
+
+class QuiescentTerminationViolation(ProtocolViolation):
+    """A pulse was delivered to (or remained queued for) a terminated node.
+
+    Quiescent termination (paper, Section 1.1) requires that when a node
+    terminates, no pulse is in transit towards it and none will ever be sent
+    to it.  The engine raises or records this violation depending on its
+    ``strict`` setting.
+    """
+
+
+class DecodingError(ReproError):
+    """The defective-network transport failed to decode a pulse stream."""

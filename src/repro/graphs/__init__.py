@@ -1,0 +1,43 @@
+"""Graph structure underlying the fully defective computability frontier.
+
+Censor-Hillel et al. [8] proved that **2-edge connectivity** is exactly
+the frontier of nontrivial content-oblivious computation: one bridge and
+nothing can be computed; 2-edge-connected and (with a root) everything
+can.  Rings — "the simplest 2-edge connected graphs" — are this paper's
+setting, and [8]'s compiler is built on **ear decompositions** of
+2-edge-connected graphs.
+
+This subpackage provides those structural tools from scratch:
+
+* :func:`~repro.graphs.connectivity.find_bridges` — Tarjan-style bridge
+  finding via chain decomposition (Schmidt 2013);
+* :func:`~repro.graphs.connectivity.is_two_edge_connected` — the
+  computability-frontier test;
+* :func:`~repro.graphs.connectivity.chain_decomposition` /
+  :func:`~repro.graphs.ears.ear_decomposition` — the objects [8]'s
+  compiler consumes;
+* :func:`~repro.graphs.connectivity.is_ring` — validates that a topology
+  is a ring (connected, every degree exactly 2), used to delimit where
+  this paper's algorithms apply.
+"""
+
+from repro.graphs.connectivity import (
+    Graph,
+    chain_decomposition,
+    find_bridges,
+    is_connected,
+    is_ring,
+    is_two_edge_connected,
+)
+from repro.graphs.ears import ear_decomposition, verify_ear_decomposition
+
+__all__ = [
+    "Graph",
+    "chain_decomposition",
+    "find_bridges",
+    "is_connected",
+    "is_ring",
+    "is_two_edge_connected",
+    "ear_decomposition",
+    "verify_ear_decomposition",
+]

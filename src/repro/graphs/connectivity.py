@@ -1,0 +1,197 @@
+"""Connectivity structure: bridges, 2-edge connectivity, rings.
+
+Implementation notes.  Everything is built on one pass of Schmidt's
+*chain decomposition* (Jens M. Schmidt, "A simple test on 2-vertex- and
+2-edge-connectivity", IPL 2013):
+
+1. run a DFS, recording parent edges and discovery order;
+2. for each vertex in discovery order, walk each back edge (u, v) from
+   ``v`` upward along parent links until hitting an already-marked
+   vertex — each walk emits one *chain* (the first chain is a cycle);
+3. an edge belongs to at most one chain; the **bridges are exactly the
+   edges in no chain**, so a connected graph is 2-edge-connected iff the
+   chains cover every edge.
+
+The chains double as an (open) ear decomposition skeleton — see
+:mod:`repro.graphs.ears` — which is the object the CCGS compiler [8]
+builds its content-oblivious simulation on.
+
+Graphs are simple and undirected: ``Graph(n, edges)`` with vertices
+``0..n-1`` and unordered edge pairs.  (The ring *multigraph* on two
+vertices is handled specially where relevant: the simulator's 2-node
+ring uses parallel channels, which as a multigraph is 2-edge-connected;
+as a *simple* graph K2 is a single bridge.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ConfigurationError
+
+Edge = Tuple[int, int]
+
+
+def _norm(edge: Edge) -> Edge:
+    a, b = edge
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class Graph:
+    """A simple undirected graph on vertices ``0..n-1``."""
+
+    n: int
+    edges: FrozenSet[Edge]
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Sequence[Edge]) -> "Graph":
+        """Build a graph, validating vertex ranges and simplicity."""
+        if n < 1:
+            raise ConfigurationError(f"need at least one vertex, got n={n}")
+        normalized: Set[Edge] = set()
+        for edge in edges:
+            a, b = edge
+            if not (0 <= a < n and 0 <= b < n):
+                raise ConfigurationError(f"edge {edge} out of range for n={n}")
+            if a == b:
+                raise ConfigurationError(f"self-loop {edge} not allowed")
+            normalized.add(_norm(edge))
+        return cls(n=n, edges=frozenset(normalized))
+
+    @classmethod
+    def ring(cls, n: int) -> "Graph":
+        """The cycle C_n (requires n >= 3 to be simple)."""
+        if n < 3:
+            raise ConfigurationError(
+                f"a simple cycle needs n >= 3, got {n} "
+                "(the simulator's 2-ring is a multigraph)"
+            )
+        return cls.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+    def adjacency(self) -> List[List[int]]:
+        """Adjacency lists (sorted, deterministic)."""
+        adj: List[List[int]] = [[] for _ in range(self.n)]
+        for a, b in sorted(self.edges):
+            adj[a].append(b)
+            adj[b].append(a)
+        return adj
+
+    def degree(self, vertex: int) -> int:
+        return sum(1 for edge in self.edges if vertex in edge)
+
+
+def is_connected(graph: Graph) -> bool:
+    """Is the graph connected?  (Trivially true for n == 1.)"""
+    if graph.n == 1:
+        return True
+    adj = graph.adjacency()
+    seen = {0}
+    stack = [0]
+    while stack:
+        vertex = stack.pop()
+        for neighbor in adj[vertex]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return len(seen) == graph.n
+
+
+def chain_decomposition(graph: Graph) -> List[List[int]]:
+    """Schmidt's chain decomposition of a connected graph.
+
+    Returns the chains as vertex paths (the first chain returned from
+    each DFS root's first back edge is a cycle: it starts and ends at the
+    same vertex).  Chains partition the non-tree-bridge edges.
+
+    Raises:
+        ConfigurationError: If the graph is not connected (the
+            decomposition is defined per component; we require one).
+    """
+    if not is_connected(graph):
+        raise ConfigurationError("chain decomposition requires a connected graph")
+    adj = graph.adjacency()
+    parent: List[Optional[int]] = [None] * graph.n
+    order: List[int] = []  # vertices in DFS discovery order
+    discovered = [False] * graph.n
+    # Iterative DFS keeping discovery order.
+    stack: List[Tuple[int, Optional[int]]] = [(0, None)]
+    while stack:
+        vertex, from_vertex = stack.pop()
+        if discovered[vertex]:
+            continue
+        discovered[vertex] = True
+        parent[vertex] = from_vertex
+        order.append(vertex)
+        for neighbor in reversed(adj[vertex]):
+            if not discovered[neighbor]:
+                stack.append((neighbor, vertex))
+
+    index = {vertex: i for i, vertex in enumerate(order)}
+    tree_edges = {
+        _norm((vertex, parent[vertex]))
+        for vertex in range(graph.n)
+        if parent[vertex] is not None
+    }
+    back_edges_of: Dict[int, List[int]] = {vertex: [] for vertex in range(graph.n)}
+    for a, b in graph.edges:
+        if _norm((a, b)) in tree_edges:
+            continue
+        # orient the back edge from the earlier-discovered endpoint
+        u, v = (a, b) if index[a] < index[b] else (b, a)
+        back_edges_of[u].append(v)
+
+    marked = [False] * graph.n
+    chains: List[List[int]] = []
+    for u in order:
+        for v in sorted(back_edges_of[u], key=index.get):
+            chain = [u]
+            marked[u] = True
+            walker = v
+            while not marked[walker]:
+                chain.append(walker)
+                marked[walker] = True
+                walker = parent[walker]  # type: ignore[assignment]
+            chain.append(walker)
+            chains.append(chain)
+    return chains
+
+
+def find_bridges(graph: Graph) -> Set[Edge]:
+    """Edges whose removal disconnects the graph.
+
+    Via Schmidt's characterization: the bridges of a connected graph are
+    exactly the edges contained in no chain.
+    """
+    chains = chain_decomposition(graph)
+    covered: Set[Edge] = set()
+    for chain in chains:
+        for a, b in zip(chain, chain[1:]):
+            covered.add(_norm((a, b)))
+    return {edge for edge in graph.edges if edge not in covered}
+
+
+def is_two_edge_connected(graph: Graph) -> bool:
+    """The computability frontier of fully defective networks [8].
+
+    A graph is 2-edge-connected iff it is connected, has at least two
+    vertices... and no bridges.  (We treat the single vertex as
+    trivially 2-edge-connected, matching the paper's n=1 ring.)
+    """
+    if graph.n == 1:
+        return True
+    return is_connected(graph) and not find_bridges(graph)
+
+
+def is_ring(graph: Graph) -> bool:
+    """Is this exactly a ring — the paper's topology class?
+
+    Rings are the connected graphs in which every vertex has degree 2
+    (paper, Section 2).  For simple graphs this needs n >= 3.
+    """
+    return (
+        graph.n >= 3
+        and is_connected(graph)
+        and all(graph.degree(vertex) == 2 for vertex in range(graph.n))
+    )

@@ -1,0 +1,97 @@
+"""Ear decompositions of 2-edge-connected graphs.
+
+An *ear decomposition* writes a graph as a cycle :math:`P_0` plus ears
+:math:`P_1, ..., P_k`, where each ear is a path (or cycle) whose
+endpoints lie on earlier ears but whose interior vertices are new.
+Whitney/Robbins: a graph has such a decomposition iff it is
+2-edge-connected — and the CCGS compiler [8], which Corollary 5 composes
+the paper's election with, is structured exactly along these ears
+(pulses travel "down" an ear and return along the rest of the cycle
+structure, which is what makes out-of-band delimiting possible).
+
+We derive the decomposition from Schmidt's chain decomposition: the
+chains, in discovery order, *are* an ear decomposition whenever the
+graph is 2-edge-connected (the first chain is the initial cycle; each
+later chain's interior vertices are fresh while its endpoints are
+marked).  :func:`verify_ear_decomposition` independently checks the
+defining properties, so tests do not have to trust the construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.connectivity import Graph, chain_decomposition, is_two_edge_connected
+
+
+def ear_decomposition(graph: Graph) -> List[List[int]]:
+    """An ear decomposition of a 2-edge-connected graph.
+
+    Returns a list of vertex paths: the first is a cycle (first == last
+    vertex); each subsequent ear's endpoints already appeared, and its
+    interior vertices are new.  Every edge of the graph appears in
+    exactly one ear.
+
+    Raises:
+        ConfigurationError: If the graph is not 2-edge-connected (no ear
+            decomposition exists — Whitney/Robbins).
+    """
+    if graph.n < 3:
+        raise ConfigurationError(
+            "ear decompositions need a simple cycle, hence n >= 3"
+        )
+    if not is_two_edge_connected(graph):
+        raise ConfigurationError(
+            "ear decompositions exist exactly for 2-edge-connected graphs"
+        )
+    return chain_decomposition(graph)
+
+
+def verify_ear_decomposition(graph: Graph, ears: Sequence[Sequence[int]]) -> None:
+    """Check the defining properties of an ear decomposition.
+
+    Raises ``AssertionError`` with a specific message on the first
+    violated property:
+
+    1. the first ear is a cycle;
+    2. each later ear has both endpoints on earlier ears and all
+       interior vertices fresh;
+    3. the ears' edges partition the graph's edge set exactly.
+    """
+    assert ears, "decomposition is empty"
+    first = ears[0]
+    assert len(first) >= 3 and first[0] == first[-1], "first ear is not a cycle"
+
+    seen_vertices: Set[int] = set(first)
+    seen_edges: Set[Tuple[int, int]] = set()
+
+    def norm(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    for a, b in zip(first, first[1:]):
+        edge = norm(a, b)
+        assert edge not in seen_edges, f"edge {edge} repeated"
+        assert edge in graph.edges, f"edge {edge} not in graph"
+        seen_edges.add(edge)
+
+    for ear in ears[1:]:
+        assert len(ear) >= 2, f"ear {ear} too short"
+        head, tail = ear[0], ear[-1]
+        assert head in seen_vertices, f"ear start {head} not on earlier ears"
+        assert tail in seen_vertices, f"ear end {tail} not on earlier ears"
+        for vertex in ear[1:-1]:
+            assert vertex not in seen_vertices, (
+                f"interior vertex {vertex} of ear {ear} already used"
+            )
+        seen_vertices.update(ear)
+        for a, b in zip(ear, ear[1:]):
+            edge = norm(a, b)
+            assert edge not in seen_edges, f"edge {edge} repeated"
+            assert edge in graph.edges, f"edge {edge} not in graph"
+            seen_edges.add(edge)
+
+    assert seen_vertices == set(range(graph.n)), "vertices not all covered"
+    assert seen_edges == set(graph.edges), (
+        f"edges not partitioned: missing {set(graph.edges) - seen_edges}"
+    )

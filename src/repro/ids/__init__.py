@@ -1,0 +1,15 @@
+"""Random ID generation for anonymous rings (paper, Section 5)."""
+
+from repro.ids.sampling import (
+    GeometricIdSampler,
+    expected_bit_count,
+    max_is_unique,
+    sample_ids,
+)
+
+__all__ = [
+    "GeometricIdSampler",
+    "expected_bit_count",
+    "max_is_unique",
+    "sample_ids",
+]

@@ -1,0 +1,64 @@
+"""Directed FIFO channels, optionally fully defective.
+
+A :class:`Channel` connects one (node, port) endpoint to another and
+delivers messages in FIFO order.  In the paper's model (Section 2) every
+channel is *fully defective*: the content of each message is erased by
+noise, leaving an empty message called a *pulse*.  Pulses can be neither
+dropped nor injected by the channel.
+
+The same channel class, with ``defective=False``, carries content intact;
+the baseline (content-carrying) leader-election algorithms run on such
+channels so that both worlds share one engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Tuple
+
+# In-flight messages are stored as plain (send_seq, content) tuples: the
+# channel queue is the hottest data structure in the simulator and object
+# wrappers measurably slow multi-million-pulse runs.
+
+
+@dataclass
+class Channel:
+    """A directed, FIFO, loss-free channel between two node ports.
+
+    Attributes:
+        channel_id: Unique identifier within a :class:`~repro.simulator.network.Network`.
+        src: ``(node_index, port)`` of the sending endpoint.
+        dst: ``(node_index, port)`` of the receiving endpoint.
+        defective: When True (the content-oblivious model), the content of
+            every message is erased on delivery and receivers observe only
+            a pulse (``None``).
+    """
+
+    channel_id: int
+    src: Tuple[int, int]
+    dst: Tuple[int, int]
+    defective: bool = True
+    _queue: Deque[Tuple[int, Any]] = field(default_factory=deque, repr=False)
+
+    def enqueue(self, send_seq: int, content: Any = None) -> None:
+        """Accept a message from the source endpoint."""
+        # Defective channels erase content at the boundary (the paper's
+        # noise model corrupts content, never existence or order).
+        self._queue.append((send_seq, None if self.defective else content))
+
+    def dequeue(self) -> Tuple[int, Any]:
+        """Remove and return the oldest message as ``(send_seq, content)``."""
+        return self._queue.popleft()
+
+    def peek_send_seq(self) -> int:
+        """Sequence number of the oldest in-flight message (FIFO head)."""
+        return self._queue[0][0]
+
+    @property
+    def pending(self) -> int:
+        """Number of messages currently in flight on this channel."""
+        return len(self._queue)
+
+    def __bool__(self) -> bool:  # truthy iff it has something to deliver
+        return bool(self._queue)

@@ -1,0 +1,292 @@
+"""The discrete-event engine: runs a network to quiescence.
+
+One engine run is one *execution* in the paper's sense.  The run proceeds
+as follows:
+
+1. Every node's ``on_init`` fires (a node "acts once right in the
+   beginning").  Because nodes react only to deliveries and initial sends
+   depend on no input, initializing all nodes before the first delivery
+   loses no generality: an execution where some node starts "late" is
+   indistinguishable from one where the scheduler merely postpones all
+   deliveries to that node.
+2. While any channel holds an in-flight message, the
+   :class:`~repro.simulator.scheduler.Scheduler` (the asynchronous
+   adversary) picks a non-empty channel and its FIFO head is delivered.
+3. When no message is in flight, the network is **quiescent** and the run
+   ends.
+
+The engine distinguishes the paper's two end-of-computation notions:
+
+* *termination* — a node explicitly entered a terminating state (it then
+  ignores all further pulses and may not send);
+* *quiescence* — no pulses in transit anywhere.
+
+*Quiescent termination* (Theorem 1's guarantee) is both at once, with no
+pulse ever delivered to a terminated node; the engine records any
+violation and can be asked to raise on it (``strict_quiescence=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import (
+    ProtocolViolation,
+    QuiescentTerminationViolation,
+    SimulationLimitExceeded,
+)
+from repro.simulator.events import DeliveryRecord, SendRecord, TerminationRecord
+from repro.simulator.network import Network
+from repro.simulator.node import Node, NodeAPI, check_port
+from repro.simulator.scheduler import GlobalFifoScheduler, Scheduler
+from repro.simulator.trace import Trace
+
+InvariantHook = Callable[["Engine"], None]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run.
+
+    Attributes:
+        quiescent: True iff the run ended with no message in flight (as
+            opposed to hitting the step limit, which raises instead).
+        steps: Number of deliveries performed.
+        total_sent: Total messages sent — the paper's message complexity.
+        outputs: Per-node ``output`` values (None if the node never set one).
+        terminated: Per-node termination flags.
+        termination_order: Node indices in the order they terminated.
+        quiescence_violations: Human-readable records of pulses delivered
+            to, or left queued for, terminated nodes.
+        trace: The full :class:`~repro.simulator.trace.Trace` ledger.
+    """
+
+    quiescent: bool
+    steps: int
+    total_sent: int
+    outputs: List[Any]
+    terminated: List[bool]
+    termination_order: List[int]
+    quiescence_violations: List[str]
+    trace: Trace
+
+    @property
+    def all_terminated(self) -> bool:
+        """True iff every node entered a terminating state."""
+        return all(self.terminated)
+
+    @property
+    def quiescently_terminated(self) -> bool:
+        """Theorem 1's guarantee: all terminated, quiescent, no violations."""
+        return (
+            self.quiescent
+            and self.all_terminated
+            and not self.quiescence_violations
+        )
+
+
+class _EngineNodeAPI(NodeAPI):
+    """Engine-backed capabilities for a single node."""
+
+    __slots__ = ("_engine", "_node_index")
+
+    def __init__(self, engine: "Engine", node_index: int) -> None:
+        self._engine = engine
+        self._node_index = node_index
+
+    def send(self, port: int, content: Any = None) -> None:
+        self._engine._do_send(self._node_index, check_port(port), content)
+
+    def terminate(self, output: Any = None) -> None:
+        self._engine._do_terminate(self._node_index, output)
+
+
+class Engine:
+    """Runs a :class:`~repro.simulator.network.Network` to quiescence.
+
+    Args:
+        network: The wired topology with its node objects.
+        scheduler: The asynchronous adversary; defaults to global-FIFO.
+            Scheduler instances are stateful — use a fresh one per run.
+        max_steps: Safety bound on deliveries; exceeding it raises
+            :class:`~repro.exceptions.SimulationLimitExceeded` (livelock guard).
+        strict_quiescence: Raise the moment a quiescent-termination
+            violation is observed instead of merely recording it.
+        record_events: Keep full per-event logs in the trace (needed by the
+            solitude-pattern machinery; off by default to save memory).
+        invariant_hooks: Callables invoked after every delivery with the
+            engine; they should raise ``AssertionError`` on violation.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        scheduler: Optional[Scheduler] = None,
+        max_steps: int = 10_000_000,
+        strict_quiescence: bool = False,
+        record_events: bool = False,
+        invariant_hooks: Sequence[InvariantHook] = (),
+    ) -> None:
+        self.network = network
+        self.scheduler = scheduler if scheduler is not None else GlobalFifoScheduler()
+        self.max_steps = max_steps
+        self.strict_quiescence = strict_quiescence
+        self.trace = Trace(record_events=record_events)
+        self.invariant_hooks = list(invariant_hooks)
+        self._seq = 0
+        self._steps = 0
+        self._violations: List[str] = []
+        self._apis = [
+            _EngineNodeAPI(self, index) for index in range(len(network.nodes))
+        ]
+        self._ran = False
+        # Incrementally maintained set of channels with in-flight messages
+        # (channel_id -> Channel); avoids a full channel scan per delivery
+        # on multi-million-pulse runs.
+        self._nonempty: dict = {
+            channel.channel_id: channel for channel in network.channels if channel
+        }
+
+    # -- node-facing plumbing ------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _do_send(self, node_index: int, port: int, content: Any) -> None:
+        node = self.network.nodes[node_index]
+        if node.terminated:
+            raise ProtocolViolation(
+                f"node {node_index} attempted to send after terminating"
+            )
+        channel = self.network.channel_for_send(node_index, port)
+        seq = self._next_seq()
+        channel.enqueue(send_seq=seq, content=content)
+        if channel._queue:  # fault-injecting channels may drop the message
+            self._nonempty[channel.channel_id] = channel
+        if self.trace.record_events:
+            self.trace.note_send(
+                SendRecord(
+                    seq=seq,
+                    sender=node_index,
+                    port=port,
+                    channel_id=channel.channel_id,
+                    content=content,
+                )
+            )
+        else:
+            self.trace.count_send(node_index, port)
+
+    def _do_terminate(self, node_index: int, output: Any) -> None:
+        node = self.network.nodes[node_index]
+        node._mark_terminated(output)
+        self.trace.note_termination(
+            TerminationRecord(seq=self._next_seq(), node=node_index, output=output)
+        )
+        # Quiescent termination also forbids pulses already in transit
+        # towards the terminating node at the moment it terminates.
+        in_transit = sum(
+            channel.pending
+            for channel in self.network.channels
+            if channel.dst[0] == node_index
+        )
+        if in_transit:
+            self._note_violation(
+                f"node {node_index} terminated with {in_transit} pulse(s) "
+                "still in transit towards it"
+            )
+
+    def _note_violation(self, description: str) -> None:
+        self._violations.append(description)
+        if self.strict_quiescence:
+            raise QuiescentTerminationViolation(description)
+
+    # -- the run loop ---------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute to quiescence and return the :class:`RunResult`.
+
+        Raises:
+            SimulationLimitExceeded: If ``max_steps`` deliveries happen
+                without reaching quiescence.
+            QuiescentTerminationViolation: In strict mode, on the first
+                pulse delivered to (or stranded at) a terminated node.
+        """
+        if self._ran:
+            raise ProtocolViolation("an Engine instance is single-use; build a new one")
+        self._ran = True
+
+        for index, node in enumerate(self.network.nodes):
+            node.on_init(self._apis[index])
+
+        nonempty = self._nonempty
+        scheduler_choose = self.scheduler.choose
+        hooks = self.invariant_hooks
+        max_steps = self.max_steps
+        while nonempty:
+            if self._steps >= max_steps:
+                raise SimulationLimitExceeded(
+                    f"no quiescence after {self._steps} deliveries "
+                    f"({self.network.pending_messages()} still in flight)",
+                    steps=self._steps,
+                )
+            if len(nonempty) == 1:
+                chosen = next(iter(nonempty.values()))
+            else:
+                candidates = [nonempty[cid] for cid in sorted(nonempty)]
+                chosen = candidates[scheduler_choose(candidates)]
+            self._deliver(chosen)
+            self._steps += 1
+            for hook in hooks:
+                hook(self)
+
+        return RunResult(
+            quiescent=True,
+            steps=self._steps,
+            total_sent=self.trace.total_sent,
+            outputs=[node.output for node in self.network.nodes],
+            terminated=[node.terminated for node in self.network.nodes],
+            termination_order=list(self.trace.termination_order),
+            quiescence_violations=list(self._violations),
+            trace=self.trace,
+        )
+
+    def _deliver(self, channel) -> None:
+        send_seq, content = channel._queue.popleft()
+        if not channel._queue:
+            del self._nonempty[channel.channel_id]
+        receiver_index, receiver_port = channel.dst
+        receiver = self.network.nodes[receiver_index]
+        ignored = receiver.terminated
+        if self.trace.record_events:
+            self.trace.note_delivery(
+                DeliveryRecord(
+                    seq=self._next_seq(),
+                    send_seq=send_seq,
+                    receiver=receiver_index,
+                    port=receiver_port,
+                    channel_id=channel.channel_id,
+                    content=content,
+                    ignored=ignored,
+                )
+            )
+        else:
+            self._seq += 1
+            self.trace.count_delivery(receiver_index, receiver_port, ignored)
+        if ignored:
+            self._note_violation(
+                f"pulse delivered to terminated node {receiver_index} "
+                f"(port {receiver_port})"
+            )
+            return
+        receiver.on_message(self._apis[receiver_index], receiver_port, content)
+
+
+def run_to_quiescence(
+    network: Network,
+    scheduler: Optional[Scheduler] = None,
+    **engine_kwargs: Any,
+) -> RunResult:
+    """Convenience one-shot: build an engine, run it, return the result."""
+    return Engine(network, scheduler=scheduler, **engine_kwargs).run()

@@ -1,0 +1,76 @@
+"""Event records produced by the engine.
+
+The engine logs two kinds of events:
+
+* :class:`SendRecord` — a node enqueued a message into a channel.
+* :class:`DeliveryRecord` — the scheduler delivered a message to a node.
+
+Both carry a globally monotone sequence number (``seq``) so that a full
+execution can be reconstructed, replayed, or checked against invariants.
+Records are immutable; traces hold lists of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class SendRecord:
+    """A message was enqueued into a channel.
+
+    Attributes:
+        seq: Global event sequence number (shared counter with deliveries).
+        sender: Index of the sending node.
+        port: Local port (0 or 1) the sender used.
+        channel_id: Identifier of the directed channel the message entered.
+        content: Payload as handed to ``send``; ``None`` for a bare pulse.
+            Note the *channel* may still erase this before delivery.
+    """
+
+    seq: int
+    sender: int
+    port: int
+    channel_id: int
+    content: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryRecord:
+    """A message was delivered to (received by) a node.
+
+    Attributes:
+        seq: Global event sequence number.
+        send_seq: ``seq`` of the matching :class:`SendRecord`.
+        receiver: Index of the receiving node.
+        port: Local port (0 or 1) at which the message arrived.
+        channel_id: Identifier of the directed channel it travelled.
+        content: Payload after channel processing (``None`` if erased).
+        ignored: True when the receiver had already terminated and, per the
+            model, ignored the pulse.  Such deliveries are recorded because
+            they witness a quiescent-termination violation.
+    """
+
+    seq: int
+    send_seq: int
+    receiver: int
+    port: int
+    channel_id: int
+    content: Any = None
+    ignored: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class TerminationRecord:
+    """A node entered its terminating state.
+
+    Attributes:
+        seq: Global event sequence number.
+        node: Index of the terminating node.
+        output: The output the node terminated with (algorithm-specific).
+    """
+
+    seq: int
+    node: int
+    output: Optional[Any] = None

@@ -1,0 +1,99 @@
+"""Network wiring: nodes, channels, and the port map.
+
+A :class:`Network` owns the directed channels of a topology and the mapping
+from local ``(node, port)`` endpoints to outgoing channels.  It is a passive
+data structure; the :class:`~repro.simulator.engine.Engine` drives it.
+
+The ring builders in :mod:`repro.simulator.ring` produce networks with two
+ports per node; nothing in this module is ring-specific, so richer
+topologies (used by the defective transport tests) can reuse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.simulator.channel import Channel
+from repro.simulator.node import Node
+
+
+@dataclass
+class Network:
+    """A set of nodes joined by directed FIFO channels.
+
+    Attributes:
+        nodes: The node objects, indexed by position.
+        channels: All directed channels, indexed by ``channel_id``.
+        out_channel: Maps ``(node_index, port)`` to the channel id a send on
+            that port enters.
+    """
+
+    nodes: List[Node]
+    channels: List[Channel] = field(default_factory=list)
+    out_channel: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def add_channel(
+        self,
+        src: Tuple[int, int],
+        dst: Tuple[int, int],
+        defective: bool = True,
+    ) -> Channel:
+        """Create a directed channel ``src -> dst`` and register its port map.
+
+        Args:
+            src: ``(node, port)`` endpoint messages are sent from.
+            dst: ``(node, port)`` endpoint messages arrive at.
+            defective: Whether the channel erases content (the paper's
+                model); pass False for content-carrying baselines.
+
+        Raises:
+            ConfigurationError: If ``src`` already has an outgoing channel
+                or either endpoint references an unknown node.
+        """
+        for endpoint in (src, dst):
+            if not 0 <= endpoint[0] < len(self.nodes):
+                raise ConfigurationError(
+                    f"endpoint {endpoint} references unknown node"
+                )
+        if src in self.out_channel:
+            raise ConfigurationError(f"port {src} already wired")
+        channel = Channel(
+            channel_id=len(self.channels), src=src, dst=dst, defective=defective
+        )
+        self.channels.append(channel)
+        self.out_channel[src] = channel.channel_id
+        return channel
+
+    def channel_for_send(self, node: int, port: int) -> Channel:
+        """The channel a send from ``(node, port)`` enters."""
+        try:
+            return self.channels[self.out_channel[(node, port)]]
+        except KeyError:
+            raise ConfigurationError(
+                f"node {node} has no outgoing channel on port {port}"
+            ) from None
+
+    def pending_messages(self) -> int:
+        """Total number of in-flight messages across all channels."""
+        return sum(channel.pending for channel in self.channels)
+
+    def nonempty_channels(self) -> Sequence[Channel]:
+        """Channels that currently have at least one message to deliver."""
+        return [channel for channel in self.channels if channel]
+
+    def validate(self) -> None:
+        """Check that every node port that can receive is also wired to send.
+
+        Ring networks wire both ports of every node; partial wirings are
+        legal for special topologies but each declared outgoing port must
+        map to an existing channel.
+        """
+        for (node, port), channel_id in self.out_channel.items():
+            channel = self.channels[channel_id]
+            if channel.src != (node, port):
+                raise ConfigurationError(
+                    f"port map for {(node, port)} points at channel "
+                    f"{channel_id} whose src is {channel.src}"
+                )

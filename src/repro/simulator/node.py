@@ -1,0 +1,101 @@
+"""The event-driven node protocol.
+
+Nodes in the content-oblivious model (paper, Section 2) are *event-driven*:
+a node may act once at the very beginning of the computation and from then
+on only upon receiving a pulse.  Its reaction may change local state and
+send any number of pulses on either of its two ports.
+
+This module defines:
+
+* :data:`PORT_ZERO` / :data:`PORT_ONE` — the two local port labels of a
+  ring node.  In an *oriented* ring, ``PORT_ONE`` is the clockwise port of
+  every node; in a non-oriented ring the mapping is arbitrary per node.
+* :class:`NodeAPI` — the capability object handed to node callbacks.  It is
+  the only way a node can affect the network (send / terminate), which
+  keeps algorithm classes pure state machines and makes them reusable
+  across the discrete-event engine and the asyncio runtime.
+* :class:`Node` — the abstract base class algorithms subclass.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional
+
+from repro.exceptions import ProtocolViolation
+
+PORT_ZERO: int = 0
+PORT_ONE: int = 1
+
+VALID_PORTS = (PORT_ZERO, PORT_ONE)
+
+
+class NodeAPI(abc.ABC):
+    """Capabilities a node may use while handling an event.
+
+    Concrete implementations are provided by the discrete-event engine and
+    by the asyncio runtime.  Algorithm code must interact with the network
+    exclusively through this interface.
+    """
+
+    @abc.abstractmethod
+    def send(self, port: int, content: Any = None) -> None:
+        """Send one message out of local ``port`` (0 or 1).
+
+        On defective channels the content is erased in transit, so
+        content-oblivious algorithms always call ``send(port)`` with no
+        content.  Content-carrying baselines pass payloads.
+        """
+
+    @abc.abstractmethod
+    def terminate(self, output: Any = None) -> None:
+        """Enter the terminating state with the given output.
+
+        Per the model, a terminated node ignores all later pulses and sends
+        none.  Calling :meth:`send` after termination raises
+        :class:`~repro.exceptions.ProtocolViolation`.
+        """
+
+
+class Node(abc.ABC):
+    """Abstract event-driven node.
+
+    Subclasses implement the two callbacks and keep all algorithm state on
+    ``self``.  A node instance must not be shared between runs: construct
+    fresh nodes per execution (the algorithm front doors in
+    :mod:`repro.core` do this for you).
+    """
+
+    def __init__(self) -> None:
+        self.terminated: bool = False
+        self.output: Optional[Any] = None
+
+    @abc.abstractmethod
+    def on_init(self, api: NodeAPI) -> None:
+        """Called exactly once, before any delivery, at computation start."""
+
+    @abc.abstractmethod
+    def on_message(self, api: NodeAPI, port: int, content: Any) -> None:
+        """Called for every message delivered to this node.
+
+        Args:
+            api: Capability object for sending / terminating.
+            port: Local port (0 or 1) the message arrived at.
+            content: Message payload; always ``None`` on defective channels.
+        """
+
+    # -- helpers shared by all node implementations -------------------------
+
+    def _mark_terminated(self, output: Any) -> None:
+        """Record terminal state; engines call this via their NodeAPI."""
+        if self.terminated:
+            raise ProtocolViolation("node terminated twice")
+        self.terminated = True
+        self.output = output
+
+
+def check_port(port: int) -> int:
+    """Validate a port label, returning it for fluent use."""
+    if port not in VALID_PORTS:
+        raise ProtocolViolation(f"invalid port {port!r}; must be 0 or 1")
+    return port

@@ -1,0 +1,153 @@
+"""Ring topologies: oriented and non-oriented, including n=1 and n=2.
+
+Terminology (paper, Section 2).  In a ring, each node talks to its two
+neighbors through ``Port_0`` and ``Port_1``.  Fix a global clockwise (CW)
+walk ``0 -> 1 -> ... -> n-1 -> 0``.  A node's *CW port* is the one leading
+to its CW neighbor; a pulse repeatedly forwarded out of CW ports travels
+clockwise.  Note that CW pulses are **sent from CW ports but arrive at CCW
+ports** and vice versa.
+
+* In an *oriented* ring, ``Port_1`` of every node is its CW port.
+* In a *non-oriented* ring, each node's ports may be flipped arbitrarily;
+  the per-node flip bits are adversarial inputs.
+
+Degenerate rings are first-class citizens because the paper's lower bound
+needs them: ``n == 1`` wires a node's CW port to its own CCW port, and
+``n == 2`` uses two parallel edges (a 2-cycle multigraph).
+
+Wiring.  For each edge ``i -- i+1 (mod n)`` we create two directed
+channels: the CW channel ``i -> i+1`` and the CCW channel ``i+1 -> i``.
+With flips, node ``v``'s CW port is ``Port_1`` if ``flips[v]`` is False and
+``Port_0`` otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.simulator.network import Network
+from repro.simulator.node import Node, PORT_ONE, PORT_ZERO
+
+
+@dataclass(frozen=True)
+class RingTopology:
+    """A constructed ring: the network plus ground-truth orientation data.
+
+    Attributes:
+        network: The wired :class:`~repro.simulator.network.Network`.
+        flips: Per-node port flips. ``flips[v]`` False means ``Port_1`` is
+            node ``v``'s CW port (the oriented-ring convention).
+        defective: Whether the ring's channels erase content.
+    """
+
+    network: Network
+    flips: Tuple[bool, ...]
+    defective: bool
+
+    @property
+    def n(self) -> int:
+        """Number of nodes on the ring."""
+        return len(self.network.nodes)
+
+    def cw_port(self, node: int) -> int:
+        """Ground-truth CW port of ``node`` (the port towards ``node+1``).
+
+        This is *analysis-only* information: algorithm code on a
+        non-oriented ring must never consult it.  Tests use it to check
+        that Algorithm 3's computed orientation matches reality.
+        """
+        return PORT_ZERO if self.flips[node] else PORT_ONE
+
+    def ccw_port(self, node: int) -> int:
+        """Ground-truth CCW port of ``node`` (the port towards ``node-1``)."""
+        return PORT_ONE if self.flips[node] else PORT_ZERO
+
+    def cw_neighbor(self, node: int) -> int:
+        """Index of the clockwise neighbor."""
+        return (node + 1) % self.n
+
+    def ccw_neighbor(self, node: int) -> int:
+        """Index of the counterclockwise neighbor."""
+        return (node - 1) % self.n
+
+
+def _build_ring(
+    nodes: Sequence[Node],
+    flips: Sequence[bool],
+    defective: bool,
+) -> RingTopology:
+    """Wire ``2n`` directed channels realizing the (possibly flipped) ring."""
+    n = len(nodes)
+    if n < 1:
+        raise ConfigurationError("a ring needs at least one node")
+    if len(flips) != n:
+        raise ConfigurationError(
+            f"got {len(flips)} flips for {n} nodes; need exactly one each"
+        )
+    network = Network(nodes=list(nodes))
+    flips_t = tuple(bool(f) for f in flips)
+
+    def cw_port(v: int) -> int:
+        return PORT_ZERO if flips_t[v] else PORT_ONE
+
+    def ccw_port(v: int) -> int:
+        return PORT_ONE if flips_t[v] else PORT_ZERO
+
+    for i in range(n):
+        j = (i + 1) % n
+        # CW channel along edge (i, j): sent from i's CW port, arrives at
+        # j's CCW port (CW pulses arrive at CCW ports).
+        network.add_channel(
+            src=(i, cw_port(i)), dst=(j, ccw_port(j)), defective=defective
+        )
+        # CCW channel along the same edge, in the opposite direction.
+        network.add_channel(
+            src=(j, ccw_port(j)), dst=(i, cw_port(i)), defective=defective
+        )
+    network.validate()
+    return RingTopology(network=network, flips=flips_t, defective=defective)
+
+
+def build_oriented_ring(
+    nodes: Sequence[Node], defective: bool = True
+) -> RingTopology:
+    """Build an oriented ring: every node's ``Port_1`` leads clockwise.
+
+    Args:
+        nodes: Node objects in clockwise order.
+        defective: Erase message content (the content-oblivious model).
+    """
+    return _build_ring(nodes, [False] * len(nodes), defective)
+
+
+def build_nonoriented_ring(
+    nodes: Sequence[Node],
+    flips: Optional[Sequence[bool]] = None,
+    rng: Optional[random.Random] = None,
+    defective: bool = True,
+) -> RingTopology:
+    """Build a ring with arbitrary (given or random) per-node port flips.
+
+    Args:
+        nodes: Node objects in clockwise order.
+        flips: Optional explicit flip bits; ``flips[v]`` True swaps node
+            ``v``'s ports so ``Port_0`` leads clockwise.
+        rng: Source of randomness for flips when ``flips`` is None;
+            defaults to a fresh unseeded :class:`random.Random`.
+        defective: Erase message content (the content-oblivious model).
+    """
+    if flips is None:
+        rng = rng if rng is not None else random.Random()
+        flips = [rng.random() < 0.5 for _ in nodes]
+    return _build_ring(nodes, flips, defective)
+
+
+def all_flip_patterns(n: int) -> List[Tuple[bool, ...]]:
+    """Enumerate all ``2**n`` port-flip patterns (for exhaustive small-n tests)."""
+    patterns: List[Tuple[bool, ...]] = []
+    for mask in range(1 << n):
+        patterns.append(tuple(bool((mask >> v) & 1) for v in range(n)))
+    return patterns

@@ -1,0 +1,182 @@
+"""Schedulers: the asynchronous adversary.
+
+In the asynchronous model, message delays are arbitrary but finite and the
+only hard guarantee is per-channel FIFO order.  The engine realizes the
+adversary as a *scheduler*: whenever at least one channel has an in-flight
+message, the scheduler picks which channel delivers next.  Quantified over
+all schedulers, this enumerates exactly the executions the model allows
+(any interleaving across channels, FIFO within each channel, no message
+delayed forever).
+
+The paper's correctness statements are universally quantified over
+schedules; the test-suite therefore sweeps every algorithm across the
+schedulers here plus hypothesis-generated :class:`ChoiceSequenceScheduler`
+instances.
+
+A scheduler instance is **stateful and single-use**: construct a fresh one
+per engine run (or call :func:`all_standard_schedulers` again).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence
+
+from repro.simulator.channel import Channel
+
+
+class Scheduler(abc.ABC):
+    """Chooses which non-empty channel delivers its next (FIFO-head) message."""
+
+    @abc.abstractmethod
+    def choose(self, candidates: Sequence[Channel]) -> int:
+        """Return an index into ``candidates`` (all guaranteed non-empty).
+
+        The engine delivers the FIFO head of the chosen channel.  The
+        candidate list is ordered by ``channel_id`` and always non-empty.
+        """
+
+
+class GlobalFifoScheduler(Scheduler):
+    """Deliver pulses one by one in the global order they were sent.
+
+    This is the scheduler of the paper's Definition 21 (solitude patterns):
+    pulses are delivered in send order, with ties — which cannot occur, as
+    send sequence numbers are unique — notionally broken in favour of CW
+    channels (even channel ids in our ring wiring).
+    """
+
+    def choose(self, candidates: Sequence[Channel]) -> int:
+        best = 0
+        best_key = (candidates[0].peek_send_seq(), candidates[0].channel_id)
+        for i, channel in enumerate(candidates[1:], start=1):
+            key = (channel.peek_send_seq(), channel.channel_id)
+            if key < best_key:
+                best, best_key = i, key
+        return best
+
+
+class LifoScheduler(Scheduler):
+    """Deliver the *most recently sent* available message first.
+
+    Per-channel FIFO is still enforced (the engine only ever delivers
+    channel heads); this adversary maximally reorders *across* channels.
+    """
+
+    def choose(self, candidates: Sequence[Channel]) -> int:
+        best = 0
+        best_key = (-candidates[0].peek_send_seq(), candidates[0].channel_id)
+        for i, channel in enumerate(candidates[1:], start=1):
+            key = (-channel.peek_send_seq(), channel.channel_id)
+            if key < best_key:
+                best, best_key = i, key
+        return best
+
+
+class RandomScheduler(Scheduler):
+    """Pick a uniformly random non-empty channel; seeded for reproducibility."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def choose(self, candidates: Sequence[Channel]) -> int:
+        return self._rng.randrange(len(candidates))
+
+
+class RoundRobinScheduler(Scheduler):
+    """Rotate across channel ids, delivering from the next non-empty one."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, candidates: Sequence[Channel]) -> int:
+        ids = [channel.channel_id for channel in candidates]
+        for offset in range(max(ids) + 1):
+            wanted = (self._cursor + offset) % (max(ids) + 1)
+            if wanted in ids:
+                self._cursor = wanted + 1
+                return ids.index(wanted)
+        return 0  # unreachable: candidates is non-empty
+
+
+class AdversarialLagScheduler(Scheduler):
+    """Starve a chosen set of channels for as long as legally possible.
+
+    Channels matching ``lag_predicate`` are only delivered from when *no*
+    other channel has messages in flight.  With the ring wiring's
+    convention (CW channels have even ids), lagging all CCW channels
+    stresses Algorithm 2's requirement that the CCW instance trail the CW
+    instance; lagging CW channels is the opposite extreme.
+
+    Note this adversary is legal: no message is delayed forever, because a
+    starved channel is eventually the only non-empty one (quiescence of the
+    favoured direction forces progress).
+    """
+
+    def __init__(
+        self,
+        lag_predicate: Callable[[Channel], bool],
+        tie_breaker: "Scheduler | None" = None,
+    ) -> None:
+        self._lag = lag_predicate
+        self._tie_breaker = tie_breaker or GlobalFifoScheduler()
+
+    @classmethod
+    def lagging_ccw(cls) -> "AdversarialLagScheduler":
+        """Starve CCW channels (odd channel ids in the ring wiring)."""
+        return cls(lambda channel: channel.channel_id % 2 == 1)
+
+    @classmethod
+    def lagging_cw(cls) -> "AdversarialLagScheduler":
+        """Starve CW channels (even channel ids in the ring wiring)."""
+        return cls(lambda channel: channel.channel_id % 2 == 0)
+
+    def choose(self, candidates: Sequence[Channel]) -> int:
+        favoured = [
+            (i, channel)
+            for i, channel in enumerate(candidates)
+            if not self._lag(channel)
+        ]
+        pool = favoured if favoured else list(enumerate(candidates))
+        sub_choice = self._tie_breaker.choose([channel for _, channel in pool])
+        return pool[sub_choice][0]
+
+
+class ChoiceSequenceScheduler(Scheduler):
+    """Drive scheduling from an explicit integer sequence (replay / fuzzing).
+
+    Each decision consumes the next integer ``c`` and picks
+    ``candidates[c % len(candidates)]``.  When the sequence is exhausted the
+    scheduler falls back to global-FIFO, guaranteeing runs always finish.
+    Hypothesis generates the sequences in the property-based tests, which
+    lets shrinking find minimal adversarial schedules.
+    """
+
+    def __init__(self, choices: Iterable[int]) -> None:
+        self._choices: Iterator[int] = iter(choices)
+        self._fallback = GlobalFifoScheduler()
+        self.decisions_used = 0
+
+    def choose(self, candidates: Sequence[Channel]) -> int:
+        try:
+            choice = next(self._choices)
+        except StopIteration:
+            return self._fallback.choose(candidates)
+        self.decisions_used += 1
+        return choice % len(candidates)
+
+
+def all_standard_schedulers(seed: int = 0) -> Dict[str, Scheduler]:
+    """Fresh instances of every deterministic-adversary scheduler family.
+
+    Returns a name->scheduler mapping convenient for parametrized sweeps.
+    """
+    return {
+        "global_fifo": GlobalFifoScheduler(),
+        "lifo": LifoScheduler(),
+        "random": RandomScheduler(seed=seed),
+        "round_robin": RoundRobinScheduler(),
+        "lag_ccw": AdversarialLagScheduler.lagging_ccw(),
+        "lag_cw": AdversarialLagScheduler.lagging_cw(),
+    }

@@ -1,0 +1,124 @@
+"""Human-readable renderings of recorded executions.
+
+Given a run performed with ``record_events=True``, these helpers produce
+deterministic text artifacts:
+
+* :func:`render_event_log` — a flat, numbered ledger of sends,
+  deliveries, and terminations;
+* :func:`render_space_time` — an ASCII space-time diagram: one column
+  per node, one row per delivery, showing where each pulse landed and
+  how node verdicts evolve.
+
+They exist for debugging, documentation, and the examples; being pure
+functions of the trace, they are also regression-testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.simulator.engine import RunResult
+from repro.simulator.trace import Trace
+
+
+def render_event_log(result: RunResult, max_events: Optional[int] = None) -> str:
+    """A numbered, merged ledger of everything that happened.
+
+    Args:
+        result: A run executed with ``record_events=True``.
+        max_events: Truncate to this many lines (None = all).
+
+    Raises:
+        ValueError: If the run did not record events.
+    """
+    trace = result.trace
+    _require_events(trace)
+    events = []
+    for record in trace.send_records:
+        events.append(
+            (record.seq, f"send     node{record.sender} port{record.port} "
+                         f"-> channel{record.channel_id}")
+        )
+    for record in trace.delivery_records:
+        suffix = "  [ignored: terminated]" if record.ignored else ""
+        events.append(
+            (record.seq, f"deliver  channel{record.channel_id} -> "
+                         f"node{record.receiver} port{record.port}{suffix}")
+        )
+    for record in trace.termination_records:
+        events.append(
+            (record.seq, f"halt     node{record.node} output={record.output}")
+        )
+    events.sort(key=lambda pair: pair[0])
+    if max_events is not None:
+        events = events[:max_events]
+    width = len(str(events[-1][0])) if events else 1
+    return "\n".join(f"{seq:>{width}}  {text}" for seq, text in events)
+
+
+def render_space_time(
+    result: RunResult,
+    n: int,
+    labels: Optional[Sequence[str]] = None,
+    max_rows: Optional[int] = None,
+) -> str:
+    """An ASCII space-time diagram of deliveries.
+
+    One column per node; each row is one delivery, marking the receiving
+    node with the arrival port (``*0`` / ``*1``).  Terminations appear as
+    ``##`` rows.
+
+    Args:
+        result: A run executed with ``record_events=True``.
+        n: Number of nodes (column count).
+        labels: Optional column headers (defaults to node indices).
+        max_rows: Truncate the diagram (None = all rows).
+    """
+    trace = result.trace
+    _require_events(trace)
+    headers = list(labels) if labels is not None else [f"n{i}" for i in range(n)]
+    col_width = max(4, max(len(header) for header in headers) + 1)
+
+    def row(cells: Dict[int, str]) -> str:
+        return "".join(
+            (cells.get(i, "") or ".").center(col_width) for i in range(n)
+        )
+
+    lines = [row({i: headers[i] for i in range(n)})]
+    events = sorted(
+        [("d", record.seq, record.receiver, record.port, record.ignored)
+         for record in trace.delivery_records]
+        + [("t", record.seq, record.node, None, None)
+           for record in trace.termination_records],
+        key=lambda event: event[1],
+    )
+    for kind, _seq, node, port, ignored in events:
+        if kind == "d":
+            mark = f"*{port}" + ("!" if ignored else "")
+        else:
+            mark = "##"
+        lines.append(row({node: mark}))
+        if max_rows is not None and len(lines) - 1 >= max_rows:
+            lines.append("... (truncated)")
+            break
+    return "\n".join(lines)
+
+
+def summarize_counters(result: RunResult, n: int) -> str:
+    """Per-node sent/received table (works without event recording)."""
+    trace = result.trace
+    rows = ["node  sent  received  terminated"]
+    for node in range(n):
+        rows.append(
+            f"{node:>4}  {trace.sent_by(node):>4}  {trace.received_by(node):>8}  "
+            f"{str(result.terminated[node]).lower():>10}"
+        )
+    rows.append(f"total sent: {trace.total_sent}")
+    return "\n".join(rows)
+
+
+def _require_events(trace: Trace) -> None:
+    if not trace.record_events:
+        raise ValueError(
+            "timeline rendering needs a run with record_events=True"
+        )

@@ -1,0 +1,104 @@
+"""Execution traces: independent accounting of everything that happened.
+
+Algorithm nodes keep their own counters (the paper's ``rho``/``sigma``);
+the :class:`Trace` maintained by the engine is an *independent* ledger of
+sends, deliveries, and terminations.  Tests cross-check the two, so a
+bookkeeping bug in an algorithm cannot silently validate itself.
+
+Counters are always maintained; full per-event records are kept only when
+the engine is constructed with ``record_events=True`` (they are the basis
+of the lower-bound solitude patterns and of failure forensics).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.simulator.events import DeliveryRecord, SendRecord, TerminationRecord
+
+
+@dataclass
+class Trace:
+    """Ledger of one engine run.
+
+    Attributes:
+        sends_by_port: ``(node, port) -> count`` of messages sent.
+        recvs_by_port: ``(node, port) -> count`` of messages delivered
+            (including ones ignored by terminated nodes).
+        ignored_deliveries: Count of deliveries to already-terminated nodes.
+        termination_order: Node indices in the order they terminated.
+        send_records / delivery_records / termination_records: Full event
+            logs (populated only when event recording is enabled).
+    """
+
+    record_events: bool = False
+    sends_by_port: Dict[Tuple[int, int], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    recvs_by_port: Dict[Tuple[int, int], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    ignored_deliveries: int = 0
+    termination_order: List[int] = field(default_factory=list)
+    send_records: List[SendRecord] = field(default_factory=list)
+    delivery_records: List[DeliveryRecord] = field(default_factory=list)
+    termination_records: List[TerminationRecord] = field(default_factory=list)
+
+    # -- recording (engine-facing) ------------------------------------------
+    #
+    # The engine calls the fast counter methods on every event and only
+    # materializes record objects when event recording is on; this keeps
+    # the per-pulse cost low on multi-million-pulse runs.
+
+    def count_send(self, sender: int, port: int) -> None:
+        self.sends_by_port[(sender, port)] += 1
+
+    def count_delivery(self, receiver: int, port: int, ignored: bool) -> None:
+        self.recvs_by_port[(receiver, port)] += 1
+        if ignored:
+            self.ignored_deliveries += 1
+
+    def note_send(self, record: SendRecord) -> None:
+        self.count_send(record.sender, record.port)
+        if self.record_events:
+            self.send_records.append(record)
+
+    def note_delivery(self, record: DeliveryRecord) -> None:
+        self.count_delivery(record.receiver, record.port, record.ignored)
+        if self.record_events:
+            self.delivery_records.append(record)
+
+    def note_termination(self, record: TerminationRecord) -> None:
+        self.termination_order.append(record.node)
+        if self.record_events:
+            self.termination_records.append(record)
+
+    # -- queries (test-facing) ----------------------------------------------
+
+    @property
+    def total_sent(self) -> int:
+        """Total messages sent — the paper's *message complexity* measure."""
+        return sum(self.sends_by_port.values())
+
+    @property
+    def total_received(self) -> int:
+        """Total messages delivered (ignored ones included)."""
+        return sum(self.recvs_by_port.values())
+
+    def sent_by(self, node: int) -> int:
+        """Messages sent by one node across both ports."""
+        return sum(
+            count
+            for (sender, _port), count in self.sends_by_port.items()
+            if sender == node
+        )
+
+    def received_by(self, node: int) -> int:
+        """Messages delivered to one node across both ports."""
+        return sum(
+            count
+            for (receiver, _port), count in self.recvs_by_port.items()
+            if receiver == node
+        )

@@ -1,0 +1,241 @@
+"""Exhaustive exploration of the asynchronous scheduling nondeterminism.
+
+The asynchronous adversary's only power in this model is choosing, at
+each step, which non-empty FIFO channel delivers its head message.  For
+a fixed input, the set of executions therefore forms a finite branching
+structure whose nodes are global states (all node states + all channel
+queues).  This module walks that structure exhaustively:
+
+* **State fingerprints.**  A global state is fingerprinted from every
+  node's ``__dict__`` (recursively frozen) plus every channel's queue
+  content.  Two schedules reaching the same fingerprint have
+  behaviourally identical futures, so the search memoizes on it —
+  turning the execution *tree* (exponential) into the reachable-state
+  *graph* (typically small for the paper's algorithms, whose counters
+  are bounded by IDmax).
+* **Branching.**  From each state, one successor per non-empty channel
+  (deep-copying the state and delivering that channel's head).
+* **Certificates.**  The explorer records every terminal (quiescent)
+  state's fingerprint and evaluates user invariants at every reachable
+  state; `ExplorationResult.confluent` says whether all executions end
+  in the same terminal state — exactly the schedule-invariance that
+  Theorem 1's exact message count implies.
+
+This is bounded model checking, not proof: it certifies one instance
+(one ring, one ID assignment) over *all* its schedules.  The test-suite
+runs it on a battery of small instances.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ProtocolViolation, ReproError
+from repro.simulator.network import Network
+from repro.simulator.node import NodeAPI, check_port
+
+
+class ExplorationLimitExceeded(ReproError):
+    """The reachable state space outgrew the configured budget."""
+
+
+class _ExplorerAPI(NodeAPI):
+    """Capability object used during exploration; writes into a _SimState."""
+
+    __slots__ = ("_state", "_node_index")
+
+    def __init__(self, state: "_SimState", node_index: int) -> None:
+        self._state = state
+        self._node_index = node_index
+
+    def send(self, port: int, content: Any = None) -> None:
+        self._state.send(self._node_index, check_port(port), content)
+
+    def terminate(self, output: Any = None) -> None:
+        self._state.terminate(self._node_index, output)
+
+
+class _SimState:
+    """One global state: nodes + channel queues, deep-copyable."""
+
+    __slots__ = ("nodes", "queues", "channel_dst", "channel_src_defective", "total_sent", "out_channel")
+
+    def __init__(self, network: Network) -> None:
+        self.nodes = network.nodes
+        self.queues: List[List[Any]] = [[] for _ in network.channels]
+        self.channel_dst = [channel.dst for channel in network.channels]
+        self.channel_src_defective = [channel.defective for channel in network.channels]
+        self.out_channel = dict(network.out_channel)
+        self.total_sent = 0
+
+    # -- node-facing ----------------------------------------------------------
+
+    def send(self, node_index: int, port: int, content: Any) -> None:
+        node = self.nodes[node_index]
+        if node.terminated:
+            raise ProtocolViolation(
+                f"node {node_index} attempted to send after terminating"
+            )
+        channel_id = self.out_channel[(node_index, port)]
+        payload = None if self.channel_src_defective[channel_id] else content
+        self.queues[channel_id].append(payload)
+        self.total_sent += 1
+
+    def terminate(self, node_index: int, output: Any) -> None:
+        self.nodes[node_index]._mark_terminated(output)
+
+    # -- exploration plumbing ---------------------------------------------------
+
+    def nonempty(self) -> List[int]:
+        return [cid for cid, queue in enumerate(self.queues) if queue]
+
+    def deliver(self, channel_id: int) -> bool:
+        """Deliver the FIFO head of ``channel_id``.
+
+        Returns True when the pulse was delivered to (and ignored by) an
+        already-terminated node — a quiescent-termination violation.
+        """
+        content = self.queues[channel_id].pop(0)
+        receiver_index, receiver_port = self.channel_dst[channel_id]
+        receiver = self.nodes[receiver_index]
+        if receiver.terminated:
+            return True
+        receiver.on_message(
+            _ExplorerAPI(self, receiver_index), receiver_port, content
+        )
+        return False
+
+    def init_all(self) -> None:
+        for index, node in enumerate(self.nodes):
+            node.on_init(_ExplorerAPI(self, index))
+
+    def fingerprint(self) -> Tuple:
+        return (
+            tuple(_freeze(node.__dict__) for node in self.nodes),
+            tuple(tuple(_freeze(item) for item in queue) for queue in self.queues),
+        )
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert a value into a hashable fingerprint component."""
+    if value is None or isinstance(value, (int, float, str, bool, bytes)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(_freeze(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, _freeze(val)) for key, val in value.items()))
+    # Shared immutable strategy objects (e.g. a CircuitProgram) are
+    # identified by type: per-node mutable state must live on the node.
+    return type(value).__qualname__
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of exhausting one instance's schedule space.
+
+    Attributes:
+        states_explored: Number of distinct reachable global states.
+        transitions: Number of state transitions examined (≈ schedules
+            collapsed by memoization).
+        terminal_fingerprints: Distinct quiescent end states reached.
+        terminal_outputs: The per-node outputs/states of each distinct
+            terminal state (parallel to ``terminal_fingerprints``).
+        quiescence_violations: Number of explored transitions that
+            delivered a pulse to a terminated node.
+        max_in_flight: Largest number of simultaneously in-flight pulses
+            seen anywhere in the state space.
+    """
+
+    states_explored: int
+    transitions: int
+    terminal_fingerprints: List[Tuple]
+    terminal_outputs: List[Tuple]
+    quiescence_violations: int
+    max_in_flight: int
+
+    @property
+    def confluent(self) -> bool:
+        """All schedules funnel into one terminal state."""
+        return len(self.terminal_fingerprints) == 1
+
+
+def explore_all_schedules(
+    network_factory: Callable[[], Network],
+    invariant: Optional[Callable[[Sequence[Any]], None]] = None,
+    max_states: int = 2_000_000,
+) -> ExplorationResult:
+    """Exhaustively explore every delivery schedule of a network.
+
+    Args:
+        network_factory: Builds a *fresh* network (fresh node objects) —
+            called once; exploration proceeds by deep-copying states.
+        invariant: Optional callback receiving the node list at every
+            newly reached state; it should raise ``AssertionError`` to
+            report a violation (aborting the exploration).
+        max_states: Budget on distinct states before raising
+            :class:`ExplorationLimitExceeded`.
+
+    Returns:
+        An :class:`ExplorationResult` certificate for this instance.
+    """
+    root = _SimState(network_factory())
+    root.init_all()
+    if invariant is not None:
+        invariant(root.nodes)
+
+    seen: Set[Tuple] = set()
+    terminal_fingerprints: List[Tuple] = []
+    terminal_outputs: List[Tuple] = []
+    transitions = 0
+    violations = 0
+    max_in_flight = sum(len(queue) for queue in root.queues)
+
+    stack: List[_SimState] = [root]
+    seen.add(root.fingerprint())
+
+    while stack:
+        state = stack.pop()
+        candidates = state.nonempty()
+        if not candidates:
+            fp = state.fingerprint()
+            if fp not in set(terminal_fingerprints):
+                terminal_fingerprints.append(fp)
+                terminal_outputs.append(
+                    tuple(_freeze(getattr(node, "output", None)) for node in state.nodes)
+                )
+            continue
+        for channel_id in candidates:
+            successor = copy.deepcopy(state)
+            transitions += 1
+            if successor.deliver(channel_id):
+                violations += 1
+            fp = successor.fingerprint()
+            if fp in seen:
+                continue
+            seen.add(fp)
+            if len(seen) > max_states:
+                raise ExplorationLimitExceeded(
+                    f"more than {max_states} reachable states; "
+                    "shrink the instance or raise max_states"
+                )
+            if invariant is not None:
+                invariant(successor.nodes)
+            in_flight = sum(len(queue) for queue in successor.queues)
+            max_in_flight = max(max_in_flight, in_flight)
+            stack.append(successor)
+
+    return ExplorationResult(
+        states_explored=len(seen),
+        transitions=transitions,
+        terminal_fingerprints=terminal_fingerprints,
+        terminal_outputs=terminal_outputs,
+        quiescence_violations=violations,
+        max_in_flight=max_in_flight,
+    )

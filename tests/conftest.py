@@ -1,0 +1,89 @@
+"""Shared fixtures and helpers for the test-suite.
+
+The paper's correctness statements are universally quantified over
+asynchronous schedules and ID assignments; these helpers centralize the
+sweeps (scheduler families, ID workloads, port-flip patterns) that the
+suite runs every algorithm through.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Sequence
+
+import pytest
+
+from repro.simulator.scheduler import (
+    AdversarialLagScheduler,
+    GlobalFifoScheduler,
+    LifoScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+
+#: Factories, not instances: schedulers are stateful and single-use.
+SCHEDULER_FACTORIES: Dict[str, Callable[[], Scheduler]] = {
+    "global_fifo": GlobalFifoScheduler,
+    "lifo": LifoScheduler,
+    "random0": lambda: RandomScheduler(seed=0),
+    "random1": lambda: RandomScheduler(seed=1),
+    "random2": lambda: RandomScheduler(seed=2),
+    "round_robin": RoundRobinScheduler,
+    "lag_ccw": AdversarialLagScheduler.lagging_ccw,
+    "lag_cw": AdversarialLagScheduler.lagging_cw,
+}
+
+
+@pytest.fixture(params=sorted(SCHEDULER_FACTORIES))
+def scheduler_name(request) -> str:
+    """Parametrizes a test over every scheduler family."""
+    return request.param
+
+
+@pytest.fixture
+def make_scheduler(scheduler_name) -> Callable[[], Scheduler]:
+    """A factory producing fresh schedulers of the parametrized family."""
+    return SCHEDULER_FACTORIES[scheduler_name]
+
+
+def id_workloads() -> Dict[str, List[int]]:
+    """Representative ID assignments (clockwise order) for ring sweeps.
+
+    Covers the shapes that historically break ring elections: sorted both
+    ways (Chang-Roberts worst/best cases), max adjacent to min, sparse
+    IDs much larger than n, and degenerate sizes.
+    """
+    rng = random.Random(20240704)
+    return {
+        "singleton": [5],
+        "pair": [2, 9],
+        "pair_reversed": [9, 2],
+        "sorted_ascending": list(range(1, 9)),
+        "sorted_descending": list(range(8, 0, -1)),
+        "max_first": [10, 1, 2, 3, 4],
+        "max_last": [1, 2, 3, 4, 10],
+        "alternating": [2, 7, 1, 9, 4, 8, 3],
+        "sparse": [17, 403, 52, 288],
+        "random_mid": rng.sample(range(1, 60), 12),
+        "tight": [3, 1, 2],  # IDmax == n
+    }
+
+
+@pytest.fixture(params=sorted(id_workloads()))
+def ids(request) -> List[int]:
+    """Parametrizes a test over every ID workload."""
+    return id_workloads()[request.param]
+
+
+def flip_samples(n: int, count: int = 8, seed: int = 7) -> List[List[bool]]:
+    """A deterministic sample of port-flip patterns for an n-ring."""
+    rng = random.Random(seed)
+    patterns = [[False] * n, [True] * n]
+    if n >= 1:
+        one_hot = [False] * n
+        one_hot[rng.randrange(n)] = True
+        patterns.append(one_hot)
+    while len(patterns) < count:
+        patterns.append([rng.random() < 0.5 for _ in range(n)])
+    return patterns

@@ -1,0 +1,131 @@
+"""Closed-form complexity helpers and the statistics toolkit."""
+
+import math
+
+import pytest
+
+from repro.analysis.complexity import (
+    algorithm2_pulses,
+    algorithm3_doubled_pulses,
+    algorithm3_successor_pulses,
+    compare_with_baselines,
+    crossover_id_max,
+    lower_bound_gap,
+    warmup_pulses,
+)
+from repro.analysis.stats import (
+    BernoulliEstimate,
+    estimate_success_rate,
+    wilson_interval,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestFormulas:
+    def test_values(self):
+        assert warmup_pulses(4, 7) == 28
+        assert algorithm2_pulses(4, 7) == 60
+        assert algorithm3_doubled_pulses(4, 7) == 108
+        assert algorithm3_successor_pulses(4, 7) == 60
+
+    def test_theorem2_matches_theorem1(self):
+        # The paper's punchline: the non-oriented algorithm costs the
+        # same as the oriented terminating one.
+        for n, id_max in [(1, 1), (3, 9), (16, 400)]:
+            assert algorithm3_successor_pulses(n, id_max) == algorithm2_pulses(
+                n, id_max
+            )
+
+    def test_doubled_is_roughly_twice_successor(self):
+        ratio = algorithm3_doubled_pulses(8, 1000) / algorithm3_successor_pulses(
+            8, 1000
+        )
+        assert 1.9 < ratio < 2.0
+
+    def test_infeasible_idmax_rejected(self):
+        with pytest.raises(ConfigurationError):
+            algorithm2_pulses(8, 5)
+        with pytest.raises(ConfigurationError):
+            warmup_pulses(0, 5)
+
+
+class TestFormulasMatchMeasurements:
+    def test_against_real_runs(self):
+        from repro.core.terminating import run_terminating
+        from repro.core.warmup import run_warmup
+
+        ids = [5, 12, 3, 9]
+        assert run_warmup(ids).total_pulses == warmup_pulses(4, 12)
+        assert run_terminating(ids).total_pulses == algorithm2_pulses(4, 12)
+
+
+class TestComparison:
+    def test_comparison_row_contents(self):
+        row = compare_with_baselines(16, 160)
+        assert row.content_oblivious == 16 * 321
+        assert row.lower_bound == 16 * int(math.log2(10))
+        assert set(row.baselines) == {
+            "chang_roberts_worst",
+            "lelann",
+            "hirschberg_sinclair_bound",
+            "peterson_bound",
+            "dolev_klawe_rodeh_bound",
+        }
+
+    def test_oblivious_overhead_grows_with_idmax(self):
+        small = compare_with_baselines(16, 16).oblivious_overhead
+        large = compare_with_baselines(16, 10_000).oblivious_overhead
+        assert large > small
+
+    def test_crossover_solver(self):
+        n, baseline = 16, 1024
+        crossover = crossover_id_max(n, baseline)
+        assert algorithm2_pulses(n, crossover) > baseline
+        if crossover > n:
+            assert algorithm2_pulses(n, crossover - 1) <= baseline
+
+    def test_crossover_is_at_least_n(self):
+        assert crossover_id_max(10, 0) == 10
+
+    def test_lower_bound_gap_infinite_when_bound_vanishes(self):
+        assert lower_bound_gap(8, 10) == math.inf
+
+    def test_lower_bound_gap_finite_and_large(self):
+        gap = lower_bound_gap(4, 4 * 1024)
+        assert 1 < gap < math.inf
+
+
+class TestWilson:
+    def test_perfect_success(self):
+        low, high = wilson_interval(100, 100)
+        assert high == pytest.approx(1.0)
+        assert 0.9 < low < 1.0
+
+    def test_interval_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_more_trials_tighten_interval(self):
+        low_small, high_small = wilson_interval(8, 10)
+        low_big, high_big = wilson_interval(800, 1000)
+        assert (high_big - low_big) < (high_small - low_small)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+
+class TestEstimator:
+    def test_counts_and_rate(self):
+        estimate = estimate_success_rate(lambda seed: seed % 4 != 0, range(100))
+        assert estimate.trials == 100
+        assert estimate.successes == 75
+        assert estimate.rate == 0.75
+        assert estimate.low < 0.75 < estimate.high
+
+    def test_consistency_predicate(self):
+        estimate = BernoulliEstimate(successes=99, trials=100, low=0.93, high=0.999)
+        assert estimate.consistent_with_at_least(0.95)
+        assert not estimate.consistent_with_at_least(0.9999)

@@ -1,0 +1,153 @@
+"""Theorem 3 / Proposition 19 (Section 5): anonymous rings.
+
+The anonymous pipeline = Algorithm 4 sampling + Algorithm 3.  Success is
+a probabilistic event, so the tests split the claim into:
+
+* a deterministic reduction — the election succeeds *iff* the maximal
+  sampled ID is unique (Lemma 16) — verified by real elections;
+* a statistical claim — the maximal ID *is* unique w.h.p. (Lemma 18) —
+  verified over cheap sampling-only trials (see test_ids_sampling.py).
+
+A practical caveat drives the test structure: the sampled IDs have a
+geometric tail, so ``E[IDmax]`` is *infinite* (the paper's complexity is
+polynomial w.h.p., not in expectation).  Tests that execute real
+elections therefore pre-screen seeds by ID magnitude — mirroring
+``run_anonymous``'s sampling exactly — to keep runtimes bounded without
+biasing the *deterministic* claims they check.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import estimate_success_rate
+from repro.core.anonymous import run_anonymous, run_prop19
+from repro.exceptions import ConfigurationError
+from repro.ids.sampling import GeometricIdSampler, max_is_unique
+
+
+def presample(n: int, c: float, seed: int):
+    """Reproduce exactly the IDs `run_anonymous(n, c, seed)` will draw."""
+    rng = random.Random(seed)
+    return GeometricIdSampler(c=c).sample_many(n, rng)
+
+
+def tractable_seeds(n: int, c: float, seeds, cap: int = 4000):
+    """Seeds whose sampled IDmax keeps the election affordably small."""
+    return [seed for seed in seeds if max(presample(n, c, seed)) <= cap]
+
+
+class TestSingleRuns:
+    def test_reproducible_given_seed(self):
+        a = run_anonymous(10, c=2.0, seed=123)
+        b = run_anonymous(10, c=2.0, seed=123)
+        assert a.sampled_ids == b.sampled_ids
+        assert a.succeeded == b.succeeded
+
+    def test_presample_matches_run(self):
+        outcome = run_anonymous(9, c=2.0, seed=77)
+        assert outcome.sampled_ids == presample(9, 2.0, 77)
+
+    def test_nodes_never_terminate(self):
+        # Itai-Rodeh: terminating anonymous election is impossible; the
+        # pipeline only stabilizes.
+        outcome = run_anonymous(6, c=2.0, seed=3)
+        assert not any(outcome.election.run.terminated)
+        assert outcome.election.run.quiescent
+
+    def test_single_anonymous_node(self):
+        outcome = run_anonymous(1, c=2.0, seed=9)
+        assert outcome.succeeded
+        assert outcome.election.leaders == [0]
+
+
+class TestLemma16Reduction:
+    """Success of the pipeline <=> uniqueness of the sampled maximum."""
+
+    @pytest.mark.parametrize("n,c", [(6, 1.0), (12, 1.0), (8, 2.0)])
+    def test_success_iff_max_unique(self, n, c):
+        seeds = tractable_seeds(n, c, range(120))[:40]
+        assert len(seeds) >= 10  # the cap must not starve the test
+        for seed in seeds:
+            outcome = run_anonymous(n, c=c, seed=seed)
+            assert outcome.succeeded == outcome.max_unique, seed
+
+    def test_success_implies_leader_holds_max(self):
+        for seed in tractable_seeds(12, 1.0, range(80))[:25]:
+            outcome = run_anonymous(12, c=1.0, seed=seed)
+            if outcome.succeeded:
+                assert outcome.leader_holds_max_id
+                assert outcome.election.orientation_consistent
+
+
+class TestSuccessRates:
+    def test_election_success_rate_is_high(self):
+        # Real elections at modest parameters: the success rate must be
+        # well above 1/2 (the paper promises 1 - O(n^-c)).
+        seeds = tractable_seeds(8, 1.5, range(200))[:80]
+        estimate = estimate_success_rate(
+            lambda seed: run_anonymous(8, c=1.5, seed=seed).succeeded,
+            seeds=seeds,
+        )
+        assert estimate.rate > 0.7, estimate
+
+    def test_sampling_level_rate_grows_with_c(self):
+        # Rate comparison needs no elections: success == max uniqueness.
+        def unique_rate(c: float) -> float:
+            wins = sum(
+                1
+                for seed in range(400)
+                if max_is_unique(presample(10, c, seed))
+            )
+            return wins / 400
+
+        assert unique_rate(4.0) >= unique_rate(0.5)
+
+
+class TestFailureModes:
+    def test_failures_are_exactly_max_collisions(self):
+        # Whenever the pipeline fails, the sampled maximum was duplicated.
+        failures = 0
+        checked = 0
+        for seed in tractable_seeds(6, 0.5, range(150), cap=500)[:60]:
+            outcome = run_anonymous(6, c=0.5, seed=seed)
+            checked += 1
+            if not outcome.succeeded:
+                failures += 1
+                assert not outcome.max_unique, seed
+        assert checked >= 30
+        assert failures > 0, "expected some collisions at c=0.5, n=6"
+
+
+class TestProposition19:
+    def test_output_ids_positive(self):
+        outcome = run_prop19(8, c=1.0, seed=1)
+        assert all(output_id >= 1 for output_id in outcome.output_ids)
+
+    def test_resampling_keeps_ids_below_min_counter(self):
+        for seed in (2, 5, 9):
+            outcome = run_prop19(8, c=1.0, seed=seed)
+            for node in outcome.election.nodes:
+                if node.resample_count:
+                    assert node.output_id < min(node.rho)
+
+    def test_high_id_space_assignment_is_mostly_distinct(self):
+        # Prop 19's collision probability shrinks with the ID space
+        # (~n^2 / IDmax); pick seeds with a comfortably large maximum.
+        wins = 0
+        trials = 0
+        for seed in range(400):
+            ids = presample(5, 3.0, seed)
+            if not 2000 <= max(ids) <= 60000:
+                continue  # need a big-but-affordable ID space
+            trials += 1
+            if run_prop19(5, c=3.0, seed=seed).ids_distinct:
+                wins += 1
+            if trials >= 15:
+                break
+        assert trials >= 5
+        assert wins / trials > 0.5
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_prop19(0)

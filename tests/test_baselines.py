@@ -1,0 +1,161 @@
+"""The five classic content-carrying baselines, on the same simulator.
+
+Correctness (single leader, agreement, termination) across schedulers
+and ID workloads, plus each algorithm's signature message-complexity
+behaviour: Chang-Roberts' :math:`\\Theta(n^2)` worst case vs
+:math:`O(n\\log n)` good cases, Le Lann's exact :math:`n^2`, and the
+:math:`O(n\\log n)` ceilings of HS/Peterson/DKR.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines import ALL_BASELINES, run_baseline
+from repro.baselines.chang_roberts import (
+    ChangRobertsNode,
+    chang_roberts_worst_case_messages,
+)
+from repro.baselines.hirschberg_sinclair import (
+    HirschbergSinclairNode,
+    hirschberg_sinclair_message_ceiling,
+)
+from repro.baselines.lelann import LeLannNode, lelann_exact_messages
+from repro.core.common import LeaderState
+from repro.exceptions import ConfigurationError
+from tests.conftest import SCHEDULER_FACTORIES, id_workloads
+
+MAX_ELECTING = ("chang_roberts", "lelann", "hirschberg_sinclair", "franklin")
+
+
+@pytest.mark.parametrize("name", sorted(ALL_BASELINES))
+class TestBaselineCorrectness:
+    def test_single_leader_and_agreement(self, name, ids, make_scheduler):
+        outcome = run_baseline(ALL_BASELINES[name], ids, scheduler=make_scheduler())
+        assert len(outcome.leaders) == 1
+        assert len(set(outcome.agreed_leader_ids)) == 1
+        assert outcome.run.all_terminated
+
+    def test_leader_agreement_value_matches_winner(self, name, ids):
+        outcome = run_baseline(ALL_BASELINES[name], ids)
+        winner = outcome.leaders[0]
+        assert outcome.agreed_leader_ids[0] == outcome.nodes[winner].node_id
+
+    def test_non_leaders_output_non_leader(self, name, ids):
+        outcome = run_baseline(ALL_BASELINES[name], ids)
+        for index, output in enumerate(outcome.outputs):
+            expected = (
+                LeaderState.LEADER
+                if index == outcome.leaders[0]
+                else LeaderState.NON_LEADER
+            )
+            assert output is expected
+
+    def test_duplicate_ids_rejected(self, name):
+        with pytest.raises(ConfigurationError):
+            run_baseline(ALL_BASELINES[name], [3, 3, 1])
+
+    def test_single_node_ring(self, name):
+        outcome = run_baseline(ALL_BASELINES[name], [7])
+        assert outcome.leaders == [0]
+
+
+@pytest.mark.parametrize("name", MAX_ELECTING)
+class TestMaxElecting:
+    def test_winner_is_max_id_node(self, name, ids, make_scheduler):
+        outcome = run_baseline(ALL_BASELINES[name], ids, scheduler=make_scheduler())
+        assert outcome.leaders == [outcome.expected_leader]
+
+
+class TestChangRobertsComplexity:
+    def test_worst_case_descending_clockwise(self):
+        # IDs decreasing clockwise: candidate k travels k hops before the
+        # maximum swallows it; total = n(n+1)/2 + n announcements.
+        for n in (2, 5, 10, 16):
+            ids = list(range(n, 0, -1))
+            outcome = run_baseline(ChangRobertsNode, ids)
+            assert outcome.total_messages == chang_roberts_worst_case_messages(n)
+
+    def test_best_case_ascending_clockwise(self):
+        # IDs increasing clockwise: every non-max candidate dies after one
+        # hop; the max travels n; plus n announcements -> 3n - 1.
+        for n in (2, 5, 10, 16):
+            ids = list(range(1, n + 1))
+            outcome = run_baseline(ChangRobertsNode, ids)
+            assert outcome.total_messages == (n - 1) + n + n
+
+    def test_quadratic_vs_linear_gap_grows(self):
+        n = 32
+        worst = run_baseline(ChangRobertsNode, list(range(n, 0, -1))).total_messages
+        best = run_baseline(ChangRobertsNode, list(range(1, n + 1))).total_messages
+        assert worst / best > 5
+
+
+class TestLeLannComplexity:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 20])
+    def test_exactly_n_squared(self, n):
+        ids = random.Random(n).sample(range(1, 100), n)
+        outcome = run_baseline(LeLannNode, ids)
+        assert outcome.total_messages == lelann_exact_messages(n)
+
+    def test_cost_is_schedule_invariant(self):
+        ids = [4, 9, 1, 7, 3]
+        counts = {
+            run_baseline(LeLannNode, ids, scheduler=factory()).total_messages
+            for factory in SCHEDULER_FACTORIES.values()
+        }
+        assert counts == {25}
+
+    def test_every_node_collects_all_ids(self):
+        ids = [4, 9, 1, 7, 3]
+        outcome = run_baseline(LeLannNode, ids)
+        for node in outcome.nodes:
+            assert sorted(node.seen_ids) == sorted(ids)
+
+    def test_quiescent_termination(self):
+        # Le Lann's FIFO structure terminates quiescently (own ID last).
+        outcome = run_baseline(LeLannNode, [4, 9, 1, 7, 3])
+        assert outcome.run.quiescently_terminated
+
+
+class TestHirschbergSinclairComplexity:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 64])
+    def test_within_n_log_n_ceiling(self, n):
+        ids = random.Random(n).sample(range(1, 10 * n), n)
+        outcome = run_baseline(HirschbergSinclairNode, ids)
+        assert outcome.total_messages <= hirschberg_sinclair_message_ceiling(n)
+
+    def test_beats_lelann_at_scale(self):
+        n = 64
+        ids = random.Random(1).sample(range(1, 1000), n)
+        hs = run_baseline(HirschbergSinclairNode, ids).total_messages
+        lelann = run_baseline(LeLannNode, ids).total_messages
+        assert hs < lelann
+
+
+class TestLogNBaselinesScale:
+    @pytest.mark.parametrize("name", ["peterson", "dolev_klawe_rodeh"])
+    @pytest.mark.parametrize("n", [2, 8, 32, 64])
+    def test_within_two_n_log_n_plus_linear(self, name, n):
+        ids = random.Random(n + 17).sample(range(1, 10 * n), n)
+        outcome = run_baseline(ALL_BASELINES[name], ids)
+        phases = math.ceil(math.log2(n)) + 1 if n > 1 else 1
+        ceiling = 2 * n * phases + 2 * n
+        assert outcome.total_messages <= ceiling, (name, n, outcome.total_messages)
+
+
+class TestRandomizedSweep:
+    @pytest.mark.parametrize("name", sorted(ALL_BASELINES))
+    def test_fifty_random_rings(self, name):
+        rng = random.Random(hash(name) & 0xFFFF)
+        for trial in range(50):
+            n = rng.randint(1, 24)
+            ids = rng.sample(range(1, 10_000), n)
+            outcome = run_baseline(
+                ALL_BASELINES[name],
+                ids,
+                scheduler=SCHEDULER_FACTORIES["random0"](),
+            )
+            assert len(outcome.leaders) == 1, (name, ids)
+            assert len(set(outcome.agreed_leader_ids)) == 1, (name, ids)

@@ -1,0 +1,80 @@
+"""Unit tests for the defective FIFO channel."""
+
+import pytest
+
+from repro.simulator.channel import Channel
+
+
+def make_channel(defective: bool = True) -> Channel:
+    return Channel(channel_id=0, src=(0, 1), dst=(1, 0), defective=defective)
+
+
+class TestFifoOrder:
+    def test_messages_delivered_in_send_order(self):
+        channel = make_channel(defective=False)
+        for seq in range(5):
+            channel.enqueue(send_seq=seq, content=f"msg{seq}")
+        delivered = [channel.dequeue() for _ in range(5)]
+        assert delivered == [(seq, f"msg{seq}") for seq in range(5)]
+
+    def test_peek_matches_next_dequeue(self):
+        channel = make_channel()
+        channel.enqueue(send_seq=10)
+        channel.enqueue(send_seq=11)
+        assert channel.peek_send_seq() == 10
+        seq, _content = channel.dequeue()
+        assert seq == 10
+        assert channel.peek_send_seq() == 11
+
+    def test_interleaved_enqueue_dequeue_keeps_order(self):
+        channel = make_channel()
+        channel.enqueue(send_seq=1)
+        channel.enqueue(send_seq=2)
+        assert channel.dequeue()[0] == 1
+        channel.enqueue(send_seq=3)
+        assert channel.dequeue()[0] == 2
+        assert channel.dequeue()[0] == 3
+
+
+class TestDefectiveness:
+    def test_defective_channel_erases_content(self):
+        channel = make_channel(defective=True)
+        channel.enqueue(send_seq=1, content={"secret": 42})
+        _seq, content = channel.dequeue()
+        assert content is None
+
+    def test_non_defective_channel_preserves_content(self):
+        channel = make_channel(defective=False)
+        payload = ("probe", 7, 2, 4)
+        channel.enqueue(send_seq=1, content=payload)
+        _seq, content = channel.dequeue()
+        assert content == payload
+
+    def test_defective_channel_preserves_existence_and_count(self):
+        # The noise model corrupts content, never drops or injects.
+        channel = make_channel(defective=True)
+        for seq in range(7):
+            channel.enqueue(send_seq=seq, content=seq)
+        assert channel.pending == 7
+        received = 0
+        while channel:
+            channel.dequeue()
+            received += 1
+        assert received == 7
+
+
+class TestAccounting:
+    def test_pending_counts(self):
+        channel = make_channel()
+        assert channel.pending == 0
+        assert not channel
+        channel.enqueue(send_seq=1)
+        assert channel.pending == 1
+        assert channel
+        channel.dequeue()
+        assert channel.pending == 0
+
+    def test_dequeue_empty_raises(self):
+        channel = make_channel()
+        with pytest.raises(IndexError):
+            channel.dequeue()

@@ -1,0 +1,150 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestElect:
+    def test_oriented(self, capsys):
+        code, out = run_cli(capsys, "elect", "--ids", "3,7,5,2")
+        assert code == 0
+        assert "leader       : 1" in out
+        assert "exact match" in out
+
+    def test_nonoriented_with_flips(self, capsys):
+        code, out = run_cli(
+            capsys, "elect", "--setting", "nonoriented",
+            "--ids", "12,31,7", "--flips", "1,0,1",
+        )
+        assert code == 0
+        assert "cw ports" in out
+
+    def test_anonymous(self, capsys):
+        code, out = run_cli(
+            capsys, "elect", "--setting", "anonymous",
+            "--n", "6", "--c", "2.0", "--seed", "3",
+        )
+        assert "setting      : anonymous" in out
+        assert code in (0, 1)  # probabilistic; exit code reflects success
+
+    def test_scheduler_selection(self, capsys):
+        code, out = run_cli(
+            capsys, "elect", "--ids", "3,7", "--scheduler", "lifo"
+        )
+        assert code == 0
+
+    def test_unknown_scheduler_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["elect", "--ids", "3,7", "--scheduler", "bogus"])
+
+    def test_missing_ids_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["elect"])
+
+
+class TestCompute:
+    def test_composed_sum(self, capsys):
+        code, out = run_cli(
+            capsys, "compute", "--ids", "14,3,27", "--inputs", "18,22,19",
+            "--op", "sum",
+        )
+        assert code == 0
+        assert "[59, 59, 59]" in out
+
+    def test_rooted_max(self, capsys):
+        code, out = run_cli(
+            capsys, "compute", "--inputs", "4,9,2", "--op", "max", "--leader", "1",
+        )
+        assert code == 0
+        assert "[9, 9, 9]" in out
+
+    def test_unknown_op_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compute", "--inputs", "1,2", "--op", "median"])
+
+
+class TestSimulate:
+    def test_chang_roberts_over_pulses(self, capsys):
+        code, out = run_cli(capsys, "simulate", "--ids", "4,9,2")
+        assert code == 0
+        assert "('leader', 9)" in out
+
+    def test_broadcast(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "--ids", "4,9,2", "--algorithm", "broadcast",
+            "--value", "33",
+        )
+        assert code == 0
+        assert "[33, 33, 33]" in out
+
+    def test_sum_with_inputs(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "--ids", "4,9,2", "--algorithm", "sum",
+            "--inputs", "1,2,3",
+        )
+        assert code == 0
+        assert "[6, 6, 6]" in out
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--ids", "4,9,2", "--algorithm", "sum",
+                  "--inputs", "1,2"])
+
+
+class TestVerify:
+    def test_terminating_instance_verified(self, capsys):
+        code, out = run_cli(capsys, "verify", "--ids", "1,2,3")
+        assert code == 0
+        assert "VERIFIED (all schedules)" in out
+        assert "confluent            : True" in out
+
+    def test_warmup_algorithm_option(self, capsys):
+        code, out = run_cli(
+            capsys, "verify", "--ids", "2,3", "--algorithm", "warmup"
+        )
+        assert code == 0
+
+
+class TestSolitude:
+    def test_pattern_table(self, capsys):
+        code, out = run_cli(capsys, "solitude", "--max-id", "4")
+        assert code == 0
+        assert "011" in out
+        assert "none (Lemma 22 holds)" in out
+
+
+class TestCompare:
+    def test_table_lists_all_algorithms(self, capsys):
+        code, out = run_cli(capsys, "compare", "--n", "6", "--spread", "32")
+        assert code == 0
+        for name in (
+            "content-oblivious",
+            "chang_roberts",
+            "lelann",
+            "hirschberg_sinclair",
+            "peterson",
+            "dolev_klawe_rodeh",
+            "theorem 4 floor",
+        ):
+            assert name in out
+
+
+class TestTimeline:
+    def test_diagram_and_summary(self, capsys):
+        code, out = run_cli(capsys, "timeline", "--ids", "2,3")
+        assert code == 0
+        assert "id2" in out and "id3" in out
+        assert "total sent: 14" in out  # 2*(2*3+1)
+
+
+class TestParsing:
+    def test_bad_int_list(self):
+        with pytest.raises(SystemExit):
+            main(["elect", "--ids", "3,x,5"])

@@ -1,0 +1,142 @@
+"""Corollary 5, end-to-end: election composed with defective computation.
+
+No pre-existing root, fully defective channels throughout.  Phase 1 is
+Algorithm 2; at each node's termination point it switches to the circuit
+transport rooted at the elected leader.  The composition must preserve
+quiescent termination with the leader last — the paper's Section 1.1
+message-attribution discipline, exercised for real.
+"""
+
+import random
+
+import pytest
+
+from repro.core.composition import ComposedNode, run_composed
+from repro.core.common import LeaderState
+from repro.defective.simulation import (
+    AllReduceProgram,
+    GatherProgram,
+    SizeProgram,
+)
+from repro.defective.transport import transport_pulse_cost
+from repro.exceptions import ConfigurationError
+from tests.conftest import SCHEDULER_FACTORIES
+
+
+def sum_program():
+    return AllReduceProgram(lambda a, b: a + b)
+
+
+class TestEndToEnd:
+    def test_sum_without_preexisting_root(self, make_scheduler):
+        outcome = run_composed(
+            [4, 9, 2, 7, 5], [1, 2, 3, 4, 5], sum_program(), scheduler=make_scheduler()
+        )
+        assert outcome.leader == 1  # max ID 9
+        assert outcome.outputs == [15] * 5
+
+    def test_max_and_size_programs(self):
+        outcome = run_composed([3, 8, 5], [10, 4, 7], AllReduceProgram(max))
+        assert outcome.outputs == [10] * 3
+        outcome = run_composed([3, 8, 5], [0, 0, 0], SizeProgram())
+        assert outcome.outputs == [3] * 3
+
+    def test_gather_from_elected_leader(self):
+        outcome = run_composed([2, 9, 4], [5, 6, 7], GatherProgram())
+        # Gather order is clockwise from the leader (index 1).
+        assert outcome.outputs == [[6, 7, 5]] * 3
+
+    def test_leader_position_does_not_matter(self):
+        for ids in ([9, 1, 2], [1, 9, 2], [1, 2, 9]):
+            outcome = run_composed(ids, [3, 4, 5], sum_program())
+            assert outcome.outputs == [12] * 3
+            assert outcome.ids[outcome.leader] == 9
+
+
+class TestCompositionDiscipline:
+    def test_quiescent_termination_preserved(self, make_scheduler):
+        outcome = run_composed(
+            [4, 9, 2, 7], [1, 1, 1, 1], sum_program(), scheduler=make_scheduler()
+        )
+        assert outcome.run.quiescently_terminated
+
+    def test_leader_terminates_last_overall(self, make_scheduler):
+        outcome = run_composed(
+            [4, 9, 2, 7], [1, 1, 1, 1], sum_program(), scheduler=make_scheduler()
+        )
+        assert outcome.run.termination_order[-1] == outcome.leader
+
+    def test_every_node_switched_with_correct_verdict(self):
+        outcome = run_composed([4, 9, 2], [1, 2, 3], sum_program())
+        for index, node in enumerate(outcome.nodes):
+            expected = (
+                LeaderState.LEADER if index == 1 else LeaderState.NON_LEADER
+            )
+            assert node.election_output is expected
+            assert node.compute is not None  # everyone reached phase 2
+
+    def test_phase_boundary_message_attribution(self):
+        # The phase-2 census must yield the true ring size and positions
+        # even under adversarial schedules: any phase-1 pulse leaking into
+        # phase 2 would corrupt the unary counts.
+        for factory in SCHEDULER_FACTORIES.values():
+            outcome = run_composed(
+                [11, 3, 7, 5, 2], [0, 0, 0, 0, 0], SizeProgram(), scheduler=factory()
+            )
+            assert outcome.outputs == [5] * 5
+            leader = outcome.leader
+            for index, node in enumerate(outcome.nodes):
+                assert node.compute.ring_size == 5
+                assert node.compute.position == (index - leader) % 5
+
+
+class TestComposedComplexity:
+    def test_total_is_election_plus_transport(self):
+        ids = [4, 9, 2, 7]
+        inputs = [1, 2, 3, 4]
+        outcome = run_composed(ids, inputs, sum_program())
+        election_cost = len(ids) * (2 * max(ids) + 1)  # Theorem 1
+        transport_schedule = [
+            value
+            for node in outcome.nodes
+            for value in node.compute.values_sent
+        ]
+        transport_cost = transport_pulse_cost(len(ids), transport_schedule)
+        assert outcome.total_pulses == election_cost + transport_cost
+
+    def test_cost_is_schedule_invariant(self):
+        counts = {
+            run_composed(
+                [4, 9, 2, 7], [1, 2, 3, 4], sum_program(), scheduler=factory()
+            ).total_pulses
+            for factory in SCHEDULER_FACTORIES.values()
+        }
+        assert len(counts) == 1
+
+
+class TestRandomizedSweep:
+    def test_many_random_compositions(self):
+        rng = random.Random(31)
+        for trial in range(15):
+            n = rng.randint(2, 10)
+            ids = rng.sample(range(1, 60), n)
+            inputs = [rng.randint(0, 20) for _ in range(n)]
+            outcome = run_composed(ids, inputs, sum_program())
+            assert outcome.outputs == [sum(inputs)] * n, (ids, inputs)
+            assert outcome.run.quiescently_terminated
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_composed([1, 2], [1], sum_program())
+
+    def test_single_node_rejected(self):
+        # The transport's sender/receiver automaton needs a real ring;
+        # n = 1 computations are local anyway (run_circuit_transport).
+        with pytest.raises(ConfigurationError):
+            run_composed([5], [1], sum_program())
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_composed([3, 3], [1, 2], sum_program())

@@ -1,0 +1,82 @@
+"""The public one-call front doors (`repro.core.election`)."""
+
+import pytest
+
+from repro.core.common import LeaderState
+from repro.core.election import (
+    elect_leader_anonymous,
+    elect_leader_nonoriented,
+    elect_leader_oriented,
+)
+from repro.core.nonoriented import IdScheme
+
+
+class TestOrientedFrontDoor:
+    def test_report_fields(self):
+        report = elect_leader_oriented([3, 7, 5, 2])
+        assert report.setting == "oriented"
+        assert report.n == 4
+        assert report.leader == 1
+        assert report.succeeded
+        assert report.terminated
+        assert report.quiescent
+        assert report.total_pulses == report.claimed_bound == 60
+        assert report.states[1] is LeaderState.LEADER
+
+    def test_quickstart_docstring_example(self):
+        # The example in repro/__init__.py must stay true.
+        report = elect_leader_oriented([3, 7, 5, 2])
+        assert report.leader == 1
+        assert report.total_pulses == 4 * (2 * 7 + 1)
+
+
+class TestNonOrientedFrontDoor:
+    def test_report_fields(self):
+        report = elect_leader_nonoriented(
+            [3, 7, 5, 2], flips=[True, False, True, False]
+        )
+        assert report.setting == "nonoriented"
+        assert report.leader == 1
+        assert not report.terminated  # stabilizing only
+        assert report.quiescent
+        assert report.total_pulses == report.claimed_bound == 60
+        assert report.cw_ports is not None
+        assert all(port in (0, 1) for port in report.cw_ports)
+
+    def test_doubled_scheme_bound(self):
+        report = elect_leader_nonoriented([3, 7], scheme=IdScheme.DOUBLED)
+        assert report.claimed_bound == 2 * (4 * 7 - 1)
+        assert report.total_pulses == report.claimed_bound
+
+
+class TestAnonymousFrontDoor:
+    def test_report_fields_on_success(self):
+        report = elect_leader_anonymous(8, c=2.0, seed=42)
+        assert report.setting == "anonymous"
+        assert report.n == 8
+        assert not report.terminated
+        assert report.quiescent
+        assert report.claimed_bound is None  # only an asymptotic claim
+        if report.succeeded:
+            assert report.states.count(LeaderState.LEADER) == 1
+
+    def test_failure_reports_no_leader(self):
+        # Find a failing seed at weak confidence and check the report
+        # degrades gracefully rather than lying.  Pre-screen seeds by the
+        # IDs they will sample (the geometric tail makes unscreened
+        # elections arbitrarily expensive).
+        import random
+
+        from repro.ids.sampling import GeometricIdSampler, max_is_unique
+
+        sampler = GeometricIdSampler(c=0.5)
+        for seed in range(300):
+            ids = sampler.sample_many(6, random.Random(seed))
+            if max(ids) > 500 or max_is_unique(ids):
+                continue  # too expensive, or destined to succeed
+            report = elect_leader_anonymous(6, c=0.5, seed=seed)
+            assert not report.succeeded
+            assert report.leader is None
+            break
+        else:
+            pytest.skip("no affordable failing seed found at c=0.5")

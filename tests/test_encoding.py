@@ -1,0 +1,106 @@
+"""Unit and property tests for the unary transport's value codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.defective.encoding import (
+    cantor_pair,
+    cantor_unpair,
+    decode_sequence,
+    encode_sequence,
+    unary_pulse_count,
+)
+from repro.exceptions import DecodingError
+
+
+class TestCantorPairing:
+    def test_known_values(self):
+        assert cantor_pair(0, 0) == 0
+        assert cantor_pair(1, 0) == 1
+        assert cantor_pair(0, 1) == 2
+        assert cantor_pair(2, 0) == 3
+
+    def test_unpair_known_values(self):
+        assert cantor_unpair(0) == (0, 0)
+        assert cantor_unpair(2) == (0, 1)
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=0, max_value=10**9))
+    def test_roundtrip(self, a, b):
+        assert cantor_unpair(cantor_pair(a, b)) == (a, b)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_unpair_then_pair_is_identity(self, z):
+        a, b = cantor_unpair(z)
+        assert cantor_pair(a, b) == z
+
+    def test_bijectivity_on_a_grid(self):
+        seen = set()
+        for a in range(40):
+            for b in range(40):
+                z = cantor_pair(a, b)
+                assert z not in seen
+                seen.add(z)
+
+    def test_negative_rejected(self):
+        with pytest.raises(DecodingError):
+            cantor_pair(-1, 0)
+        with pytest.raises(DecodingError):
+            cantor_unpair(-5)
+
+    def test_bool_rejected(self):
+        with pytest.raises(DecodingError):
+            cantor_pair(True, 0)
+
+
+class TestSequenceCodec:
+    def test_empty_sequence(self):
+        assert encode_sequence([]) == 1  # the bare sentinel bit
+        assert decode_sequence(encode_sequence([])) == []
+
+    def test_encoding_stays_compact(self):
+        # The gamma codec must not blow up like iterated pairing did:
+        # [5, 6, 7] fits comfortably under 2**20 (unary-transmittable).
+        assert encode_sequence([5, 6, 7]) < 2**20
+
+    def test_non_sentinel_zero_rejected(self):
+        from repro.exceptions import DecodingError
+
+        with pytest.raises(DecodingError):
+            decode_sequence(0)
+
+    def test_singleton(self):
+        assert decode_sequence(encode_sequence([7])) == [7]
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), max_size=6))
+    @settings(max_examples=200)
+    def test_roundtrip(self, values):
+        assert decode_sequence(encode_sequence(values)) == values
+
+    def test_order_preserved(self):
+        assert decode_sequence(encode_sequence([3, 1, 2])) == [3, 1, 2]
+
+    def test_distinct_sequences_encode_distinctly(self):
+        seen = {}
+        import itertools
+
+        for values in itertools.product(range(4), repeat=3):
+            encoded = encode_sequence(list(values))
+            assert encoded not in seen, (values, seen[encoded])
+            seen[encoded] = values
+
+    def test_negative_item_rejected(self):
+        with pytest.raises(DecodingError):
+            encode_sequence([1, -2])
+
+
+class TestUnaryCost:
+    def test_zero_is_sendable(self):
+        assert unary_pulse_count(0) == 1
+
+    def test_cost_is_value_plus_one(self):
+        assert unary_pulse_count(41) == 42
+
+    def test_negative_rejected(self):
+        with pytest.raises(DecodingError):
+            unary_pulse_count(-1)

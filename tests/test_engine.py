@@ -1,0 +1,229 @@
+"""Unit tests for the discrete-event engine: runs, limits, violations."""
+
+import pytest
+
+from repro.exceptions import (
+    ProtocolViolation,
+    QuiescentTerminationViolation,
+    SimulationLimitExceeded,
+)
+from repro.simulator.engine import Engine, run_to_quiescence
+from repro.simulator.node import Node, PORT_ONE, PORT_ZERO
+from repro.simulator.ring import build_oriented_ring
+from repro.simulator.scheduler import GlobalFifoScheduler
+
+
+class SilentNode(Node):
+    """Sends nothing, reacts to nothing."""
+
+    def on_init(self, api):
+        pass
+
+    def on_message(self, api, port, content):
+        pass
+
+
+class CountAndStopNode(Node):
+    """Sends one CW pulse at init; absorbs everything it receives."""
+
+    def __init__(self):
+        super().__init__()
+        self.received = 0
+
+    def on_init(self, api):
+        api.send(PORT_ONE)
+
+    def on_message(self, api, port, content):
+        self.received += 1
+
+
+class ForeverNode(Node):
+    """Relays every pulse forever: a deliberate livelock."""
+
+    def on_init(self, api):
+        api.send(PORT_ONE)
+
+    def on_message(self, api, port, content):
+        api.send(PORT_ONE)
+
+
+class EagerTerminator(Node):
+    """Terminates upon its first received pulse, sending its own first."""
+
+    def on_init(self, api):
+        api.send(PORT_ONE)
+
+    def on_message(self, api, port, content):
+        api.terminate("done")
+
+
+class SendAfterTerminateNode(Node):
+    def on_init(self, api):
+        api.terminate("bye")
+        api.send(PORT_ONE)
+
+    def on_message(self, api, port, content):
+        pass
+
+
+class TestBasicRuns:
+    def test_empty_network_is_immediately_quiescent(self):
+        topology = build_oriented_ring([SilentNode(), SilentNode()])
+        result = run_to_quiescence(topology.network)
+        assert result.quiescent
+        assert result.steps == 0
+        assert result.total_sent == 0
+
+    def test_one_pulse_one_delivery(self):
+        nodes = [CountAndStopNode(), CountAndStopNode()]
+        topology = build_oriented_ring(nodes)
+        result = run_to_quiescence(topology.network)
+        assert result.total_sent == 2
+        assert result.steps == 2
+        assert nodes[0].received == 1
+        assert nodes[1].received == 1
+
+    def test_engine_is_single_use(self):
+        topology = build_oriented_ring([SilentNode()])
+        engine = Engine(topology.network)
+        engine.run()
+        with pytest.raises(ProtocolViolation):
+            engine.run()
+
+    def test_outputs_and_termination_flags(self):
+        nodes = [EagerTerminator(), EagerTerminator()]
+        topology = build_oriented_ring(nodes)
+        result = run_to_quiescence(topology.network)
+        assert result.outputs == ["done", "done"]
+        assert result.all_terminated
+        assert sorted(result.termination_order) == [0, 1]
+
+
+class TestLimits:
+    def test_livelock_hits_step_limit(self):
+        topology = build_oriented_ring([ForeverNode(), ForeverNode()])
+        engine = Engine(topology.network, max_steps=500)
+        with pytest.raises(SimulationLimitExceeded) as excinfo:
+            engine.run()
+        assert excinfo.value.steps == 500
+
+
+class TestTerminationSemantics:
+    def test_send_after_terminate_is_a_protocol_violation(self):
+        topology = build_oriented_ring([SendAfterTerminateNode()])
+        with pytest.raises(ProtocolViolation):
+            run_to_quiescence(topology.network)
+
+    def test_delivery_to_terminated_node_recorded_as_violation(self):
+        # Node 0 terminates immediately; node 1's init pulse then arrives.
+        class InstantTerminator(Node):
+            def on_init(self, api):
+                api.terminate("early")
+
+            def on_message(self, api, port, content):  # pragma: no cover
+                raise AssertionError("terminated nodes never see messages")
+
+        nodes = [InstantTerminator(), CountAndStopNode()]
+        topology = build_oriented_ring(nodes)
+        result = run_to_quiescence(topology.network)
+        assert result.quiescent
+        assert result.quiescence_violations  # the stranded pulse is recorded
+        assert result.trace.ignored_deliveries == 1
+        assert not result.quiescently_terminated
+
+    def test_strict_mode_raises_on_violation(self):
+        class InstantTerminator(Node):
+            def on_init(self, api):
+                api.terminate("early")
+
+            def on_message(self, api, port, content):  # pragma: no cover
+                pass
+
+        nodes = [InstantTerminator(), CountAndStopNode()]
+        topology = build_oriented_ring(nodes)
+        engine = Engine(topology.network, strict_quiescence=True)
+        with pytest.raises(QuiescentTerminationViolation):
+            engine.run()
+
+    def test_terminating_with_pulses_in_transit_towards_self_is_flagged(self):
+        class TerminateWithInboundNode(Node):
+            # Sends itself a pulse (n=1 self-loop) then terminates before
+            # the pulse is delivered.
+            def on_init(self, api):
+                api.send(PORT_ONE)
+                api.terminate("raced")
+
+            def on_message(self, api, port, content):  # pragma: no cover
+                pass
+
+        topology = build_oriented_ring([TerminateWithInboundNode()])
+        result = run_to_quiescence(topology.network)
+        assert any("in transit" in violation for violation in result.quiescence_violations)
+
+    def test_double_terminate_rejected(self):
+        class DoubleTerminator(Node):
+            def on_init(self, api):
+                api.terminate("one")
+                api.terminate("two")
+
+            def on_message(self, api, port, content):  # pragma: no cover
+                pass
+
+        topology = build_oriented_ring([DoubleTerminator()])
+        with pytest.raises(ProtocolViolation):
+            run_to_quiescence(topology.network)
+
+    def test_invalid_port_rejected(self):
+        class BadPortNode(Node):
+            def on_init(self, api):
+                api.send(2)
+
+            def on_message(self, api, port, content):  # pragma: no cover
+                pass
+
+        topology = build_oriented_ring([BadPortNode()])
+        with pytest.raises(ProtocolViolation):
+            run_to_quiescence(topology.network)
+
+
+class TestTraceLedger:
+    def test_counters_without_event_recording(self):
+        nodes = [CountAndStopNode(), CountAndStopNode()]
+        topology = build_oriented_ring(nodes)
+        result = run_to_quiescence(topology.network)
+        trace = result.trace
+        assert trace.total_sent == 2
+        assert trace.total_received == 2
+        assert trace.sent_by(0) == 1
+        assert trace.received_by(1) == 1
+        assert trace.send_records == []  # recording off by default
+
+    def test_event_recording_produces_matched_records(self):
+        nodes = [CountAndStopNode(), CountAndStopNode()]
+        topology = build_oriented_ring(nodes)
+        result = Engine(topology.network, record_events=True).run()
+        trace = result.trace
+        assert len(trace.send_records) == 2
+        assert len(trace.delivery_records) == 2
+        send_seqs = {record.seq for record in trace.send_records}
+        assert {record.send_seq for record in trace.delivery_records} == send_seqs
+
+    def test_invariant_hooks_run_after_each_delivery(self):
+        calls = []
+        nodes = [CountAndStopNode(), CountAndStopNode()]
+        topology = build_oriented_ring(nodes)
+        engine = Engine(
+            topology.network, invariant_hooks=[lambda eng: calls.append(eng._steps)]
+        )
+        engine.run()
+        assert calls == [1, 2]  # hook sees the post-delivery step counter
+
+    def test_failing_hook_aborts_run(self):
+        def bad_hook(engine):
+            raise AssertionError("boom")
+
+        nodes = [CountAndStopNode(), CountAndStopNode()]
+        topology = build_oriented_ring(nodes)
+        engine = Engine(topology.network, invariant_hooks=[bad_hook])
+        with pytest.raises(AssertionError, match="boom"):
+            engine.run()

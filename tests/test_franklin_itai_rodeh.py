@@ -1,0 +1,117 @@
+"""Franklin 1982 and Itai-Rodeh: the remaining related-work baselines.
+
+Franklin: bidirectional O(n log n), elects the maximum ID.
+Itai-Rodeh: anonymous + randomized + ring size known => *terminating*
+election — the exact positive counterpart of the impossibility that
+forces the paper's Theorem 3 to settle for stabilization.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines import run_baseline
+from repro.baselines.franklin import FranklinNode
+from repro.baselines.itai_rodeh import run_itai_rodeh
+from repro.core.common import LeaderState
+from repro.exceptions import ConfigurationError
+from tests.conftest import SCHEDULER_FACTORIES
+
+
+class TestFranklin:
+    @pytest.mark.parametrize(
+        "ids", [[5], [1, 2], [2, 1], [3, 1, 4], [7, 9, 8, 2, 6], [4, 11, 6, 2, 9, 1]]
+    )
+    def test_elects_maximum(self, ids):
+        outcome = run_baseline(FranklinNode, ids)
+        assert outcome.leaders == [ids.index(max(ids))]
+        assert len(set(outcome.agreed_leader_ids)) == 1
+
+    def test_across_schedulers(self):
+        ids = [4, 11, 6, 2, 9, 1]
+        for factory in SCHEDULER_FACTORIES.values():
+            outcome = run_baseline(FranklinNode, ids, scheduler=factory())
+            assert outcome.leaders == [1]
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32, 64])
+    def test_n_log_n_ceiling(self, n):
+        ids = random.Random(n).sample(range(1, 10 * n), n)
+        outcome = run_baseline(FranklinNode, ids)
+        phases = math.ceil(math.log2(n)) + 1 if n > 1 else 1
+        # 2n per phase + n announcement + straggler slack.
+        assert outcome.total_messages <= 2 * n * phases + 3 * n
+
+    def test_survivors_are_local_maxima(self):
+        # With ids alternating high/low, half the nodes fall each phase.
+        ids = [10, 1, 20, 2, 30, 3, 40, 4]
+        outcome = run_baseline(FranklinNode, ids)
+        assert outcome.leaders == [6]  # id 40
+
+    def test_random_sweep(self):
+        rng = random.Random(77)
+        for _ in range(30):
+            n = rng.randint(1, 20)
+            ids = rng.sample(range(1, 500), n)
+            outcome = run_baseline(FranklinNode, ids)
+            assert outcome.leaders == [ids.index(max(ids))], ids
+
+
+class TestItaiRodeh:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 9])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_terminating_anonymous_election(self, n, seed):
+        outcome = run_itai_rodeh(n, seed=seed)
+        assert len(outcome.leaders) == 1
+        assert outcome.run.all_terminated
+        assert outcome.run.quiescent
+
+    def test_all_followers_output_non_leader(self):
+        outcome = run_itai_rodeh(6, seed=5)
+        (leader,) = outcome.leaders
+        for index, node in enumerate(outcome.nodes):
+            expected = (
+                LeaderState.LEADER if index == leader else LeaderState.NON_LEADER
+            )
+            assert node.output is expected
+
+    def test_across_schedulers(self):
+        for name, factory in SCHEDULER_FACTORIES.items():
+            outcome = run_itai_rodeh(5, seed=11, scheduler=factory())
+            assert len(outcome.leaders) == 1, name
+            assert outcome.run.all_terminated, name
+
+    def test_rounds_are_typically_few(self):
+        # Expected rounds ~ 1/(1 - 1/k)-ish; with k=8 the vast majority
+        # of elections finish in <= 3 rounds.
+        quick = sum(
+            1 for seed in range(60) if run_itai_rodeh(6, seed=seed).rounds_used <= 3
+        )
+        assert quick / 60 > 0.8
+
+    def test_tiny_id_space_forces_extra_rounds_sometimes(self):
+        rounds = [run_itai_rodeh(4, seed=seed, id_space=2).rounds_used
+                  for seed in range(40)]
+        assert max(rounds) > 1  # collisions at k=2 are common
+
+    def test_message_cost_scales_with_rounds(self):
+        # Each round costs O(n^2) in the worst case (n candidate
+        # messages x n hops) plus the announcement.
+        outcome = run_itai_rodeh(6, seed=3)
+        assert outcome.total_messages <= outcome.rounds_used * 6 * 6 + 2 * 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_itai_rodeh(0)
+        with pytest.raises(ConfigurationError):
+            run_itai_rodeh(3, id_space=1)
+
+    def test_contrast_with_theorem3(self):
+        # The whole point: same anonymity, but content + known n buy a
+        # *terminating* election, which Theorem 3 provably cannot have.
+        from repro.core.anonymous import run_anonymous
+
+        itai = run_itai_rodeh(6, seed=2)
+        anonymous = run_anonymous(6, c=1.0, seed=2)
+        assert itai.run.all_terminated
+        assert not any(anonymous.election.run.terminated)

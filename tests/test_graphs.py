@@ -1,0 +1,216 @@
+"""Graph structure: bridges, 2-edge connectivity, ears, ring validation.
+
+Property-tested against networkx (allowed as a test oracle; the library
+code itself is from scratch).
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.graphs import (
+    Graph,
+    chain_decomposition,
+    ear_decomposition,
+    find_bridges,
+    is_connected,
+    is_ring,
+    is_two_edge_connected,
+    verify_ear_decomposition,
+)
+
+
+class TestGraphConstruction:
+    def test_normalizes_and_deduplicates_edges(self):
+        graph = Graph.from_edges(3, [(1, 0), (0, 1), (1, 2)])
+        assert graph.edges == frozenset({(0, 1), (1, 2)})
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ConfigurationError):
+            Graph.from_edges(2, [(0, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Graph.from_edges(2, [(0, 5)])
+
+    def test_ring_constructor(self):
+        graph = Graph.ring(5)
+        assert len(graph.edges) == 5
+        assert all(graph.degree(vertex) == 2 for vertex in range(5))
+
+    def test_ring_needs_three_vertices(self):
+        with pytest.raises(ConfigurationError):
+            Graph.ring(2)
+
+
+class TestConnectivity:
+    def test_single_vertex_connected(self):
+        assert is_connected(Graph.from_edges(1, []))
+
+    def test_disconnected_detected(self):
+        assert not is_connected(Graph.from_edges(4, [(0, 1), (2, 3)]))
+
+    def test_path_graph_connected(self):
+        assert is_connected(Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)]))
+
+
+class TestBridges:
+    def test_path_is_all_bridges(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert find_bridges(graph) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_cycle_has_no_bridges(self):
+        assert find_bridges(Graph.ring(7)) == set()
+
+    def test_barbell_bridge(self):
+        # two triangles joined by one edge: that edge is the only bridge
+        graph = Graph.from_edges(
+            6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]
+        )
+        assert find_bridges(graph) == {(2, 3)}
+
+    def test_matches_networkx_on_random_graphs(self):
+        rng = random.Random(0)
+        checked = 0
+        for trial in range(200):
+            n = rng.randint(2, 14)
+            m = rng.randint(n - 1, min(n * (n - 1) // 2, 3 * n))
+            nx_graph = nx.gnm_random_graph(n, m, seed=trial)
+            if not nx.is_connected(nx_graph):
+                continue
+            graph = Graph.from_edges(n, list(nx_graph.edges()))
+            assert find_bridges(graph) == {
+                tuple(sorted(edge)) for edge in nx.bridges(nx_graph)
+            }
+            checked += 1
+        assert checked > 50
+
+
+class TestTwoEdgeConnectivity:
+    def test_rings_are_two_edge_connected(self):
+        for n in (3, 4, 9):
+            assert is_two_edge_connected(Graph.ring(n))
+
+    def test_tree_is_not(self):
+        assert not is_two_edge_connected(Graph.from_edges(3, [(0, 1), (1, 2)]))
+
+    def test_disconnected_is_not(self):
+        assert not is_two_edge_connected(Graph.from_edges(4, [(0, 1), (2, 3)]))
+
+    def test_single_vertex_convention(self):
+        # Matches the paper's n=1 ring being a legal instance.
+        assert is_two_edge_connected(Graph.from_edges(1, []))
+
+    def test_matches_networkx_bridge_criterion(self):
+        rng = random.Random(7)
+        for trial in range(100):
+            n = rng.randint(2, 12)
+            m = rng.randint(n - 1, min(n * (n - 1) // 2, 3 * n))
+            nx_graph = nx.gnm_random_graph(n, m, seed=trial + 1000)
+            if not nx.is_connected(nx_graph):
+                continue
+            graph = Graph.from_edges(n, list(nx_graph.edges()))
+            expected = not list(nx.bridges(nx_graph))
+            assert is_two_edge_connected(graph) == expected
+
+
+class TestRingRecognition:
+    def test_rings_recognized(self):
+        for n in (3, 5, 12):
+            assert is_ring(Graph.ring(n))
+
+    def test_ring_plus_chord_rejected(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        assert not is_ring(graph)
+
+    def test_two_disjoint_triangles_rejected(self):
+        graph = Graph.from_edges(
+            6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+        )
+        assert not is_ring(graph)  # degree-2 everywhere but disconnected
+
+    def test_path_rejected(self):
+        assert not is_ring(Graph.from_edges(3, [(0, 1), (1, 2)]))
+
+
+class TestChainAndEarDecomposition:
+    def test_cycle_decomposes_into_one_ear(self):
+        graph = Graph.ring(6)
+        ears = ear_decomposition(graph)
+        assert len(ears) == 1
+        verify_ear_decomposition(graph, ears)
+
+    def test_theta_graph(self):
+        # cycle 0-1-2-3-0 plus chord path 0-4-2: two ears
+        graph = Graph.from_edges(
+            5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (4, 2)]
+        )
+        ears = ear_decomposition(graph)
+        verify_ear_decomposition(graph, ears)
+        assert len(ears) == 2
+
+    def test_complete_graphs(self):
+        for n in (3, 4, 5, 6):
+            edges = [(a, b) for a in range(n) for b in range(a + 1, n)]
+            graph = Graph.from_edges(n, edges)
+            verify_ear_decomposition(graph, ear_decomposition(graph))
+
+    def test_not_two_edge_connected_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ear_decomposition(Graph.from_edges(3, [(0, 1), (1, 2)]))
+
+    def test_random_two_edge_connected_graphs(self):
+        rng = random.Random(3)
+        verified = 0
+        for trial in range(150):
+            n = rng.randint(3, 12)
+            m = rng.randint(n, min(n * (n - 1) // 2, 3 * n))
+            nx_graph = nx.gnm_random_graph(n, m, seed=trial + 500)
+            if not nx.is_connected(nx_graph) or list(nx.bridges(nx_graph)):
+                continue
+            graph = Graph.from_edges(n, list(nx_graph.edges()))
+            verify_ear_decomposition(graph, ear_decomposition(graph))
+            verified += 1
+        assert verified > 30
+
+    def test_verifier_rejects_corrupt_decompositions(self):
+        graph = Graph.ring(5)
+        good = ear_decomposition(graph)
+        with pytest.raises(AssertionError):
+            verify_ear_decomposition(graph, [])
+        with pytest.raises(AssertionError):
+            verify_ear_decomposition(graph, [good[0][:-1]])  # not a cycle
+
+    def test_chain_decomposition_covers_cycle_edges(self):
+        graph = Graph.ring(4)
+        chains = chain_decomposition(graph)
+        covered = {
+            tuple(sorted((a, b)))
+            for chain in chains
+            for a, b in zip(chain, chain[1:])
+        }
+        assert covered == set(graph.edges)
+
+
+class TestPaperConnection:
+    """Rings sit exactly on the computability frontier of [8]."""
+
+    def test_rings_are_minimally_two_edge_connected(self):
+        # Removing any single edge from a ring leaves a bridge-full path:
+        # rings are the *simplest* 2-edge-connected graphs.
+        graph = Graph.ring(6)
+        for edge in graph.edges:
+            reduced = Graph.from_edges(6, [e for e in graph.edges if e != edge])
+            assert not is_two_edge_connected(reduced)
+
+    @given(st.integers(min_value=3, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_every_ring_size_passes_the_frontier_test(self, n):
+        graph = Graph.ring(n)
+        assert is_ring(graph)
+        assert is_two_edge_connected(graph)
+        assert find_bridges(graph) == set()

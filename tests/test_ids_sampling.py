@@ -1,0 +1,124 @@
+"""Algorithm 4 (Section 5): geometric ID sampling and Lemma 18's events."""
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.ids.sampling import (
+    GeometricIdSampler,
+    expected_bit_count,
+    max_is_unique,
+    predicted_max_bits,
+    sample_ids,
+)
+
+
+class TestSamplerParameters:
+    def test_p_formula(self):
+        sampler = GeometricIdSampler(c=2.0)
+        assert sampler.p == pytest.approx(2.0 ** (-1.0 / 4.0))
+
+    def test_larger_c_gives_heavier_tail(self):
+        assert GeometricIdSampler(c=4.0).p > GeometricIdSampler(c=1.0).p
+
+    @pytest.mark.parametrize("bad_c", [0.0, -1.0])
+    def test_non_positive_c_rejected(self, bad_c):
+        with pytest.raises(ConfigurationError):
+            GeometricIdSampler(c=bad_c)
+
+
+class TestBitCountDistribution:
+    def test_support_starts_at_one(self):
+        sampler = GeometricIdSampler(c=1.0)
+        rng = random.Random(0)
+        counts = [sampler.sample_bit_count(rng) for _ in range(2000)]
+        assert min(counts) >= 1
+
+    def test_mean_matches_geometric_expectation(self):
+        # E[BitCount] = 1/(1-p); with 20k samples the mean should land
+        # within a few percent.
+        sampler = GeometricIdSampler(c=2.0)
+        rng = random.Random(1)
+        samples = [sampler.sample_bit_count(rng) for _ in range(20000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(expected_bit_count(2.0), rel=0.05)
+
+    def test_tail_probability_decays_geometrically(self):
+        sampler = GeometricIdSampler(c=2.0)
+        rng = random.Random(2)
+        samples = [sampler.sample_bit_count(rng) for _ in range(20000)]
+        threshold = 10
+        empirical_tail = sum(1 for s in samples if s > threshold) / len(samples)
+        # P(BitCount > t) = p**t
+        assert empirical_tail == pytest.approx(sampler.p**threshold, rel=0.25)
+
+
+class TestIdSampling:
+    def test_ids_are_positive(self):
+        rng = random.Random(3)
+        ids = sample_ids(500, c=2.0, rng=rng)
+        assert all(node_id >= 1 for node_id in ids)
+
+    def test_reproducible_with_seeded_rng(self):
+        a = sample_ids(50, c=2.0, rng=random.Random(7))
+        b = sample_ids(50, c=2.0, rng=random.Random(7))
+        assert a == b
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_ids(0)
+
+
+class TestLemma18Events:
+    """Max-uniqueness holds at a rate consistent with 1 - O(n^-c)."""
+
+    @pytest.mark.parametrize("n", [8, 32, 128])
+    def test_max_unique_rate_is_high(self, n):
+        sampler = GeometricIdSampler(c=2.0)
+        trials = 300
+        unique = sum(
+            1
+            for trial in range(trials)
+            if max_is_unique(sampler.sample_many(n, random.Random(trial * 1000 + n)))
+        )
+        # The paper promises 1 - O(n^-c); empirically the rate is far
+        # above 0.8 already at small n, and grows with n.
+        assert unique / trials > 0.8
+
+    def test_uniqueness_rate_does_not_collapse_with_n(self):
+        # The union-bound character of Lemma 18: bigger rings keep the
+        # failure probability bounded (it *decreases* polynomially).
+        sampler = GeometricIdSampler(c=2.0)
+
+        def rate(n: int) -> float:
+            trials = 200
+            wins = sum(
+                1
+                for trial in range(trials)
+                if max_is_unique(
+                    sampler.sample_many(n, random.Random(trial * 7919 + n))
+                )
+            )
+            return wins / trials
+
+        assert rate(256) >= rate(4) - 0.1
+
+    def test_max_id_magnitude_is_polynomial_in_n(self):
+        # Lemma 18: the max ID is n^Theta(c) — its *bit length* should
+        # grow roughly like log_{1/p}(n), far below linear in n.
+        sampler = GeometricIdSampler(c=2.0)
+        for n in (16, 64, 256):
+            maxima = [
+                max(sampler.sample_many(n, random.Random(trial * 31 + n)))
+                for trial in range(50)
+            ]
+            median_bits = sorted(m.bit_length() for m in maxima)[25]
+            predicted = predicted_max_bits(n, 2.0)
+            assert 0.3 * predicted <= median_bits <= 3.0 * predicted + 4
+
+    def test_max_is_unique_predicate(self):
+        assert max_is_unique([1, 2, 3])
+        assert not max_is_unique([3, 1, 3])
+        assert max_is_unique([5])

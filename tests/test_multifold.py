@@ -1,0 +1,70 @@
+"""MultiFoldProgram: transports with many user circuits."""
+
+import pytest
+
+from repro.core.composition import run_composed
+from repro.defective.simulation import MultiFoldProgram
+from repro.defective.transport import run_circuit_transport, transport_pulse_cost
+from tests.conftest import SCHEDULER_FACTORIES
+
+
+def stats_program():
+    return MultiFoldProgram(
+        [("sum", lambda a, b: a + b), ("max", max), ("min", min)]
+    )
+
+
+class TestStandalone:
+    def test_three_folds_one_session(self):
+        outcome = run_circuit_transport([3, 1, 4, 1, 5], stats_program())
+        assert outcome.outputs == [{"sum": 14, "max": 5, "min": 1}] * 5
+
+    def test_single_fold_degenerates_to_allreduce(self):
+        outcome = run_circuit_transport([2, 7, 4], MultiFoldProgram([("max", max)]))
+        assert outcome.outputs == [{"max": 7}] * 3
+
+    def test_solo_ring(self):
+        outcome = run_circuit_transport([9], stats_program())
+        assert outcome.outputs == [{"sum": 9, "max": 9, "min": 9}]
+
+    def test_leader_placement_independent(self):
+        for leader in range(4):
+            outcome = run_circuit_transport(
+                [5, 2, 8, 1], stats_program(), leader=leader
+            )
+            assert outcome.outputs[0] == {"sum": 16, "max": 8, "min": 1}
+
+    def test_quiescent_termination_leader_last(self):
+        outcome = run_circuit_transport([4, 4, 4], stats_program(), leader=1)
+        assert outcome.run.quiescently_terminated
+        assert outcome.leader_terminated_last
+
+    def test_cost_formula_still_exact(self):
+        outcome = run_circuit_transport([3, 1, 4], stats_program())
+        schedule = [v for node in outcome.nodes for v in node.values_sent]
+        assert outcome.total_pulses == transport_pulse_cost(3, schedule)
+
+    def test_empty_folds_rejected(self):
+        with pytest.raises(ValueError):
+            MultiFoldProgram([])
+
+
+class TestComposed:
+    def test_full_stack_stats(self):
+        outcome = run_composed(
+            [9, 2, 7], [4, 8, 1],
+            MultiFoldProgram([("sum", lambda a, b: a + b), ("max", max)]),
+        )
+        assert outcome.outputs == [{"sum": 13, "max": 8}] * 3
+        assert outcome.run.quiescently_terminated
+
+    def test_schedule_invariance(self):
+        results = set()
+        for factory in SCHEDULER_FACTORIES.values():
+            outcome = run_composed(
+                [9, 2, 7], [4, 8, 1],
+                MultiFoldProgram([("sum", lambda a, b: a + b)]),
+                scheduler=factory(),
+            )
+            results.add(outcome.outputs[0]["sum"])
+        assert results == {13}

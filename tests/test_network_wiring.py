@@ -1,0 +1,147 @@
+"""Unit tests for network construction and ring wiring."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulator.network import Network
+from repro.simulator.node import Node, PORT_ONE, PORT_ZERO
+from repro.simulator.ring import (
+    RingTopology,
+    all_flip_patterns,
+    build_nonoriented_ring,
+    build_oriented_ring,
+)
+
+
+class DummyNode(Node):
+    def on_init(self, api):
+        pass
+
+    def on_message(self, api, port, content):
+        pass
+
+
+def dummy_nodes(n: int):
+    return [DummyNode() for _ in range(n)]
+
+
+class TestNetwork:
+    def test_add_channel_registers_port_map(self):
+        network = Network(nodes=dummy_nodes(2))
+        channel = network.add_channel(src=(0, 1), dst=(1, 0))
+        assert network.channel_for_send(0, 1) is channel
+
+    def test_duplicate_outgoing_port_rejected(self):
+        network = Network(nodes=dummy_nodes(2))
+        network.add_channel(src=(0, 1), dst=(1, 0))
+        with pytest.raises(ConfigurationError):
+            network.add_channel(src=(0, 1), dst=(1, 1))
+
+    def test_unknown_node_rejected(self):
+        network = Network(nodes=dummy_nodes(2))
+        with pytest.raises(ConfigurationError):
+            network.add_channel(src=(5, 0), dst=(0, 0))
+
+    def test_unwired_port_send_raises(self):
+        network = Network(nodes=dummy_nodes(1))
+        with pytest.raises(ConfigurationError):
+            network.channel_for_send(0, 0)
+
+    def test_pending_messages_sums_channels(self):
+        network = Network(nodes=dummy_nodes(2))
+        a = network.add_channel(src=(0, 1), dst=(1, 0))
+        b = network.add_channel(src=(1, 1), dst=(0, 0))
+        a.enqueue(send_seq=1)
+        a.enqueue(send_seq=2)
+        b.enqueue(send_seq=3)
+        assert network.pending_messages() == 3
+        assert {channel.channel_id for channel in network.nonempty_channels()} == {0, 1}
+
+
+class TestOrientedRing:
+    def test_channel_count_is_2n(self):
+        for n in (1, 2, 3, 5, 8):
+            topology = build_oriented_ring(dummy_nodes(n))
+            assert len(topology.network.channels) == 2 * n
+
+    def test_port_one_is_cw_everywhere(self):
+        topology = build_oriented_ring(dummy_nodes(4))
+        for v in range(4):
+            assert topology.cw_port(v) == PORT_ONE
+            assert topology.ccw_port(v) == PORT_ZERO
+
+    def test_cw_send_reaches_cw_neighbor_ccw_port(self):
+        # Pulses sent clockwise must arrive at the CW neighbor's CCW port
+        # (paper: CW pulses are sent from CW ports, arrive at CCW ports).
+        topology = build_oriented_ring(dummy_nodes(3))
+        network = topology.network
+        for v in range(3):
+            channel = network.channel_for_send(v, PORT_ONE)
+            assert channel.dst == ((v + 1) % 3, PORT_ZERO)
+
+    def test_ccw_send_reaches_ccw_neighbor_cw_port(self):
+        topology = build_oriented_ring(dummy_nodes(3))
+        network = topology.network
+        for v in range(3):
+            channel = network.channel_for_send(v, PORT_ZERO)
+            assert channel.dst == ((v - 1) % 3, PORT_ONE)
+
+    def test_single_node_ring_self_loops(self):
+        topology = build_oriented_ring(dummy_nodes(1))
+        network = topology.network
+        assert network.channel_for_send(0, PORT_ONE).dst == (0, PORT_ZERO)
+        assert network.channel_for_send(0, PORT_ZERO).dst == (0, PORT_ONE)
+
+    def test_two_node_ring_has_four_distinct_channels(self):
+        topology = build_oriented_ring(dummy_nodes(2))
+        endpoints = {
+            (channel.src, channel.dst) for channel in topology.network.channels
+        }
+        assert len(endpoints) == 4  # a 2-cycle multigraph, not a single edge
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_oriented_ring([])
+
+    def test_neighbors(self):
+        topology = build_oriented_ring(dummy_nodes(5))
+        assert topology.cw_neighbor(4) == 0
+        assert topology.ccw_neighbor(0) == 4
+
+
+class TestNonOrientedRing:
+    def test_flip_swaps_ports(self):
+        topology = build_nonoriented_ring(dummy_nodes(3), flips=[True, False, True])
+        assert topology.cw_port(0) == PORT_ZERO
+        assert topology.cw_port(1) == PORT_ONE
+        assert topology.cw_port(2) == PORT_ZERO
+
+    def test_flipped_wiring_still_forms_a_ring(self):
+        # Following CW ports from node 0 must traverse every node once.
+        topology = build_nonoriented_ring(dummy_nodes(4), flips=[True, True, False, True])
+        network = topology.network
+        visited = []
+        node = 0
+        for _ in range(4):
+            visited.append(node)
+            channel = network.channel_for_send(node, topology.cw_port(node))
+            node = channel.dst[0]
+        assert sorted(visited) == [0, 1, 2, 3]
+        assert node == 0
+
+    def test_flip_count_must_match(self):
+        with pytest.raises(ConfigurationError):
+            build_nonoriented_ring(dummy_nodes(3), flips=[True])
+
+    def test_random_flips_reproducible(self):
+        import random
+
+        topo_a = build_nonoriented_ring(dummy_nodes(6), rng=random.Random(9))
+        topo_b = build_nonoriented_ring(dummy_nodes(6), rng=random.Random(9))
+        assert topo_a.flips == topo_b.flips
+
+    def test_all_flip_patterns_enumeration(self):
+        patterns = all_flip_patterns(3)
+        assert len(patterns) == 8
+        assert len(set(patterns)) == 8
+        assert all(len(pattern) == 3 for pattern in patterns)

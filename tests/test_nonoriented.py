@@ -1,0 +1,193 @@
+"""Theorem 2 / Proposition 15 (Algorithm 3): non-oriented rings.
+
+Checks, for both virtual-ID schemes and across adversarial port flips:
+
+* a single leader — the maximal-ID node — stabilizes;
+* every node labels a CW port such that the labels realize one
+  consistent rotational direction;
+* message complexity exactly ``n(4*IDmax - 1)`` (doubled scheme,
+  Prop 15) and exactly ``n(2*IDmax + 1)`` (successor scheme, Thm 2);
+* nodes never terminate (stabilization only);
+* Lemma 16: duplicates are fine as long as the maximum is unique.
+"""
+
+import random
+
+import pytest
+
+from repro.core.common import LeaderState
+from repro.core.nonoriented import IdScheme, run_nonoriented
+from repro.exceptions import ConfigurationError
+from tests.conftest import SCHEDULER_FACTORIES, flip_samples, id_workloads
+
+SCHEMES = [IdScheme.SUCCESSOR, IdScheme.DOUBLED]
+
+
+class TestVirtualIds:
+    def test_doubled_scheme_formula(self):
+        assert IdScheme.DOUBLED.virtual_ids(5) == (9, 10)
+        assert IdScheme.DOUBLED.virtual_ids(1) == (1, 2)
+
+    def test_successor_scheme_formula(self):
+        assert IdScheme.SUCCESSOR.virtual_ids(5) == (5, 6)
+        assert IdScheme.SUCCESSOR.virtual_ids(1) == (1, 2)
+
+    def test_doubled_virtual_ids_are_globally_unique(self):
+        ids = [3, 7, 5, 2]
+        virtual = [v for node_id in ids for v in IdScheme.DOUBLED.virtual_ids(node_id)]
+        assert len(set(virtual)) == len(virtual)
+
+    def test_successor_virtual_ids_may_collide(self):
+        # The whole point of Lemma 16: collisions are tolerable.
+        virtual = [v for node_id in (3, 4) for v in IdScheme.SUCCESSOR.virtual_ids(node_id)]
+        assert len(set(virtual)) < len(virtual)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.value)
+class TestElectionAcrossFlips:
+    def test_unique_leader_is_max_node(self, scheme, ids):
+        for flips in flip_samples(len(ids)):
+            outcome = run_nonoriented(ids, flips=flips, scheme=scheme)
+            expected = max(range(len(ids)), key=lambda i: ids[i])
+            assert outcome.leaders == [expected], (ids, flips)
+
+    def test_orientation_is_consistent(self, scheme, ids):
+        for flips in flip_samples(len(ids)):
+            outcome = run_nonoriented(ids, flips=flips, scheme=scheme)
+            assert outcome.orientation_consistent, (ids, flips)
+
+    def test_nodes_do_not_terminate(self, scheme, ids):
+        outcome = run_nonoriented(ids, scheme=scheme)
+        assert not any(outcome.run.terminated)
+        assert outcome.run.quiescent
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.value)
+class TestExactComplexity:
+    def test_pulse_count_matches_scheme_formula(self, scheme, ids):
+        outcome = run_nonoriented(ids, scheme=scheme)
+        assert outcome.total_pulses == outcome.claimed_message_bound
+
+    def test_pulse_count_is_flip_invariant(self, scheme):
+        ids = [4, 9, 2, 6]
+        counts = {
+            run_nonoriented(ids, flips=flips, scheme=scheme).total_pulses
+            for flips in flip_samples(4, count=8)
+        }
+        assert len(counts) == 1
+
+    def test_pulse_count_is_schedule_invariant(self, scheme):
+        ids = [4, 9, 2, 6]
+        counts = {
+            run_nonoriented(ids, scheme=scheme, scheduler=factory()).total_pulses
+            for factory in SCHEDULER_FACTORIES.values()
+        }
+        assert len(counts) == 1
+
+
+class TestSchemeComparison:
+    """A2 ablation: the successor scheme halves Prop 15's cost."""
+
+    def test_successor_cheaper_than_doubled(self):
+        ids = [3, 11, 6]
+        doubled = run_nonoriented(ids, scheme=IdScheme.DOUBLED).total_pulses
+        successor = run_nonoriented(ids, scheme=IdScheme.SUCCESSOR).total_pulses
+        assert doubled == 3 * (4 * 11 - 1)
+        assert successor == 3 * (2 * 11 + 1)
+        assert successor < doubled
+
+    def test_ratio_approaches_two_for_large_ids(self):
+        ids = [500, 999, 123]
+        doubled = run_nonoriented(ids, scheme=IdScheme.DOUBLED).total_pulses
+        successor = run_nonoriented(ids, scheme=IdScheme.SUCCESSOR).total_pulses
+        assert 1.9 < doubled / successor < 2.0
+
+
+class TestExhaustiveSmallRings:
+    """Every port-flip pattern on small rings (the F1 figure-1 check)."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_all_flip_patterns(self, n):
+        from repro.simulator.ring import all_flip_patterns
+
+        rng = random.Random(n)
+        ids = rng.sample(range(1, 30), n)
+        expected = max(range(n), key=lambda i: ids[i])
+        for flips in all_flip_patterns(n):
+            outcome = run_nonoriented(ids, flips=list(flips))
+            assert outcome.leaders == [expected], (ids, flips)
+            assert outcome.orientation_consistent, (ids, flips)
+
+
+class TestOrientationDirection:
+    def test_agreed_direction_is_seeded_by_leaders_port_one(self):
+        # The winning direction is the one the leader's Port_1 faces: it
+        # carries the strictly larger virtual ID.
+        ids = [2, 9, 4]
+        for flips in flip_samples(3, count=8):
+            outcome = run_nonoriented(ids, flips=flips)
+            leader = outcome.leaders[0]
+            # The leader's ID^(1) seeds the winning direction: its Port_1
+            # sends the dominant pulses, so Port_1 is its CW label.
+            assert outcome.nodes[leader].cw_port_label == 1
+            labels = outcome.cw_port_labels
+            matches_cw = all(
+                labels[v] == outcome.topology.cw_port(v) for v in range(3)
+            )
+            matches_ccw = all(
+                labels[v] == outcome.topology.ccw_port(v) for v in range(3)
+            )
+            assert matches_cw != matches_ccw  # exactly one direction wins
+
+    def test_leader_cw_label_matches_its_port_one_direction(self):
+        # Decode which physical direction the leader's Port_1 faces and
+        # check all nodes' CW labels point that way.
+        ids = [2, 9, 4]
+        for flips in flip_samples(3, count=8):
+            outcome = run_nonoriented(ids, flips=flips)
+            leader = outcome.leaders[0]
+            leader_port1_is_true_cw = outcome.topology.cw_port(leader) == 1
+            labels = outcome.cw_port_labels
+            if leader_port1_is_true_cw:
+                assert all(
+                    labels[v] == outcome.topology.cw_port(v)
+                    for v in range(len(ids))
+                )
+            else:
+                assert all(
+                    labels[v] == outcome.topology.ccw_port(v)
+                    for v in range(len(ids))
+                )
+
+
+class TestLemma16NonUniqueIds:
+    def test_duplicates_with_unique_max_succeed(self):
+        ids = [3, 3, 8, 3]
+        outcome = run_nonoriented(ids, require_unique_ids=False)
+        assert outcome.leaders == [2]
+        assert outcome.orientation_consistent
+
+    def test_duplicate_max_breaks_election(self):
+        # With two holders of the maximum, no single leader can emerge —
+        # this is exactly the failure mode the anonymous setting risks.
+        ids = [7, 3, 7]
+        outcome = run_nonoriented(ids, require_unique_ids=False)
+        assert len(outcome.leaders) != 1
+
+    def test_unique_ids_enforced_by_default(self):
+        with pytest.raises(ConfigurationError):
+            run_nonoriented([4, 4, 2])
+
+
+class TestDegenerateRings:
+    def test_single_node(self):
+        outcome = run_nonoriented([5])
+        assert outcome.leaders == [0]
+        assert outcome.total_pulses == 2 * 5 + 1
+
+    @pytest.mark.parametrize("flips", [[False, False], [True, False], [True, True]])
+    def test_two_nodes(self, flips):
+        outcome = run_nonoriented([3, 8], flips=flips)
+        assert outcome.leaders == [1]
+        assert outcome.orientation_consistent
+        assert outcome.total_pulses == 2 * (2 * 8 + 1)

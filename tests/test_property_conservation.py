@@ -1,0 +1,98 @@
+"""Conservation and ledger properties, hypothesis-driven.
+
+Cross-cutting invariants of the substrate itself: whatever the algorithm
+and schedule, at quiescence every sent message was received exactly once
+(the model's no-loss/no-injection clause), the engine's independent
+ledger agrees with the nodes' own counters, and the defective stack's
+computations agree with plain Python.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nonoriented import NonOrientedNode, run_nonoriented
+from repro.core.terminating import TerminatingNode, run_terminating
+from repro.core.warmup import WarmupNode, run_warmup
+from repro.defective.ring_algorithms import SimConvergecastSum
+from repro.defective.simulation import AllReduceProgram
+from repro.defective.transport import run_circuit_transport
+from repro.defective.universal import simulate_ring_algorithm
+from repro.simulator.scheduler import ChoiceSequenceScheduler
+
+ids_strategy = st.lists(
+    st.integers(min_value=1, max_value=40), min_size=1, max_size=7, unique=True
+)
+schedule_strategy = st.lists(st.integers(min_value=0, max_value=10**6), max_size=200)
+
+
+class TestSendReceiveConservation:
+    @given(ids=ids_strategy, schedule=schedule_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_every_pulse_sent_is_received_warmup(self, ids, schedule):
+        outcome = run_warmup(ids, scheduler=ChoiceSequenceScheduler(schedule))
+        trace = outcome.run.trace
+        assert trace.total_sent == trace.total_received
+
+    @given(ids=ids_strategy, schedule=schedule_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_every_pulse_sent_is_received_terminating(self, ids, schedule):
+        outcome = run_terminating(ids, scheduler=ChoiceSequenceScheduler(schedule))
+        trace = outcome.run.trace
+        assert trace.total_sent == trace.total_received
+        assert trace.ignored_deliveries == 0
+
+
+class TestLedgerAgreesWithNodeCounters:
+    @given(ids=ids_strategy, schedule=schedule_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_sigma_counters_match_trace(self, ids, schedule):
+        outcome = run_terminating(ids, scheduler=ChoiceSequenceScheduler(schedule))
+        trace = outcome.run.trace
+        for index, node in enumerate(outcome.nodes):
+            assert trace.sent_by(index) == node.sigma_cw + node.sigma_ccw
+            assert trace.received_by(index) == node.rho_cw + node.rho_ccw
+
+    @given(ids=ids_strategy, schedule=schedule_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_rho_counters_match_trace_nonoriented(self, ids, schedule):
+        outcome = run_nonoriented(
+            ids, scheduler=ChoiceSequenceScheduler(schedule)
+        )
+        trace = outcome.run.trace
+        for index, node in enumerate(outcome.nodes):
+            assert trace.sent_by(index) == sum(node.sigma)
+            assert trace.received_by(index) == sum(node.rho)
+
+
+class TestDefectiveStackAgreesWithPython:
+    @given(
+        inputs=st.lists(st.integers(min_value=0, max_value=15), min_size=2, max_size=6),
+        leader=st.integers(min_value=0, max_value=5),
+        schedule=schedule_strategy,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_transport_sum(self, inputs, leader, schedule):
+        leader = leader % len(inputs)
+        outcome = run_circuit_transport(
+            inputs,
+            AllReduceProgram(lambda a, b: a + b),
+            leader=leader,
+            scheduler=ChoiceSequenceScheduler(schedule),
+        )
+        assert outcome.outputs == [sum(inputs)] * len(inputs)
+
+    @given(
+        inputs=st.lists(st.integers(min_value=0, max_value=9), min_size=3, max_size=5),
+        leader=st.integers(min_value=0, max_value=4),
+        schedule=schedule_strategy,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_universal_convergecast_sum(self, inputs, leader, schedule):
+        leader = leader % len(inputs)
+        outcome = simulate_ring_algorithm(
+            [SimConvergecastSum(v) for v in inputs],
+            leader=leader,
+            scheduler=ChoiceSequenceScheduler(schedule),
+        )
+        assert outcome.outputs == [sum(inputs)] * len(inputs)
+        assert outcome.run.quiescently_terminated

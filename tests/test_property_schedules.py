@@ -1,0 +1,148 @@
+"""Property-based tests: ∀-schedule and ∀-input quantification via hypothesis.
+
+The paper's theorems are universally quantified over asynchronous
+schedules, ID assignments, and port flips.  Hypothesis drives all three:
+``ChoiceSequenceScheduler`` turns an arbitrary integer list into a legal
+delivery schedule (falling back to FIFO when exhausted, so runs always
+finish), and shrinking then yields minimal counterexamples if an
+invariant ever breaks.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.common import LeaderState
+from repro.core.invariants import ALGORITHM1_HOOKS, ALGORITHM2_HOOKS
+from repro.core.lower_bound import lower_bound_pulses
+from repro.core.nonoriented import IdScheme, run_nonoriented
+from repro.core.terminating import TerminatingNode, run_terminating
+from repro.core.warmup import WarmupNode, run_warmup
+from repro.simulator.engine import Engine
+from repro.simulator.ring import build_oriented_ring
+from repro.simulator.scheduler import ChoiceSequenceScheduler
+
+ids_strategy = st.lists(
+    st.integers(min_value=1, max_value=64), min_size=1, max_size=8, unique=True
+)
+schedule_strategy = st.lists(
+    st.integers(min_value=0, max_value=1_000_000), max_size=300
+)
+flips_strategy = st.lists(st.booleans(), min_size=0, max_size=8)
+
+
+class TestAlgorithm1Properties:
+    @given(ids=ids_strategy, schedule=schedule_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_warmup_outcome_schedule_invariant(self, ids, schedule):
+        outcome = run_warmup(ids, scheduler=ChoiceSequenceScheduler(schedule))
+        expected = max(range(len(ids)), key=lambda i: ids[i])
+        assert outcome.leaders == [expected]
+        assert outcome.total_pulses == len(ids) * max(ids)
+
+    @given(ids=ids_strategy, schedule=schedule_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_warmup_invariants_along_arbitrary_schedules(self, ids, schedule):
+        nodes = [WarmupNode(node_id) for node_id in ids]
+        topology = build_oriented_ring(nodes)
+        engine = Engine(
+            topology.network,
+            scheduler=ChoiceSequenceScheduler(schedule),
+            invariant_hooks=ALGORITHM1_HOOKS,
+        )
+        engine.run()  # hooks raise on any Lemma 6/12/14 violation
+
+
+class TestAlgorithm2Properties:
+    @given(ids=ids_strategy, schedule=schedule_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_theorem1_under_arbitrary_schedules(self, ids, schedule):
+        outcome = run_terminating(ids, scheduler=ChoiceSequenceScheduler(schedule))
+        expected = max(range(len(ids)), key=lambda i: ids[i])
+        assert outcome.leaders == [expected]
+        assert outcome.total_pulses == len(ids) * (2 * max(ids) + 1)
+        assert outcome.run.quiescently_terminated
+        assert outcome.run.termination_order[-1] == expected
+
+    @given(ids=ids_strategy, schedule=schedule_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_algorithm2_invariants_along_arbitrary_schedules(self, ids, schedule):
+        nodes = [TerminatingNode(node_id) for node_id in ids]
+        topology = build_oriented_ring(nodes)
+        engine = Engine(
+            topology.network,
+            scheduler=ChoiceSequenceScheduler(schedule),
+            invariant_hooks=ALGORITHM2_HOOKS,
+        )
+        result = engine.run()
+        assert result.quiescently_terminated
+
+    @given(ids=ids_strategy, schedule=schedule_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_cost_always_between_bounds(self, ids, schedule):
+        outcome = run_terminating(ids, scheduler=ChoiceSequenceScheduler(schedule))
+        n, id_max = len(ids), max(ids)
+        assert lower_bound_pulses(n, id_max) <= outcome.total_pulses
+
+
+class TestAlgorithm3Properties:
+    @given(ids=ids_strategy, flips=flips_strategy, schedule=schedule_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_theorem2_under_arbitrary_flips_and_schedules(
+        self, ids, flips, schedule
+    ):
+        flips = (flips + [False] * len(ids))[: len(ids)]
+        outcome = run_nonoriented(
+            ids,
+            flips=flips,
+            scheme=IdScheme.SUCCESSOR,
+            scheduler=ChoiceSequenceScheduler(schedule),
+        )
+        expected = max(range(len(ids)), key=lambda i: ids[i])
+        assert outcome.leaders == [expected]
+        assert outcome.orientation_consistent
+        assert outcome.total_pulses == len(ids) * (2 * max(ids) + 1)
+
+    @given(ids=ids_strategy, flips=flips_strategy, schedule=schedule_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_proposition15_scheme_too(self, ids, flips, schedule):
+        flips = (flips + [False] * len(ids))[: len(ids)]
+        outcome = run_nonoriented(
+            ids,
+            flips=flips,
+            scheme=IdScheme.DOUBLED,
+            scheduler=ChoiceSequenceScheduler(schedule),
+        )
+        assert len(outcome.leaders) == 1
+        assert outcome.total_pulses == len(ids) * (4 * max(ids) - 1)
+
+
+class TestCompositionProperties:
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=40),
+                st.integers(min_value=0, max_value=10),
+            ),
+            min_size=2,
+            max_size=6,
+        ),
+        schedule=schedule_strategy,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_composed_sum_under_arbitrary_schedules(self, data, schedule):
+        ids = [node_id for node_id, _ in data]
+        if len(set(ids)) != len(ids):
+            return  # composition requires unique IDs
+        inputs = [value for _, value in data]
+        from repro.core.composition import run_composed
+        from repro.defective.simulation import AllReduceProgram
+
+        outcome = run_composed(
+            ids,
+            inputs,
+            AllReduceProgram(lambda a, b: a + b),
+            scheduler=ChoiceSequenceScheduler(schedule),
+        )
+        assert outcome.outputs == [sum(inputs)] * len(ids)
+        assert outcome.run.quiescently_terminated

@@ -1,0 +1,134 @@
+"""Unit tests for the asynchronous-adversary schedulers."""
+
+import pytest
+
+from repro.simulator.channel import Channel
+from repro.simulator.scheduler import (
+    AdversarialLagScheduler,
+    ChoiceSequenceScheduler,
+    GlobalFifoScheduler,
+    LifoScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    all_standard_schedulers,
+)
+
+
+def channels_with_heads(*head_seqs):
+    """Non-empty channels whose FIFO heads carry the given send seqs."""
+    channels = []
+    for channel_id, seq in enumerate(head_seqs):
+        channel = Channel(channel_id=channel_id, src=(0, 0), dst=(1, 0))
+        channel.enqueue(send_seq=seq)
+        channels.append(channel)
+    return channels
+
+
+class TestGlobalFifo:
+    def test_picks_oldest_send(self):
+        channels = channels_with_heads(5, 2, 9)
+        assert GlobalFifoScheduler().choose(channels) == 1
+
+    def test_tie_break_by_channel_id(self):
+        # Equal send seqs cannot occur in real runs; the tie-break is
+        # still deterministic (lower channel id = CW channel first).
+        channels = channels_with_heads(4, 4)
+        assert GlobalFifoScheduler().choose(channels) == 0
+
+    def test_single_candidate(self):
+        channels = channels_with_heads(3)
+        assert GlobalFifoScheduler().choose(channels) == 0
+
+
+class TestLifo:
+    def test_picks_newest_send(self):
+        channels = channels_with_heads(5, 2, 9)
+        assert LifoScheduler().choose(channels) == 2
+
+
+class TestRandom:
+    def test_seeded_reproducibility(self):
+        channels = channels_with_heads(1, 2, 3, 4)
+        picks_a = [RandomScheduler(seed=42).choose(channels) for _ in range(1)]
+        picks_b = [RandomScheduler(seed=42).choose(channels) for _ in range(1)]
+        assert picks_a == picks_b
+
+    def test_covers_all_candidates_eventually(self):
+        channels = channels_with_heads(1, 2, 3)
+        scheduler = RandomScheduler(seed=0)
+        picks = {scheduler.choose(channels) for _ in range(200)}
+        assert picks == {0, 1, 2}
+
+
+class TestRoundRobin:
+    def test_rotates_across_channels(self):
+        channels = channels_with_heads(1, 2, 3)
+        scheduler = RoundRobinScheduler()
+        picks = [scheduler.choose(channels) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_missing_channels(self):
+        all_channels = channels_with_heads(1, 2, 3)
+        scheduler = RoundRobinScheduler()
+        assert scheduler.choose(all_channels) == 0
+        remaining = [all_channels[0], all_channels[2]]  # channel 1 drained
+        assert remaining[scheduler.choose(remaining)].channel_id == 2
+
+
+class TestAdversarialLag:
+    def test_starves_lagged_channels_while_others_available(self):
+        channels = channels_with_heads(1, 2, 3, 4)  # ids 0..3
+        scheduler = AdversarialLagScheduler.lagging_ccw()  # lags odd ids
+        chosen = channels[scheduler.choose(channels)]
+        assert chosen.channel_id % 2 == 0
+
+    def test_releases_lagged_channel_when_alone(self):
+        channel = Channel(channel_id=1, src=(0, 0), dst=(1, 0))
+        channel.enqueue(send_seq=7)
+        scheduler = AdversarialLagScheduler.lagging_ccw()
+        assert scheduler.choose([channel]) == 0
+
+    def test_lag_cw_is_the_mirror(self):
+        channels = channels_with_heads(1, 2)
+        scheduler = AdversarialLagScheduler.lagging_cw()
+        assert channels[scheduler.choose(channels)].channel_id == 1
+
+
+class TestChoiceSequence:
+    def test_follows_explicit_choices_modulo(self):
+        channels = channels_with_heads(1, 2, 3)
+        scheduler = ChoiceSequenceScheduler([0, 4, 2])
+        assert scheduler.choose(channels) == 0
+        assert scheduler.choose(channels) == 1  # 4 % 3
+        assert scheduler.choose(channels) == 2
+
+    def test_falls_back_to_fifo_when_exhausted(self):
+        channels = channels_with_heads(9, 1)
+        scheduler = ChoiceSequenceScheduler([])
+        assert scheduler.choose(channels) == 1  # oldest send
+        assert scheduler.decisions_used == 0
+
+    def test_counts_decisions_used(self):
+        channels = channels_with_heads(1, 2)
+        scheduler = ChoiceSequenceScheduler([1, 1, 1])
+        scheduler.choose(channels)
+        scheduler.choose(channels)
+        assert scheduler.decisions_used == 2
+
+
+class TestRegistry:
+    def test_all_standard_schedulers_are_fresh_instances(self):
+        first = all_standard_schedulers(seed=1)
+        second = all_standard_schedulers(seed=1)
+        for name in first:
+            assert first[name] is not second[name]
+
+    def test_registry_names(self):
+        assert set(all_standard_schedulers()) == {
+            "global_fifo",
+            "lifo",
+            "random",
+            "round_robin",
+            "lag_ccw",
+            "lag_cw",
+        }

@@ -1,0 +1,159 @@
+"""The synchronous substrate and TimeSlice election (related-work contrast)."""
+
+import pytest
+
+from repro.core.common import LeaderState
+from repro.exceptions import ConfigurationError, ProtocolViolation, SimulationLimitExceeded
+from repro.simulator.ring import build_oriented_ring
+from repro.synchronous import (
+    SyncEngine,
+    TimeCodedElectionNode,
+    run_time_coded_election,
+)
+from repro.synchronous.engine import SyncNode
+
+
+class TestTimeSliceCorrectness:
+    @pytest.mark.parametrize(
+        "ids", [[5], [1, 2], [2, 1], [3, 1, 4], [7, 9, 8, 2, 6], [10, 20, 30]]
+    )
+    def test_minimum_id_node_wins(self, ids):
+        result = run_time_coded_election(ids)
+        winners = [
+            index
+            for index, output in enumerate(result.outputs)
+            if output is LeaderState.LEADER
+        ]
+        assert winners == [ids.index(min(ids))]
+        assert result.all_terminated
+
+    def test_everyone_learns_the_leader_id(self):
+        ids = [4, 2, 9, 7]
+        nodes = [TimeCodedElectionNode(node_id, ring_size=4) for node_id in ids]
+        topology = build_oriented_ring(nodes, defective=False)
+        SyncEngine(topology.network).run()
+        assert all(node.leader_id == 2 for node in nodes)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_time_coded_election([3, 3])
+
+
+class TestTimeSliceComplexity:
+    """The related-work claim: O(n) messages in synchronous rings."""
+
+    @pytest.mark.parametrize("ids", [[5], [3, 1, 4], [7, 9, 8, 2, 6], [6, 5, 4, 3, 2, 1]])
+    def test_exactly_n_messages(self, ids):
+        result = run_time_coded_election(ids)
+        assert result.total_sent == len(ids)
+
+    def test_messages_independent_of_id_magnitude(self):
+        # The asynchronous content-oblivious world pays Theta(n*IDmax);
+        # synchrony buys the count down to n — paid in rounds instead.
+        small = run_time_coded_election([1, 2, 3])
+        large = run_time_coded_election([101, 102, 103])
+        assert small.total_sent == large.total_sent == 3
+
+    def test_rounds_scale_with_minimum_id(self):
+        # Round cost IDmin * n (+1 for the final delivery round).
+        for ids in ([3, 1, 4], [7, 9, 8, 2, 6], [10, 20, 30]):
+            result = run_time_coded_election(ids)
+            n, id_min = len(ids), min(ids)
+            assert (id_min - 1) * n < result.rounds_used <= id_min * n + 1
+
+    def test_time_message_tradeoff_vs_algorithm2(self):
+        from repro.core.terminating import run_terminating
+
+        ids = [40, 10, 30, 20]
+        sync = run_time_coded_election(ids)
+        async_oblivious = run_terminating(ids).total_pulses
+        assert sync.total_sent == 4
+        assert async_oblivious == 4 * (2 * 40 + 1)
+        assert sync.total_sent < async_oblivious
+
+
+class TestTimeSliceTerminationOrder:
+    def test_suppressed_nodes_terminate_as_claim_passes(self):
+        ids = [4, 2, 9, 7]  # min at index 1
+        result = run_time_coded_election(ids)
+        rounds = result.termination_rounds
+        # claim origin round: (2-1)*4 = 4; hop h delivers at round 4+h.
+        assert rounds[2] == 5
+        assert rounds[3] == 6
+        assert rounds[0] == 7
+        assert rounds[1] == 8  # originator, on its claim's return
+
+
+class TestSyncEngineMachinery:
+    def test_non_terminating_protocol_hits_round_bound(self):
+        class Mute(SyncNode):
+            def on_round(self, api, round_number, inbox):
+                pass  # never terminates
+
+        nodes = [Mute(), Mute()]
+        topology = build_oriented_ring(nodes, defective=False)
+        with pytest.raises(SimulationLimitExceeded):
+            SyncEngine(topology.network, max_rounds=50).run()
+
+    def test_send_after_terminate_rejected(self):
+        class Rogue(SyncNode):
+            def on_round(self, api, round_number, inbox):
+                api.terminate("bye")
+                api.send(1)
+
+        nodes = [Rogue(), Rogue()]
+        topology = build_oriented_ring(nodes, defective=False)
+        with pytest.raises(ProtocolViolation):
+            SyncEngine(topology.network).run()
+
+    def test_messages_take_exactly_one_round(self):
+        deliveries = []
+
+        class Echo(SyncNode):
+            def on_round(self, api, round_number, inbox):
+                for _port, content in inbox:
+                    deliveries.append((round_number, content))
+                if round_number == 0:
+                    api.send(1, "ping")
+                if round_number >= 2:
+                    api.terminate("done")
+
+        nodes = [Echo(), Echo()]
+        topology = build_oriented_ring(nodes, defective=False)
+        SyncEngine(topology.network).run()
+        assert all(round_number == 1 for round_number, _ in deliveries)
+        assert [content for _, content in deliveries] == ["ping", "ping"]
+
+    def test_defective_sync_channels_erase_content(self):
+        received = []
+
+        class Probe(SyncNode):
+            def on_round(self, api, round_number, inbox):
+                received.extend(content for _port, content in inbox)
+                if round_number == 0:
+                    api.send(1, "secret")
+                if round_number >= 2:
+                    api.terminate(None)
+
+        nodes = [Probe(), Probe()]
+        topology = build_oriented_ring(nodes, defective=True)
+        SyncEngine(topology.network).run()
+        assert received == [None, None]  # pulses, not payloads
+
+    def test_silence_is_observable(self):
+        # The defining synchronous power: a node can count empty rounds.
+        class SilenceCounter(SyncNode):
+            def __init__(self):
+                super().__init__()
+                self.silent_rounds = 0
+
+            def on_round(self, api, round_number, inbox):
+                if not inbox:
+                    self.silent_rounds += 1
+                if round_number == 9:
+                    api.terminate(self.silent_rounds)
+
+        nodes = [SilenceCounter(), SilenceCounter()]
+        topology = build_oriented_ring(nodes, defective=False)
+        result = SyncEngine(topology.network).run()
+        assert result.outputs == [10, 10]

@@ -1,0 +1,167 @@
+"""Theorem 1 (Algorithm 2): quiescently terminating leader election.
+
+The paper's main result, checked exactly:
+
+* a single leader — the maximal-ID node — and everyone else Non-Leader;
+* message complexity **exactly** ``n * (2 * IDmax + 1)``;
+* quiescent termination: all nodes terminate, no pulse is ever delivered
+  to (or stranded at) a terminated node;
+* the leader terminates last (the Section 1.1 composition hook).
+"""
+
+import pytest
+
+from repro.core.common import LeaderState
+from repro.core.terminating import TerminatingNode, run_terminating
+from repro.exceptions import ConfigurationError
+from tests.conftest import SCHEDULER_FACTORIES, id_workloads
+
+
+class TestTheorem1Correctness:
+    def test_unique_leader_is_max_id_node(self, ids, make_scheduler):
+        outcome = run_terminating(ids, scheduler=make_scheduler())
+        assert outcome.leaders == [outcome.expected_leader]
+
+    def test_everyone_else_outputs_non_leader(self, ids, make_scheduler):
+        outcome = run_terminating(ids, scheduler=make_scheduler())
+        for index, output in enumerate(outcome.outputs):
+            expected = (
+                LeaderState.LEADER
+                if index == outcome.expected_leader
+                else LeaderState.NON_LEADER
+            )
+            assert output is expected
+
+    def test_all_nodes_terminate(self, ids, make_scheduler):
+        outcome = run_terminating(ids, scheduler=make_scheduler())
+        assert outcome.run.all_terminated
+
+
+class TestTheorem1ExactComplexity:
+    def test_pulse_count_exactly_matches_formula(self, ids, make_scheduler):
+        outcome = run_terminating(ids, scheduler=make_scheduler())
+        assert outcome.total_pulses == outcome.theorem1_message_bound
+
+    def test_formula_value(self):
+        outcome = run_terminating([3, 7, 5, 2])
+        assert outcome.theorem1_message_bound == 4 * (2 * 7 + 1) == 60
+        assert outcome.total_pulses == 60
+
+    def test_complexity_depends_on_idmax_not_id_sum(self):
+        # Two assignments with the same IDmax must cost the same.
+        a = run_terminating([1, 2, 3, 50]).total_pulses
+        b = run_terminating([47, 48, 49, 50]).total_pulses
+        assert a == b == 4 * (2 * 50 + 1)
+
+    def test_complexity_is_schedule_invariant(self, ids):
+        counts = {
+            name: run_terminating(ids, scheduler=factory()).total_pulses
+            for name, factory in SCHEDULER_FACTORIES.items()
+        }
+        assert len(set(counts.values())) == 1, counts
+
+    def test_per_direction_counters(self, ids):
+        # Each instance of Algorithm 1 delivers exactly IDmax pulses per
+        # node; the termination pulse adds one CCW reception everywhere.
+        outcome = run_terminating(ids)
+        id_max = max(ids)
+        for index, node in enumerate(outcome.nodes):
+            assert node.rho_cw == id_max
+            assert node.sigma_cw == id_max
+            assert node.rho_ccw == id_max + 1
+            expected_sigma_ccw = id_max + 1 if index == outcome.expected_leader else id_max + 1
+            # every node forwards the termination pulse except the leader,
+            # which originated it instead: sigma_ccw == IDmax + 1 for all.
+            assert node.sigma_ccw == expected_sigma_ccw
+
+
+class TestQuiescentTermination:
+    def test_no_violations_under_any_scheduler(self, ids, make_scheduler):
+        outcome = run_terminating(
+            ids, scheduler=make_scheduler(), strict_quiescence=True
+        )
+        assert outcome.run.quiescently_terminated
+
+    def test_no_ignored_deliveries(self, ids, make_scheduler):
+        outcome = run_terminating(ids, scheduler=make_scheduler())
+        assert outcome.run.trace.ignored_deliveries == 0
+
+    def test_leader_terminates_last(self, ids, make_scheduler):
+        outcome = run_terminating(ids, scheduler=make_scheduler())
+        assert outcome.run.termination_order[-1] == outcome.expected_leader
+
+    def test_termination_order_follows_the_ccw_pulse(self):
+        # The termination pulse travels CCW from the leader, so nodes
+        # terminate in counterclockwise ring order starting at leader-1.
+        ids = [1, 2, 3, 4, 9]  # leader at index 4
+        outcome = run_terminating(ids)
+        assert outcome.run.termination_order == [3, 2, 1, 0, 4]
+
+    def test_internal_buffers_empty_at_termination(self, ids):
+        outcome = run_terminating(ids)
+        for node in outcome.nodes:
+            assert node.pending_cw == 0
+            assert node.pending_ccw == 0
+
+
+class TestDegenerateRings:
+    def test_single_node_elects_itself(self):
+        outcome = run_terminating([1])
+        assert outcome.leaders == [0]
+        assert outcome.total_pulses == 3  # 1*(2*1+1)
+
+    @pytest.mark.parametrize("node_id", [1, 2, 3, 8, 20])
+    def test_single_node_complexity_scales_with_own_id(self, node_id):
+        outcome = run_terminating([node_id])
+        assert outcome.total_pulses == 2 * node_id + 1
+
+    @pytest.mark.parametrize("ids", [[1, 2], [2, 1], [5, 9], [100, 7]])
+    def test_two_node_rings(self, ids):
+        outcome = run_terminating(ids)
+        assert outcome.leaders == [outcome.expected_leader]
+        assert outcome.total_pulses == 2 * (2 * max(ids) + 1)
+        assert outcome.run.quiescently_terminated
+
+
+class TestLargerSweeps:
+    def test_random_rings(self):
+        import random
+
+        rng = random.Random(99)
+        for trial in range(25):
+            n = rng.randint(1, 24)
+            ids = rng.sample(range(1, 500), n)
+            outcome = run_terminating(
+                ids, scheduler=SCHEDULER_FACTORIES["random0"]()
+            )
+            assert outcome.leaders == [outcome.expected_leader], ids
+            assert outcome.total_pulses == n * (2 * max(ids) + 1), ids
+            assert outcome.run.quiescently_terminated, ids
+
+    def test_rotations_of_same_id_set_agree_on_cost(self):
+        base = [4, 11, 6, 2, 9]
+        costs = set()
+        winners = set()
+        for shift in range(len(base)):
+            rotated = base[shift:] + base[:shift]
+            outcome = run_terminating(rotated)
+            costs.add(outcome.total_pulses)
+            winners.add(rotated[outcome.leaders[0]])
+        assert costs == {5 * (2 * 11 + 1)}
+        assert winners == {11}
+
+
+class TestInputValidation:
+    def test_duplicate_ids_rejected(self):
+        # Theorem 1 requires unique IDs; uniqueness of IDmax in particular
+        # is what makes the line-14 event unique to the leader.
+        with pytest.raises(ConfigurationError):
+            run_terminating([4, 4, 2])
+
+    def test_zero_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_terminating([0, 1])
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_terminating([])

@@ -1,0 +1,124 @@
+"""Algorithm 2's internal invariants, and the A1 lag-discipline ablation.
+
+The load-bearing mechanism of Theorem 1 is the "subtle prioritization":
+CCW pulses are buffered until ``rho_cw >= ID``.  These tests certify the
+induced invariants along every execution (CCW never overtakes CW; the
+``rho_cw == ID == rho_ccw`` trigger is unique to the leader) and then
+*ablate* the mechanism to show the algorithm actually breaks without it.
+"""
+
+import pytest
+
+from repro.core.common import LeaderState
+from repro.core.invariants import (
+    ALGORITHM2_HOOKS,
+    InvariantViolation,
+    check_ccw_lag,
+    check_leader_event_unique,
+)
+from repro.core.terminating import TerminatingNode, run_terminating
+from repro.simulator.engine import Engine
+from repro.simulator.ring import build_oriented_ring
+from repro.simulator.scheduler import AdversarialLagScheduler, RandomScheduler
+from tests.conftest import SCHEDULER_FACTORIES, id_workloads
+
+
+class TestInvariantsAlongExecutions:
+    @pytest.mark.parametrize("workload", sorted(id_workloads()))
+    @pytest.mark.parametrize("scheduler_name", sorted(SCHEDULER_FACTORIES))
+    def test_all_hooks_pass(self, workload, scheduler_name):
+        ids = id_workloads()[workload]
+        nodes = [TerminatingNode(node_id) for node_id in ids]
+        topology = build_oriented_ring(nodes)
+        engine = Engine(
+            topology.network,
+            scheduler=SCHEDULER_FACTORIES[scheduler_name](),
+            invariant_hooks=ALGORITHM2_HOOKS,
+        )
+        result = engine.run()
+        assert result.quiescently_terminated
+
+    def test_only_the_max_node_ever_fires_the_trigger(self):
+        import random
+
+        rng = random.Random(5)
+        for trial in range(15):
+            ids = rng.sample(range(1, 200), rng.randint(2, 15))
+            outcome = run_terminating(ids, scheduler=RandomScheduler(seed=trial))
+            firing = [
+                index
+                for index, node in enumerate(outcome.nodes)
+                if node.term_pulse_sent
+            ]
+            assert firing == [outcome.expected_leader], ids
+
+
+class TestInvariantCheckersDetectViolations:
+    def test_ccw_lag_checker_detects_corruption(self):
+        nodes = [TerminatingNode(2), TerminatingNode(4)]
+        topology = build_oriented_ring(nodes)
+        engine = Engine(topology.network)
+        engine.run()
+        nodes[0].rho_ccw = nodes[0].rho_cw + 5
+        with pytest.raises(InvariantViolation):
+            check_ccw_lag(engine)
+
+    def test_leader_event_checker_detects_false_trigger(self):
+        nodes = [TerminatingNode(2), TerminatingNode(4)]
+        topology = build_oriented_ring(nodes)
+        engine = Engine(topology.network)
+        engine.run()
+        nodes[0].term_pulse_sent = True  # node 0 is not the max
+        with pytest.raises(InvariantViolation):
+            check_leader_event_unique(engine)
+
+
+class TestLagDisciplineAblation:
+    """A1: remove the CCW buffering and the algorithm misbehaves."""
+
+    def test_ablated_run_terminates_prematurely_under_adversary(self):
+        # With the guard removed, an early CCW pulse can reach a node
+        # whose rho_cw is still 0, making rho_ccw > rho_cw fire long
+        # before the election finished.
+        outcome = run_terminating(
+            [1, 5],
+            scheduler=AdversarialLagScheduler.lagging_cw(),
+            strict_lag=False,
+        )
+        broken = (
+            outcome.leaders != [outcome.expected_leader]
+            or outcome.run.quiescence_violations
+            or any(output is LeaderState.UNDECIDED for output in outcome.outputs)
+            or not outcome.run.all_terminated
+        )
+        assert broken, "ablation unexpectedly survived the adversary"
+
+    def test_ablated_runs_break_somewhere_in_a_seed_sweep(self):
+        import random
+
+        rng = random.Random(0)
+        failures = 0
+        for trial in range(30):
+            ids = rng.sample(range(1, 40), rng.randint(2, 8))
+            outcome = run_terminating(
+                ids,
+                scheduler=AdversarialLagScheduler.lagging_cw(),
+                strict_lag=False,
+            )
+            correct = (
+                outcome.leaders == [outcome.expected_leader]
+                and not outcome.run.quiescence_violations
+                and outcome.total_pulses == outcome.theorem1_message_bound
+            )
+            if not correct:
+                failures += 1
+        assert failures > 0, "the lag discipline appears not load-bearing?"
+
+    def test_unablated_algorithm_survives_the_same_adversary(self):
+        # The very schedule that breaks the ablation is harmless to the
+        # real algorithm — the buffering is exactly what absorbs it.
+        outcome = run_terminating(
+            [1, 5], scheduler=AdversarialLagScheduler.lagging_cw(), strict_lag=True
+        )
+        assert outcome.leaders == [outcome.expected_leader]
+        assert outcome.run.quiescently_terminated

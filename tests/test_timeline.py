@@ -1,0 +1,104 @@
+"""Execution-trace renderers: deterministic text artifacts."""
+
+import pytest
+
+from repro.core.terminating import TerminatingNode
+from repro.core.warmup import WarmupNode
+from repro.simulator.engine import Engine
+from repro.simulator.ring import build_oriented_ring
+from repro.simulator.timeline import (
+    render_event_log,
+    render_space_time,
+    summarize_counters,
+)
+
+
+def recorded_run(node_cls, ids):
+    nodes = [node_cls(node_id) for node_id in ids]
+    topology = build_oriented_ring(nodes)
+    return Engine(topology.network, record_events=True).run()
+
+
+class TestEventLog:
+    def test_requires_recorded_events(self):
+        nodes = [WarmupNode(1), WarmupNode(2)]
+        topology = build_oriented_ring(nodes)
+        result = Engine(topology.network).run()
+        with pytest.raises(ValueError):
+            render_event_log(result)
+
+    def test_log_contains_all_event_kinds(self):
+        result = recorded_run(TerminatingNode, [1, 2])
+        log = render_event_log(result)
+        assert "send" in log
+        assert "deliver" in log
+        assert "halt" in log
+
+    def test_event_count_matches_trace(self):
+        result = recorded_run(WarmupNode, [2, 3])
+        log = render_event_log(result)
+        expected_lines = result.trace.total_sent + result.trace.total_received
+        assert len(log.splitlines()) == expected_lines
+
+    def test_truncation(self):
+        result = recorded_run(WarmupNode, [2, 3])
+        log = render_event_log(result, max_events=4)
+        assert len(log.splitlines()) == 4
+
+    def test_log_is_deterministic(self):
+        log_a = render_event_log(recorded_run(TerminatingNode, [2, 5, 3]))
+        log_b = render_event_log(recorded_run(TerminatingNode, [2, 5, 3]))
+        assert log_a == log_b
+
+    def test_sequence_numbers_are_sorted(self):
+        result = recorded_run(TerminatingNode, [1, 3])
+        seqs = [int(line.split()[0]) for line in render_event_log(result).splitlines()]
+        assert seqs == sorted(seqs)
+
+
+class TestSpaceTime:
+    def test_header_and_rows(self):
+        result = recorded_run(WarmupNode, [1, 2])
+        diagram = render_space_time(result, 2, labels=["a", "b"])
+        lines = diagram.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        # one row per delivery: Algorithm 1 delivers n*IDmax = 4 pulses
+        assert len(lines) == 1 + 4
+
+    def test_termination_rows_marked(self):
+        result = recorded_run(TerminatingNode, [1, 2])
+        diagram = render_space_time(result, 2)
+        assert "##" in diagram
+
+    def test_port_marks_present(self):
+        result = recorded_run(TerminatingNode, [1, 2])
+        diagram = render_space_time(result, 2)
+        assert "*0" in diagram  # CW arrivals
+        assert "*1" in diagram  # CCW arrivals
+
+    def test_max_rows_truncates(self):
+        result = recorded_run(TerminatingNode, [3, 6])
+        diagram = render_space_time(result, 2, max_rows=5)
+        assert diagram.splitlines()[-1].startswith("...")
+
+    def test_requires_recorded_events(self):
+        nodes = [WarmupNode(1), WarmupNode(2)]
+        topology = build_oriented_ring(nodes)
+        result = Engine(topology.network).run()
+        with pytest.raises(ValueError):
+            render_space_time(result, 2)
+
+
+class TestCounterSummary:
+    def test_summary_without_event_recording(self):
+        nodes = [TerminatingNode(node_id) for node_id in [2, 4]]
+        topology = build_oriented_ring(nodes)
+        result = Engine(topology.network).run()
+        summary = summarize_counters(result, 2)
+        assert "total sent: 18" in summary  # 2*(2*4+1)
+        assert "true" in summary  # terminated column
+
+    def test_row_per_node(self):
+        result = recorded_run(WarmupNode, [1, 2, 3])
+        summary = summarize_counters(result, 3)
+        assert len(summary.splitlines()) == 1 + 3 + 1

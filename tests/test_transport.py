@@ -1,0 +1,147 @@
+"""The circuit transport: content over a fully defective ring with a root."""
+
+import pytest
+
+from repro.defective.simulation import (
+    AllReduceProgram,
+    GatherProgram,
+    SizeProgram,
+    run_defective_computation,
+)
+from repro.defective.transport import (
+    run_circuit_transport,
+    transport_pulse_cost,
+)
+from repro.exceptions import ConfigurationError
+from tests.conftest import SCHEDULER_FACTORIES
+
+
+def all_sent_values(outcome):
+    return [value for node in outcome.nodes for value in node.values_sent]
+
+
+class TestComputations:
+    def test_sum(self):
+        outcome = run_defective_computation([3, 1, 4, 1, 5], "sum")
+        assert outcome.outputs == [14] * 5
+
+    def test_max(self):
+        outcome = run_defective_computation([3, 9, 4], "max")
+        assert outcome.outputs == [9] * 3
+
+    def test_min(self):
+        outcome = run_defective_computation([3, 9, 4], "min")
+        assert outcome.outputs == [3] * 3
+
+    def test_size(self):
+        outcome = run_defective_computation([0] * 7, "size")
+        assert outcome.outputs == [7] * 7
+
+    def test_gather_collects_in_clockwise_order_from_leader(self):
+        outcome = run_defective_computation([2, 0, 3], "gather", leader=1)
+        assert outcome.outputs == [[0, 3, 2]] * 3
+
+    def test_zero_values_are_supported(self):
+        outcome = run_defective_computation([0, 0], "sum")
+        assert outcome.outputs == [0, 0]
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            run_defective_computation([1, 2], "median")
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_defective_computation([1, -2], "sum")
+
+
+class TestLeaderPlacement:
+    @pytest.mark.parametrize("leader", [0, 1, 2, 3])
+    def test_result_independent_of_root_position(self, leader):
+        outcome = run_defective_computation([5, 2, 8, 1], "sum", leader=leader)
+        assert outcome.outputs == [16] * 4
+
+    def test_positions_are_clockwise_distances_from_leader(self):
+        outcome = run_defective_computation([1, 1, 1, 1], "size", leader=2)
+        positions = [node.position for node in outcome.nodes]
+        assert positions == [2, 3, 0, 1]
+
+    def test_bad_leader_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_defective_computation([1, 2], "sum", leader=5)
+
+
+class TestQuiescentTermination:
+    def test_no_violations_strict_mode(self):
+        # run_circuit_transport already runs with strict_quiescence=True;
+        # reaching here without an exception is the assertion.
+        outcome = run_defective_computation([4, 4, 4, 4], "sum")
+        assert outcome.run.quiescently_terminated
+
+    def test_leader_terminates_last(self):
+        for leader in range(3):
+            outcome = run_defective_computation([2, 3, 4], "max", leader=leader)
+            assert outcome.leader_terminated_last
+
+    def test_every_node_learns_ring_size(self):
+        outcome = run_defective_computation([1, 2, 3, 4, 5], "sum")
+        assert all(node.ring_size == 5 for node in outcome.nodes)
+
+
+class TestScheduleIndependence:
+    def test_results_and_cost_invariant_across_schedulers(self):
+        results = set()
+        costs = set()
+        for factory in SCHEDULER_FACTORIES.values():
+            outcome = run_defective_computation(
+                [3, 1, 4, 1], "sum", scheduler=factory()
+            )
+            results.add(tuple(outcome.outputs))
+            costs.add(outcome.total_pulses)
+        assert results == {(9, 9, 9, 9)}
+        assert len(costs) == 1
+
+
+class TestExactCost:
+    @pytest.mark.parametrize("inputs", [[1, 2], [3, 1, 4], [0, 0, 0, 0], [5, 9, 2, 6, 1]])
+    def test_pulse_count_matches_cost_formula(self, inputs):
+        outcome = run_defective_computation(inputs, "sum")
+        schedule = all_sent_values(outcome)
+        assert outcome.total_pulses == transport_pulse_cost(len(inputs), schedule)
+
+    def test_cost_formula_components(self):
+        # One transmission of value m: (m+1) ticks + (m+1) acks + (n-1)
+        # delimiter hops.
+        assert transport_pulse_cost(4, [7]) == 2 * 8 + 3
+        assert transport_pulse_cost(2, [0]) == 2 * 1 + 1
+
+    def test_solo_ring_costs_nothing(self):
+        assert transport_pulse_cost(1, [5, 5]) == 0
+
+
+class TestSoloRing:
+    def test_all_programs_work_alone(self):
+        assert run_defective_computation([7], "sum").outputs == [7]
+        assert run_defective_computation([7], "max").outputs == [7]
+        assert run_defective_computation([7], "size").outputs == [1]
+        assert run_defective_computation([7], "gather").outputs == [[7]]
+
+    def test_solo_sends_no_pulses(self):
+        outcome = run_defective_computation([3], "sum")
+        assert outcome.total_pulses == 0
+        assert outcome.nodes[0].terminated
+
+
+class TestProgramsDirectly:
+    def test_custom_fold_function(self):
+        program = AllReduceProgram(lambda a, b: a * b + 1)
+        outcome = run_circuit_transport([2, 3, 4], program)
+        # fold left-to-right in CW order from the leader: ((2*3+1)*4+1)=29
+        assert outcome.outputs == [29] * 3
+
+    def test_forensic_value_logs(self):
+        outcome = run_circuit_transport([1, 2], AllReduceProgram(max))
+        leader, follower = outcome.nodes
+        # census: leader sends 1, follower 2; fold: 1 then max(1,2)=2;
+        # broadcast: 2, 2; closing: n=2 twice.
+        assert leader.values_sent == [1, 1, 2, 2]
+        assert follower.values_sent == [2, 2, 2, 2]

@@ -1,0 +1,196 @@
+"""The universal content-oblivious interpreter (full Corollary 5).
+
+Arbitrary content-carrying asynchronous ring algorithms, executed over a
+network that delivers only pulses: the headline is Chang-Roberts 1979 —
+an algorithm whose every message is an ID — running where messages
+cannot carry a single bit.
+"""
+
+import pytest
+
+from repro.core.composition import run_simulated_composed
+from repro.defective.ring_algorithms import (
+    SimBroadcast,
+    SimChangRoberts,
+    SimConvergecastSum,
+    SimPingPong,
+)
+from repro.defective.universal import (
+    SimulatedRingNode,
+    simulate_ring_algorithm,
+)
+from repro.exceptions import ConfigurationError
+from tests.conftest import SCHEDULER_FACTORIES
+
+
+class TestSimChangRoberts:
+    def test_elects_max_and_everyone_agrees(self):
+        outcome = simulate_ring_algorithm([SimChangRoberts(i) for i in [3, 7, 5]])
+        assert outcome.outputs == [
+            ("follower", 7),
+            ("leader", 7),
+            ("follower", 7),
+        ]
+
+    @pytest.mark.parametrize("ids", [[1, 2, 3], [3, 2, 1], [5, 1, 9, 4], [2, 8, 6, 4, 7]])
+    def test_matches_native_chang_roberts(self, ids):
+        # The same algorithm run natively (content channels) and under
+        # the interpreter (pulse channels) must elect the same node.
+        from repro.baselines import run_baseline
+        from repro.baselines.chang_roberts import ChangRobertsNode
+
+        native = run_baseline(ChangRobertsNode, ids)
+        simulated = simulate_ring_algorithm([SimChangRoberts(i) for i in ids])
+        winner = native.leaders[0]
+        for index, output in enumerate(simulated.outputs):
+            role, leader_id = output
+            assert leader_id == ids[winner]
+            assert (role == "leader") == (index == winner)
+
+    def test_quiescent_termination_leader_of_interpreter_last(self):
+        outcome = simulate_ring_algorithm(
+            [SimChangRoberts(i) for i in [3, 7, 5]], leader=2
+        )
+        assert outcome.run.quiescently_terminated
+        assert outcome.run.termination_order[-1] == 2  # interpreter root
+
+    def test_root_placement_irrelevant_to_simulated_result(self):
+        ids = [5, 1, 9, 4]
+        results = set()
+        for leader in range(4):
+            outcome = simulate_ring_algorithm(
+                [SimChangRoberts(i) for i in ids], leader=leader
+            )
+            results.add(tuple(outcome.outputs))
+        assert len(results) == 1
+
+
+class TestSimBroadcast:
+    def test_all_nodes_learn_the_value(self):
+        outcome = simulate_ring_algorithm(
+            [SimBroadcast(42)] + [SimBroadcast() for _ in range(4)], leader=0
+        )
+        assert outcome.outputs == [42] * 5
+
+    def test_bidirectional_waves_die_cleanly(self):
+        outcome = simulate_ring_algorithm(
+            [SimBroadcast(7)] + [SimBroadcast() for _ in range(2)], leader=0
+        )
+        assert outcome.outputs == [7] * 3
+        assert outcome.run.quiescently_terminated
+
+
+class TestSimConvergecast:
+    @pytest.mark.parametrize("leader", [0, 1, 2, 3])
+    def test_sum_from_any_root(self, leader):
+        inputs = [5, 2, 8, 1]
+        outcome = simulate_ring_algorithm(
+            [SimConvergecastSum(v) for v in inputs], leader=leader
+        )
+        assert outcome.outputs == [16] * 4
+
+    def test_zero_inputs(self):
+        outcome = simulate_ring_algorithm([SimConvergecastSum(0) for _ in range(3)])
+        assert outcome.outputs == [0, 0, 0]
+
+
+class TestSimPingPong:
+    def test_bidirectional_fifo_preserved(self):
+        outcome = simulate_ring_algorithm([SimPingPong(3) for _ in range(4)], leader=1)
+        neighbor = outcome.simulated_nodes[2]  # CW neighbor of the root
+        assert neighbor.pings_seen == [3, 2, 1, 0]  # exact send order
+        assert outcome.outputs[1] == ("root", 4)
+        assert outcome.outputs[2] == ("neighbor", 4)
+
+    def test_uninvolved_nodes_stay_silent(self):
+        outcome = simulate_ring_algorithm([SimPingPong(2) for _ in range(5)], leader=0)
+        assert outcome.outputs[2] is None
+        assert outcome.outputs[3] is None
+
+
+class TestInterpreterMechanics:
+    def test_schedule_invariance_of_simulated_outputs(self):
+        ids = [3, 7, 5]
+        baseline = None
+        for factory in SCHEDULER_FACTORIES.values():
+            outcome = simulate_ring_algorithm(
+                [SimChangRoberts(i) for i in ids], scheduler=factory()
+            )
+            if baseline is None:
+                baseline = outcome.outputs
+            assert outcome.outputs == baseline
+
+    def test_token_hops_bounded_by_activity(self):
+        # Quiescence detection: hops ~ (#active circles + 1 clean circle
+        # + slack), far below any naive bound.
+        outcome = simulate_ring_algorithm([SimChangRoberts(i) for i in [1, 2, 3]])
+        n = 3
+        assert outcome.token_hops <= 10 * n
+
+    def test_all_interpreter_nodes_learn_ring_size(self):
+        outcome = simulate_ring_algorithm([SimBroadcast(1)] + [SimBroadcast()] * 3)
+        assert all(node.ring_size == 4 for node in outcome.nodes)
+
+    def test_needs_three_nodes(self):
+        with pytest.raises(ConfigurationError):
+            simulate_ring_algorithm([SimBroadcast(1), SimBroadcast()])
+
+    def test_bad_leader_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_ring_algorithm([SimBroadcast(1)] + [SimBroadcast()] * 2, leader=5)
+
+    def test_negative_payload_rejected(self):
+        class Bad(SimulatedRingNode):
+            def on_start(self, ctx):
+                ctx.send_cw(-1)
+
+            def on_receive(self, ctx, direction, payload):  # pragma: no cover
+                pass
+
+        with pytest.raises(ConfigurationError):
+            simulate_ring_algorithm([Bad(), Bad(), Bad()])
+
+    def test_silent_algorithm_reaches_quiescence_fast(self):
+        class Mute(SimulatedRingNode):
+            def on_start(self, ctx):
+                pass
+
+            def on_receive(self, ctx, direction, payload):  # pragma: no cover
+                pass
+
+        outcome = simulate_ring_algorithm([Mute(), Mute(), Mute()])
+        assert outcome.outputs == [None, None, None]
+        assert outcome.run.quiescently_terminated
+
+
+class TestComposedUniversal:
+    """No pre-existing root + no content: the conjecture fully refuted."""
+
+    def test_elect_then_simulate_chang_roberts(self):
+        ids = [4, 9, 2]
+        outcome = run_simulated_composed(
+            ids, [SimChangRoberts(i) for i in ids]
+        )
+        assert outcome.leader == 1  # phase-1 winner (max ID) roots phase 2
+        assert outcome.outputs == [
+            ("follower", 9),
+            ("leader", 9),
+            ("follower", 9),
+        ]
+        assert outcome.run.quiescently_terminated
+        assert outcome.run.termination_order[-1] == 1
+
+    def test_elect_then_broadcast(self):
+        ids = [4, 9, 2, 7]
+        sims = [SimBroadcast() for _ in ids]
+        sims[1] = SimBroadcast(33)  # the future winner carries the value
+        outcome = run_simulated_composed(ids, sims)
+        assert outcome.outputs == [33] * 4
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_simulated_composed([1, 2, 3], [SimBroadcast(1)])
+
+    def test_too_small_ring_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_simulated_composed([1, 2], [SimBroadcast(1), SimBroadcast()])

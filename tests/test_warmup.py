@@ -1,0 +1,135 @@
+"""Algorithm 1 (Section 3.1): quiescently stabilizing leader election.
+
+Reproduces the warm-up algorithm's guarantees exactly as stated:
+Corollary 13 (quiescence with all counters at IDmax), the exact message
+complexity ``n * IDmax``, single-leader stabilization at the maximal ID,
+and Lemma 16's extension to non-unique IDs.
+"""
+
+import pytest
+
+from repro.core.common import LeaderState
+from repro.core.warmup import WarmupNode, run_warmup
+from repro.exceptions import ConfigurationError, ProtocolViolation
+from repro.simulator.ring import build_oriented_ring
+from repro.simulator.engine import run_to_quiescence
+
+
+class TestElectsMaximum:
+    def test_leader_is_unique_max_node(self, ids, make_scheduler):
+        outcome = run_warmup(ids, scheduler=make_scheduler())
+        expected = max(range(len(ids)), key=lambda i: ids[i])
+        assert outcome.leaders == [expected]
+
+    def test_all_other_nodes_are_non_leaders(self, ids, make_scheduler):
+        outcome = run_warmup(ids, scheduler=make_scheduler())
+        for index, state in enumerate(outcome.states):
+            if index not in outcome.leaders:
+                assert state is LeaderState.NON_LEADER
+
+    def test_single_node_ring(self):
+        outcome = run_warmup([4])
+        assert outcome.leaders == [0]
+        assert outcome.total_pulses == 4
+
+
+class TestExactComplexity:
+    def test_total_pulses_equal_n_times_idmax(self, ids, make_scheduler):
+        # Corollary 13: every node sends and receives exactly IDmax pulses.
+        outcome = run_warmup(ids, scheduler=make_scheduler())
+        assert outcome.total_pulses == len(ids) * max(ids)
+
+    def test_per_node_counters_stabilize_at_idmax(self, ids):
+        outcome = run_warmup(ids)
+        id_max = max(ids)
+        for node in outcome.nodes:
+            assert node.rho_cw == id_max
+            assert node.sigma_cw == id_max
+
+    def test_complexity_is_schedule_invariant(self, ids):
+        from tests.conftest import SCHEDULER_FACTORIES
+
+        counts = {
+            name: run_warmup(ids, scheduler=factory()).total_pulses
+            for name, factory in SCHEDULER_FACTORIES.items()
+        }
+        assert len(set(counts.values())) == 1, counts
+
+
+class TestNonUniqueIds:
+    """Lemma 16: Algorithm 1 tolerates duplicated IDs."""
+
+    def test_unique_maximum_elects_single_leader(self):
+        ids = [3, 3, 7, 3, 3]
+        outcome = run_warmup(ids)
+        assert outcome.leaders == [2]
+        assert outcome.total_pulses == len(ids) * 7
+
+    def test_duplicated_maximum_elects_all_its_holders(self):
+        ids = [5, 2, 5, 1]
+        outcome = run_warmup(ids)
+        assert outcome.leaders == [0, 2]
+
+    def test_all_equal_ids_all_become_leaders(self):
+        ids = [4, 4, 4]
+        outcome = run_warmup(ids)
+        assert outcome.leaders == [0, 1, 2]
+        assert outcome.total_pulses == 12
+
+    def test_counters_still_stabilize_at_idmax(self):
+        ids = [2, 6, 2, 6, 2]
+        outcome = run_warmup(ids)
+        for node in outcome.nodes:
+            assert node.rho_cw == 6 == node.sigma_cw
+
+
+class TestStabilizationNotTermination:
+    def test_nodes_never_terminate(self, ids):
+        outcome = run_warmup(ids)
+        assert not any(outcome.run.terminated)
+        assert outcome.run.quiescent
+
+    def test_leader_state_is_revised_by_later_pulses(self):
+        # A node transiently claims leadership when rho_cw hits its ID and
+        # must revert on the next pulse.  With IDs [1, 3], node 0 claims
+        # at its first pulse, then reverts.
+        outcome = run_warmup([1, 3])
+        assert outcome.states[0] is LeaderState.NON_LEADER
+        assert outcome.states[1] is LeaderState.LEADER
+
+
+class TestInputValidation:
+    def test_zero_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_warmup([0, 3])
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_warmup([-2, 3])
+
+    def test_non_integer_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_warmup([2.5, 3])
+
+    def test_boolean_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_warmup([True, 3])
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_warmup([])
+
+
+class TestChannelDiscipline:
+    def test_ccw_pulse_is_a_wiring_violation(self):
+        # Algorithm 1 only ever uses the CW channel; a CCW arrival means
+        # the harness mis-wired the ring and must fail loudly.
+        node = WarmupNode(2)
+
+        class Prodder(WarmupNode):
+            def on_init(self, api):
+                api.send(0)  # a CCW pulse towards its CCW neighbor
+
+        topology = build_oriented_ring([node, Prodder(3)])
+        with pytest.raises(ProtocolViolation):
+            run_to_quiescence(topology.network)

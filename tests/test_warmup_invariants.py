@@ -1,0 +1,91 @@
+"""Executable Lemmas 6-14 checked along entire executions of Algorithm 1."""
+
+import pytest
+
+from repro.core.invariants import (
+    ALGORITHM1_HOOKS,
+    InvariantViolation,
+    check_end_state_corollary13,
+    check_lemma6_cw,
+    check_pulses_in_transit_match_lemma12,
+)
+from repro.core.warmup import WarmupNode
+from repro.simulator.engine import Engine
+from repro.simulator.ring import build_oriented_ring
+from tests.conftest import SCHEDULER_FACTORIES, id_workloads
+
+
+def run_with_hooks(ids, scheduler):
+    nodes = [WarmupNode(node_id) for node_id in ids]
+    topology = build_oriented_ring(nodes)
+    engine = Engine(
+        topology.network, scheduler=scheduler, invariant_hooks=ALGORITHM1_HOOKS
+    )
+    result = engine.run()
+    return nodes, result
+
+
+class TestLemma6AlongExecutions:
+    """sigma_cw == rho_cw + 1 while rho_cw < ID, == rho_cw afterwards."""
+
+    @pytest.mark.parametrize("workload", sorted(id_workloads()))
+    @pytest.mark.parametrize("scheduler_name", sorted(SCHEDULER_FACTORIES))
+    def test_invariants_hold_after_every_delivery(self, workload, scheduler_name):
+        ids = id_workloads()[workload]
+        scheduler = SCHEDULER_FACTORIES[scheduler_name]()
+        nodes, result = run_with_hooks(ids, scheduler)
+        assert result.quiescent  # hooks raised nothing along the way
+
+    def test_invariants_hold_with_non_unique_ids(self):
+        # Lemma 16: the invariants make no reference to ID uniqueness.
+        for ids in ([2, 2, 5], [4, 4, 4], [1, 6, 6, 1]):
+            nodes, result = run_with_hooks(ids, SCHEDULER_FACTORIES["random1"]())
+            assert result.quiescent
+
+
+class TestQuiescenceCharacterization:
+    """Lemma 11's three equivalent statements, at the end state."""
+
+    @pytest.mark.parametrize("workload", sorted(id_workloads()))
+    def test_corollary13_end_state(self, workload):
+        ids = id_workloads()[workload]
+        nodes, result = run_with_hooks(ids, SCHEDULER_FACTORIES["global_fifo"]())
+        check_end_state_corollary13(nodes)  # rho == sigma == IDmax for all
+
+    def test_all_nodes_meet_their_ids(self):
+        # Lemma 12: eventually rho_cw[v] >= ID_v at every node.
+        ids = [7, 2, 9, 4]
+        nodes, result = run_with_hooks(ids, SCHEDULER_FACTORIES["lifo"]())
+        for node in nodes:
+            assert node.rho_cw >= node.node_id
+
+
+class TestInvariantCheckersDetectViolations:
+    """The executable lemmas must actually *fail* on corrupted state."""
+
+    def test_lemma6_checker_detects_corruption(self):
+        nodes = [WarmupNode(3), WarmupNode(5)]
+        topology = build_oriented_ring(nodes)
+        engine = Engine(topology.network)
+        engine.run()
+        nodes[0].sigma_cw += 1  # corrupt the ledger
+        with pytest.raises(InvariantViolation):
+            check_lemma6_cw(engine)
+
+    def test_corollary13_checker_detects_corruption(self):
+        nodes = [WarmupNode(3), WarmupNode(5)]
+        topology = build_oriented_ring(nodes)
+        Engine(topology.network).run()
+        nodes[1].rho_cw -= 1
+        with pytest.raises(InvariantViolation):
+            check_end_state_corollary13(nodes)
+
+    def test_lemma12_accounting_rejects_wrong_node_type(self):
+        from repro.core.terminating import TerminatingNode
+
+        nodes = [TerminatingNode(3), TerminatingNode(5)]
+        topology = build_oriented_ring(nodes)
+        engine = Engine(topology.network)
+        engine.run()
+        with pytest.raises(InvariantViolation):
+            check_pulses_in_transit_match_lemma12(engine)
