@@ -1,0 +1,190 @@
+"""Engine throughput benchmark: batched vs pulse-by-pulse delivery.
+
+Measures simulator throughput (pulses/second) on the Theorem 1 workload
+— ``run_terminating`` costs exactly ``n(2*IDmax + 1)`` pulses — over the
+grid ``n in {8, 32, 128} x IDmax in {10^3, 10^5}``, once per engine mode:
+
+* ``unbatched`` — the reference per-pulse loop, default global-FIFO
+  adversary;
+* ``batched`` — the counting fast path under the same adversary;
+* ``batched_longest_run`` — the fast path under the run-snowballing
+  :class:`~repro.simulator.scheduler.LongestRunScheduler` (any scheduler
+  is a legal adversary and the pulse count is schedule-invariant, so
+  throughput is comparable across rows).
+
+Each config cross-checks the modes' outcomes (leader, exact pulse count)
+and the script additionally fans a randomized differential sweep over
+:func:`repro.analysis.parallel.parallel_map`.  Results land in a
+machine-readable ``BENCH_engine.json`` at the repo root so future PRs
+have a perf trajectory::
+
+    PYTHONPATH=src python benchmarks/run_engine_bench.py            # full grid
+    PYTHONPATH=src python benchmarks/run_engine_bench.py --quick    # small grid
+    PYTHONPATH=src python benchmarks/run_engine_bench.py --processes auto
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import random
+import time
+from typing import Dict, List, Optional
+
+from repro.analysis.parallel import parallel_map, resolve_processes
+from repro.core.terminating import run_terminating
+from repro.exceptions import ConfigurationError
+from repro.simulator.scheduler import GlobalFifoScheduler, LongestRunScheduler
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+FULL_GRID = [(n, id_max) for id_max in (10**3, 10**5) for n in (8, 32, 128)]
+QUICK_GRID = [(n, id_max) for id_max in (10**3, 10**4) for n in (8, 32)]
+
+
+def pinned_ids(n: int, id_max: int, seed: int) -> List[int]:
+    """``n`` distinct IDs with the maximum pinned to ``id_max``."""
+    rng = random.Random(seed)
+    ids = rng.sample(range(1, id_max), n - 1) + [id_max]
+    rng.shuffle(ids)
+    return ids
+
+
+def _timed_run(ids: List[int], batched: bool, scheduler_factory) -> Dict:
+    t0 = time.perf_counter()
+    outcome = run_terminating(
+        ids, scheduler=scheduler_factory(), max_steps=10**9, batched=batched
+    )
+    seconds = time.perf_counter() - t0
+    assert outcome.total_pulses == outcome.theorem1_message_bound
+    assert outcome.leaders == [outcome.expected_leader]
+    assert outcome.run.quiescently_terminated
+    return {
+        "seconds": round(seconds, 4),
+        "steps": outcome.run.steps,
+        "pulses": outcome.total_pulses,
+        "pulses_per_sec": round(outcome.total_pulses / seconds),
+        "leader_id": outcome.ids[outcome.leaders[0]],
+    }
+
+
+def bench_config(n: int, id_max: int) -> Dict:
+    ids = pinned_ids(n, id_max, seed=1000 * n + id_max)
+    unbatched = _timed_run(ids, batched=False, scheduler_factory=GlobalFifoScheduler)
+    batched = _timed_run(ids, batched=True, scheduler_factory=GlobalFifoScheduler)
+    snowball = _timed_run(ids, batched=True, scheduler_factory=LongestRunScheduler)
+    for row in (batched, snowball):
+        row["speedup"] = round(unbatched["seconds"] / row["seconds"], 2)
+    outcomes_match = (
+        unbatched["leader_id"] == batched["leader_id"] == snowball["leader_id"]
+        and unbatched["pulses"] == batched["pulses"] == snowball["pulses"]
+    )
+    return {
+        "n": n,
+        "id_max": id_max,
+        "claimed_pulses": n * (2 * id_max + 1),
+        "unbatched": unbatched,
+        "batched": batched,
+        "batched_longest_run": snowball,
+        "outcomes_match": outcomes_match,
+    }
+
+
+def _differential_case(case_seed: int) -> bool:
+    """Picklable worker: one small batched-vs-unbatched comparison."""
+    rng = random.Random(case_seed)
+    n = rng.randint(2, 8)
+    ids = rng.sample(range(1, 200), n)
+    slow = run_terminating(ids)
+    fast = run_terminating(ids, batched=True)
+    return (
+        slow.leaders == fast.leaders
+        and slow.total_pulses == fast.total_pulses == n * (2 * max(ids) + 1)
+        and slow.run.termination_order == fast.run.termination_order
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small grid for smoke runs"
+    )
+    parser.add_argument(
+        "--processes",
+        default=None,
+        help="worker processes for the differential sweep (int, 'auto', default serial)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_engine.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    processes = args.processes
+    if isinstance(processes, str):
+        try:
+            processes = int(processes)
+        except ValueError:
+            pass
+    try:  # fail fast on a bad worker count, not after the whole grid
+        resolve_processes(processes)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+    configs = []
+    for n, id_max in grid:
+        print(f"benchmarking n={n} IDmax={id_max} ...", flush=True)
+        config = bench_config(n, id_max)
+        print(
+            f"  unbatched {config['unbatched']['pulses_per_sec']:>10,} pulses/s | "
+            f"batched {config['batched']['pulses_per_sec']:>12,} pulses/s "
+            f"({config['batched']['speedup']}x) | "
+            f"longest_run {config['batched_longest_run']['speedup']}x",
+            flush=True,
+        )
+        configs.append(config)
+
+    sweep_cases = 40
+    sweep = parallel_map(
+        _differential_case, range(sweep_cases), processes=processes
+    )
+    top_id_max = max(id_max for _n, id_max in grid)
+    top_rows = [c for c in configs if c["id_max"] == top_id_max]
+    speedups = {f"n={c['n']}": c["batched"]["speedup"] for c in top_rows}
+    best = max(
+        max(c["batched"]["speedup"], c["batched_longest_run"]["speedup"])
+        for c in top_rows
+    )
+    report = {
+        "generated_by": "benchmarks/run_engine_bench.py"
+        + (" --quick" if args.quick else ""),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": "run_terminating (Theorem 1: exactly n(2*IDmax+1) pulses)",
+        "grid": configs,
+        "differential_sweep": {
+            "cases": sweep_cases,
+            "all_match": all(sweep),
+            "processes": args.processes or "serial",
+        },
+        "summary": {
+            "top_id_max": top_id_max,
+            "batched_speedup_at_top_id_max": speedups,
+            "best_speedup_at_top_id_max": best,
+            "meets_10x_at_top_id_max": best >= 10.0,
+        },
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if not all(sweep) or not all(c["outcomes_match"] for c in configs):
+        print("DIFFERENTIAL MISMATCH — batched engine disagrees with reference")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,9 @@ from repro.analysis.average_case import (
     harmonic,
     measure_chang_roberts_over_placements,
     measure_oblivious_over_placements,
+    random_placements,
 )
+from repro.analysis.parallel import parallel_map, resolve_processes
 from repro.analysis.stats import (
     BernoulliEstimate,
     estimate_success_rate,
@@ -40,4 +42,7 @@ __all__ = [
     "harmonic",
     "measure_chang_roberts_over_placements",
     "measure_oblivious_over_placements",
+    "random_placements",
+    "parallel_map",
+    "resolve_processes",
 ]

@@ -17,8 +17,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
+from repro.analysis.parallel import ProcessCount, parallel_map
 from repro.exceptions import ConfigurationError
 
 
@@ -55,46 +56,79 @@ class PlacementStats:
         return self.maximum - self.minimum
 
 
-def measure_chang_roberts_over_placements(
-    n: int, trials: int, seed: int = 0
-) -> PlacementStats:
-    """Run Chang-Roberts over ``trials`` random placements of ``1..n``."""
+def random_placements(n: int, trials: int, seed: int = 0) -> List[List[int]]:
+    """``trials`` seeded random circular placements of the IDs ``1..n``.
+
+    Built up front (and always sequentially) so that serial and parallel
+    sweeps over the same seed visit byte-identical placements.
+    """
+    rng = random.Random(seed)
+    base = list(range(1, n + 1))
+    placements: List[List[int]] = []
+    for _ in range(trials):
+        ids = base[:]
+        rng.shuffle(ids)
+        placements.append(ids)
+    return placements
+
+
+def _stats_from_counts(n: int, counts: Sequence[int]) -> PlacementStats:
+    return PlacementStats(
+        n=n,
+        trials=len(counts),
+        mean=sum(counts) / len(counts),
+        minimum=min(counts),
+        maximum=max(counts),
+    )
+
+
+def _chang_roberts_total(ids: Sequence[int]) -> int:
+    """Picklable worker: total messages of one Chang-Roberts run."""
     from repro.baselines import run_baseline
     from repro.baselines.chang_roberts import ChangRobertsNode
 
-    rng = random.Random(seed)
-    counts: List[int] = []
-    base = list(range(1, n + 1))
-    for _ in range(trials):
-        ids = base[:]
-        rng.shuffle(ids)
-        counts.append(run_baseline(ChangRobertsNode, ids).total_messages)
-    return PlacementStats(
-        n=n,
-        trials=trials,
-        mean=sum(counts) / len(counts),
-        minimum=min(counts),
-        maximum=max(counts),
-    )
+    return run_baseline(ChangRobertsNode, list(ids)).total_messages
+
+
+def _oblivious_total(job: "Tuple[Sequence[int], bool]") -> int:
+    """Picklable worker: total pulses of one Algorithm 2 run."""
+    from repro.core.terminating import run_terminating
+
+    ids, batched = job
+    return run_terminating(list(ids), batched=batched).total_pulses
+
+
+def measure_chang_roberts_over_placements(
+    n: int, trials: int, seed: int = 0, processes: ProcessCount = None
+) -> PlacementStats:
+    """Run Chang-Roberts over ``trials`` random placements of ``1..n``.
+
+    ``processes`` fans the placements out over worker processes (see
+    :func:`repro.analysis.parallel.parallel_map`); results are identical
+    to the serial sweep for any worker count.
+    """
+    placements = random_placements(n, trials, seed=seed)
+    counts = parallel_map(_chang_roberts_total, placements, processes=processes)
+    return _stats_from_counts(n, counts)
 
 
 def measure_oblivious_over_placements(
-    n: int, trials: int, seed: int = 0
+    n: int,
+    trials: int,
+    seed: int = 0,
+    processes: ProcessCount = None,
+    batched: bool = False,
 ) -> PlacementStats:
-    """The same sweep for Algorithm 2: the spread must be exactly zero."""
-    from repro.core.terminating import run_terminating
+    """The same sweep for Algorithm 2: the spread must be exactly zero.
 
-    rng = random.Random(seed)
-    counts: List[int] = []
-    base = list(range(1, n + 1))
-    for _ in range(trials):
-        ids = base[:]
-        rng.shuffle(ids)
-        counts.append(run_terminating(ids).total_pulses)
-    return PlacementStats(
-        n=n,
-        trials=trials,
-        mean=sum(counts) / len(counts),
-        minimum=min(counts),
-        maximum=max(counts),
+    ``batched`` runs each trial on the engine's counting fast path
+    (identical outcomes, much faster for large IDs); ``processes`` fans
+    trials out over worker processes.
+    """
+    placements = random_placements(n, trials, seed=seed)
+    counts = parallel_map(
+        _oblivious_total,
+        [(ids, batched) for ids in placements],
+        processes=processes,
     )
+    return _stats_from_counts(n, counts)

@@ -238,7 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
     elect.add_argument("--c", type=float, default=2.0, help="confidence (anonymous)")
     elect.add_argument("--seed", type=int, default=None)
     elect.add_argument("--scheduler", default=None,
-                       help="global_fifo|lifo|random|round_robin|lag_ccw|lag_cw")
+                       help="global_fifo|lifo|random|round_robin|lag_ccw|lag_cw|longest_run")
     elect.set_defaults(func=_cmd_elect)
 
     compute = sub.add_parser("compute", help="content-oblivious computation (Cor 5)")

@@ -114,6 +114,27 @@ class NonOrientedNode(Node):
             self._send(api, out_port)
         self._update_output()
 
+    def on_pulses(self, api: NodeAPI, port: int, count: int) -> None:
+        """Consume a run of ``count`` same-direction pulses in O(1).
+
+        Each travel direction is an independent Algorithm 1 instance, so
+        the run relays everything except the at-most-one pulse landing
+        exactly on the governing virtual ID; the verdict recomputation is a
+        pure function of the final counters, so one call at the end equals
+        one per pulse.
+        """
+        if port not in (PORT_ZERO, PORT_ONE):  # pragma: no cover
+            raise ProtocolViolation(f"invalid arrival port {port}")
+        out_port = 1 - port
+        governing = self.virtual_ids[out_port]
+        start = self.rho[port]
+        self.rho[port] += count
+        relays = count - (1 if start < governing <= self.rho[port] else 0)
+        if relays:
+            self.sigma[out_port] += relays
+            api.send_many(out_port, relays)
+        self._update_output()
+
     def _update_output(self) -> None:
         """Lines 8-16: recompute the tentative verdict and orientation."""
         id_one = self.virtual_ids[PORT_ONE]
@@ -138,6 +159,7 @@ def run_nonoriented(
     scheduler: Optional[Scheduler] = None,
     max_steps: int = 10_000_000,
     require_unique_ids: bool = True,
+    batched: bool = False,
 ) -> "NonOrientedOutcome":
     """Run Algorithm 3 on a (possibly adversarially flipped) ring.
 
@@ -152,6 +174,8 @@ def run_nonoriented(
         scheme: Virtual-ID scheme (Proposition 15 vs Theorem 2).
         scheduler: Asynchronous adversary; defaults to global FIFO.
         max_steps: Engine safety bound.
+        batched: Use the batched engine fast path (identical outcomes,
+            large-IDmax runs orders of magnitude faster).
 
     Returns:
         A :class:`NonOrientedOutcome`.
@@ -164,7 +188,9 @@ def run_nonoriented(
     if flips is None:
         flips = [False] * len(ids)
     topology = build_nonoriented_ring(nodes, flips=flips)
-    result = Engine(topology.network, scheduler=scheduler, max_steps=max_steps).run()
+    result = Engine(
+        topology.network, scheduler=scheduler, max_steps=max_steps, batched=batched
+    ).run()
     return NonOrientedOutcome(
         ids=list(ids), nodes=nodes, topology=topology, run=result, scheme=scheme
     )

@@ -46,7 +46,9 @@ from typing import Any, List, Optional, Sequence
 from repro.exceptions import ProtocolViolation
 from repro.core.common import (
     CW_ARRIVAL_PORT,
+    CW_SEND_PORT,
     CCW_ARRIVAL_PORT,
+    CCW_SEND_PORT,
     LeaderState,
     OrientedRingNode,
     validate_unique_ids,
@@ -89,6 +91,25 @@ class TerminatingNode(OrientedRingNode):
         else:  # pragma: no cover - engine validates ports
             raise ProtocolViolation(f"invalid arrival port {port}")
         self._drain(api)
+
+    def on_pulses(self, api: NodeAPI, port: int, count: int) -> None:
+        """Consume a run of ``count`` pulses in amortized O(1).
+
+        Buffers the run like :meth:`on_message` does a single pulse, then
+        drains with closed-form chunking.  The ablated variant
+        (``strict_lag=False``) keeps the per-pulse reference semantics: it
+        exists to demonstrate a broken discipline, not to be fast.
+        """
+        if not self.strict_lag:
+            super().on_pulses(api, port, count)
+            return
+        if port == CW_ARRIVAL_PORT:
+            self.pending_cw += count
+        elif port == CCW_ARRIVAL_PORT:
+            self.pending_ccw += count
+        else:  # pragma: no cover - engine validates ports
+            raise ProtocolViolation(f"invalid arrival port {port}")
+        self._drain_chunked(api)
 
     # -- the listing's repeat-loop, one pass per iteration --------------------
 
@@ -138,6 +159,88 @@ class TerminatingNode(OrientedRingNode):
             if not progressed:
                 return
 
+    # -- the same loop, advancing whole pulse runs per iteration --------------
+
+    def _drain_chunked(self, api: NodeAPI) -> None:
+        """Like :meth:`_drain`, but each iteration consumes a maximal
+        *uniform* chunk of buffered pulses instead of one.
+
+        A chunk is uniform when every pulse in it takes the same branch of
+        the listing, which holds as long as no counter crosses a value the
+        branches test.  The chunk boundaries are therefore:
+
+        * CW: :math:`\\rho_{cw}` reaching :math:`\\mathsf{ID}` (the absorbed
+          pulse, and the only point the line-14 trigger can see);
+        * CCW: :math:`\\rho_{ccw}` reaching :math:`\\mathsf{ID}` (absorption
+          + trigger) and :math:`\\rho_{ccw}` reaching
+          :math:`\\rho_{cw} + 1` (the line-18 exit flips exactly there).
+
+        Stopping at every boundary means the trigger and exit conditions
+        are evaluated at each state where their truth can change, so the
+        chunked loop reaches the same decisions as the per-pulse one.
+        """
+        node_id = self.node_id
+        while not self.terminated:
+            progressed = False
+
+            # Lines 3-8: the CW instance of Algorithm 1, one chunk.
+            if self.pending_cw:
+                take = self.pending_cw
+                if self.rho_cw < node_id:
+                    take = min(take, node_id - self.rho_cw)
+                self.pending_cw -= take
+                start = self.rho_cw
+                self.rho_cw += take
+                if self.rho_cw == node_id:
+                    self.state = LeaderState.LEADER
+                else:
+                    self.state = LeaderState.NON_LEADER
+                relays = take - (1 if start < node_id <= self.rho_cw else 0)
+                if relays:
+                    self.sigma_cw += relays
+                    api.send_many(CW_SEND_PORT, relays)
+                progressed = True
+
+            # Lines 9-13: the CCW instance, gated on rho_cw >= ID.
+            if self.rho_cw >= node_id:
+                if self.sigma_ccw == 0:
+                    self.send_ccw(api)  # line 10: CCW instance's initial pulse
+                if self.pending_ccw:
+                    take = self.pending_ccw
+                    if self.rho_ccw < node_id:
+                        take = min(take, node_id - self.rho_ccw)
+                    if self.rho_ccw <= self.rho_cw:
+                        take = min(take, self.rho_cw + 1 - self.rho_ccw)
+                    self.pending_ccw -= take
+                    start = self.rho_ccw
+                    self.rho_ccw += take
+                    if self.term_pulse_sent:
+                        relays = 0
+                    else:
+                        relays = take - (
+                            1 if start < node_id <= self.rho_ccw else 0
+                        )
+                    if relays:
+                        self.sigma_ccw += relays
+                        api.send_many(CCW_SEND_PORT, relays)
+                    progressed = True
+
+            # Lines 14-17: the unique leader event triggers termination.
+            if (
+                not self.term_pulse_sent
+                and self.rho_cw == node_id == self.rho_ccw
+            ):
+                self.term_pulse_sent = True
+                self.send_ccw(api)  # line 15: emit the termination pulse
+
+            # Line 18: exit condition `rho_ccw > rho_cw`.
+            if self.rho_ccw > self.rho_cw:
+                api.terminate(self.state)  # line 19: output and stop
+                return
+
+            if not progressed:
+                return
+
 
 def run_terminating(
     ids: Sequence[int],
@@ -145,6 +248,7 @@ def run_terminating(
     max_steps: int = 10_000_000,
     strict_lag: bool = True,
     strict_quiescence: bool = False,
+    batched: bool = False,
 ) -> "TerminatingOutcome":
     """Run Algorithm 2 on an oriented ring with the given clockwise IDs.
 
@@ -155,6 +259,8 @@ def run_terminating(
         strict_lag: Pass False to ablate the CCW-lag discipline (A1).
         strict_quiescence: Raise on the first quiescent-termination
             violation instead of recording it.
+        batched: Use the batched engine fast path (identical outcomes,
+            large-IDmax runs orders of magnitude faster).
 
     Returns:
         A :class:`TerminatingOutcome` with outputs, counters, and the run.
@@ -167,6 +273,7 @@ def run_terminating(
         scheduler=scheduler,
         max_steps=max_steps,
         strict_quiescence=strict_quiescence,
+        batched=batched,
     ).run()
     return TerminatingOutcome(ids=list(ids), nodes=nodes, run=result)
 

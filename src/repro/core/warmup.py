@@ -28,6 +28,7 @@ from typing import Any, List, Optional, Sequence
 from repro.exceptions import ProtocolViolation
 from repro.core.common import (
     CW_ARRIVAL_PORT,
+    CW_SEND_PORT,
     LeaderState,
     OrientedRingNode,
     validate_positive_ids,
@@ -64,11 +65,37 @@ class WarmupNode(OrientedRingNode):
             self.state = LeaderState.NON_LEADER  # lines 7-8: relay
             self.send_cw(api)
 
+    def on_pulses(self, api: NodeAPI, port: int, count: int) -> None:
+        """Consume a run of ``count`` CW pulses in O(1).
+
+        Per-pulse, Algorithm 1 relays everything except the single pulse
+        that lands exactly on :math:`\\rho_{cw} = \\mathsf{ID}`, and the
+        state after the run's last pulse is Leader iff that pulse was the
+        absorbed one.  Both facts depend only on where the run starts and
+        ends relative to the ID, so the whole run collapses to arithmetic.
+        """
+        if port != CW_ARRIVAL_PORT:
+            raise ProtocolViolation(
+                f"WarmupNode(id={self.node_id}) received a CCW pulse; "
+                "Algorithm 1 uses the CW channel only"
+            )
+        start = self.rho_cw
+        self.rho_cw += count
+        if self.rho_cw == self.node_id:
+            self.state = LeaderState.LEADER
+        else:
+            self.state = LeaderState.NON_LEADER
+        relays = count - (1 if start < self.node_id <= self.rho_cw else 0)
+        if relays:
+            self.sigma_cw += relays
+            api.send_many(CW_SEND_PORT, relays)
+
 
 def run_warmup(
     ids: Sequence[int],
     scheduler: Optional[Scheduler] = None,
     max_steps: int = 10_000_000,
+    batched: bool = False,
 ) -> "WarmupOutcome":
     """Run Algorithm 1 on an oriented ring with the given clockwise IDs.
 
@@ -77,6 +104,8 @@ def run_warmup(
             are allowed (Lemma 16) but then several Leaders may stabilize.
         scheduler: Asynchronous adversary; defaults to global FIFO.
         max_steps: Engine safety bound.
+        batched: Use the batched engine fast path (identical outcomes,
+            large-IDmax runs orders of magnitude faster).
 
     Returns:
         A :class:`WarmupOutcome` with final states, counters, and the run.
@@ -84,7 +113,9 @@ def run_warmup(
     validate_positive_ids(ids)
     nodes = [WarmupNode(node_id) for node_id in ids]
     topology = build_oriented_ring(nodes)
-    result = Engine(topology.network, scheduler=scheduler, max_steps=max_steps).run()
+    result = Engine(
+        topology.network, scheduler=scheduler, max_steps=max_steps, batched=batched
+    ).run()
     return WarmupOutcome(ids=list(ids), nodes=nodes, run=result)
 
 

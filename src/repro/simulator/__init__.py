@@ -38,6 +38,7 @@ from repro.simulator.scheduler import (
     ChoiceSequenceScheduler,
     GlobalFifoScheduler,
     LifoScheduler,
+    LongestRunScheduler,
     RandomScheduler,
     RoundRobinScheduler,
     Scheduler,
@@ -71,6 +72,7 @@ __all__ = [
     "ChoiceSequenceScheduler",
     "GlobalFifoScheduler",
     "LifoScheduler",
+    "LongestRunScheduler",
     "RandomScheduler",
     "RoundRobinScheduler",
     "Scheduler",

@@ -9,13 +9,29 @@ dropped nor injected by the channel.
 The same channel class, with ``defective=False``, carries content intact;
 the baseline (content-carrying) leader-election algorithms run on such
 channels so that both worlds share one engine.
+
+Counting mode
+-------------
+
+A fully defective channel carries no information beyond *how many* pulses
+are in flight and their send order, so its queue admits a compressed
+representation: a deque of ``[first_seq, count]`` *runs*, where each run is
+a block of pulses with contiguous send sequence numbers.  The batched
+engine (``Engine(batched=True)``) switches eligible channels into this
+*counting mode* via :meth:`Channel.enable_counting`, which makes
+``enqueue_many``/``drain`` O(1) per call regardless of how many pulses
+they move.  The representation is exact — ``dequeue`` and
+``peek_send_seq`` return the same sequence numbers a tuple-queue would —
+so schedulers cannot tell the two modes apart (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Tuple
+from typing import Any, Deque, List, Tuple
+
+from repro.exceptions import ConfigurationError
 
 # In-flight messages are stored as plain (send_seq, content) tuples: the
 # channel queue is the hottest data structure in the simulator and object
@@ -33,6 +49,8 @@ class Channel:
         defective: When True (the content-oblivious model), the content of
             every message is erased on delivery and receivers observe only
             a pulse (``None``).
+        counting: True once :meth:`enable_counting` switched this channel
+            to the run-compressed queue representation.
     """
 
     channel_id: int
@@ -40,25 +58,109 @@ class Channel:
     dst: Tuple[int, int]
     defective: bool = True
     _queue: Deque[Tuple[int, Any]] = field(default_factory=deque, repr=False)
+    counting: bool = field(default=False, init=False)
+    _runs: Deque[List[int]] = field(default_factory=deque, init=False, repr=False)
+    _count: int = field(default=0, init=False, repr=False)
+
+    def enable_counting(self) -> None:
+        """Switch to the run-compressed representation (defective only).
+
+        Only an empty, fully defective channel may switch: content-carrying
+        channels need the per-message payloads and a non-empty queue would
+        have to be converted in place.
+        """
+        if not self.defective:
+            raise ConfigurationError(
+                f"channel {self.channel_id} carries content; counting mode "
+                "only represents contentless pulses"
+            )
+        if self._queue:
+            raise ConfigurationError(
+                f"channel {self.channel_id} has in-flight messages; enable "
+                "counting before the run starts"
+            )
+        self.counting = True
 
     def enqueue(self, send_seq: int, content: Any = None) -> None:
         """Accept a message from the source endpoint."""
+        if self.counting:
+            self._push_run(send_seq, 1)
+            return
         # Defective channels erase content at the boundary (the paper's
         # noise model corrupts content, never existence or order).
         self._queue.append((send_seq, None if self.defective else content))
 
+    def enqueue_many(self, first_seq: int, count: int) -> None:
+        """Accept ``count`` pulses with contiguous send sequence numbers.
+
+        The batch front door for counting channels (O(1) there); on a
+        queue-backed channel it degrades to ``count`` single enqueues.
+        Only contentless pulses can be sent in bulk.
+        """
+        if count < 0:
+            raise ConfigurationError(f"cannot enqueue {count} pulses")
+        if count == 0:
+            return
+        if self.counting:
+            self._push_run(first_seq, count)
+            return
+        for offset in range(count):
+            self.enqueue(first_seq + offset)
+
+    def _push_run(self, first_seq: int, count: int) -> None:
+        runs = self._runs
+        if runs:
+            last = runs[-1]
+            if last[0] + last[1] == first_seq:  # contiguous: extend in place
+                last[1] += count
+                self._count += count
+                return
+        runs.append([first_seq, count])
+        self._count += count
+
     def dequeue(self) -> Tuple[int, Any]:
         """Remove and return the oldest message as ``(send_seq, content)``."""
-        return self._queue.popleft()
+        if not self.counting:
+            return self._queue.popleft()
+        head = self._runs[0]
+        seq = head[0]
+        head[0] += 1
+        head[1] -= 1
+        self._count -= 1
+        if not head[1]:
+            self._runs.popleft()
+        return (seq, None)
+
+    def drain(self) -> int:
+        """Remove the entire FIFO run; return how many pulses it held.
+
+        Only meaningful on defective channels (the delivered pulses carry
+        no content, so the count is the whole observation).
+        """
+        if not self.defective:
+            raise ConfigurationError(
+                f"channel {self.channel_id} carries content; drain() would "
+                "discard payloads"
+            )
+        if self.counting:
+            count = self._count
+            self._runs.clear()
+            self._count = 0
+            return count
+        count = len(self._queue)
+        self._queue.clear()
+        return count
 
     def peek_send_seq(self) -> int:
         """Sequence number of the oldest in-flight message (FIFO head)."""
+        if self.counting:
+            return self._runs[0][0]
         return self._queue[0][0]
 
     @property
     def pending(self) -> int:
         """Number of messages currently in flight on this channel."""
-        return len(self._queue)
+        return self._count if self.counting else len(self._queue)
 
     def __bool__(self) -> bool:  # truthy iff it has something to deliver
-        return bool(self._queue)
+        return bool(self._count) if self.counting else bool(self._queue)

@@ -28,6 +28,7 @@ violation and can be asked to raise on it (``strict_quiescence=True``).
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
@@ -36,6 +37,7 @@ from repro.exceptions import (
     QuiescentTerminationViolation,
     SimulationLimitExceeded,
 )
+from repro.simulator.channel import Channel
 from repro.simulator.events import DeliveryRecord, SendRecord, TerminationRecord
 from repro.simulator.network import Network
 from repro.simulator.node import Node, NodeAPI, check_port
@@ -98,6 +100,9 @@ class _EngineNodeAPI(NodeAPI):
     def send(self, port: int, content: Any = None) -> None:
         self._engine._do_send(self._node_index, check_port(port), content)
 
+    def send_many(self, port: int, count: int) -> None:
+        self._engine._do_send_many(self._node_index, check_port(port), count)
+
     def terminate(self, output: Any = None) -> None:
         self._engine._do_terminate(self._node_index, output)
 
@@ -115,8 +120,18 @@ class Engine:
             violation is observed instead of merely recording it.
         record_events: Keep full per-event logs in the trace (needed by the
             solitude-pattern machinery; off by default to save memory).
-        invariant_hooks: Callables invoked after every delivery with the
-            engine; they should raise ``AssertionError`` on violation.
+            Event recording is per-pulse by definition, so it disables the
+            batched fast path.
+        invariant_hooks: Callables invoked after every scheduler step with
+            the engine; they should raise ``AssertionError`` on violation.
+        batched: Deliver a channel's entire FIFO run in one scheduler step
+            wherever that is observably safe — the channel is fully
+            defective, unfaulted, and events are not being recorded.  Such
+            channels are switched to counting mode and their runs reach
+            receivers through :meth:`~repro.simulator.node.Node.on_pulses`.
+            Every batched execution corresponds pulse-for-pulse to a legal
+            unbatched schedule (see docs/PERFORMANCE.md), so results agree
+            with the slow path on everything the model can observe.
     """
 
     def __init__(
@@ -127,6 +142,7 @@ class Engine:
         strict_quiescence: bool = False,
         record_events: bool = False,
         invariant_hooks: Sequence[InvariantHook] = (),
+        batched: bool = False,
     ) -> None:
         self.network = network
         self.scheduler = scheduler if scheduler is not None else GlobalFifoScheduler()
@@ -134,6 +150,7 @@ class Engine:
         self.strict_quiescence = strict_quiescence
         self.trace = Trace(record_events=record_events)
         self.invariant_hooks = list(invariant_hooks)
+        self.batched = batched
         self._seq = 0
         self._steps = 0
         self._violations: List[str] = []
@@ -141,18 +158,43 @@ class Engine:
             _EngineNodeAPI(self, index) for index in range(len(network.nodes))
         ]
         self._ran = False
-        # Incrementally maintained set of channels with in-flight messages
-        # (channel_id -> Channel); avoids a full channel scan per delivery
-        # on multi-million-pulse runs.
-        self._nonempty: dict = {
-            channel.channel_id: channel for channel in network.channels if channel
+        if batched and not record_events:
+            for channel in network.channels:
+                # Only plain defective channels may coalesce: faulty
+                # subclasses keep per-pulse enqueue semantics (they fall
+                # back to the slow path), content channels need payloads.
+                if type(channel) is Channel and channel.defective:
+                    channel.enable_counting()
+        # Inbound-channel index per node: _do_terminate's in-transit check
+        # must not rescan every channel on each termination.
+        self._in_channels: List[List[Channel]] = [[] for _ in network.nodes]
+        for channel in network.channels:
+            self._in_channels[channel.dst[0]].append(channel)
+        # Channels with in-flight messages, maintained incrementally as a
+        # channel-id-sorted list (plus a membership set): gives schedulers
+        # the same deterministic candidate order as the previous
+        # sort-per-delivery without the O(C log C) per-step cost.
+        self._active_set = {
+            channel.channel_id for channel in network.channels if channel
         }
+        self._active_ids: List[int] = sorted(self._active_set)
 
     # -- node-facing plumbing ------------------------------------------------
 
     def _next_seq(self) -> int:
         self._seq += 1
         return self._seq
+
+    def _activate(self, channel: Channel) -> None:
+        channel_id = channel.channel_id
+        if channel_id not in self._active_set:
+            self._active_set.add(channel_id)
+            insort(self._active_ids, channel_id)
+
+    def _deactivate(self, channel: Channel) -> None:
+        channel_id = channel.channel_id
+        self._active_set.discard(channel_id)
+        self._active_ids.pop(bisect_left(self._active_ids, channel_id))
 
     def _do_send(self, node_index: int, port: int, content: Any) -> None:
         node = self.network.nodes[node_index]
@@ -163,8 +205,8 @@ class Engine:
         channel = self.network.channel_for_send(node_index, port)
         seq = self._next_seq()
         channel.enqueue(send_seq=seq, content=content)
-        if channel._queue:  # fault-injecting channels may drop the message
-            self._nonempty[channel.channel_id] = channel
+        if channel.pending:  # fault-injecting channels may drop the message
+            self._activate(channel)
         if self.trace.record_events:
             self.trace.note_send(
                 SendRecord(
@@ -178,6 +220,28 @@ class Engine:
         else:
             self.trace.count_send(node_index, port)
 
+    def _do_send_many(self, node_index: int, port: int, count: int) -> None:
+        """Bulk-send ``count`` pulses: one enqueue on counting channels."""
+        if count <= 0:
+            if count == 0:
+                return
+            raise ProtocolViolation(f"cannot send {count} pulses")
+        channel = self.network.channel_for_send(node_index, port)
+        if not channel.counting:
+            for _ in range(count):
+                self._do_send(node_index, port, None)
+            return
+        node = self.network.nodes[node_index]
+        if node.terminated:
+            raise ProtocolViolation(
+                f"node {node_index} attempted to send after terminating"
+            )
+        first_seq = self._seq + 1
+        self._seq += count
+        channel.enqueue_many(first_seq, count)
+        self._activate(channel)
+        self.trace.count_send(node_index, port, count)
+
     def _do_terminate(self, node_index: int, output: Any) -> None:
         node = self.network.nodes[node_index]
         node._mark_terminated(output)
@@ -187,9 +251,7 @@ class Engine:
         # Quiescent termination also forbids pulses already in transit
         # towards the terminating node at the moment it terminates.
         in_transit = sum(
-            channel.pending
-            for channel in self.network.channels
-            if channel.dst[0] == node_index
+            channel.pending for channel in self._in_channels[node_index]
         )
         if in_transit:
             self._note_violation(
@@ -220,26 +282,33 @@ class Engine:
         for index, node in enumerate(self.network.nodes):
             node.on_init(self._apis[index])
 
-        nonempty = self._nonempty
+        active_ids = self._active_ids
+        channels = self.network.channels
         scheduler_choose = self.scheduler.choose
         hooks = self.invariant_hooks
         max_steps = self.max_steps
-        while nonempty:
+        deliver = self._deliver
+        deliver_batch = self._deliver_batch
+        while active_ids:
             if self._steps >= max_steps:
                 raise SimulationLimitExceeded(
                     f"no quiescence after {self._steps} deliveries "
                     f"({self.network.pending_messages()} still in flight)",
                     steps=self._steps,
                 )
-            if len(nonempty) == 1:
-                chosen = next(iter(nonempty.values()))
+            if len(active_ids) == 1:
+                chosen = channels[active_ids[0]]
             else:
-                candidates = [nonempty[cid] for cid in sorted(nonempty)]
+                candidates = [channels[cid] for cid in active_ids]
                 chosen = candidates[scheduler_choose(candidates)]
-            self._deliver(chosen)
+            if chosen.counting:
+                deliver_batch(chosen)
+            else:
+                deliver(chosen)
             self._steps += 1
-            for hook in hooks:
-                hook(self)
+            if hooks:
+                for hook in hooks:
+                    hook(self)
 
         return RunResult(
             quiescent=True,
@@ -253,9 +322,9 @@ class Engine:
         )
 
     def _deliver(self, channel) -> None:
-        send_seq, content = channel._queue.popleft()
-        if not channel._queue:
-            del self._nonempty[channel.channel_id]
+        send_seq, content = channel.dequeue()
+        if not channel.pending:
+            self._deactivate(channel)
         receiver_index, receiver_port = channel.dst
         receiver = self.network.nodes[receiver_index]
         ignored = receiver.terminated
@@ -281,6 +350,29 @@ class Engine:
             )
             return
         receiver.on_message(self._apis[receiver_index], receiver_port, content)
+
+    def _deliver_batch(self, channel) -> None:
+        """Deliver a counting channel's whole FIFO run in one step.
+
+        Equivalent to the adversary picking the same channel ``count``
+        times in a row — a legal unbatched schedule — so nothing the model
+        can observe distinguishes the two (docs/PERFORMANCE.md spells the
+        argument out).
+        """
+        count = channel.drain()
+        self._deactivate(channel)
+        receiver_index, receiver_port = channel.dst
+        receiver = self.network.nodes[receiver_index]
+        self._seq += count
+        if receiver.terminated:
+            self.trace.count_delivery(receiver_index, receiver_port, True, count)
+            self._note_violation(
+                f"{count} pulse(s) delivered to terminated node "
+                f"{receiver_index} (port {receiver_port})"
+            )
+            return
+        self.trace.count_delivery(receiver_index, receiver_port, False, count)
+        receiver.on_pulses(self._apis[receiver_index], receiver_port, count)
 
 
 def run_to_quiescence(

@@ -56,6 +56,16 @@ class NodeAPI(abc.ABC):
         :class:`~repro.exceptions.ProtocolViolation`.
         """
 
+    def send_many(self, port: int, count: int) -> None:
+        """Send ``count`` contentless pulses out of local ``port``.
+
+        Semantically identical to ``count`` calls to ``send(port)``; batch
+        engines override this with an O(1) bulk enqueue so batch handlers
+        can relay whole pulse runs without a per-pulse round trip.
+        """
+        for _ in range(count):
+            self.send(port)
+
 
 class Node(abc.ABC):
     """Abstract event-driven node.
@@ -83,6 +93,23 @@ class Node(abc.ABC):
             port: Local port (0 or 1) the message arrived at.
             content: Message payload; always ``None`` on defective channels.
         """
+
+    def on_pulses(self, api: NodeAPI, port: int, count: int) -> None:
+        """Consume a FIFO run of ``count`` contentless pulses at ``port``.
+
+        Called by the batched engine in place of ``count`` separate
+        :meth:`on_message` deliveries.  The default processes the run pulse
+        by pulse, stopping early if a pulse terminates the node (the slow
+        path would likewise never invoke ``on_message`` on a terminated
+        node; the stragglers count as ignored deliveries either way).
+        Algorithm nodes whose per-pulse reaction has a closed form override
+        this to consume the whole run in O(1) — see
+        :class:`~repro.core.warmup.WarmupNode` for the canonical example.
+        """
+        for _ in range(count):
+            if self.terminated:
+                break
+            self.on_message(api, port, None)
 
     # -- helpers shared by all node implementations -------------------------
 

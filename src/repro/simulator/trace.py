@@ -52,13 +52,15 @@ class Trace:
     # materializes record objects when event recording is on; this keeps
     # the per-pulse cost low on multi-million-pulse runs.
 
-    def count_send(self, sender: int, port: int) -> None:
-        self.sends_by_port[(sender, port)] += 1
+    def count_send(self, sender: int, port: int, count: int = 1) -> None:
+        self.sends_by_port[(sender, port)] += count
 
-    def count_delivery(self, receiver: int, port: int, ignored: bool) -> None:
-        self.recvs_by_port[(receiver, port)] += 1
+    def count_delivery(
+        self, receiver: int, port: int, ignored: bool, count: int = 1
+    ) -> None:
+        self.recvs_by_port[(receiver, port)] += count
         if ignored:
-            self.ignored_deliveries += 1
+            self.ignored_deliveries += count
 
     def note_send(self, record: SendRecord) -> None:
         self.count_send(record.sender, record.port)

@@ -1,0 +1,84 @@
+"""The process-parallel sweep runner: identical results at any width."""
+
+import pytest
+
+from repro.analysis.average_case import (
+    measure_chang_roberts_over_placements,
+    measure_oblivious_over_placements,
+    random_placements,
+)
+from repro.analysis.parallel import parallel_map, resolve_processes
+from repro.exceptions import ConfigurationError
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+class TestResolveProcesses:
+    def test_serial_spellings(self):
+        assert resolve_processes(None) == 1
+        assert resolve_processes(0) == 1
+        assert resolve_processes(1) == 1
+
+    def test_auto_is_at_least_one(self):
+        assert resolve_processes("auto") >= 1
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_processes(3) == 3
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            resolve_processes(-2)
+        with pytest.raises(ConfigurationError):
+            resolve_processes("many")
+        with pytest.raises(ConfigurationError):
+            resolve_processes(True)
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, range(6)) == [0, 1, 4, 9, 16, 25]
+
+    def test_parallel_matches_serial_in_order(self):
+        items = list(range(25))
+        assert parallel_map(_square, items, processes=2) == [
+            _square(x) for x in items
+        ]
+
+    def test_single_item_never_spawns(self):
+        assert parallel_map(_square, [7], processes=8) == [49]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], processes=2) == []
+
+    def test_worker_exceptions_propagate(self):
+        with pytest.raises(ValueError):
+            parallel_map(_boom, [1, 2], processes=2)
+        with pytest.raises(ValueError):
+            parallel_map(_boom, [1, 2])
+
+
+class TestPlacementSweeps:
+    def test_placements_are_seed_deterministic(self):
+        assert random_placements(6, 4, seed=9) == random_placements(6, 4, seed=9)
+        assert random_placements(6, 4, seed=9) != random_placements(6, 4, seed=10)
+
+    def test_chang_roberts_sweep_parallel_equals_serial(self):
+        serial = measure_chang_roberts_over_placements(10, 8, seed=2)
+        fanned = measure_chang_roberts_over_placements(10, 8, seed=2, processes=2)
+        assert serial == fanned
+
+    def test_oblivious_sweep_parallel_and_batched_equal_serial(self):
+        serial = measure_oblivious_over_placements(6, 6, seed=4)
+        fanned = measure_oblivious_over_placements(
+            6, 6, seed=4, processes=2, batched=True
+        )
+        assert serial == fanned
+        # Theorem 1: zero placement variance, exactly n(2*IDmax + 1).
+        assert serial.spread == 0
+        assert serial.mean == 6 * (2 * 6 + 1)

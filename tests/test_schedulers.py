@@ -131,4 +131,5 @@ class TestRegistry:
             "round_robin",
             "lag_ccw",
             "lag_cw",
+            "longest_run",
         }
