@@ -1,0 +1,231 @@
+"""Model-checking benchmark: reduced vs unreduced schedule exploration.
+
+Runs both explorers on a grid of small instances and certifies, per
+instance, that the partial-order-reduced search reproduces the reference
+search's verdicts exactly (terminal node fingerprints, confluence,
+per-terminal message counts) while visiting fewer states.  Two rows are
+load-bearing for the acceptance criteria recorded in
+``docs/VERIFICATION.md``:
+
+* the **reference instance** (Algorithm 1 on ``[1..6]``), where the
+  reduced search must visit at least 10x fewer states than the
+  unreduced one with identical terminal fingerprints and confluence
+  verdict; and
+* the **frontier instance** (Algorithm 1 on ``[1..7]`` under a shared
+  2000-state budget), which the unreduced search cannot finish but the
+  reduced search both finishes and certifies the exact ``n*IDmax``
+  message bound on.
+
+Results land in a machine-readable ``BENCH_verification.json`` at the
+repo root::
+
+    PYTHONPATH=src python benchmarks/run_verification_bench.py          # full grid
+    PYTHONPATH=src python benchmarks/run_verification_bench.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+from typing import Dict, List, Optional
+
+from repro.core.nonoriented import NonOrientedNode
+from repro.core.terminating import TerminatingNode
+from repro.core.warmup import WarmupNode
+from repro.simulator.ring import build_nonoriented_ring, build_oriented_ring
+from repro.verification import (
+    ExplorationLimitExceeded,
+    explore_all_schedules,
+    explore_reduced,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+REFERENCE_IDS = [1, 2, 3, 4, 5, 6]
+FRONTIER_IDS = [1, 2, 3, 4, 5, 6, 7]
+FRONTIER_BUDGET = 2_000
+
+FULL_GRID = [
+    ("warmup", [1, 2, 3]),
+    ("warmup", [2, 3, 1, 4]),
+    ("warmup", REFERENCE_IDS),
+    ("terminating", [2, 3, 1]),
+    ("terminating", [2, 3, 1, 4]),
+    ("terminating", [1, 2, 3, 4, 5, 6]),
+    ("nonoriented", [1, 2, 3]),
+]
+QUICK_GRID = [
+    ("warmup", [1, 2, 3]),
+    ("warmup", REFERENCE_IDS),
+    ("terminating", [2, 3, 1]),
+]
+
+
+def _factory(algorithm: str, ids: List[int]):
+    def build():
+        if algorithm == "warmup":
+            return build_oriented_ring([WarmupNode(i) for i in ids]).network
+        if algorithm == "terminating":
+            return build_oriented_ring([TerminatingNode(i) for i in ids]).network
+        nodes = [NonOrientedNode(i) for i in ids]
+        flips = [index % 2 == 1 for index in range(len(ids))]
+        return build_nonoriented_ring(nodes, flips=flips).network
+
+    return build
+
+
+def bench_instance(algorithm: str, ids: List[int]) -> Dict:
+    factory = _factory(algorithm, ids)
+    t0 = time.perf_counter()
+    unreduced = explore_all_schedules(factory)
+    t_unreduced = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    reduced = explore_reduced(factory)
+    t_reduced = time.perf_counter() - t0
+    agree = (
+        set(unreduced.terminal_node_fingerprints)
+        == set(reduced.terminal_node_fingerprints)
+        and unreduced.confluent == reduced.confluent
+        and sorted(unreduced.terminal_total_sent)
+        == sorted(reduced.terminal_total_sent)
+    )
+    return {
+        "algorithm": algorithm,
+        "ids": ids,
+        "unreduced_states": unreduced.states_explored,
+        "unreduced_seconds": round(t_unreduced, 4),
+        "reduced_states": reduced.states_explored,
+        "reduced_seconds": round(t_reduced, 4),
+        "state_reduction": round(
+            unreduced.states_explored / reduced.states_explored, 2
+        ),
+        "confluent": reduced.confluent,
+        "quiescence_violations": reduced.quiescence_violations,
+        "terminal_total_sent": reduced.terminal_total_sent,
+        "verdicts_agree": agree,
+    }
+
+
+def bench_frontier() -> Dict:
+    """The instance only the reduced search can certify within budget."""
+    factory = _factory("warmup", FRONTIER_IDS)
+    t0 = time.perf_counter()
+    try:
+        explore_all_schedules(factory, max_states=FRONTIER_BUDGET)
+        unreduced_exhausted_budget = False
+    except ExplorationLimitExceeded:
+        unreduced_exhausted_budget = True
+    t_unreduced = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    reduced = explore_reduced(factory, max_states=FRONTIER_BUDGET)
+    t_reduced = time.perf_counter() - t0
+    expected = len(FRONTIER_IDS) * max(FRONTIER_IDS)  # Corollary 13: n*IDmax
+    certified = (
+        reduced.confluent
+        and reduced.quiescence_violations == 0
+        and reduced.terminal_total_sent == [expected]
+    )
+    return {
+        "algorithm": "warmup",
+        "ids": FRONTIER_IDS,
+        "state_budget": FRONTIER_BUDGET,
+        "unreduced_exceeded_budget": unreduced_exhausted_budget,
+        "unreduced_seconds": round(t_unreduced, 4),
+        "reduced_states": reduced.states_explored,
+        "reduced_seconds": round(t_reduced, 4),
+        "expected_pulses": expected,
+        "reduced_certified_bound": certified,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small grid for smoke runs"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_verification.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+    rows = []
+    for algorithm, ids in grid:
+        print(f"benchmarking {algorithm} {ids} ...", flush=True)
+        row = bench_instance(algorithm, ids)
+        print(
+            f"  unreduced {row['unreduced_states']:>6} states | reduced "
+            f"{row['reduced_states']:>6} states | {row['state_reduction']}x | "
+            f"agree={row['verdicts_agree']}",
+            flush=True,
+        )
+        rows.append(row)
+
+    print(f"frontier: warmup {FRONTIER_IDS} @ budget {FRONTIER_BUDGET} ...",
+          flush=True)
+    frontier = bench_frontier()
+    print(
+        f"  unreduced exceeded budget: {frontier['unreduced_exceeded_budget']} | "
+        f"reduced {frontier['reduced_states']} states, certified bound: "
+        f"{frontier['reduced_certified_bound']}",
+        flush=True,
+    )
+
+    reference = next(
+        (
+            row
+            for row in rows
+            if row["algorithm"] == "warmup" and row["ids"] == REFERENCE_IDS
+        ),
+        None,
+    )
+    reference_ok = (
+        reference is not None
+        and reference["state_reduction"] >= 10.0
+        and reference["verdicts_agree"]
+    )
+    all_agree = all(row["verdicts_agree"] for row in rows)
+    frontier_ok = (
+        frontier["unreduced_exceeded_budget"]
+        and frontier["reduced_certified_bound"]
+    )
+
+    report = {
+        "generated_by": "benchmarks/run_verification_bench.py"
+        + (" --quick" if args.quick else ""),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": "explore_all_schedules vs explore_reduced "
+        "(POR + counting states)",
+        "grid": rows,
+        "frontier": frontier,
+        "summary": {
+            "reference_instance": {
+                "algorithm": "warmup",
+                "ids": REFERENCE_IDS,
+                "state_reduction": reference["state_reduction"]
+                if reference
+                else None,
+                "meets_10x": reference_ok,
+            },
+            "all_verdicts_agree": all_agree,
+            "frontier_certified_beyond_unreduced": frontier_ok,
+        },
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if not (reference_ok and all_agree and frontier_ok):
+        print("ACCEPTANCE CRITERIA NOT MET — see summary in the JSON report")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

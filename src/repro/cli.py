@@ -139,27 +139,133 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if outcome.run.quiescently_terminated else 1
 
 
+def _expected_pulse_bound(algorithm: str, ids: List[int]) -> "tuple[str, int]":
+    """The paper's exact message count for one instance of ``algorithm``."""
+    n, id_max = len(ids), max(ids)
+    if algorithm == "warmup":
+        return ("n*IDmax (Cor 13)", n * id_max)
+    if algorithm == "terminating":
+        return ("n(2*IDmax+1) (Thm 1)", n * (2 * id_max + 1))
+    return ("n(2*IDmax+1) (Thm 2)", n * (2 * id_max + 1))
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.invariants import InvariantViolation, hooks_for
+    from repro.core.nonoriented import NonOrientedNode
     from repro.core.terminating import TerminatingNode
     from repro.core.warmup import WarmupNode
-    from repro.simulator.ring import build_oriented_ring
-    from repro.verification import explore_all_schedules
+    from repro.simulator.faults import FaultPlan, apply_fault_plan
+    from repro.simulator.ring import build_nonoriented_ring, build_oriented_ring
+    from repro.verification import (
+        ExplorationLimitExceeded,
+        explore_all_schedules,
+        explore_reduced,
+    )
 
-    node_cls = {"warmup": WarmupNode, "terminating": TerminatingNode}[args.algorithm]
+    ids = args.ids
+    fault_plan = None
+    if args.fault_drop or args.fault_duplicate:
+        fault_plan = FaultPlan(
+            drop_rate=args.fault_drop,
+            duplicate_rate=args.fault_duplicate,
+            seed=args.fault_seed,
+        )
 
     def factory():
-        return build_oriented_ring([node_cls(i) for i in args.ids]).network
+        if args.algorithm == "nonoriented":
+            flips = args.flips if args.flips is not None else [False] * len(ids)
+            if len(flips) != len(ids):
+                raise SystemExit("--flips must match --ids in length")
+            network = build_nonoriented_ring(
+                [NonOrientedNode(i) for i in ids], flips=flips
+            ).network
+        else:
+            cls = {"warmup": WarmupNode, "terminating": TerminatingNode}[
+                args.algorithm
+            ]
+            network = build_oriented_ring([cls(i) for i in ids]).network
+        if fault_plan is not None:
+            apply_fault_plan(network, fault_plan)
+        return network
 
-    result = explore_all_schedules(factory, max_states=args.max_states)
+    hooks = hooks_for(args.algorithm) if args.invariants else ()
     print(f"algorithm            : {args.algorithm}")
-    print(f"ids                  : {args.ids}")
-    print(f"reachable states     : {result.states_explored}")
+    print(f"ids                  : {ids}")
+    if fault_plan is not None:
+        print(
+            f"faults               : drop={fault_plan.drop_rate} "
+            f"duplicate={fault_plan.duplicate_rate} seed={fault_plan.seed}"
+        )
+    if hooks:
+        print(f"invariant hooks      : {[hook.__name__ for hook in hooks]}")
+
+    reduce_first = args.reduction == "por"
+    try:
+        if reduce_first:
+            result = explore_reduced(
+                factory, max_states=args.max_states, invariant_hooks=hooks
+            )
+        else:
+            result = explore_all_schedules(
+                factory, max_states=args.max_states, invariant_hooks=hooks
+            )
+    except InvariantViolation as violation:
+        print(f"INVARIANT VIOLATION  : {violation}")
+        return 1
+    except ExplorationLimitExceeded as limit:
+        print(f"BUDGET EXCEEDED      : {limit}")
+        return 1
+
+    mode = "reduced (POR + counting states)" if reduce_first else "unreduced"
+    print(f"exploration          : {mode}")
+    print(f"states explored      : {result.states_explored}")
     print(f"transitions examined : {result.transitions}")
-    print(f"terminal states      : {len(result.terminal_fingerprints)}")
+    if reduce_first:
+        print(
+            f"branch reduction     : {result.branch_reduction:.2f}x "
+            f"(ample at {result.ample_states} states, full expansion at "
+            f"{result.full_expansion_states})"
+        )
+    print(f"terminal states      : {len(result.terminal_node_fingerprints)}")
     print(f"confluent            : {result.confluent}")
     print(f"quiescence violations: {result.quiescence_violations}")
     print(f"max pulses in flight : {result.max_in_flight}")
+
     ok = result.confluent and result.quiescence_violations == 0
+
+    if fault_plan is None:
+        label, expected = _expected_pulse_bound(args.algorithm, ids)
+        certified = bool(result.terminal_total_sent) and all(
+            sent == expected for sent in result.terminal_total_sent
+        )
+        verdict = "CERTIFIED (all schedules)" if certified else "MISMATCH"
+        print(f"message bound        : {label} = {expected}  {verdict}")
+        ok = ok and certified
+    else:
+        print("message bound        : n/a (faults change the pulse count)")
+
+    if args.compare_unreduced and reduce_first:
+        try:
+            reference = explore_all_schedules(factory, max_states=args.max_states)
+        except ExplorationLimitExceeded as limit:
+            print(f"unreduced reference  : BUDGET EXCEEDED ({limit})")
+            print(
+                "state reduction      : >= "
+                f"{args.max_states / result.states_explored:.1f}x "
+                "(reference search did not finish)"
+            )
+        else:
+            agree = set(reference.terminal_node_fingerprints) == set(
+                result.terminal_node_fingerprints
+            ) and reference.confluent == result.confluent
+            print(f"unreduced reference  : {reference.states_explored} states")
+            print(
+                "state reduction      : "
+                f"{reference.states_explored / result.states_explored:.1f}x"
+            )
+            print(f"terminal agreement   : {agree}")
+            ok = ok and agree
+
     print("VERIFIED (all schedules)" if ok else "FAILED")
     return 0 if ok else 1
 
@@ -268,8 +374,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify = sub.add_parser("verify", help="model-check ALL schedules (small rings)")
     verify.add_argument("--ids", type=_parse_int_list, required=True)
-    verify.add_argument("--algorithm", choices=["warmup", "terminating"],
+    verify.add_argument("--algorithm",
+                        choices=["warmup", "terminating", "nonoriented"],
                         default="terminating")
+    verify.add_argument("--flips", type=_parse_bool_list, default=None,
+                        help="port flips for nonoriented, e.g. 1,0,1")
+    verify.add_argument("--reduction", choices=["por", "none"], default="por",
+                        help="por: partial-order-reduced search (default); "
+                             "none: branch on every channel at every state")
+    verify.add_argument("--compare-unreduced", action="store_true",
+                        help="also run the unreduced reference search and "
+                             "report the state-reduction factor + agreement")
+    verify.add_argument("--invariants", action="store_true",
+                        help="evaluate the executable lemmas at every "
+                             "explored state")
+    verify.add_argument("--fault-drop", type=float, default=0.0,
+                        help="per-pulse drop probability (explore under faults)")
+    verify.add_argument("--fault-duplicate", type=float, default=0.0,
+                        help="per-pulse duplication probability")
+    verify.add_argument("--fault-seed", type=int, default=0)
     verify.add_argument("--max-states", type=int, default=2_000_000)
     verify.set_defaults(func=_cmd_verify)
 

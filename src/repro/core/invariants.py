@@ -174,3 +174,31 @@ ALGORITHM2_HOOKS = (
     check_ccw_lag,
     check_leader_event_unique,
 )
+
+# Hooks only read ``engine.network.nodes`` and
+# ``engine.network.pending_messages()``, so the schedule explorers can
+# evaluate them at every explored state through a
+# :class:`~repro.verification.common.EngineView` — the same executable
+# lemmas certify both live runs and exhaustive searches.
+#
+# Algorithm 3 has no per-state hook battery: its virtual nodes interleave
+# two Algorithm 1 instances whose counters live in sub-objects, and the
+# paper argues its correctness by reduction rather than by new invariants.
+ALGORITHM_HOOKS = {
+    "warmup": ALGORITHM1_HOOKS,
+    "terminating": ALGORITHM2_HOOKS,
+    "nonoriented": (),
+}
+
+
+def hooks_for(algorithm: str):
+    """The per-state invariant hooks appropriate for ``algorithm``.
+
+    Args:
+        algorithm: One of ``"warmup"``, ``"terminating"``,
+            ``"nonoriented"`` (the CLI's algorithm names).
+
+    Raises:
+        KeyError: For unknown algorithm names.
+    """
+    return ALGORITHM_HOOKS[algorithm]

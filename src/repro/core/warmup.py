@@ -27,6 +27,7 @@ from typing import Any, List, Optional, Sequence
 
 from repro.exceptions import ProtocolViolation
 from repro.core.common import (
+    CCW_SEND_PORT,
     CW_ARRIVAL_PORT,
     CW_SEND_PORT,
     LeaderState,
@@ -47,6 +48,10 @@ class WarmupNode(OrientedRingNode):
     equals the node's ID, become (tentatively) Leader and absorb the
     pulse; otherwise become Non-Leader and relay it clockwise.
     """
+
+    # Algorithm 1 is CW-only: no execution ever sends counterclockwise.
+    # The schedule explorers exploit this to prune CCW channels entirely.
+    SILENT_SEND_PORTS = (CCW_SEND_PORT,)
 
     def on_init(self, api: NodeAPI) -> None:
         # Line 1: every node injects one clockwise pulse.

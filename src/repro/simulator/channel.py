@@ -62,6 +62,26 @@ class Channel:
     _runs: Deque[List[int]] = field(default_factory=deque, init=False, repr=False)
     _count: int = field(default=0, init=False, repr=False)
 
+    @property
+    def src_node(self) -> int:
+        """Index of the node this channel's messages are sent from."""
+        return self.src[0]
+
+    @property
+    def src_port(self) -> int:
+        """Local port of the sending endpoint."""
+        return self.src[1]
+
+    @property
+    def dst_node(self) -> int:
+        """Index of the node this channel delivers to."""
+        return self.dst[0]
+
+    @property
+    def dst_port(self) -> int:
+        """Local port of the receiving endpoint."""
+        return self.dst[1]
+
     def enable_counting(self) -> None:
         """Switch to the run-compressed representation (defective only).
 

@@ -169,7 +169,7 @@ class Engine:
         # must not rescan every channel on each termination.
         self._in_channels: List[List[Channel]] = [[] for _ in network.nodes]
         for channel in network.channels:
-            self._in_channels[channel.dst[0]].append(channel)
+            self._in_channels[channel.dst_node].append(channel)
         # Channels with in-flight messages, maintained incrementally as a
         # channel-id-sorted list (plus a membership set): gives schedulers
         # the same deterministic candidate order as the previous

@@ -74,7 +74,20 @@ class Node(abc.ABC):
     ``self``.  A node instance must not be shared between runs: construct
     fresh nodes per execution (the algorithm front doors in
     :mod:`repro.core` do this for you).
+
+    ``SILENT_SEND_PORTS`` declares ports this node class *never* sends on
+    in any execution — a static property of the algorithm (e.g. Algorithm 1
+    uses the CW channel only).  The schedule explorers consume the
+    declaration: a channel whose source port is silent can never carry a
+    message, which the partial-order reduction turns into large prunings
+    (see ``docs/VERIFICATION.md``).  The declaration is enforced at
+    runtime: an explorer raises
+    :class:`~repro.exceptions.ProtocolViolation` on any send that
+    contradicts it.
     """
+
+    #: Ports this node class provably never sends on (static algorithm fact).
+    SILENT_SEND_PORTS: "tuple[int, ...]" = ()
 
     def __init__(self) -> None:
         self.terminated: bool = False

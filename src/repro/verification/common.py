@@ -1,0 +1,147 @@
+"""Machinery shared by the unreduced and reduced schedule explorers.
+
+Three concerns live here so that :mod:`repro.verification.explorer` (the
+trusted reference search) and :mod:`repro.verification.reduced` (the
+partial-order-reduced search) stay byte-for-byte comparable:
+
+* **Fingerprint freezing** — :func:`freeze_value` converts arbitrary node
+  state into hashable, order-stable tuples; :func:`node_fingerprint` is
+  the canonical "all node states" digest both explorers (and the
+  differential tests, via live :class:`~repro.simulator.engine.Engine`
+  runs) use to compare terminal states.
+* **Invariant-hook adapters** — the executable lemmas in
+  :mod:`repro.core.invariants` are written against a running engine but
+  only ever touch ``engine.network.nodes`` and
+  ``engine.network.pending_messages()``.  :class:`EngineView` provides
+  exactly that surface for an explorer state, so the same hook objects
+  certify invariants at every explored state.
+* **Fault emulation** — :class:`~repro.simulator.faults.FaultyChannel`
+  decides drops/duplications with a per-channel seeded RNG, one roll per
+  enqueue.  :func:`build_fault_profile` reproduces those roll streams as
+  a pure function of ``(channel_id, enqueue_index)`` so exploration can
+  branch over delivery schedules while keeping the fault pattern exactly
+  the one the live engine would inject.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.simulator.faults import FaultyChannel
+from repro.simulator.network import Network
+
+
+def freeze_value(value: Any) -> Any:
+    """Recursively convert a value into a hashable fingerprint component."""
+    if value is None or isinstance(value, (int, float, str, bool, bytes)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_value(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(freeze_value(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, freeze_value(val)) for key, val in value.items()))
+    # Shared immutable strategy objects (e.g. a CircuitProgram) are
+    # identified by type: per-node mutable state must live on the node.
+    return type(value).__qualname__
+
+
+def node_fingerprint(nodes: Iterable[Any]) -> Tuple:
+    """Canonical digest of every node's full local state.
+
+    The same function applies to explorer states and to the node objects
+    of a finished :class:`~repro.simulator.engine.Engine` run, which is
+    what makes the explorer-vs-engine differential tests possible.
+    """
+    return tuple(freeze_value(node.__dict__) for node in nodes)
+
+
+class _NetworkFacade:
+    """Duck-typed stand-in for a :class:`~repro.simulator.network.Network`."""
+
+    __slots__ = ("nodes", "_pending")
+
+    def __init__(self, nodes: Sequence[Any], pending: int) -> None:
+        self.nodes = nodes
+        self._pending = pending
+
+    def pending_messages(self) -> int:
+        return self._pending
+
+
+class EngineView:
+    """Adapter letting engine invariant hooks run on an explorer state.
+
+    The hooks in :mod:`repro.core.invariants` receive "the engine" but
+    only consult ``engine.network`` — its node list and its in-flight
+    message count.  An :class:`EngineView` packages one explored global
+    state behind that exact surface.
+    """
+
+    __slots__ = ("network",)
+
+    def __init__(self, nodes: Sequence[Any], pending: int) -> None:
+        self.network = _NetworkFacade(nodes, pending)
+
+
+class FaultProfile:
+    """Deterministic replay of a network's per-channel fault rolls.
+
+    ``copies(channel_id, index)`` answers how many copies of the
+    ``index``-th message enqueued on ``channel_id`` actually enter the
+    queue: 0 (dropped), 1 (clean), or 2 (duplicated).  The underlying
+    roll streams are lazily extended and cached, so the answer is a pure
+    function of its arguments — exploration may replay any prefix in any
+    branch order and still observe the exact fault pattern of
+    :class:`~repro.simulator.faults.FaultyChannel`.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self._plans = {}
+        self._rngs = {}
+        self._rolls: dict = {}
+        for channel in network.channels:
+            if isinstance(channel, FaultyChannel):
+                plan = channel._plan
+                self._plans[channel.channel_id] = plan
+                # Same stream construction as FaultyChannel.__init__.
+                self._rngs[channel.channel_id] = random.Random(
+                    (plan.seed << 16) ^ channel.channel_id
+                )
+                self._rolls[channel.channel_id] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._plans)
+
+    def is_faulty(self, channel_id: int) -> bool:
+        return channel_id in self._plans
+
+    def copies(self, channel_id: int, index: int) -> int:
+        plan = self._plans.get(channel_id)
+        if plan is None:
+            return 1
+        rolls = self._rolls[channel_id]
+        rng = self._rngs[channel_id]
+        while len(rolls) <= index:
+            rolls.append(rng.random())
+        roll = rolls[index]
+        if roll < plan.drop_rate:
+            return 0
+        if roll < plan.drop_rate + plan.duplicate_rate:
+            return 2
+        return 1
+
+    # The profile is an immutable-by-contract cache shared by every
+    # explored state; deep-copying a state must not fork it.
+    def __deepcopy__(self, memo: dict) -> "FaultProfile":
+        return self
+
+
+def build_fault_profile(network: Network) -> Optional[FaultProfile]:
+    """A :class:`FaultProfile` for ``network``, or None when unfaulted."""
+    profile = FaultProfile(network)
+    return profile if profile else None

@@ -24,18 +24,37 @@ queues).  This module walks that structure exhaustively:
 This is bounded model checking, not proof: it certifies one instance
 (one ring, one ID assignment) over *all* its schedules.  The test-suite
 runs it on a battery of small instances.
+
+This module is the **unreduced reference search**: it expands every
+enabled delivery at every state.  The partial-order-reduced search in
+:mod:`repro.verification.reduced` visits far fewer states while
+preserving the terminal-state certificates; the differential battery in
+the test-suite holds the two (and the live engine) to identical
+verdicts.  See ``docs/VERIFICATION.md``.
 """
 
 from __future__ import annotations
 
 import copy
-import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import ProtocolViolation, ReproError
 from repro.simulator.network import Network
 from repro.simulator.node import NodeAPI, check_port
+from repro.verification.common import (
+    EngineView,
+    build_fault_profile,
+    freeze_value,
+    node_fingerprint,
+)
+
+# Backwards-compatible alias: the freezing helper began life here.
+_freeze = freeze_value
+
+#: An engine-style invariant hook, evaluated at every explored state via
+#: an :class:`~repro.verification.common.EngineView` adapter.
+StateHook = Callable[[Any], None]
 
 
 class ExplorationLimitExceeded(ReproError):
@@ -61,7 +80,16 @@ class _ExplorerAPI(NodeAPI):
 class _SimState:
     """One global state: nodes + channel queues, deep-copyable."""
 
-    __slots__ = ("nodes", "queues", "channel_dst", "channel_src_defective", "total_sent", "out_channel")
+    __slots__ = (
+        "nodes",
+        "queues",
+        "channel_dst",
+        "channel_src_defective",
+        "total_sent",
+        "out_channel",
+        "fault_profile",
+        "fault_idx",
+    )
 
     def __init__(self, network: Network) -> None:
         self.nodes = network.nodes
@@ -70,6 +98,13 @@ class _SimState:
         self.channel_src_defective = [channel.defective for channel in network.channels]
         self.out_channel = dict(network.out_channel)
         self.total_sent = 0
+        # Faulty networks: replay FaultyChannel's drop/duplicate decisions
+        # per (channel, enqueue index); the profile is shared (its
+        # __deepcopy__ returns self), only the indices are per-state.
+        self.fault_profile = build_fault_profile(network)
+        self.fault_idx = (
+            [0] * len(network.channels) if self.fault_profile else None
+        )
 
     # -- node-facing ----------------------------------------------------------
 
@@ -79,9 +114,21 @@ class _SimState:
             raise ProtocolViolation(
                 f"node {node_index} attempted to send after terminating"
             )
+        if port in node.SILENT_SEND_PORTS:
+            raise ProtocolViolation(
+                f"node {node_index} sent on port {port}, which its class "
+                f"{type(node).__qualname__} declares silent (SILENT_SEND_PORTS)"
+            )
         channel_id = self.out_channel[(node_index, port)]
         payload = None if self.channel_src_defective[channel_id] else content
-        self.queues[channel_id].append(payload)
+        copies = 1
+        if self.fault_profile is not None:
+            copies = self.fault_profile.copies(
+                channel_id, self.fault_idx[channel_id]
+            )
+            self.fault_idx[channel_id] += 1
+        for _ in range(copies):
+            self.queues[channel_id].append(payload)
         self.total_sent += 1
 
     def terminate(self, node_index: int, output: Any) -> None:
@@ -91,6 +138,9 @@ class _SimState:
 
     def nonempty(self) -> List[int]:
         return [cid for cid, queue in enumerate(self.queues) if queue]
+
+    def pending_messages(self) -> int:
+        return sum(len(queue) for queue in self.queues)
 
     def deliver(self, channel_id: int) -> bool:
         """Deliver the FIFO head of ``channel_id``.
@@ -113,27 +163,14 @@ class _SimState:
             node.on_init(_ExplorerAPI(self, index))
 
     def fingerprint(self) -> Tuple:
-        return (
-            tuple(_freeze(node.__dict__) for node in self.nodes),
-            tuple(tuple(_freeze(item) for item in queue) for queue in self.queues),
+        queues = tuple(
+            tuple(freeze_value(item) for item in queue) for queue in self.queues
         )
-
-
-def _freeze(value: Any) -> Any:
-    """Recursively convert a value into a hashable fingerprint component."""
-    if value is None or isinstance(value, (int, float, str, bool, bytes)):
-        return value
-    if isinstance(value, enum.Enum):
-        return value
-    if isinstance(value, (list, tuple)):
-        return tuple(_freeze(item) for item in value)
-    if isinstance(value, (set, frozenset)):
-        return frozenset(_freeze(item) for item in value)
-    if isinstance(value, dict):
-        return tuple(sorted((key, _freeze(val)) for key, val in value.items()))
-    # Shared immutable strategy objects (e.g. a CircuitProgram) are
-    # identified by type: per-node mutable state must live on the node.
-    return type(value).__qualname__
+        if self.fault_idx is not None:
+            # With faults, future behaviour depends on each channel's roll
+            # position, so it is part of the state.
+            return (node_fingerprint(self.nodes), queues, tuple(self.fault_idx))
+        return (node_fingerprint(self.nodes), queues)
 
 
 @dataclass
@@ -147,6 +184,9 @@ class ExplorationResult:
         terminal_fingerprints: Distinct quiescent end states reached.
         terminal_outputs: The per-node outputs/states of each distinct
             terminal state (parallel to ``terminal_fingerprints``).
+        terminal_total_sent: Total messages sent on the way into each
+            distinct terminal state (parallel again) — the exact message
+            complexity certified per end state.
         quiescence_violations: Number of explored transitions that
             delivered a pulse to a terminated node.
         max_in_flight: Largest number of simultaneously in-flight pulses
@@ -159,17 +199,29 @@ class ExplorationResult:
     terminal_outputs: List[Tuple]
     quiescence_violations: int
     max_in_flight: int
+    terminal_total_sent: List[int] = field(default_factory=list)
 
     @property
     def confluent(self) -> bool:
         """All schedules funnel into one terminal state."""
         return len(self.terminal_fingerprints) == 1
 
+    @property
+    def terminal_node_fingerprints(self) -> List[Tuple]:
+        """The node-state component of each terminal fingerprint.
+
+        Channel queues are empty at quiescence, so this component is the
+        whole observable end state; it is the shared currency of the
+        reduced-vs-unreduced-vs-engine differential tests.
+        """
+        return [fingerprint[0] for fingerprint in self.terminal_fingerprints]
+
 
 def explore_all_schedules(
     network_factory: Callable[[], Network],
     invariant: Optional[Callable[[Sequence[Any]], None]] = None,
     max_states: int = 2_000_000,
+    invariant_hooks: Sequence[StateHook] = (),
 ) -> ExplorationResult:
     """Exhaustively explore every delivery schedule of a network.
 
@@ -181,21 +233,33 @@ def explore_all_schedules(
             report a violation (aborting the exploration).
         max_states: Budget on distinct states before raising
             :class:`ExplorationLimitExceeded`.
+        invariant_hooks: Engine-style hooks (e.g. the executable lemmas
+            in :mod:`repro.core.invariants`) evaluated at every explored
+            state through an :class:`~repro.verification.common.EngineView`.
 
     Returns:
         An :class:`ExplorationResult` certificate for this instance.
     """
     root = _SimState(network_factory())
     root.init_all()
-    if invariant is not None:
-        invariant(root.nodes)
+
+    def check(state: _SimState) -> None:
+        if invariant is not None:
+            invariant(state.nodes)
+        if invariant_hooks:
+            view = EngineView(state.nodes, state.pending_messages())
+            for hook in invariant_hooks:
+                hook(view)
+
+    check(root)
 
     seen: Set[Tuple] = set()
     terminal_fingerprints: List[Tuple] = []
     terminal_outputs: List[Tuple] = []
+    terminal_total_sent: List[int] = []
     transitions = 0
     violations = 0
-    max_in_flight = sum(len(queue) for queue in root.queues)
+    max_in_flight = root.pending_messages()
 
     stack: List[_SimState] = [root]
     seen.add(root.fingerprint())
@@ -208,8 +272,9 @@ def explore_all_schedules(
             if fp not in set(terminal_fingerprints):
                 terminal_fingerprints.append(fp)
                 terminal_outputs.append(
-                    tuple(_freeze(getattr(node, "output", None)) for node in state.nodes)
+                    tuple(freeze_value(getattr(node, "output", None)) for node in state.nodes)
                 )
+                terminal_total_sent.append(state.total_sent)
             continue
         for channel_id in candidates:
             successor = copy.deepcopy(state)
@@ -225,9 +290,8 @@ def explore_all_schedules(
                     f"more than {max_states} reachable states; "
                     "shrink the instance or raise max_states"
                 )
-            if invariant is not None:
-                invariant(successor.nodes)
-            in_flight = sum(len(queue) for queue in successor.queues)
+            check(successor)
+            in_flight = successor.pending_messages()
             max_in_flight = max(max_in_flight, in_flight)
             stack.append(successor)
 
@@ -238,4 +302,5 @@ def explore_all_schedules(
         terminal_outputs=terminal_outputs,
         quiescence_violations=violations,
         max_in_flight=max_in_flight,
+        terminal_total_sent=terminal_total_sent,
     )

@@ -1,0 +1,455 @@
+"""Partial-order-reduced model checking of the schedule space.
+
+The unreduced explorer (:mod:`repro.verification.explorer`) expands one
+successor per non-empty channel at every state, which makes the visited
+state count explode combinatorially: schedules that differ only in the
+order of *commuting* deliveries drag the search through every
+intermediate state of every interleaving.  This module exploits the two
+structural facts the content-oblivious model hands us:
+
+1. **Counting states.**  A fully defective channel carries contentless
+   pulses, so its queue is fully described by its pulse *count* (the same
+   observation behind the engine's counting-mode channels in
+   :mod:`repro.simulator.channel`).  Explored states store an ``int`` per
+   defective channel instead of a queue object, which makes state
+   copying, hashing, and memoization cheap.  Send sequence numbers are
+   bookkeeping the model cannot observe and are excluded from
+   fingerprints.
+
+2. **Partial-order reduction.**  Delivering the head of channel ``c``
+   mutates only: ``c``'s queue (a pop), the receiver's local state, and
+   the tails of the receiver's outgoing channels (appends).  Two enabled
+   deliveries into *distinct* nodes therefore commute — executing them in
+   either order reaches the identical global state — while successive
+   deliveries from one FIFO channel are a fixed sequence.  At each state
+   the search tries to expand only a *persistent set*: the enabled
+   deliveries into one receiver ``v``, valid whenever no other node could
+   feed one of ``v``'s currently-empty in-channels before ``v`` acts
+   (checked by :func:`_reach`, a sound reachability over-approximation,
+   plus the statically declared
+   :attr:`~repro.simulator.node.Node.SILENT_SEND_PORTS`).  When no
+   receiver qualifies, the state is expanded in full — the reduction
+   degrades, never lies.
+
+What the reduction preserves (``docs/VERIFICATION.md`` has the proofs):
+
+* every terminal (quiescent) state of the full schedule space, hence the
+  confluence verdict, elected leader, and exact per-terminal message
+  counts;
+* the existence of quiescent-termination violations (their *count* may
+  shrink: fewer redundant interleavings witness the same violation);
+* invariant hooks are evaluated at every **visited** state — a subset of
+  all reachable states.  For an all-states invariant certificate, run
+  the unreduced explorer.
+
+The differential battery in ``tests/test_verification_differential.py``
+holds both explorers and the live engine (per-pulse and batched) to
+identical terminal verdicts.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ProtocolViolation
+from repro.simulator.network import Network
+from repro.simulator.node import NodeAPI, check_port
+from repro.verification.common import (
+    EngineView,
+    build_fault_profile,
+    freeze_value,
+    node_fingerprint,
+)
+from repro.verification.explorer import ExplorationLimitExceeded, StateHook
+
+
+class _Static:
+    """Immutable per-exploration context shared by every explored state."""
+
+    __slots__ = (
+        "n_nodes",
+        "n_channels",
+        "src_node",
+        "src_port",
+        "dst_node",
+        "dst_port",
+        "contentless",
+        "silent",
+        "in_channels",
+        "out_channels",
+        "out_channel",
+        "fault_profile",
+    )
+
+    def __init__(self, network: Network) -> None:
+        channels = network.channels
+        self.n_nodes = len(network.nodes)
+        self.n_channels = len(channels)
+        self.src_node = [channel.src_node for channel in channels]
+        self.src_port = [channel.src_port for channel in channels]
+        self.dst_node = [channel.dst_node for channel in channels]
+        self.dst_port = [channel.dst_port for channel in channels]
+        # Defective channels erase content, so a pulse count is the whole
+        # queue state (counting representation); content-carrying channels
+        # keep real queues.
+        self.contentless = [channel.defective for channel in channels]
+        self.silent = [
+            channel.src_port in network.nodes[channel.src_node].SILENT_SEND_PORTS
+            for channel in channels
+        ]
+        self.in_channels: List[List[int]] = [[] for _ in range(self.n_nodes)]
+        self.out_channels: List[List[int]] = [[] for _ in range(self.n_nodes)]
+        for channel in channels:
+            self.in_channels[channel.dst_node].append(channel.channel_id)
+            self.out_channels[channel.src_node].append(channel.channel_id)
+        self.out_channel = dict(network.out_channel)
+        self.fault_profile = build_fault_profile(network)
+
+
+class _RState:
+    """One explored global state in counting representation."""
+
+    __slots__ = ("nodes", "queues", "fault_idx", "total_sent")
+
+    def __init__(self, network: Network, static: _Static) -> None:
+        self.nodes = network.nodes
+        self.queues: List[Any] = [
+            0 if static.contentless[cid] else [] for cid in range(static.n_channels)
+        ]
+        self.fault_idx = (
+            [0] * static.n_channels if static.fault_profile is not None else None
+        )
+        self.total_sent = 0
+
+    def clone(self) -> "_RState":
+        new = _RState.__new__(_RState)
+        new.nodes = copy.deepcopy(self.nodes)
+        new.queues = [
+            queue if isinstance(queue, int) else list(queue) for queue in self.queues
+        ]
+        new.fault_idx = None if self.fault_idx is None else list(self.fault_idx)
+        new.total_sent = self.total_sent
+        return new
+
+    def qlen(self, channel_id: int) -> int:
+        queue = self.queues[channel_id]
+        return queue if isinstance(queue, int) else len(queue)
+
+    def pending_messages(self) -> int:
+        return sum(
+            queue if isinstance(queue, int) else len(queue) for queue in self.queues
+        )
+
+    def enabled(self) -> List[int]:
+        return [cid for cid in range(len(self.queues)) if self.qlen(cid)]
+
+    def fingerprint(self, static: _Static) -> Tuple:
+        queues = tuple(
+            queue
+            if isinstance(queue, int)
+            else tuple(freeze_value(item) for item in queue)
+            for queue in self.queues
+        )
+        if self.fault_idx is not None:
+            return (node_fingerprint(self.nodes), queues, tuple(self.fault_idx))
+        return (node_fingerprint(self.nodes), queues)
+
+
+class _ReducedAPI(NodeAPI):
+    """Capability object handed to nodes while exploring a _RState."""
+
+    __slots__ = ("_static", "_state", "_node_index")
+
+    def __init__(self, static: _Static, state: _RState, node_index: int) -> None:
+        self._static = static
+        self._state = state
+        self._node_index = node_index
+
+    def send(self, port: int, content: Any = None) -> None:
+        static, state, sender = self._static, self._state, self._node_index
+        node = state.nodes[sender]
+        if node.terminated:
+            raise ProtocolViolation(
+                f"node {sender} attempted to send after terminating"
+            )
+        if check_port(port) in node.SILENT_SEND_PORTS:
+            raise ProtocolViolation(
+                f"node {sender} sent on port {port}, which its class "
+                f"{type(node).__qualname__} declares silent (SILENT_SEND_PORTS)"
+            )
+        channel_id = static.out_channel[(sender, port)]
+        copies = 1
+        if static.fault_profile is not None:
+            copies = static.fault_profile.copies(
+                channel_id, state.fault_idx[channel_id]
+            )
+            state.fault_idx[channel_id] += 1
+        if copies:
+            if static.contentless[channel_id]:
+                state.queues[channel_id] += copies
+            else:
+                for _ in range(copies):
+                    state.queues[channel_id].append(content)
+        state.total_sent += 1
+
+    def terminate(self, output: Any = None) -> None:
+        self._state.nodes[self._node_index]._mark_terminated(output)
+
+
+def _deliver(static: _Static, state: _RState, channel_id: int) -> bool:
+    """Deliver ``channel_id``'s FIFO head; True on a quiescence violation."""
+    queue = state.queues[channel_id]
+    if isinstance(queue, int):
+        state.queues[channel_id] = queue - 1
+        content = None
+    else:
+        content = queue.pop(0)
+    receiver_index = static.dst_node[channel_id]
+    receiver = state.nodes[receiver_index]
+    if receiver.terminated:
+        return True
+    receiver.on_message(
+        _ReducedAPI(static, state, receiver_index),
+        static.dst_port[channel_id],
+        content,
+    )
+    return False
+
+
+def _reach(static: _Static, state: _RState, frozen: int) -> Set[int]:
+    """Nodes that can process ≥1 delivery while node ``frozen`` never does.
+
+    Sound over-approximation: seed with every non-terminated node (other
+    than ``frozen``) holding a deliverable message, then propagate along
+    non-silent outgoing channels — a node that acts may send, enabling a
+    delivery at the channel's destination.  Anything outside the result
+    provably stays inert in every execution avoiding ``frozen``.
+    """
+    nodes = state.nodes
+    reach: Set[int] = set()
+    stack: List[int] = []
+    for x in range(static.n_nodes):
+        if x == frozen or nodes[x].terminated:
+            continue
+        if any(state.qlen(cid) for cid in static.in_channels[x]):
+            reach.add(x)
+            stack.append(x)
+    while stack:
+        actor = stack.pop()
+        for cid in static.out_channels[actor]:
+            if static.silent[cid]:
+                continue
+            dst = static.dst_node[cid]
+            if dst == frozen or dst in reach or nodes[dst].terminated:
+                continue
+            reach.add(dst)
+            stack.append(dst)
+    return reach
+
+
+def _persistent(static: _Static, state: _RState, receiver: int) -> bool:
+    """Is "all enabled deliveries into ``receiver``" a persistent set?
+
+    It is unless some *other* node could send into one of ``receiver``'s
+    currently-empty in-channels without ``receiver`` ever acting: then an
+    execution avoiding the set could create a new, dependent delivery.
+    Non-empty in-channels need no check — their heads are already in the
+    set, and FIFO pins everything behind the heads.
+    """
+    dangerous: List[int] = []
+    for cid in static.in_channels[receiver]:
+        if state.qlen(cid):
+            continue
+        src = static.src_node[cid]
+        if src == receiver:  # self-loop: the frozen receiver never sends
+            continue
+        if static.silent[cid] or state.nodes[src].terminated:
+            continue
+        dangerous.append(src)
+    if not dangerous:
+        return True
+    reach = _reach(static, state, receiver)
+    return not any(src in reach for src in dangerous)
+
+
+def _ample(static: _Static, state: _RState, enabled: List[int]) -> List[int]:
+    """The subset of ``enabled`` deliveries to expand at this state.
+
+    Deterministic in the state (required for the memoized search to be a
+    well-defined reduced graph): candidate receivers are tried smallest
+    delivery-group first, node index breaking ties; the first persistent
+    group wins, and full expansion is the fallback.
+    """
+    by_receiver: Dict[int, List[int]] = {}
+    for cid in enabled:
+        by_receiver.setdefault(static.dst_node[cid], []).append(cid)
+    if len(by_receiver) == 1:
+        return enabled  # single receiver: dependent set, no choice to prune
+    for receiver in sorted(
+        by_receiver, key=lambda node: (len(by_receiver[node]), node)
+    ):
+        if _persistent(static, state, receiver):
+            return by_receiver[receiver]
+    return enabled
+
+
+@dataclass
+class ReducedExplorationResult:
+    """Certificate produced by one reduced exploration.
+
+    Attributes:
+        states_explored: Distinct states visited by the reduced search.
+        transitions: Deliveries executed (reduced-graph edges examined).
+        enabled_transitions: Sum over expanded states of enabled
+            deliveries — what the unreduced search would have branched
+            on; ``transitions / enabled_transitions`` quantifies the
+            per-state pruning.
+        ample_states: States where a proper persistent subset was
+            expanded.
+        full_expansion_states: States where no receiver's delivery set
+            was provably persistent and all branches were taken.
+        terminal_node_fingerprints: Distinct quiescent end states (node
+            component only; all queues are empty at quiescence).
+        terminal_outputs: Per-node outputs of each distinct terminal
+            state (parallel to ``terminal_node_fingerprints``).
+        terminal_total_sent: Messages sent on the way into each distinct
+            terminal state — the certified exact message complexity.
+        quiescence_violations: Executed deliveries that reached a
+            terminated node.  Preserved existentially: zero here means
+            zero in the full space; a positive count may undercount the
+            full space's redundant witnesses.
+        max_in_flight: Largest in-flight pulse total over visited states.
+    """
+
+    states_explored: int
+    transitions: int
+    enabled_transitions: int
+    ample_states: int
+    full_expansion_states: int
+    terminal_node_fingerprints: List[Tuple]
+    terminal_outputs: List[Tuple]
+    terminal_total_sent: List[int]
+    quiescence_violations: int
+    max_in_flight: int
+
+    @property
+    def confluent(self) -> bool:
+        """All schedules funnel into one terminal state."""
+        return len(self.terminal_node_fingerprints) == 1
+
+    @property
+    def branch_reduction(self) -> float:
+        """Enabled-to-expanded delivery ratio (≥ 1; higher = more pruning)."""
+        if not self.transitions:
+            return 1.0
+        return self.enabled_transitions / self.transitions
+
+
+def explore_reduced(
+    network_factory: Callable[[], Network],
+    invariant: Optional[Callable[[Sequence[Any]], None]] = None,
+    max_states: int = 2_000_000,
+    invariant_hooks: Sequence[StateHook] = (),
+) -> ReducedExplorationResult:
+    """Explore the schedule space under partial-order reduction.
+
+    Same calling convention as
+    :func:`~repro.verification.explorer.explore_all_schedules`; the
+    result certifies the identical terminal-state facts while visiting a
+    fraction of the states (reduction telemetry included).
+
+    Args:
+        network_factory: Builds a *fresh* network (fresh node objects).
+        invariant: Optional callback receiving the node list at every
+            visited state; raise ``AssertionError`` to abort.
+        max_states: Budget on distinct visited states before raising
+            :class:`~repro.verification.explorer.ExplorationLimitExceeded`.
+        invariant_hooks: Engine-style hooks (e.g.
+            :data:`repro.core.invariants.ALGORITHM2_HOOKS`) evaluated at
+            every visited state via an
+            :class:`~repro.verification.common.EngineView`.
+
+    Returns:
+        A :class:`ReducedExplorationResult`.
+    """
+    network = network_factory()
+    static = _Static(network)
+    root = _RState(network, static)
+    for index, node in enumerate(root.nodes):
+        node.on_init(_ReducedAPI(static, root, index))
+
+    def check(state: _RState) -> None:
+        if invariant is not None:
+            invariant(state.nodes)
+        if invariant_hooks:
+            view = EngineView(state.nodes, state.pending_messages())
+            for hook in invariant_hooks:
+                hook(view)
+
+    check(root)
+
+    seen: Set[Tuple] = {root.fingerprint(static)}
+    terminal_node_fps: List[Tuple] = []
+    terminal_outputs: List[Tuple] = []
+    terminal_total_sent: List[int] = []
+    transitions = 0
+    enabled_transitions = 0
+    ample_states = 0
+    full_expansions = 0
+    violations = 0
+    max_in_flight = root.pending_messages()
+
+    stack: List[_RState] = [root]
+    while stack:
+        state = stack.pop()
+        enabled = state.enabled()
+        if not enabled:
+            fp = node_fingerprint(state.nodes)
+            if fp not in terminal_node_fps:
+                terminal_node_fps.append(fp)
+                terminal_outputs.append(
+                    tuple(
+                        freeze_value(getattr(node, "output", None))
+                        for node in state.nodes
+                    )
+                )
+                terminal_total_sent.append(state.total_sent)
+            continue
+        ample = _ample(static, state, enabled)
+        enabled_transitions += len(enabled)
+        if len(ample) < len(enabled):
+            ample_states += 1
+        else:
+            full_expansions += 1
+        for channel_id in ample:
+            successor = state.clone()
+            transitions += 1
+            if _deliver(static, successor, channel_id):
+                violations += 1
+            fp = successor.fingerprint(static)
+            if fp in seen:
+                continue
+            seen.add(fp)
+            if len(seen) > max_states:
+                raise ExplorationLimitExceeded(
+                    f"more than {max_states} reachable states; "
+                    "shrink the instance or raise max_states"
+                )
+            check(successor)
+            max_in_flight = max(max_in_flight, successor.pending_messages())
+            stack.append(successor)
+
+    return ReducedExplorationResult(
+        states_explored=len(seen),
+        transitions=transitions,
+        enabled_transitions=enabled_transitions,
+        ample_states=ample_states,
+        full_expansion_states=full_expansions,
+        terminal_node_fingerprints=terminal_node_fps,
+        terminal_outputs=terminal_outputs,
+        terminal_total_sent=terminal_total_sent,
+        quiescence_violations=violations,
+        max_in_flight=max_in_flight,
+    )

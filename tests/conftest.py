@@ -8,10 +8,17 @@ suite runs every algorithm through.
 
 from __future__ import annotations
 
+import os
 import random
+import sys
 from typing import Callable, Dict, List, Sequence
 
 import pytest
+from hypothesis import HealthCheck, settings
+
+# Let test modules import the shared strategy module (tests/strategies.py)
+# without packaging the test tree.
+sys.path.insert(0, os.path.dirname(__file__))
 
 from repro.simulator.scheduler import (
     AdversarialLagScheduler,
@@ -21,6 +28,24 @@ from repro.simulator.scheduler import (
     RoundRobinScheduler,
     Scheduler,
 )
+
+# Property-based tests scale their budget via HYPOTHESIS_PROFILE:
+# "ci" keeps the pipeline fast, "dev" is the local default, "thorough"
+# is the overnight setting (ci.yml's verify-smoke job runs "ci").
+settings.register_profile(
+    "ci",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", max_examples=60, deadline=None)
+settings.register_profile(
+    "thorough",
+    max_examples=500,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 #: Factories, not instances: schedulers are stateful and single-use.
 SCHEDULER_FACTORIES: Dict[str, Callable[[], Scheduler]] = {

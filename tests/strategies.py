@@ -1,0 +1,90 @@
+"""Shared Hypothesis strategies for ring instances.
+
+The metamorphic and differential suites all need the same raw material —
+rings of unique positive IDs, rotations, order-preserving relabelings,
+port-flip patterns — so the strategies live in one module instead of
+being re-derived per test file.  Sizes default to "small enough for the
+exhaustive explorers", since several consumers feed the instances to
+``explore_all_schedules``; pass explicit bounds for bigger sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import strategies as st
+
+
+def unique_id_lists(
+    min_size: int = 2, max_size: int = 6, max_id: int = 12
+) -> st.SearchStrategy[List[int]]:
+    """Clockwise ID assignments: unique positive ints, order significant."""
+    return st.lists(
+        st.integers(min_value=1, max_value=max_id),
+        min_size=min_size,
+        max_size=max_size,
+        unique=True,
+    )
+
+
+def small_ring_ids(max_size: int = 4, max_id: int = 6) -> st.SearchStrategy[List[int]]:
+    """Instances small enough for the unreduced explorer to exhaust."""
+    return unique_id_lists(min_size=2, max_size=max_size, max_id=max_id)
+
+
+@st.composite
+def rotated_rings(
+    draw, min_size: int = 2, max_size: int = 6, max_id: int = 12
+) -> Tuple[List[int], int]:
+    """An ID assignment plus a rotation offset ``k`` (``0 <= k < n``).
+
+    Rotating the clockwise ID list relabels ring *positions* without
+    touching the ring itself, so every position-independent observable
+    (leader ID, total pulses, per-ID final state) must be invariant.
+    """
+    ids = draw(unique_id_lists(min_size, max_size, max_id))
+    k = draw(st.integers(min_value=0, max_value=len(ids) - 1))
+    return ids, k
+
+
+@st.composite
+def relabeled_rings(
+    draw, min_size: int = 2, max_size: int = 6, max_id: int = 10
+) -> Tuple[List[int], List[int]]:
+    """An ID assignment plus an order-preserving relabeling of it.
+
+    The relabeling maps the sorted IDs to a strictly larger sorted list
+    (positive gaps drawn per rank), so comparisons between any two IDs —
+    all the algorithms observe — are preserved while magnitudes change.
+    """
+    ids = draw(unique_id_lists(min_size, max_size, max_id))
+    gaps = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=5),
+            min_size=len(ids),
+            max_size=len(ids),
+        )
+    )
+    ranked = sorted(ids)
+    new_values = []
+    value = 0
+    for gap in gaps:
+        value += gap
+        new_values.append(value)
+    mapping = dict(zip(ranked, new_values))
+    return ids, [mapping[i] for i in ids]
+
+
+def flip_patterns(n: int) -> st.SearchStrategy[List[bool]]:
+    """Per-node port-flip patterns for a non-oriented ``n``-ring."""
+    return st.lists(st.booleans(), min_size=n, max_size=n)
+
+
+@st.composite
+def flipped_rings(
+    draw, min_size: int = 2, max_size: int = 5, max_id: int = 10
+) -> Tuple[List[int], List[bool]]:
+    """An ID assignment together with a port-flip pattern of its size."""
+    ids = draw(unique_id_lists(min_size, max_size, max_id))
+    flips = draw(flip_patterns(len(ids)))
+    return ids, flips

@@ -1,0 +1,111 @@
+"""Metamorphic properties of the elections.
+
+Instead of asserting absolute outcomes, these tests transform an
+instance in a way with a *known* effect on the result and check the
+relation holds:
+
+* **Rotation** — rotating the clockwise ID list relabels positions, not
+  the ring: every position-independent observable (leader ID, pulse
+  total, each ID's final local state) is invariant.
+* **Order-preserving relabeling** — the algorithms only compare IDs
+  (via the count-to-my-ID rule), so stretching the ID values while
+  preserving their order moves the pulse totals per the formulas but
+  leaves the winning *position* and the per-position verdicts alone.
+* **Orientation flip (Algorithm 3 dual)** — traversing the same
+  physical ring in the opposite direction with all port flips negated
+  describes the identical physical system, so every per-node observable
+  must agree node-for-node.  The engine builds the two instances with
+  different channel numberings, so this doubles as a schedule-invariance
+  check.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+
+from repro.core.common import LeaderState
+from repro.core.nonoriented import run_nonoriented
+from repro.core.terminating import run_terminating
+from repro.core.warmup import run_warmup
+from repro.verification import freeze_value
+
+from strategies import flipped_rings, relabeled_rings, rotated_rings
+
+
+def _by_id(outcome):
+    """Map each node ID to the frozen final local state of its node."""
+    return {node.node_id: freeze_value(node.__dict__) for node in outcome.nodes}
+
+
+def _leader_ids(outcome):
+    return sorted(outcome.nodes[index].node_id for index in outcome.leaders)
+
+
+@given(rotated_rings())
+def test_warmup_rotation_invariance(case):
+    ids, k = case
+    base = run_warmup(ids)
+    rotated = run_warmup(ids[k:] + ids[:k])
+    assert _leader_ids(base) == _leader_ids(rotated) == [max(ids)]
+    assert base.total_pulses == rotated.total_pulses == len(ids) * max(ids)
+    assert _by_id(base) == _by_id(rotated)
+
+
+@given(rotated_rings(max_size=5, max_id=9))
+def test_terminating_rotation_invariance(case):
+    ids, k = case
+    base = run_terminating(ids)
+    rotated = run_terminating(ids[k:] + ids[:k])
+    assert _leader_ids(base) == _leader_ids(rotated) == [max(ids)]
+    assert (
+        base.total_pulses
+        == rotated.total_pulses
+        == len(ids) * (2 * max(ids) + 1)
+    )
+    assert _by_id(base) == _by_id(rotated)
+
+
+@given(relabeled_rings())
+def test_warmup_relabeling_preserves_verdicts(case):
+    ids, relabeled = case
+    base = run_warmup(ids)
+    stretched = run_warmup(relabeled)
+    assert base.leaders == stretched.leaders
+    assert base.states == stretched.states
+    assert stretched.total_pulses == len(relabeled) * max(relabeled)
+
+
+@given(relabeled_rings(max_size=5, max_id=8))
+def test_terminating_relabeling_preserves_verdicts(case):
+    ids, relabeled = case
+    base = run_terminating(ids)
+    stretched = run_terminating(relabeled)
+    assert base.leaders == stretched.leaders
+    assert [node.state for node in base.nodes] == [
+        node.state for node in stretched.nodes
+    ]
+    assert stretched.total_pulses == len(relabeled) * (2 * max(relabeled) + 1)
+
+
+@given(flipped_rings())
+def test_nonoriented_orientation_flip_duality(case):
+    ids, flips = case
+    n = len(ids)
+    forward = run_nonoriented(ids, flips=flips)
+    # The same physical ring traversed the other way: reversed IDs, all
+    # flips negated.  Physical node j of the forward instance is node
+    # n-1-j of the dual, with identical local port labels.
+    dual = run_nonoriented(
+        list(reversed(ids)), flips=[not flip for flip in reversed(flips)]
+    )
+    assert forward.total_pulses == dual.total_pulses
+    assert _leader_ids(forward) == _leader_ids(dual)
+    for j in range(n):
+        mine, theirs = forward.nodes[j], dual.nodes[n - 1 - j]
+        assert mine.node_id == theirs.node_id
+        assert mine.rho == theirs.rho
+        assert mine.sigma == theirs.sigma
+        assert mine.state is theirs.state
+        assert mine.cw_port_label == theirs.cw_port_label
+    if len(set(ids)) == n and n >= 2:
+        assert forward.leaders and forward.states.count(LeaderState.LEADER) == 1

@@ -1,0 +1,136 @@
+"""Differential tests: explorers vs the live engine, all must agree.
+
+Four independently-implemented executions of the same instance —
+unreduced explorer, reduced explorer, per-pulse ``Engine``, batched
+``Engine`` — are held to the same terminal facts: node-state
+fingerprints, elected leader, and total pulse count.  The explorers
+quantify over all schedules, the engine runs sample single schedules, so
+every engine run must land inside the explorers' terminal set (and, on
+confluent instances, *be* the unique terminal state).
+
+Randomized small rings, both orientations (an oriented ring and its
+reversal; flip patterns for Algorithm 3), Algorithms 1–3.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.common import LeaderState
+from repro.core.nonoriented import NonOrientedNode, run_nonoriented
+from repro.core.terminating import TerminatingNode, run_terminating
+from repro.core.warmup import WarmupNode, run_warmup
+from repro.simulator.ring import build_nonoriented_ring, build_oriented_ring
+from repro.simulator.scheduler import LongestRunScheduler, RandomScheduler
+from repro.verification import (
+    explore_all_schedules,
+    explore_reduced,
+    node_fingerprint,
+)
+
+from strategies import flipped_rings, small_ring_ids
+
+
+def both_explorers(factory):
+    full = explore_all_schedules(factory)
+    reduced = explore_reduced(factory)
+    assert set(full.terminal_node_fingerprints) == set(
+        reduced.terminal_node_fingerprints
+    )
+    assert full.confluent == reduced.confluent
+    assert sorted(full.terminal_total_sent) == sorted(reduced.terminal_total_sent)
+    return reduced
+
+
+def engine_runs(runner, ids, **kwargs):
+    """The same instance under four sampled engine executions."""
+    outcomes = [
+        runner(ids, batched=False, **kwargs),
+        runner(ids, batched=True, **kwargs),
+        runner(ids, batched=False, scheduler=RandomScheduler(seed=5), **kwargs),
+        runner(
+            ids, batched=True, scheduler=LongestRunScheduler(), **kwargs
+        ),
+    ]
+    return outcomes
+
+
+def assert_engine_agrees(reduced, outcomes):
+    for outcome in outcomes:
+        fingerprint = node_fingerprint(outcome.nodes)
+        assert fingerprint in reduced.terminal_node_fingerprints
+        assert outcome.total_pulses in reduced.terminal_total_sent
+        if reduced.confluent:
+            assert [fingerprint] == reduced.terminal_node_fingerprints
+    leaders = {
+        tuple(outcome.nodes[i].node_id for i in outcome.leaders)
+        for outcome in outcomes
+    }
+    assert len(leaders) == 1  # every sampled schedule elects the same leader
+    return leaders.pop()
+
+
+@given(small_ring_ids())
+def test_warmup_differential(ids):
+    for orientation in (list(ids), list(reversed(ids))):
+        reduced = both_explorers(
+            lambda: build_oriented_ring(
+                [WarmupNode(i) for i in orientation]
+            ).network
+        )
+        assert reduced.confluent and reduced.quiescence_violations == 0
+        leader = assert_engine_agrees(reduced, engine_runs(run_warmup, orientation))
+        assert leader == (max(orientation),)
+        assert reduced.terminal_total_sent == [
+            len(orientation) * max(orientation)
+        ]
+
+
+@given(small_ring_ids(max_size=3, max_id=5))
+def test_terminating_differential(ids):
+    for orientation in (list(ids), list(reversed(ids))):
+        reduced = both_explorers(
+            lambda: build_oriented_ring(
+                [TerminatingNode(i) for i in orientation]
+            ).network
+        )
+        assert reduced.confluent and reduced.quiescence_violations == 0
+        leader = assert_engine_agrees(
+            reduced, engine_runs(run_terminating, orientation)
+        )
+        assert leader == (max(orientation),)
+        assert reduced.terminal_total_sent == [
+            len(orientation) * (2 * max(orientation) + 1)
+        ]
+
+
+@given(flipped_rings(max_size=3, max_id=4))
+def test_nonoriented_differential(case):
+    ids, flips = case
+    reduced = both_explorers(
+        lambda: build_nonoriented_ring(
+            [NonOrientedNode(i) for i in ids], flips=flips
+        ).network
+    )
+    assert reduced.confluent and reduced.quiescence_violations == 0
+    leader = assert_engine_agrees(
+        reduced, engine_runs(run_nonoriented, ids, flips=flips)
+    )
+    assert leader == (max(ids),)
+    assert reduced.terminal_total_sent == [len(ids) * (2 * max(ids) + 1)]
+
+
+@pytest.mark.parametrize(
+    "ids",
+    [[1, 2], [2, 1], [2, 3, 1], [1, 3, 2, 4], [4, 3, 2, 1]],
+)
+def test_terminating_differential_fixed_instances(ids):
+    reduced = both_explorers(
+        lambda: build_oriented_ring([TerminatingNode(i) for i in ids]).network
+    )
+    outcomes = engine_runs(run_terminating, ids)
+    assert_engine_agrees(reduced, outcomes)
+    for outcome in outcomes:
+        assert outcome.nodes[outcome.leaders[0]].state is LeaderState.LEADER
+        assert all(node.terminated for node in outcome.nodes)
