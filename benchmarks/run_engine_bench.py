@@ -14,13 +14,27 @@ grid ``n in {8, 32, 128} x IDmax in {10^3, 10^5}``, once per engine mode:
 
 Each config cross-checks the modes' outcomes (leader, exact pulse count)
 and the script additionally fans a randomized differential sweep over
-:func:`repro.analysis.parallel.parallel_map`.  Results land in a
-machine-readable ``BENCH_engine.json`` at the repo root so future PRs
-have a perf trajectory::
+:func:`repro.analysis.parallel.parallel_map`.
+
+A separate *sweep* workload times the Monte Carlo shape the analysis
+layer actually runs — many independent instances — through three
+engines: per-instance unbatched, per-instance batched, and the
+vectorized fleet (:mod:`repro.simulator.fleet`) advancing all instances
+in lockstep.  The fleet runs every instance; the scalar engines are
+timed on a subsample and extrapolated (their per-instance cost is the
+schedule-invariant ``n(2*IDmax+1)`` pulse count, identical across
+instances up to the ID draw).  Outcomes are verified by element-wise
+comparison on the subsample plus closed-form checks (exact Theorem 1
+pulse count, max-ID leader, all terminated) over the full fleet.
+
+Results land in a machine-readable ``BENCH_engine.json`` at the repo
+root so future PRs have a perf trajectory::
 
     PYTHONPATH=src python benchmarks/run_engine_bench.py            # full grid
     PYTHONPATH=src python benchmarks/run_engine_bench.py --quick    # small grid
     PYTHONPATH=src python benchmarks/run_engine_bench.py --processes auto
+    PYTHONPATH=src python benchmarks/run_engine_bench.py --quick \\
+        --min-batched-speedup 5 --min-fleet-speedup 5               # CI gate
 """
 
 from __future__ import annotations
@@ -91,6 +105,129 @@ def bench_config(n: int, id_max: int) -> Dict:
     }
 
 
+def bench_sweep(fleet_size: int, n: int, id_max: int, subsample: int) -> Dict:
+    """Time the three engines on a ``fleet_size``-instance Monte Carlo sweep."""
+    from repro.simulator.fleet import HAVE_NUMPY, run_terminating_fleet
+
+    instances = [pinned_ids(n, id_max, seed=b) for b in range(fleet_size)]
+
+    t0 = time.perf_counter()
+    result = run_terminating_fleet(instances)
+    fleet_seconds = time.perf_counter() - t0
+    fleet_pulses = sum(result.total_pulses)
+
+    # Closed-form checks over the FULL fleet: Theorem 1's exact count,
+    # the max-ID leader, and termination everywhere.
+    closed_form_ok = (
+        all(
+            total == n * (2 * max(ids) + 1)
+            for total, ids in zip(result.total_pulses, instances)
+        )
+        and all(
+            result.leaders[b] == [max(range(n), key=lambda v: instances[b][v])]
+            for b in range(fleet_size)
+        )
+        and all(all(row) for row in result.terminated)
+        and result.ignored_deliveries == 0
+    )
+
+    # Scalar engines: time a subsample, extrapolate by pulse volume (the
+    # per-instance cost is schedule-invariant and near-identical across
+    # the fleet, so pulses/s is the stable quantity).
+    sample = instances[:subsample]
+    elementwise_ok = True
+    t0 = time.perf_counter()
+    for b, ids in enumerate(sample):
+        outcome = run_terminating(ids, batched=True, max_steps=10**9)
+        elementwise_ok &= (
+            outcome.leaders == result.leaders[b]
+            and outcome.total_pulses == result.total_pulses[b]
+        )
+    batched_seconds = time.perf_counter() - t0
+    batched_pulses = sum(result.total_pulses[:subsample])
+
+    t0 = time.perf_counter()
+    outcome = run_terminating(instances[0], max_steps=10**9)
+    unbatched_seconds = time.perf_counter() - t0
+    elementwise_ok &= (
+        outcome.leaders == result.leaders[0]
+        and outcome.total_pulses == result.total_pulses[0]
+    )
+
+    fleet_rate = fleet_pulses / fleet_seconds
+    batched_rate = batched_pulses / batched_seconds
+    unbatched_rate = outcome.total_pulses / unbatched_seconds
+    return {
+        "fleet_size": fleet_size,
+        "n": n,
+        "id_max": id_max,
+        "subsample": subsample,
+        "backend": result.backend,
+        "numpy_available": HAVE_NUMPY,
+        "fleet": {
+            "seconds": round(fleet_seconds, 4),
+            "pulses": fleet_pulses,
+            "pulses_per_sec": round(fleet_rate),
+            "rounds": result.rounds,
+            "lap_skips": result.lap_skips,
+        },
+        "batched": {
+            "sampled_seconds": round(batched_seconds, 4),
+            "pulses_per_sec": round(batched_rate),
+            "extrapolated_sweep_seconds": round(fleet_pulses / batched_rate, 2),
+        },
+        "unbatched": {
+            "sampled_seconds": round(unbatched_seconds, 4),
+            "pulses_per_sec": round(unbatched_rate),
+            "extrapolated_sweep_seconds": round(fleet_pulses / unbatched_rate, 2),
+        },
+        "fleet_speedup_vs_batched": round(fleet_rate / batched_rate, 2),
+        "fleet_speedup_vs_unbatched": round(fleet_rate / unbatched_rate, 2),
+        "outcomes_match": bool(closed_form_ok and elementwise_ok),
+    }
+
+
+# Slots micro-benchmark (node/channel allocation weight): run_terminating
+# on n=32, IDmax=1000, pinned seed, best of 5.  The "before" row was
+# measured at the commit preceding the __slots__ change with the same
+# procedure; "after" is re-measured by --slots-bench (and folded into the
+# full-grid report) so the delta stays honest on the recording machine.
+SLOTS_BENCH_BEFORE = {
+    "unbatched_pulses_per_sec": 172_317,
+    "batched_pulses_per_sec": 2_839_438,
+}
+
+
+def bench_slots(repeats: int = 5) -> Dict:
+    """Best-of-``repeats`` micro-benchmark matching SLOTS_BENCH_BEFORE."""
+    n, id_max = 32, 1000
+    ids = pinned_ids(n, id_max, seed=n * id_max)
+    best: Dict[str, float] = {}
+    for batched in (False, True):
+        rates = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            outcome = run_terminating(ids, batched=batched, max_steps=10**9)
+            rates.append(outcome.total_pulses / (time.perf_counter() - t0))
+        key = "batched" if batched else "unbatched"
+        best[f"{key}_pulses_per_sec"] = round(max(rates))
+    return {
+        "workload": "run_terminating n=32 IDmax=1000, best of 5",
+        "before_slots": SLOTS_BENCH_BEFORE,
+        "after_slots": best,
+        "speedup_unbatched": round(
+            best["unbatched_pulses_per_sec"]
+            / SLOTS_BENCH_BEFORE["unbatched_pulses_per_sec"],
+            3,
+        ),
+        "speedup_batched": round(
+            best["batched_pulses_per_sec"]
+            / SLOTS_BENCH_BEFORE["batched_pulses_per_sec"],
+            3,
+        ),
+    }
+
+
 def _differential_case(case_seed: int) -> bool:
     """Picklable worker: one small batched-vs-unbatched comparison."""
     rng = random.Random(case_seed)
@@ -121,6 +258,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=REPO_ROOT / "BENCH_engine.json",
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--min-batched-speedup",
+        type=float,
+        default=None,
+        help="fail unless the best batched speedup meets this floor",
+    )
+    parser.add_argument(
+        "--min-fleet-speedup",
+        type=float,
+        default=None,
+        help="fail unless the fleet sweep speedup over batched meets this floor",
+    )
     args = parser.parse_args(argv)
     processes = args.processes
     if isinstance(processes, str):
@@ -147,6 +296,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         configs.append(config)
 
+    if args.quick:
+        print("sweep workload: fleet=100 n=16 IDmax=10^4 ...", flush=True)
+        sweep_config = bench_sweep(fleet_size=100, n=16, id_max=10**4, subsample=10)
+    else:
+        print("sweep workload: fleet=1000 n=64 IDmax=10^5 ...", flush=True)
+        sweep_config = bench_sweep(fleet_size=1000, n=64, id_max=10**5, subsample=5)
+    print(
+        f"  fleet {sweep_config['fleet']['pulses_per_sec']:>12,} pulses/s "
+        f"({sweep_config['backend']}) | "
+        f"{sweep_config['fleet_speedup_vs_batched']}x vs batched | "
+        f"{sweep_config['fleet_speedup_vs_unbatched']}x vs unbatched | "
+        f"outcomes_match={sweep_config['outcomes_match']}",
+        flush=True,
+    )
+
+    slots_bench = bench_slots()
+    print(
+        f"  slots micro-bench: unbatched {slots_bench['speedup_unbatched']}x, "
+        f"batched {slots_bench['speedup_batched']}x vs pre-__slots__ baseline",
+        flush=True,
+    )
+
     sweep_cases = 40
     sweep = parallel_map(
         _differential_case, range(sweep_cases), processes=processes
@@ -166,6 +337,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "machine": platform.machine(),
         "workload": "run_terminating (Theorem 1: exactly n(2*IDmax+1) pulses)",
         "grid": configs,
+        "sweep": sweep_config,
+        "slots_microbench": slots_bench,
         "differential_sweep": {
             "cases": sweep_cases,
             "all_match": all(sweep),
@@ -176,12 +349,38 @@ def main(argv: Optional[List[str]] = None) -> int:
             "batched_speedup_at_top_id_max": speedups,
             "best_speedup_at_top_id_max": best,
             "meets_10x_at_top_id_max": best >= 10.0,
+            "fleet_speedup_vs_batched": sweep_config["fleet_speedup_vs_batched"],
+            "fleet_meets_10x_vs_batched": sweep_config["fleet_speedup_vs_batched"]
+            >= 10.0,
         },
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
-    if not all(sweep) or not all(c["outcomes_match"] for c in configs):
-        print("DIFFERENTIAL MISMATCH — batched engine disagrees with reference")
+    if (
+        not all(sweep)
+        or not all(c["outcomes_match"] for c in configs)
+        or not sweep_config["outcomes_match"]
+    ):
+        print("DIFFERENTIAL MISMATCH — fast engines disagree with reference")
+        return 1
+    if (
+        args.min_batched_speedup is not None
+        and best < args.min_batched_speedup
+    ):
+        print(
+            f"SPEEDUP REGRESSION — best batched speedup {best}x below the "
+            f"required {args.min_batched_speedup}x"
+        )
+        return 1
+    if (
+        args.min_fleet_speedup is not None
+        and sweep_config["fleet_speedup_vs_batched"] < args.min_fleet_speedup
+    ):
+        print(
+            f"SPEEDUP REGRESSION — fleet sweep speedup "
+            f"{sweep_config['fleet_speedup_vs_batched']}x below the required "
+            f"{args.min_fleet_speedup}x"
+        )
         return 1
     return 0
 

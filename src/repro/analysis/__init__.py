@@ -18,7 +18,8 @@ from repro.analysis.average_case import (
     measure_oblivious_over_placements,
     random_placements,
 )
-from repro.analysis.parallel import parallel_map, resolve_processes
+from repro.analysis.parallel import parallel_map, resolve_processes, shard_evenly
+from repro.analysis.whp import measure_anonymous_success
 from repro.analysis.stats import (
     BernoulliEstimate,
     estimate_success_rate,
@@ -45,4 +46,6 @@ __all__ = [
     "random_placements",
     "parallel_map",
     "resolve_processes",
+    "shard_evenly",
+    "measure_anonymous_success",
 ]

@@ -19,7 +19,12 @@ import random
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from repro.analysis.parallel import ProcessCount, parallel_map
+from repro.analysis.parallel import (
+    ProcessCount,
+    parallel_map,
+    resolve_processes,
+    shard_evenly,
+)
 from repro.exceptions import ConfigurationError
 
 
@@ -112,23 +117,47 @@ def measure_chang_roberts_over_placements(
     return _stats_from_counts(n, counts)
 
 
+def _oblivious_fleet_totals(job: "Tuple[Sequence[Sequence[int]], str]") -> List[int]:
+    """Picklable worker: pulse totals of one fleet shard of Algorithm 2."""
+    from repro.simulator.fleet import run_terminating_fleet
+
+    shard, backend = job
+    return run_terminating_fleet(
+        [list(ids) for ids in shard], backend=backend
+    ).total_pulses
+
+
 def measure_oblivious_over_placements(
     n: int,
     trials: int,
     seed: int = 0,
     processes: ProcessCount = None,
     batched: bool = False,
+    fleet: bool = False,
+    backend: str = "auto",
 ) -> PlacementStats:
     """The same sweep for Algorithm 2: the spread must be exactly zero.
 
     ``batched`` runs each trial on the engine's counting fast path
-    (identical outcomes, much faster for large IDs); ``processes`` fans
-    trials out over worker processes.
+    (identical outcomes, much faster for large IDs); ``fleet`` advances
+    all trials in lockstep through the vectorized fleet engine
+    (:mod:`repro.simulator.fleet`), sharding the fleet across worker
+    processes — processes × SIMD rather than processes × scalar.  All
+    paths produce identical statistics for identical seeds.
     """
     placements = random_placements(n, trials, seed=seed)
-    counts = parallel_map(
-        _oblivious_total,
-        [(ids, batched) for ids in placements],
-        processes=processes,
-    )
+    if fleet:
+        shards = shard_evenly(placements, resolve_processes(processes))
+        per_shard = parallel_map(
+            _oblivious_fleet_totals,
+            [(shard, backend) for shard in shards],
+            processes=processes,
+        )
+        counts: List[int] = [total for shard in per_shard for total in shard]
+    else:
+        counts = parallel_map(
+            _oblivious_total,
+            [(ids, batched) for ids in placements],
+            processes=processes,
+        )
     return _stats_from_counts(n, counts)

@@ -83,8 +83,12 @@ def parallel_map(
         and parallel paths are observationally identical.
     """
     work = list(items)
-    workers = resolve_processes(processes)
-    if workers <= 1 or len(work) <= 1:
+    # Never spawn more workers than there are items: a sweep smaller than
+    # one shard per worker would fork processes that exit without work,
+    # and a single-item sweep must not pay pool startup or pickling at
+    # all — it short-circuits to the plain list comprehension.
+    workers = min(resolve_processes(processes), len(work))
+    if workers <= 1:
         return [func(item) for item in work]
     if chunksize is None:
         chunksize = max(1, len(work) // (workers * 4))
@@ -96,3 +100,28 @@ def parallel_map(
         # interpreter teardown): degrade to the serial path, which is
         # defined to produce identical results.
         return [func(item) for item in work]
+
+
+def shard_evenly(items: Iterable[T], shards: int) -> List[List[T]]:
+    """Split ``items`` into at most ``shards`` contiguous, balanced shards.
+
+    The fleet sweep runners use this to shard an instance list across
+    processes (each process then advances its shard as one vectorized
+    fleet — processes × SIMD rather than processes × scalar).  Shard
+    sizes differ by at most one, order is preserved, and empty shards are
+    never produced (fewer items than shards yields fewer shards).
+    """
+    work = list(items)
+    if shards < 1:
+        raise ConfigurationError(f"shards must be positive, got {shards}")
+    shards = min(shards, len(work))
+    if shards == 0:
+        return []
+    base, extra = divmod(len(work), shards)
+    out: List[List[T]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        out.append(work[start : start + size])
+        start += size
+    return out

@@ -1,0 +1,94 @@
+"""The Theorem 3 with-high-probability experiment at fleet scale.
+
+Theorem 3 (via Lemma 18) promises that the anonymous pipeline —
+Algorithm 4 sampling feeding Algorithm 3 — elects a unique leader and
+a consistent orientation with probability :math:`1 - O(n^{-c})`.
+Validating "with high probability" empirically needs *thousands* of
+independent seeded attempts per parameter point, which is exactly the
+workload the vectorized fleet engine (:mod:`repro.simulator.fleet`)
+batches: this module runs one fleet per process shard and summarizes
+the per-seed success indicators with a Wilson interval.
+
+The geometric ID sampler has an unbounded tail, so a scalar engine
+sweep must either cap its step budget (discarding seeds, which biases
+the estimate) or pay :math:`O(n \\cdot \\mathrm{ID_{max}})` deliveries
+on tail seeds.  The fleet's lap-skip fast-forward handles tail IDs in
+closed form, so ``fleet=True`` takes *every* seed unbiased; the serial
+path exists for differential checking at small scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.analysis.parallel import (
+    ProcessCount,
+    parallel_map,
+    resolve_processes,
+    shard_evenly,
+)
+from repro.analysis.stats import BernoulliEstimate, estimate_success_rate, wilson_interval
+from repro.exceptions import ConfigurationError
+
+
+def _anonymous_fleet_successes(
+    job: "Tuple[int, Sequence[int], float, str]",
+) -> List[bool]:
+    """Picklable worker: per-seed success flags of one fleet shard."""
+    from repro.simulator.fleet import run_anonymous_fleet
+
+    n, seeds, c, backend = job
+    return run_anonymous_fleet(n, list(seeds), c=c, backend=backend).succeeded
+
+
+def measure_anonymous_success(
+    n: int,
+    trials: int,
+    c: float = 2.0,
+    seed: int = 0,
+    processes: ProcessCount = None,
+    fleet: bool = True,
+    backend: str = "auto",
+    z: float = 2.576,
+) -> BernoulliEstimate:
+    """Estimate the Theorem 3 success probability over seeded attempts.
+
+    Attempt ``i`` uses seed ``seed + i`` and succeeds when the pipeline
+    elects exactly one leader with a consistent orientation (the
+    :attr:`repro.core.anonymous.AnonymousOutcome.succeeded` predicate).
+
+    Args:
+        n: Ring size.
+        trials: Number of independent seeded attempts.
+        c: Sampler exponent; success probability is :math:`1 - O(n^{-c})`.
+        seed: First attempt seed (attempts use a contiguous seed range).
+        processes: Worker processes; the seed range is sharded evenly and
+            each shard runs as one vectorized fleet.
+        fleet: When False, run each seed through the scalar
+            :func:`repro.core.anonymous.run_anonymous` pipeline instead
+            (slow; only viable at small n and lucky seeds — used by the
+            differential tests).
+        backend: Fleet backend (``"auto"`` / ``"numpy"`` / ``"python"``).
+        z: Confidence quantile for the Wilson interval.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"need at least one trial, got {trials}")
+    seeds = range(seed, seed + trials)
+    if not fleet:
+        from repro.core.anonymous import run_anonymous
+
+        return estimate_success_rate(
+            lambda s: run_anonymous(n, c=c, seed=s).succeeded, seeds=seeds, z=z
+        )
+    shards = shard_evenly(list(seeds), resolve_processes(processes))
+    per_shard = parallel_map(
+        _anonymous_fleet_successes,
+        [(n, shard, c, backend) for shard in shards],
+        processes=processes,
+    )
+    flags = [flag for shard in per_shard for flag in shard]
+    successes = sum(flags)
+    low, high = wilson_interval(successes, len(flags), z=z)
+    return BernoulliEstimate(
+        successes=successes, trials=len(flags), low=low, high=high
+    )

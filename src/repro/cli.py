@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro solitude --max-id 16
     python -m repro compare --n 16 --spread 256
     python -m repro timeline --ids 2,3
+    python -m repro sweep --workload placements --n 64 --trials 1000 --fleet
+    python -m repro sweep --workload whp --n 16 --trials 5000 --min-rate 0.9
 
 Every subcommand prints a plain-text report and exits 0 on success,
 1 when a guarantee failed to hold (useful in CI).
@@ -326,6 +328,59 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.average_case import measure_oblivious_over_placements
+    from repro.analysis.whp import measure_anonymous_success
+
+    engine = "fleet" if args.fleet else ("batched" if args.workload == "placements" else "scalar")
+    print(
+        f"sweep: workload={args.workload} n={args.n} trials={args.trials} "
+        f"seed={args.seed} engine={engine} backend={args.backend}"
+    )
+    if args.workload == "placements":
+        stats = measure_oblivious_over_placements(
+            args.n,
+            args.trials,
+            seed=args.seed,
+            processes=args.processes,
+            batched=not args.fleet,
+            fleet=args.fleet,
+            backend=args.backend,
+        )
+        print(
+            f"algorithm 2 pulses over {stats.trials} random placements of "
+            f"1..{args.n}: mean={stats.mean:.1f} min={stats.minimum} "
+            f"max={stats.maximum} spread={stats.spread}"
+        )
+        expected = args.n * (2 * args.n + 1)
+        print(f"theorem 1 bound n(2*IDmax+1) = {expected}")
+        if stats.spread != 0 or stats.minimum != expected:
+            print("FAIL: placement variance detected (theorem 1 violated)")
+            return 1
+        print("OK: zero placement variance, every trial met the bound exactly")
+        return 0
+    estimate = measure_anonymous_success(
+        args.n,
+        args.trials,
+        c=args.c,
+        seed=args.seed,
+        processes=args.processes,
+        fleet=args.fleet,
+        backend=args.backend,
+    )
+    print(
+        f"theorem 3 success rate at n={args.n}, c={args.c}: "
+        f"{estimate.successes}/{estimate.trials} = {estimate.rate:.4f} "
+        f"(wilson 99% [{estimate.low:.4f}, {estimate.high:.4f}])"
+    )
+    floor = args.min_rate
+    if floor is not None and not estimate.consistent_with_at_least(floor):
+        print(f"FAIL: interval excludes the required floor {floor}")
+        return 1
+    print("OK")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -410,6 +465,45 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--ids", type=_parse_int_list, required=True)
     timeline.add_argument("--rows", type=int, default=60)
     timeline.set_defaults(func=_cmd_timeline)
+
+    sweep = sub.add_parser(
+        "sweep", help="Monte Carlo sweeps (vectorized fleet engine)"
+    )
+    sweep.add_argument(
+        "--workload",
+        choices=("placements", "whp"),
+        default="placements",
+        help="placements: Theorem 1 variance sweep; whp: Theorem 3 success rate",
+    )
+    sweep.add_argument("--n", type=int, default=16)
+    sweep.add_argument("--trials", type=int, default=1000)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--c", type=float, default=2.0, help="sampler exponent (whp)")
+    sweep.add_argument(
+        "--processes",
+        type=lambda text: text if text == "auto" else int(text),
+        default=None,
+        help="worker processes (int or 'auto')",
+    )
+    sweep.add_argument(
+        "--fleet",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="advance all trials in lockstep via the vectorized fleet engine",
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "python"),
+        default="auto",
+        help="fleet backend (auto prefers numpy when installed)",
+    )
+    sweep.add_argument(
+        "--min-rate",
+        type=float,
+        default=None,
+        help="whp only: fail unless the Wilson interval admits this rate",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     return parser
 

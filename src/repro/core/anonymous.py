@@ -128,6 +128,8 @@ class Prop19Node(NonOrientedNode):
             across the ring w.h.p.
     """
 
+    __slots__ = ("output_id", "resample_count", "_rng")
+
     def __init__(
         self,
         node_id: int,

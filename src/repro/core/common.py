@@ -90,6 +90,8 @@ class OrientedRingNode(Node):
         state: Current (possibly tentative) election verdict.
     """
 
+    __slots__ = ("node_id", "rho_cw", "sigma_cw", "rho_ccw", "sigma_ccw", "state")
+
     def __init__(self, node_id: int) -> None:
         super().__init__()
         if not isinstance(node_id, int) or isinstance(node_id, bool) or node_id < 1:

@@ -81,6 +81,16 @@ class NonOrientedNode(Node):
             clockwise neighbor (None until the line-8 guard first holds).
     """
 
+    __slots__ = (
+        "node_id",
+        "scheme",
+        "virtual_ids",
+        "rho",
+        "sigma",
+        "state",
+        "cw_port_label",
+    )
+
     def __init__(self, node_id: int, scheme: IdScheme = IdScheme.SUCCESSOR) -> None:
         super().__init__()
         if not isinstance(node_id, int) or isinstance(node_id, bool) or node_id < 1:

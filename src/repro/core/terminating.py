@@ -70,6 +70,8 @@ class TerminatingNode(OrientedRingNode):
         strict_lag: When False, the CCW-lag discipline is ablated.
     """
 
+    __slots__ = ("pending_cw", "pending_ccw", "term_pulse_sent", "strict_lag")
+
     def __init__(self, node_id: int, strict_lag: bool = True) -> None:
         super().__init__(node_id)
         self.pending_cw = 0

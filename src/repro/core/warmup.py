@@ -53,6 +53,8 @@ class WarmupNode(OrientedRingNode):
     # The schedule explorers exploit this to prune CCW channels entirely.
     SILENT_SEND_PORTS = (CCW_SEND_PORT,)
 
+    __slots__ = ()
+
     def on_init(self, api: NodeAPI) -> None:
         # Line 1: every node injects one clockwise pulse.
         self.send_cw(api)

@@ -52,7 +52,28 @@ from repro.simulator.timeline import (
 )
 from repro.simulator.trace import Trace
 
+# fleet imports repro.core lazily (inside functions); importing it last keeps
+# the simulator package import-order-independent of the core package.
+from repro.simulator.fleet import (
+    HAVE_NUMPY,
+    AnonymousFleetResult,
+    FleetResult,
+    run_anonymous_fleet,
+    run_nonoriented_fleet,
+    run_terminating_fleet,
+    run_warmup_fleet,
+    schedule_bit,
+)
+
 __all__ = [
+    "HAVE_NUMPY",
+    "AnonymousFleetResult",
+    "FleetResult",
+    "run_anonymous_fleet",
+    "run_nonoriented_fleet",
+    "run_terminating_fleet",
+    "run_warmup_fleet",
+    "schedule_bit",
     "Channel",
     "Engine",
     "RunResult",

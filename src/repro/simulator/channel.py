@@ -38,7 +38,7 @@ from repro.exceptions import ConfigurationError
 # wrappers measurably slow multi-million-pulse runs.
 
 
-@dataclass
+@dataclass(slots=True)
 class Channel:
     """A directed, FIFO, loss-free channel between two node ports.
 

@@ -1,0 +1,1014 @@
+"""Vectorized fleet engine: lockstep struct-of-arrays simulation.
+
+The paper's large-scale experiments — average-case pulse statistics over
+random ID placements (Theorems 1–2) and w.h.p. validation of the
+randomized sampler (Theorem 3 / Lemma 18) — run thousands of *independent*
+ring executions.  Because pulses are contentless, the entire per-instance
+state is a handful of small integers per node: receive counters
+:math:`\\rho`, per-channel in-flight counts, and a few phase flags.  This
+module batches ``B`` independent instances into struct-of-arrays (SoA)
+state — ``rho[B, n]``, ``flight[B, n]``, ``terminated[B, n]`` — and
+advances the whole fleet in lockstep *rounds*, so one scheduler step is a
+few array operations across the fleet instead of ``B`` Python dispatches.
+
+Legality (the lockstep-equivalence argument, docs/PERFORMANCE.md).  A
+fleet round delivers, per instance, the entire round-start content of a
+set of channels; sends produced during the round enter the channels for
+the next round.  Within one instance this is a legal schedule of the
+asynchronous adversary: order the delivered channels arbitrarily and
+expand each into consecutive per-pulse deliveries — exactly the batched
+engine's adversary-equivalence argument, applied per instance.  The fleet
+therefore *is* one reference execution per instance, under a particular
+adversary; every schedule-invariant claim (elected leader, final
+counters, exact pulse counts) transfers verbatim, and the differential
+tests check this bit-for-bit against the batched and unbatched engines.
+
+Two fleet schedulers are provided:
+
+* ``"lockstep"`` — every round delivers all round-start in-flight pulses
+  of the phase-eligible direction(s), plus a **lap-skip** fast-forward:
+  when ``k`` pulses circulate in one direction and no counter can cross a
+  branch-relevant threshold (absorption ID, termination trigger, exit
+  comparison) within ``L`` full laps, the laps collapse to closed-form
+  counter arithmetic (``rho += L*k`` everywhere, ``L*k*n`` relays
+  counted, in-flight population unchanged — after a full lap every pulse
+  is back on its starting channel).  This bounds rounds by the number of
+  threshold *crossings* (O(n) per instance) instead of ``IDmax``.
+* ``"seeded"`` — per-round, per-instance pseudo-random channel subsets
+  drawn from a counter-based splitmix-style hash of
+  ``(seed, instance, round, channel)``: reproducible per-instance RNG
+  streams with no sequential RNG state, so the NumPy and pure-Python
+  backends produce bit-identical schedules.
+
+Backends.  ``backend="numpy"`` runs the SoA kernels on NumPy arrays;
+``backend="python"`` runs the same per-instance round/phase/skip logic
+with scalar integers (instances are independent, so lockstep across the
+fleet and per-instance iteration produce identical trajectories);
+``backend="auto"`` picks NumPy when importable.  NumPy is an optional
+``[perf]`` extra — every result is defined by the pure-Python semantics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, SimulationLimitExceeded
+
+try:  # NumPy is an optional accelerator ([perf] extra), never a requirement.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: Safety bound on fleet rounds; with lap-skips a run needs O(n) rounds
+#: per instance, so hitting this means a livelocked kernel, not a big ID.
+DEFAULT_MAX_ROUNDS = 1_000_000
+
+_MASK64 = (1 << 64) - 1
+# Odd 64-bit constants for the counter-based schedule hash (golden-ratio
+# and murmur3-finalizer family); any fixed odd constants would do.
+_KEY_INSTANCE = 0x9E3779B97F4A7C15
+_KEY_ROUND = 0xC2B2AE3D27D4EB4F
+_KEY_CHANNEL = 0xD6E8FEB86659FD93
+_MIX_A = 0xFF51AFD7ED558CCD
+_MIX_B = 0xC4CEB9FE1A85EC53
+
+
+def _mix64(x: int) -> int:
+    """Murmur3 finalizer: a bijective 64-bit mix, pure-Python reference."""
+    x &= _MASK64
+    x = ((x ^ (x >> 33)) * _MIX_A) & _MASK64
+    x = ((x ^ (x >> 33)) * _MIX_B) & _MASK64
+    return x ^ (x >> 33)
+
+
+def schedule_bit(seed: int, instance: int, round_index: int, channel: int) -> int:
+    """The seeded fleet scheduler's delivery bit for one channel.
+
+    A pure function of its arguments (counter-based, no sequential RNG
+    state), so any backend — NumPy, pure Python, a future GPU port —
+    reproduces the exact per-instance schedule stream.
+    """
+    key = (
+        _mix64(seed)
+        + instance * _KEY_INSTANCE
+        + round_index * _KEY_ROUND
+        + channel * _KEY_CHANNEL
+    ) & _MASK64
+    return (_mix64(key) >> 32) & 1
+
+
+def _np_schedule_bits(seed_mixed: int, n_instances: int, round_index: int, channels: int):
+    """Vectorized :func:`schedule_bit`: bool array ``[B, channels]``."""
+    u64 = _np.uint64
+    with _np.errstate(over="ignore"):
+        b = _np.arange(n_instances, dtype=u64)[:, None]
+        c = _np.arange(channels, dtype=u64)[None, :]
+        x = (
+            u64(seed_mixed)
+            + b * u64(_KEY_INSTANCE)
+            + u64(round_index % (1 << 64)) * u64(_KEY_ROUND)
+            + c * u64(_KEY_CHANNEL)
+        )
+        x = (x ^ (x >> u64(33))) * u64(_MIX_A)
+        x = (x ^ (x >> u64(33))) * u64(_MIX_B)
+        x = x ^ (x >> u64(33))
+    return ((x >> u64(32)) & u64(1)).astype(bool)
+
+
+def _resolve_backend(backend: str) -> str:
+    if backend == "auto":
+        return "numpy" if HAVE_NUMPY else "python"
+    if backend == "numpy":
+        if not HAVE_NUMPY:
+            raise ConfigurationError(
+                "backend='numpy' requested but numpy is not importable; "
+                "install the [perf] extra or use backend='auto'"
+            )
+        return "numpy"
+    if backend == "python":
+        return "python"
+    raise ConfigurationError(
+        f"unknown fleet backend {backend!r}; choose 'auto', 'numpy', or 'python'"
+    )
+
+
+def _check_scheduler(scheduler: str) -> None:
+    if scheduler not in ("lockstep", "seeded"):
+        raise ConfigurationError(
+            f"unknown fleet scheduler {scheduler!r}; choose 'lockstep' or 'seeded'"
+        )
+
+
+def _check_fleet(id_lists: Sequence[Sequence[int]], unique: bool) -> Tuple[int, int]:
+    from repro.core.common import validate_positive_ids, validate_unique_ids
+
+    if not id_lists:
+        raise ConfigurationError("a fleet needs at least one instance")
+    n = len(id_lists[0])
+    for ids in id_lists:
+        if len(ids) != n:
+            raise ConfigurationError(
+                "all fleet instances must have the same ring size; "
+                f"got sizes {sorted({len(i) for i in id_lists})} "
+                "(shard ragged sweeps by n)"
+            )
+        if unique:
+            validate_unique_ids(ids)
+        else:
+            validate_positive_ids(ids)
+    return len(id_lists), n
+
+
+def _limit(rounds: int, max_rounds: int) -> None:
+    if rounds > max_rounds:
+        raise SimulationLimitExceeded(
+            f"fleet exceeded {max_rounds} rounds before quiescence", steps=rounds
+        )
+
+
+@dataclass
+class FleetResult:
+    """Final snapshot of a fleet run — one entry per instance throughout.
+
+    ``states`` holds final :class:`~repro.core.common.LeaderState` values
+    (for Algorithm 2 these are the terminal *outputs*).  ``rho_cw`` /
+    ``rho_ccw`` are directional receive counters; ``rho_ports`` is the
+    port-indexed view Algorithm 3 exposes.  ``rounds`` / ``lap_skips``
+    are whole-fleet diagnostics (they depend on the batching, unlike the
+    per-instance outcomes, which are schedule-invariant).
+    """
+
+    algorithm: str
+    backend: str
+    scheduler: str
+    ids: List[List[int]]
+    leaders: List[List[int]]
+    states: List[List[Any]]
+    total_pulses: List[int]
+    rho_cw: List[List[int]]
+    rho_ccw: Optional[List[List[int]]] = None
+    terminated: Optional[List[List[bool]]] = None
+    cw_port_labels: Optional[List[List[Optional[int]]]] = None
+    orientation_consistent: Optional[List[bool]] = None
+    flips: Optional[List[List[bool]]] = None
+    rounds: int = 0
+    lap_skips: int = 0
+    ignored_deliveries: int = 0
+
+    @property
+    def size(self) -> int:
+        """Number of instances in the fleet."""
+        return len(self.ids)
+
+    @property
+    def expected_leaders(self) -> List[int]:
+        """Per instance, the index of the maximal-ID node."""
+        return [
+            max(range(len(ids)), key=lambda v: ids[v]) for ids in self.ids
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1 (warmup) — one directional instance; also Algorithm 3's halves.
+#
+# The round body needs no chunk loop: a run of `count` pulses at a node
+# collapses to `relays = count - [start < gov <= start + count]` (the
+# WarmupNode.on_pulses closed form), evaluated once per node per round.
+# ---------------------------------------------------------------------------
+
+
+def _np_warmup_direction(gov, shift, scheduler, seed, chan_offset, max_rounds):
+    """Advance a fleet of directional Algorithm-1 instances to quiescence.
+
+    Args:
+        gov: int64 ``[B, n]`` governing thresholds (real IDs for
+            Algorithm 1, per-direction virtual IDs for Algorithm 3).
+        shift: +1 when sends from node ``v`` fly toward ``v+1`` (the CW
+            travel direction), -1 for CCW.
+        chan_offset: Base channel index for the seeded schedule hash (the
+            two directions of Algorithm 3 draw from disjoint streams).
+
+    Returns:
+        ``(rho, total_sent, rounds, lap_skips)`` as NumPy arrays/ints.
+    """
+    B, n = gov.shape
+    int_max = _np.iinfo(_np.int64).max
+    rho = _np.zeros((B, n), _np.int64)
+    flight = _np.ones((B, n), _np.int64)  # on_init: one pulse toward each node
+    total = _np.full(B, n, _np.int64)
+    seed_mixed = _mix64(seed)
+    rounds = 0
+    skips = 0
+    while True:
+        k = flight.sum(axis=1)
+        active = k > 0
+        if not active.any():
+            break
+        rounds += 1
+        _limit(rounds, max_rounds)
+        if scheduler == "lockstep":
+            # Lap-skip: L full laps are uniform as long as no node's rho
+            # crosses its threshold; whenever k > 0 some node is still
+            # below threshold, so the margin minimum is finite.
+            below = rho < gov
+            margin = _np.where(below, gov - rho - 1, int_max)
+            laps = _np.where(active, margin.min(axis=1) // _np.maximum(k, 1), 0)
+            do = laps >= 1
+            if do.any():
+                skips += 1
+                rho += (laps * k)[:, None] * do[:, None]
+                total += do * (laps * k * n)
+            delivered = flight
+            flight = _np.zeros_like(flight)
+        else:
+            mask = _np_schedule_bits(seed_mixed, B, rounds, chan_offset + n)[
+                :, chan_offset:
+            ]
+            delivered = flight * mask
+            # Progress guarantee: an active instance whose drawn subset
+            # holds no pulse delivers everything this round instead.
+            stuck = active & (delivered.sum(axis=1) == 0)
+            delivered = _np.where(stuck[:, None], flight, delivered)
+            flight = flight - delivered
+        start = rho
+        rho = rho + delivered
+        absorbed = (start < gov) & (gov <= rho) & (delivered > 0)
+        relays = delivered - absorbed
+        flight += _np.roll(relays, shift, axis=1)
+        total += relays.sum(axis=1)
+    return rho, total, rounds, skips
+
+
+def _py_warmup_direction_one(gov, shift, scheduler, seed, chan_offset, max_rounds, instance):
+    """Scalar twin of :func:`_np_warmup_direction` for one instance."""
+    n = len(gov)
+    rho = [0] * n
+    flight = [1] * n
+    total = n
+    seed_mixed = _mix64(seed)
+    rounds = 0
+    skips = 0
+    while True:
+        k = sum(flight)
+        if k == 0:
+            break
+        rounds += 1
+        _limit(rounds, max_rounds)
+        if scheduler == "lockstep":
+            margin = min(
+                (gov[v] - rho[v] - 1) for v in range(n) if rho[v] < gov[v]
+            )
+            laps = margin // k
+            if laps >= 1:
+                skips += 1
+                add = laps * k
+                for v in range(n):
+                    rho[v] += add
+                total += add * n
+            delivered = flight
+            flight = [0] * n
+        else:
+            delivered = [
+                flight[v]
+                if schedule_bit(seed, instance, rounds, chan_offset + v)
+                else 0
+                for v in range(n)
+            ]
+            if sum(delivered) == 0:
+                delivered = flight
+                flight = [0] * n
+            else:
+                flight = [flight[v] - delivered[v] for v in range(n)]
+        relays = [0] * n
+        for v in range(n):
+            count = delivered[v]
+            if not count:
+                continue
+            start = rho[v]
+            rho[v] += count
+            relays[v] = count - (1 if start < gov[v] <= rho[v] else 0)
+        for v in range(n):
+            if relays[v]:
+                flight[(v + shift) % n] += relays[v]
+                total += relays[v]
+    return rho, total, rounds, skips
+
+
+def run_warmup_fleet(
+    id_lists: Sequence[Sequence[int]],
+    backend: str = "auto",
+    scheduler: str = "lockstep",
+    seed: int = 0,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> FleetResult:
+    """Run a fleet of independent Algorithm 1 executions.
+
+    Args:
+        id_lists: One clockwise ID assignment per instance; all instances
+            must share the same ring size (shard ragged sweeps by ``n``).
+            Duplicates are allowed (Lemma 16), as in :func:`run_warmup`.
+        backend: ``"auto"`` (NumPy when available), ``"numpy"``, or
+            ``"python"`` — identical results by construction.
+        scheduler: ``"lockstep"`` (all-deliver rounds + lap-skip) or
+            ``"seeded"`` (per-instance pseudo-random channel subsets).
+        seed: Stream seed for the seeded scheduler.
+        max_rounds: Safety bound on fleet rounds.
+    """
+    from repro.core.common import LeaderState
+
+    _check_scheduler(scheduler)
+    resolved = _resolve_backend(backend)
+    _check_fleet(id_lists, unique=False)
+    if resolved == "numpy":
+        gov = _np.asarray(id_lists, dtype=_np.int64)
+        rho, total, rounds, skips = _np_warmup_direction(
+            gov, +1, scheduler, seed, 0, max_rounds
+        )
+        rho_rows = rho.tolist()
+        totals = total.tolist()
+    else:
+        rho_rows, totals = [], []
+        rounds = skips = 0
+        for b, ids in enumerate(id_lists):
+            rho_b, total_b, rounds_b, skips_b = _py_warmup_direction_one(
+                list(ids), +1, scheduler, seed, 0, max_rounds, b
+            )
+            rho_rows.append(rho_b)
+            totals.append(total_b)
+            rounds = max(rounds, rounds_b)
+            skips += skips_b
+    states = [
+        [
+            LeaderState.LEADER if rho_v == node_id else LeaderState.NON_LEADER
+            for rho_v, node_id in zip(rho_b, ids)
+        ]
+        for rho_b, ids in zip(rho_rows, id_lists)
+    ]
+    return FleetResult(
+        algorithm="warmup",
+        backend=resolved,
+        scheduler=scheduler,
+        ids=[list(ids) for ids in id_lists],
+        leaders=[
+            [v for v, s in enumerate(row) if s is LeaderState.LEADER]
+            for row in states
+        ],
+        states=states,
+        total_pulses=totals,
+        rho_cw=rho_rows,
+        rounds=rounds,
+        lap_skips=skips,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 2 (terminating) — CW warmup + lagged CCW instance + termination.
+#
+# Lockstep schedule: each instance delivers only CW pulses until its CW
+# instance completes (CCW pulses stall in their channels — a legal
+# adversary), then delivers CCW.  This keeps the lap-skip applicable in
+# both halves: during the CW half the stalled CCW population is constant,
+# and during the CCW half every gate is open (k_cw == 0 means all n CW
+# absorptions happened, so rho_cw >= ID everywhere) and the exit
+# threshold rho_cw is static.  The CCW skip margin additionally keeps
+# rho_ccw <= rho_cw so neither the line-14 trigger nor the line-18 exit
+# can fire mid-skip; skips are disabled once any term pulse is sent.
+# ---------------------------------------------------------------------------
+
+
+def _np_terminating(ids, scheduler, seed, max_rounds):
+    B, n = ids.shape
+    int_max = _np.iinfo(_np.int64).max
+    rho_cw = _np.zeros((B, n), _np.int64)
+    rho_ccw = _np.zeros((B, n), _np.int64)
+    pend_cw = _np.zeros((B, n), _np.int64)
+    pend_ccw = _np.zeros((B, n), _np.int64)
+    term_sent = _np.zeros((B, n), bool)
+    terminated = _np.zeros((B, n), bool)
+    ccw_started = _np.zeros((B, n), bool)
+    out_leader = _np.zeros((B, n), bool)
+    cw_flight = _np.ones((B, n), _np.int64)  # on_init: one CW pulse toward each
+    ccw_flight = _np.zeros((B, n), _np.int64)
+    total = _np.full(B, n, _np.int64)
+    sends_cw = _np.zeros((B, n), _np.int64)
+    sends_ccw = _np.zeros((B, n), _np.int64)
+    ignored = 0
+    seed_mixed = _mix64(seed)
+
+    def drain():
+        nonlocal rho_cw, rho_ccw, pend_cw, pend_ccw, sends_cw, sends_ccw
+        nonlocal term_sent, terminated, ccw_started, out_leader
+        while True:
+            live = ~terminated
+            # CW chunk (listing lines 3-8), boundary at rho_cw -> ID.
+            has_cw = live & (pend_cw > 0)
+            below = rho_cw < ids
+            take = _np.where(
+                has_cw,
+                _np.where(below, _np.minimum(pend_cw, ids - rho_cw), pend_cw),
+                0,
+            )
+            start = rho_cw
+            rho_cw = rho_cw + take
+            absorbed = has_cw & (start < ids) & (ids <= rho_cw)
+            sends_cw += take - absorbed
+            pend_cw -= take
+            progressed = has_cw
+            # CCW chunk (lines 9-13), gated on rho_cw >= ID; boundaries at
+            # rho_ccw -> ID and rho_ccw -> rho_cw + 1.
+            gate = live & (rho_cw >= ids)
+            start_now = gate & ~ccw_started
+            sends_ccw += start_now  # line 10: CCW instance's initial pulse
+            ccw_started |= start_now
+            has_ccw = gate & (pend_ccw > 0)
+            take2 = _np.where(has_ccw, pend_ccw, 0)
+            take2 = _np.where(
+                has_ccw & (rho_ccw < ids),
+                _np.minimum(take2, ids - rho_ccw),
+                take2,
+            )
+            take2 = _np.where(
+                has_ccw & (rho_ccw <= rho_cw),
+                _np.minimum(take2, rho_cw + 1 - rho_ccw),
+                take2,
+            )
+            start2 = rho_ccw
+            rho_ccw = rho_ccw + take2
+            absorbed2 = has_ccw & (start2 < ids) & (ids <= rho_ccw)
+            sends_ccw += _np.where(term_sent, 0, take2 - absorbed2)
+            pend_ccw -= take2
+            progressed |= has_ccw
+            # Lines 14-15: the unique leader event emits the term pulse.
+            trigger = live & ~term_sent & (rho_cw == ids) & (rho_ccw == ids)
+            term_sent |= trigger
+            sends_ccw += trigger
+            # Line 18: exit on rho_ccw > rho_cw.
+            exits = live & (rho_ccw > rho_cw)
+            terminated |= exits
+            out_leader |= exits & (rho_cw == ids)
+            if not progressed.any():
+                return
+
+    rounds = 0
+    skips = 0
+    while True:
+        k_cw = cw_flight.sum(axis=1)
+        k_ccw = ccw_flight.sum(axis=1)
+        active = (k_cw + k_ccw) > 0
+        if not active.any():
+            break
+        rounds += 1
+        _limit(rounds, max_rounds)
+        if scheduler == "lockstep":
+            skippable = ~term_sent.any(axis=1) & ~terminated.any(axis=1)
+            phase_cw = k_cw > 0
+            phase_ccw = ~phase_cw & (k_ccw > 0)
+            cand = phase_cw & skippable
+            if cand.any():
+                below = rho_cw < ids
+                margin = _np.where(below, ids - rho_cw - 1, int_max)
+                laps = _np.where(cand, margin.min(axis=1) // _np.maximum(k_cw, 1), 0)
+                do = laps >= 1
+                if do.any():
+                    skips += 1
+                    rho_cw += (laps * k_cw)[:, None] * do[:, None]
+                    total += do * (laps * k_cw * n)
+            cand = phase_ccw & skippable
+            if cand.any():
+                below = rho_ccw < ids
+                margin = _np.minimum(
+                    _np.where(below, ids - rho_ccw - 1, int_max),
+                    rho_cw - rho_ccw,
+                )
+                laps = _np.where(cand, margin.min(axis=1) // _np.maximum(k_ccw, 1), 0)
+                do = laps >= 1
+                if do.any():
+                    skips += 1
+                    rho_ccw += (laps * k_ccw)[:, None] * do[:, None]
+                    total += do * (laps * k_ccw * n)
+            deliver_cw = cw_flight
+            cw_flight = _np.zeros_like(cw_flight)
+            deliver_ccw = ccw_flight * phase_ccw[:, None]
+            ccw_flight = ccw_flight * ~phase_ccw[:, None]
+        else:
+            mask = _np_schedule_bits(seed_mixed, B, rounds, 2 * n)
+            deliver_cw = cw_flight * mask[:, :n]
+            deliver_ccw = ccw_flight * mask[:, n:]
+            stuck = active & ((deliver_cw.sum(axis=1) + deliver_ccw.sum(axis=1)) == 0)
+            deliver_cw = _np.where(stuck[:, None], cw_flight, deliver_cw)
+            deliver_ccw = _np.where(stuck[:, None], ccw_flight, deliver_ccw)
+            cw_flight = cw_flight - deliver_cw
+            ccw_flight = ccw_flight - deliver_ccw
+        # Deliveries to terminated nodes are ignored (the model: a
+        # terminated node reacts to nothing); Algorithm 2's quiescent
+        # termination guarantees this count stays zero.
+        dropped = (deliver_cw + deliver_ccw) * terminated
+        if dropped.any():
+            ignored += int(dropped.sum())
+            deliver_cw = deliver_cw * ~terminated
+            deliver_ccw = deliver_ccw * ~terminated
+        pend_cw += deliver_cw
+        pend_ccw += deliver_ccw
+        drain()
+        cw_flight += _np.roll(sends_cw, 1, axis=1)
+        ccw_flight += _np.roll(sends_ccw, -1, axis=1)
+        total += sends_cw.sum(axis=1) + sends_ccw.sum(axis=1)
+        sends_cw[:] = 0
+        sends_ccw[:] = 0
+    ignored += int((pend_cw + pend_ccw)[terminated].sum())
+    return (
+        rho_cw,
+        rho_ccw,
+        out_leader,
+        terminated,
+        total,
+        rounds,
+        skips,
+        ignored,
+    )
+
+
+def _py_terminating_one(ids, scheduler, seed, max_rounds, instance):
+    """Scalar twin of :func:`_np_terminating` for one instance."""
+    n = len(ids)
+    rho_cw = [0] * n
+    rho_ccw = [0] * n
+    pend_cw = [0] * n
+    pend_ccw = [0] * n
+    term_sent = [False] * n
+    terminated = [False] * n
+    ccw_started = [False] * n
+    out_leader = [False] * n
+    cw_flight = [1] * n
+    ccw_flight = [0] * n
+    total = n
+    sends_cw = [0] * n
+    sends_ccw = [0] * n
+    ignored = 0
+
+    def drain_node(v):
+        """Chunked listing loop for node v; pend/rho/send buffers only."""
+        node_id = ids[v]
+        while not terminated[v]:
+            progressed = False
+            if pend_cw[v]:
+                take = pend_cw[v]
+                if rho_cw[v] < node_id:
+                    take = min(take, node_id - rho_cw[v])
+                pend_cw[v] -= take
+                start = rho_cw[v]
+                rho_cw[v] += take
+                sends_cw[v] += take - (1 if start < node_id <= rho_cw[v] else 0)
+                progressed = True
+            if rho_cw[v] >= node_id:
+                if not ccw_started[v]:
+                    ccw_started[v] = True
+                    sends_ccw[v] += 1
+                if pend_ccw[v]:
+                    take = pend_ccw[v]
+                    if rho_ccw[v] < node_id:
+                        take = min(take, node_id - rho_ccw[v])
+                    if rho_ccw[v] <= rho_cw[v]:
+                        take = min(take, rho_cw[v] + 1 - rho_ccw[v])
+                    pend_ccw[v] -= take
+                    start = rho_ccw[v]
+                    rho_ccw[v] += take
+                    if not term_sent[v]:
+                        sends_ccw[v] += take - (
+                            1 if start < node_id <= rho_ccw[v] else 0
+                        )
+                    progressed = True
+            if not term_sent[v] and rho_cw[v] == node_id == rho_ccw[v]:
+                term_sent[v] = True
+                sends_ccw[v] += 1
+            if rho_ccw[v] > rho_cw[v]:
+                terminated[v] = True
+                out_leader[v] = rho_cw[v] == node_id
+                return
+            if not progressed:
+                return
+
+    rounds = 0
+    skips = 0
+    while True:
+        k_cw = sum(cw_flight)
+        k_ccw = sum(ccw_flight)
+        if k_cw + k_ccw == 0:
+            break
+        rounds += 1
+        _limit(rounds, max_rounds)
+        if scheduler == "lockstep":
+            skippable = not any(term_sent) and not any(terminated)
+            if skippable and k_cw > 0:
+                margin = min(
+                    ids[v] - rho_cw[v] - 1 for v in range(n) if rho_cw[v] < ids[v]
+                )
+                laps = margin // k_cw
+                if laps >= 1:
+                    skips += 1
+                    add = laps * k_cw
+                    for v in range(n):
+                        rho_cw[v] += add
+                    total += add * n
+            elif skippable and k_ccw > 0:
+                margin = min(
+                    min(
+                        ids[v] - rho_ccw[v] - 1
+                        if rho_ccw[v] < ids[v]
+                        else rho_cw[v] - rho_ccw[v],
+                        rho_cw[v] - rho_ccw[v],
+                    )
+                    for v in range(n)
+                )
+                laps = margin // k_ccw
+                if laps >= 1:
+                    skips += 1
+                    add = laps * k_ccw
+                    for v in range(n):
+                        rho_ccw[v] += add
+                    total += add * n
+            deliver_cw = cw_flight
+            cw_flight = [0] * n
+            if k_cw > 0:
+                deliver_ccw = [0] * n
+            else:
+                deliver_ccw = ccw_flight
+                ccw_flight = [0] * n
+        else:
+            deliver_cw = [
+                cw_flight[v] if schedule_bit(seed, instance, rounds, v) else 0
+                for v in range(n)
+            ]
+            deliver_ccw = [
+                ccw_flight[v] if schedule_bit(seed, instance, rounds, n + v) else 0
+                for v in range(n)
+            ]
+            if sum(deliver_cw) + sum(deliver_ccw) == 0:
+                deliver_cw, cw_flight = cw_flight, [0] * n
+                deliver_ccw, ccw_flight = ccw_flight, [0] * n
+            else:
+                cw_flight = [cw_flight[v] - deliver_cw[v] for v in range(n)]
+                ccw_flight = [ccw_flight[v] - deliver_ccw[v] for v in range(n)]
+        for v in range(n):
+            if terminated[v]:
+                ignored += deliver_cw[v] + deliver_ccw[v]
+            else:
+                pend_cw[v] += deliver_cw[v]
+                pend_ccw[v] += deliver_ccw[v]
+        for v in range(n):
+            drain_node(v)
+        for v in range(n):
+            if sends_cw[v]:
+                cw_flight[(v + 1) % n] += sends_cw[v]
+                total += sends_cw[v]
+                sends_cw[v] = 0
+            if sends_ccw[v]:
+                ccw_flight[(v - 1) % n] += sends_ccw[v]
+                total += sends_ccw[v]
+                sends_ccw[v] = 0
+    ignored += sum(
+        pend_cw[v] + pend_ccw[v] for v in range(n) if terminated[v]
+    )
+    return rho_cw, rho_ccw, out_leader, terminated, total, rounds, skips, ignored
+
+
+def run_terminating_fleet(
+    id_lists: Sequence[Sequence[int]],
+    backend: str = "auto",
+    scheduler: str = "lockstep",
+    seed: int = 0,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> FleetResult:
+    """Run a fleet of independent Algorithm 2 executions.
+
+    Per instance, the result matches :func:`run_terminating` exactly:
+    the maximal-ID node is the unique leader, every node terminates, and
+    the pulse count is exactly ``n(2*IDmax + 1)`` (Theorem 1).  See
+    :func:`run_warmup_fleet` for the shared parameters.
+    """
+    from repro.core.common import LeaderState
+
+    _check_scheduler(scheduler)
+    resolved = _resolve_backend(backend)
+    _check_fleet(id_lists, unique=True)
+    if resolved == "numpy":
+        ids_arr = _np.asarray(id_lists, dtype=_np.int64)
+        (
+            rho_cw,
+            rho_ccw,
+            out_leader,
+            terminated,
+            total,
+            rounds,
+            skips,
+            ignored,
+        ) = _np_terminating(ids_arr, scheduler, seed, max_rounds)
+        rho_cw_rows = rho_cw.tolist()
+        rho_ccw_rows = rho_ccw.tolist()
+        leader_rows = out_leader.tolist()
+        term_rows = terminated.tolist()
+        totals = total.tolist()
+    else:
+        rho_cw_rows, rho_ccw_rows, leader_rows, term_rows, totals = [], [], [], [], []
+        rounds = skips = ignored = 0
+        for b, ids in enumerate(id_lists):
+            (
+                rho_cw_b,
+                rho_ccw_b,
+                out_b,
+                term_b,
+                total_b,
+                rounds_b,
+                skips_b,
+                ignored_b,
+            ) = _py_terminating_one(list(ids), scheduler, seed, max_rounds, b)
+            rho_cw_rows.append(rho_cw_b)
+            rho_ccw_rows.append(rho_ccw_b)
+            leader_rows.append(out_b)
+            term_rows.append(term_b)
+            totals.append(total_b)
+            rounds = max(rounds, rounds_b)
+            skips += skips_b
+            ignored += ignored_b
+    states = [
+        [
+            LeaderState.LEADER if is_leader else LeaderState.NON_LEADER
+            for is_leader in row
+        ]
+        for row in leader_rows
+    ]
+    return FleetResult(
+        algorithm="terminating",
+        backend=resolved,
+        scheduler=scheduler,
+        ids=[list(ids) for ids in id_lists],
+        leaders=[[v for v, flag in enumerate(row) if flag] for row in leader_rows],
+        states=states,
+        total_pulses=totals,
+        rho_cw=rho_cw_rows,
+        rho_ccw=rho_ccw_rows,
+        terminated=term_rows,
+        rounds=rounds,
+        lap_skips=skips,
+        ignored_deliveries=ignored,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 3 (non-oriented) — two independent directional warmup instances
+# over per-direction virtual IDs; verdict/orientation are pure functions of
+# the final counters (NonOrientedNode._update_output).
+# ---------------------------------------------------------------------------
+
+
+def _virtual_ids(node_id: int, scheme: str) -> Tuple[int, int]:
+    if scheme == "doubled":
+        return (2 * node_id - 1, 2 * node_id)
+    return (node_id, node_id + 1)
+
+
+def run_nonoriented_fleet(
+    id_lists: Sequence[Sequence[int]],
+    flip_lists: Optional[Sequence[Sequence[bool]]] = None,
+    scheme: Any = "successor",
+    require_unique_ids: bool = True,
+    backend: str = "auto",
+    scheduler: str = "lockstep",
+    seed: int = 0,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> FleetResult:
+    """Run a fleet of independent Algorithm 3 executions.
+
+    Args:
+        id_lists: Per-instance clockwise IDs (duplicates allowed when
+            ``require_unique_ids=False``, as the Theorem 3 pipeline needs).
+        flip_lists: Per-instance port flips; ``None`` means all-unflipped
+            rings, matching :func:`run_nonoriented`.
+        scheme: :class:`~repro.core.nonoriented.IdScheme` or its string
+            value (``"successor"`` / ``"doubled"``).
+
+    A pulse travelling clockwise arrives at node ``v``'s CCW port, so the
+    governing virtual ID of the CW direction at ``v`` is
+    ``virtual_ids[cw_port(v)]`` — the fleet keeps *directional* counters
+    and maps them back to the port-indexed view at the end.
+    """
+    from repro.core.common import LeaderState
+
+    _check_scheduler(scheduler)
+    resolved = _resolve_backend(backend)
+    B, n = _check_fleet(id_lists, unique=require_unique_ids)
+    scheme_name = getattr(scheme, "value", scheme)
+    if scheme_name not in ("successor", "doubled"):
+        raise ConfigurationError(f"unknown virtual-ID scheme {scheme!r}")
+    if flip_lists is None:
+        flip_lists = [[False] * n for _ in range(B)]
+    flips = [[bool(f) for f in row] for row in flip_lists]
+    if len(flips) != B or any(len(row) != n for row in flips):
+        raise ConfigurationError("flip_lists must match id_lists in shape")
+    # Ground-truth ports: cw_port(v) = 0 if flipped else 1 (ring.py).
+    cw_ports = [[0 if f else 1 for f in row] for row in flips]
+    gov_cw = [
+        [_virtual_ids(ids[v], scheme_name)[cw_ports[b][v]] for v in range(n)]
+        for b, ids in enumerate(id_lists)
+    ]
+    gov_ccw = [
+        [_virtual_ids(ids[v], scheme_name)[1 - cw_ports[b][v]] for v in range(n)]
+        for b, ids in enumerate(id_lists)
+    ]
+    if resolved == "numpy":
+        rho_cw, total_cw, rounds_cw, skips_cw = _np_warmup_direction(
+            _np.asarray(gov_cw, dtype=_np.int64), +1, scheduler, seed, 0, max_rounds
+        )
+        rho_ccw, total_ccw, rounds_ccw, skips_ccw = _np_warmup_direction(
+            _np.asarray(gov_ccw, dtype=_np.int64), -1, scheduler, seed, n, max_rounds
+        )
+        rho_cw_rows = rho_cw.tolist()
+        rho_ccw_rows = rho_ccw.tolist()
+        totals = (total_cw + total_ccw).tolist()
+        rounds = rounds_cw + rounds_ccw
+        skips = skips_cw + skips_ccw
+    else:
+        rho_cw_rows, rho_ccw_rows, totals = [], [], []
+        rounds = skips = 0
+        for b in range(B):
+            rho_cw_b, total_cw_b, rounds_a, skips_a = _py_warmup_direction_one(
+                gov_cw[b], +1, scheduler, seed, 0, max_rounds, b
+            )
+            rho_ccw_b, total_ccw_b, rounds_b, skips_b = _py_warmup_direction_one(
+                gov_ccw[b], -1, scheduler, seed, n, max_rounds, b
+            )
+            rho_cw_rows.append(rho_cw_b)
+            rho_ccw_rows.append(rho_ccw_b)
+            totals.append(total_cw_b + total_ccw_b)
+            rounds = max(rounds, rounds_a + rounds_b)
+            skips += skips_a + skips_b
+    # Port-indexed view + verdicts (NonOrientedNode._update_output).
+    states: List[List[Any]] = []
+    labels: List[List[Optional[int]]] = []
+    consistent: List[bool] = []
+    for b, ids in enumerate(id_lists):
+        row_states: List[Any] = []
+        row_labels: List[Optional[int]] = []
+        for v in range(n):
+            # CW pulses arrive at the CCW port; with cw_port==1 (unflipped)
+            # that is Port_0, with cw_port==0 (flipped) it is Port_1.
+            if flips[b][v]:
+                rho0, rho1 = rho_ccw_rows[b][v], rho_cw_rows[b][v]
+            else:
+                rho0, rho1 = rho_cw_rows[b][v], rho_ccw_rows[b][v]
+            id_one = _virtual_ids(ids[v], scheme_name)[1]
+            if max(rho0, rho1) < id_one:
+                row_states.append(LeaderState.UNDECIDED)
+                row_labels.append(None)
+                continue
+            if rho0 == id_one and rho1 < id_one:
+                row_states.append(LeaderState.LEADER)
+            else:
+                row_states.append(LeaderState.NON_LEADER)
+            row_labels.append(1 if rho0 > rho1 else 0)
+        states.append(row_states)
+        labels.append(row_labels)
+        if any(label is None for label in row_labels):
+            consistent.append(False)
+        else:
+            consistent.append(
+                all(row_labels[v] == cw_ports[b][v] for v in range(n))
+                or all(row_labels[v] == 1 - cw_ports[b][v] for v in range(n))
+            )
+    return FleetResult(
+        algorithm="nonoriented",
+        backend=resolved,
+        scheduler=scheduler,
+        ids=[list(ids) for ids in id_lists],
+        leaders=[
+            [v for v, s in enumerate(row) if s is LeaderState.LEADER]
+            for row in states
+        ],
+        states=states,
+        total_pulses=totals,
+        rho_cw=rho_cw_rows,
+        rho_ccw=rho_ccw_rows,
+        cw_port_labels=labels,
+        orientation_consistent=consistent,
+        flips=flips,
+        rounds=rounds,
+        lap_skips=skips,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3 pipeline — Algorithm 4 sampling feeding Algorithm 3, one seeded
+# attempt per instance.  The per-seed RNG protocol replicates run_anonymous
+# exactly (sample IDs first, then the port flips, from one random.Random).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AnonymousFleetResult:
+    """A fleet of Theorem-3 attempts: per-seed samples plus the election."""
+
+    seeds: List[int]
+    sampled_ids: List[List[int]]
+    max_unique: List[bool]
+    election: FleetResult
+
+    @property
+    def succeeded(self) -> List[bool]:
+        """Per instance: exactly one leader and a consistent orientation."""
+        return [
+            len(self.election.leaders[b]) == 1
+            and bool(self.election.orientation_consistent[b])
+            for b in range(self.election.size)
+        ]
+
+
+def run_anonymous_fleet(
+    n: int,
+    seeds: Sequence[int],
+    c: float = 2.0,
+    scheme: Any = "successor",
+    backend: str = "auto",
+    scheduler: str = "lockstep",
+    sched_seed: int = 0,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> AnonymousFleetResult:
+    """Run the Theorem-3 pipeline once per seed, as one fleet.
+
+    Each seed drives its instance exactly like :func:`run_anonymous`:
+    ``random.Random(seed)`` samples ``n`` IDs via Algorithm 4, then the
+    ``n`` port flips — so per-seed samples (and hence outcomes) are
+    identical between the scalar pipeline and the fleet.
+    """
+    from repro.ids.sampling import GeometricIdSampler, max_is_unique
+
+    if n < 1:
+        raise ConfigurationError(f"need at least one node, got n={n}")
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    sampler = GeometricIdSampler(c=c)
+    sampled_lists: List[List[int]] = []
+    flip_lists: List[List[bool]] = []
+    for seed in seeds:
+        rng = random.Random(seed)
+        sampled_lists.append(sampler.sample_many(n, rng))
+        flip_lists.append([rng.random() < 0.5 for _ in range(n)])
+    election = run_nonoriented_fleet(
+        sampled_lists,
+        flip_lists=flip_lists,
+        scheme=scheme,
+        require_unique_ids=False,
+        backend=backend,
+        scheduler=scheduler,
+        seed=sched_seed,
+        max_rounds=max_rounds,
+    )
+    return AnonymousFleetResult(
+        seeds=list(seeds),
+        sampled_ids=sampled_lists,
+        max_unique=[max_is_unique(ids) for ids in sampled_lists],
+        election=election,
+    )

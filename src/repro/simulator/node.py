@@ -89,6 +89,12 @@ class Node(abc.ABC):
     #: Ports this node class provably never sends on (static algorithm fact).
     SILENT_SEND_PORTS: "tuple[int, ...]" = ()
 
+    # Millions of short-lived node objects are built per sweep; slotted
+    # layouts shave per-instance memory and attribute-access time.
+    # Subclasses that declare new attributes must extend __slots__ (or
+    # accept a __dict__, as the content-carrying baselines do).
+    __slots__ = ("terminated", "output")
+
     def __init__(self) -> None:
         self.terminated: bool = False
         self.output: Optional[Any] = None

@@ -34,6 +34,7 @@ from repro.verification.common import (
     build_fault_profile,
     freeze_value,
     node_fingerprint,
+    node_state_dict,
 )
 from repro.verification.explorer import (
     ExplorationLimitExceeded,
@@ -56,4 +57,5 @@ __all__ = [
     "explore_reduced",
     "freeze_value",
     "node_fingerprint",
+    "node_state_dict",
 ]

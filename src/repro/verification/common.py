@@ -50,6 +50,27 @@ def freeze_value(value: Any) -> Any:
     return type(value).__qualname__
 
 
+def node_state_dict(node: Any) -> dict:
+    """Every attribute of ``node`` as a name → value dict.
+
+    Merges ``__slots__`` declarations across the MRO (slotted node classes
+    have no ``__dict__`` for their slotted attributes) with any instance
+    ``__dict__`` (unslotted subclasses, e.g. the content-carrying
+    baselines, keep one).  Unset slots are skipped.
+    """
+    state: dict = {}
+    for klass in type(node).__mro__:
+        for name in getattr(klass, "__slots__", ()):
+            if name == "__dict__" or name in state:
+                continue
+            try:
+                state[name] = getattr(node, name)
+            except AttributeError:
+                continue
+    state.update(getattr(node, "__dict__", {}))
+    return state
+
+
 def node_fingerprint(nodes: Iterable[Any]) -> Tuple:
     """Canonical digest of every node's full local state.
 
@@ -57,7 +78,7 @@ def node_fingerprint(nodes: Iterable[Any]) -> Tuple:
     of a finished :class:`~repro.simulator.engine.Engine` run, which is
     what makes the explorer-vs-engine differential tests possible.
     """
-    return tuple(freeze_value(node.__dict__) for node in nodes)
+    return tuple(freeze_value(node_state_dict(node)) for node in nodes)
 
 
 class _NetworkFacade:

@@ -27,14 +27,14 @@ from repro.core.common import LeaderState
 from repro.core.nonoriented import run_nonoriented
 from repro.core.terminating import run_terminating
 from repro.core.warmup import run_warmup
-from repro.verification import freeze_value
+from repro.verification import freeze_value, node_state_dict
 
 from strategies import flipped_rings, relabeled_rings, rotated_rings
 
 
 def _by_id(outcome):
     """Map each node ID to the frozen final local state of its node."""
-    return {node.node_id: freeze_value(node.__dict__) for node in outcome.nodes}
+    return {node.node_id: freeze_value(node_state_dict(node)) for node in outcome.nodes}
 
 
 def _leader_ids(outcome):
