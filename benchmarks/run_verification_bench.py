@@ -16,6 +16,13 @@ load-bearing for the acceptance criteria recorded in
   reduced search both finishes and certifies the exact ``n*IDmax``
   message bound on.
 
+A third section benchmarks the **statistical** checker
+(:mod:`repro.verification.statistical`) at scales enumeration cannot
+touch: sampled instances per second through the fleet with the per-round
+invariant battery on, the Clopper-Pearson pass-rate interval, and the
+fault-injection self-test (an injected pulse drop must be caught,
+bisected to its instance, and replayed).
+
 Results land in a machine-readable ``BENCH_verification.json`` at the
 repo root::
 
@@ -141,6 +148,56 @@ def bench_frontier() -> Dict:
     }
 
 
+STATISTICAL_FULL = {"samples": 100_000, "n": 32, "id_max": 100_000}
+STATISTICAL_QUICK = {"samples": 5_000, "n": 16, "id_max": 10_000}
+
+
+def bench_statistical(quick: bool) -> Dict:
+    """Sampled-schedule checking throughput + the fault self-test."""
+    from repro.simulator.fleet import FleetFault
+    from repro.verification.statistical import run_statistical_check
+
+    params = STATISTICAL_QUICK if quick else STATISTICAL_FULL
+    t0 = time.perf_counter()
+    clean = run_statistical_check(
+        n=params["n"],
+        id_max=params["id_max"],
+        samples=params["samples"],
+        block_size=4096,
+    )
+    t_clean = time.perf_counter() - t0
+
+    fault = FleetFault(round_index=3, node=1, direction="cw", instance=17)
+    t0 = time.perf_counter()
+    faulted = run_statistical_check(
+        n=8, id_max=100, samples=64, block_size=64, fault=fault
+    )
+    t_fault = time.perf_counter() - t0
+    replayed = bool(
+        faulted.counterexamples
+        and faulted.counterexamples[0].instance == 17
+        and faulted.counterexamples[0].replay() is not None
+    )
+    return {
+        "workload": "run_statistical_check (per-round invariant battery "
+        "+ end-state Theorem 1 contract)",
+        **params,
+        "backend": clean.backend,
+        "scheduler": clean.scheduler,
+        "violations": clean.violations,
+        "pass_rate": clean.pass_rate,
+        "cp_interval_99": [round(clean.rate_low, 6), round(clean.rate_high, 6)],
+        "seconds": round(t_clean, 4),
+        "samples_per_second": round(params["samples"] / t_clean, 1),
+        "fault_self_test": {
+            "injected": "drop 1 CW pulse, round 3, instance 17",
+            "caught": not faulted.clean,
+            "localized_to_instance": replayed,
+            "seconds": round(t_fault, 4),
+        },
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -177,6 +234,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         flush=True,
     )
 
+    print("statistical: sampled-schedule checking ...", flush=True)
+    statistical = bench_statistical(args.quick)
+    print(
+        f"  {statistical['samples']} samples @ n={statistical['n']}, "
+        f"IDmax={statistical['id_max']}: pass rate "
+        f"{statistical['pass_rate']} in {statistical['seconds']}s "
+        f"({statistical['samples_per_second']}/s) | fault self-test "
+        f"caught={statistical['fault_self_test']['caught']}",
+        flush=True,
+    )
+
     reference = next(
         (
             row
@@ -195,6 +263,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         frontier["unreduced_exceeded_budget"]
         and frontier["reduced_certified_bound"]
     )
+    statistical_ok = (
+        statistical["violations"] == 0
+        and statistical["fault_self_test"]["caught"]
+        and statistical["fault_self_test"]["localized_to_instance"]
+    )
 
     report = {
         "generated_by": "benchmarks/run_verification_bench.py"
@@ -206,6 +279,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(POR + counting states)",
         "grid": rows,
         "frontier": frontier,
+        "statistical": statistical,
         "summary": {
             "reference_instance": {
                 "algorithm": "warmup",
@@ -217,11 +291,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             },
             "all_verdicts_agree": all_agree,
             "frontier_certified_beyond_unreduced": frontier_ok,
+            "statistical_clean_and_self_test_caught": statistical_ok,
         },
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
-    if not (reference_ok and all_agree and frontier_ok):
+    if not (reference_ok and all_agree and frontier_ok and statistical_ok):
         print("ACCEPTANCE CRITERIA NOT MET — see summary in the JSON report")
         return 1
     return 0

@@ -1,0 +1,36 @@
+"""Optional-accelerator guard: the single place NumPy is imported.
+
+NumPy is the ``[perf]`` extra — an accelerator, never a requirement.
+Every module that wants vectorized lowerings imports ``np`` and
+``HAVE_NUMPY`` from here, so a NumPy-free install degrades to the
+pure-Python reference semantics in exactly one, testable way
+(``tests/test_numpy_free.py`` runs the full CLI surface with NumPy
+shadowed out).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+try:  # pragma: no cover - trivially one of the two branches per install
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _numpy = None
+
+#: The NumPy module when importable, else ``None``.
+np: Optional[Any] = _numpy
+
+#: True when the ``[perf]`` extra's NumPy is importable.
+HAVE_NUMPY: bool = np is not None
+
+
+def require_numpy(feature: str) -> Any:
+    """Return the NumPy module or raise a uniform configuration error."""
+    if np is None:
+        from repro.exceptions import ConfigurationError
+
+        raise ConfigurationError(
+            f"{feature} requires numpy; install the [perf] extra "
+            "or select the pure-Python backend"
+        )
+    return np

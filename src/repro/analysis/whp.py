@@ -27,7 +27,12 @@ from repro.analysis.parallel import (
     resolve_processes,
     shard_evenly,
 )
-from repro.analysis.stats import BernoulliEstimate, estimate_success_rate, wilson_interval
+from repro.analysis.stats import (
+    BernoulliEstimate,
+    clopper_pearson_interval,
+    estimate_success_rate,
+    wilson_interval,
+)
 from repro.exceptions import ConfigurationError
 
 
@@ -50,6 +55,7 @@ def measure_anonymous_success(
     fleet: bool = True,
     backend: str = "auto",
     z: float = 2.576,
+    interval: str = "wilson",
 ) -> BernoulliEstimate:
     """Estimate the Theorem 3 success probability over seeded attempts.
 
@@ -70,16 +76,35 @@ def measure_anonymous_success(
             differential tests).
         backend: Fleet backend (``"auto"`` / ``"numpy"`` / ``"python"``).
         z: Confidence quantile for the Wilson interval.
+        interval: ``"wilson"`` (default) or ``"clopper-pearson"`` — the
+            exact interval the statistical checker reports (its ~99%
+            level is derived from ``z`` as the matching normal quantile).
     """
+    if interval not in ("wilson", "clopper-pearson"):
+        raise ConfigurationError(
+            f"unknown interval method {interval!r}; "
+            "choose 'wilson' or 'clopper-pearson'"
+        )
     if trials < 1:
         raise ConfigurationError(f"need at least one trial, got {trials}")
     seeds = range(seed, seed + trials)
     if not fleet:
         from repro.core.anonymous import run_anonymous
 
-        return estimate_success_rate(
+        estimate = estimate_success_rate(
             lambda s: run_anonymous(n, c=c, seed=s).succeeded, seeds=seeds, z=z
         )
+        if interval == "clopper-pearson":
+            low, high = clopper_pearson_interval(
+                estimate.successes, estimate.trials, confidence=_z_to_confidence(z)
+            )
+            estimate = BernoulliEstimate(
+                successes=estimate.successes,
+                trials=estimate.trials,
+                low=low,
+                high=high,
+            )
+        return estimate
     shards = shard_evenly(list(seeds), resolve_processes(processes))
     per_shard = parallel_map(
         _anonymous_fleet_successes,
@@ -88,7 +113,19 @@ def measure_anonymous_success(
     )
     flags = [flag for shard in per_shard for flag in shard]
     successes = sum(flags)
-    low, high = wilson_interval(successes, len(flags), z=z)
+    if interval == "clopper-pearson":
+        low, high = clopper_pearson_interval(
+            successes, len(flags), confidence=_z_to_confidence(z)
+        )
+    else:
+        low, high = wilson_interval(successes, len(flags), z=z)
     return BernoulliEstimate(
         successes=successes, trials=len(flags), low=low, high=high
     )
+
+
+def _z_to_confidence(z: float) -> float:
+    """Two-sided coverage of the +-z normal range (so z=2.576 -> ~0.99)."""
+    import math
+
+    return max(1e-9, min(1 - 1e-12, math.erf(z / math.sqrt(2.0))))

@@ -151,7 +151,79 @@ def _expected_pulse_bound(algorithm: str, ids: List[int]) -> "tuple[str, int]":
     return ("n(2*IDmax+1) (Thm 2)", n * (2 * id_max + 1))
 
 
+def _cmd_verify_statistical(args: argparse.Namespace) -> int:
+    from repro.simulator.fleet import FleetFault
+    from repro.verification.statistical import run_statistical_check
+
+    fault = None
+    if args.inject_drop is not None:
+        if len(args.inject_drop) != 3:
+            raise SystemExit("--inject-drop takes ROUND,NODE,INSTANCE")
+        round_index, node, instance = args.inject_drop
+        fault = FleetFault(
+            round_index=round_index, node=node, direction="cw",
+            instance=instance,
+        )
+
+    report = run_statistical_check(
+        algorithm=args.algorithm,
+        n=args.n,
+        id_max=args.id_max,
+        samples=args.samples,
+        seed=args.seed,
+        sched_seed=args.sched_seed,
+        scheduler=args.scheduler,
+        backend=args.backend,
+        block_size=args.block_size,
+        confidence=args.confidence,
+        fault=fault,
+        processes=args.processes,
+    )
+
+    print(f"algorithm            : {report.algorithm}")
+    print(f"mode                 : statistical (sampled instances)")
+    print(f"ring size n          : {report.n}")
+    print(f"id max               : {report.id_max}")
+    print(f"samples              : {report.samples}")
+    print(f"backend / scheduler  : {report.backend} / {report.scheduler}")
+    print(f"seeds (ids, sched)   : {report.seed}, {report.sched_seed}")
+    if fault is not None:
+        print(
+            f"injected fault       : drop 1 {fault.direction} pulse at "
+            f"round {fault.round_index} toward node {fault.node} in "
+            f"instance {fault.instance}"
+        )
+    print(f"invariant violations : {report.violations}")
+    print(
+        f"pass rate            : {report.pass_rate:.6f} "
+        f"({int(report.confidence * 100)}% CP interval "
+        f"[{report.rate_low:.6f}, {report.rate_high:.6f}])"
+    )
+    for ce in report.counterexamples:
+        print(f"counterexample       : {ce.message}")
+        print(
+            f"  replay             : repro verify --statistical "
+            f"--algorithm {ce.algorithm} --n {len(ce.ids)} "
+            f"--id-max {report.id_max} --samples 1 --seed {ce.seed} "
+            f"--sched-seed {ce.sched_seed} --scheduler {ce.scheduler} "
+            f"--backend {ce.backend} (instance {ce.instance}: "
+            f"ids {list(ce.ids)})"
+        )
+        reproduced = ce.replay()
+        print(
+            f"  replay reproduces  : "
+            f"{'yes' if reproduced is not None else 'NO'}"
+        )
+    print("PASSED (sampled schedules)" if report.clean else "FAILED")
+    return 0 if report.clean else 1
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.statistical:
+        return _cmd_verify_statistical(args)
+    if args.ids is None:
+        raise SystemExit("verify: --ids is required unless --statistical")
+
     from repro.core.invariants import InvariantViolation, hooks_for
     from repro.core.nonoriented import NonOrientedNode
     from repro.core.terminating import TerminatingNode
@@ -427,8 +499,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-node inputs for sum")
     simulate.set_defaults(func=_cmd_simulate)
 
-    verify = sub.add_parser("verify", help="model-check ALL schedules (small rings)")
-    verify.add_argument("--ids", type=_parse_int_list, required=True)
+    verify = sub.add_parser(
+        "verify",
+        help="model-check ALL schedules (small rings) or SAMPLED "
+             "schedules at scale (--statistical)",
+    )
+    verify.add_argument("--ids", type=_parse_int_list, default=None,
+                        help="clockwise unique IDs (required unless "
+                             "--statistical)")
     verify.add_argument("--algorithm",
                         choices=["warmup", "terminating", "nonoriented"],
                         default="terminating")
@@ -449,6 +527,40 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-pulse duplication probability")
     verify.add_argument("--fault-seed", type=int, default=0)
     verify.add_argument("--max-states", type=int, default=2_000_000)
+    verify.add_argument("--statistical", action="store_true",
+                        help="sample random instances through the fleet "
+                             "engine and check the invariant battery per "
+                             "round instead of enumerating schedules")
+    verify.add_argument("--samples", type=int, default=1000,
+                        help="sampled instances (--statistical)")
+    verify.add_argument("--n", type=int, default=8,
+                        help="ring size of each sampled instance")
+    verify.add_argument("--id-max", type=int, default=1000,
+                        help="IDs drawn uniformly from [1, id-max]")
+    verify.add_argument("--scheduler", choices=["lockstep", "seeded"],
+                        default="lockstep",
+                        help="fleet delivery schedule (--statistical)")
+    verify.add_argument("--backend", choices=["auto", "numpy", "python"],
+                        default="auto")
+    verify.add_argument("--block-size", type=int, default=8192,
+                        help="instances per fleet run (--statistical)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="ID-sampling seed (--statistical)")
+    verify.add_argument("--sched-seed", type=int, default=0,
+                        help="seeded-scheduler seed (--statistical)")
+    verify.add_argument("--confidence", type=float, default=0.99,
+                        help="Clopper-Pearson coverage for the pass rate")
+    verify.add_argument("--inject-drop", type=_parse_int_list, default=None,
+                        metavar="ROUND,NODE,INSTANCE",
+                        help="self-test: delete one in-flight CW pulse at "
+                             "ROUND toward NODE in sampled INSTANCE; the "
+                             "battery must flag it")
+    verify.add_argument(
+        "--processes",
+        type=lambda text: text if text == "auto" else int(text),
+        default=None,
+        help="worker processes for --statistical (int or 'auto')",
+    )
     verify.set_defaults(func=_cmd_verify)
 
     solitude = sub.add_parser("solitude", help="solitude patterns (Definition 21)")

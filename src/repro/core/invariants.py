@@ -27,11 +27,24 @@ instance satisfies the mirrored invariant until the termination pulse is
 emitted, and the *lag* invariant :math:`\\rho_{ccw} \\le \\rho_{cw}` holds
 at every node until the termination phase (this is what makes the line-14
 trigger unique to the leader).
+
+Every predicate is stated once against the kernel state schemas
+(:mod:`repro.core.kernels`) and checked through two adapters: the
+engine-hook form (functions taking an ``Engine``/``EngineView``, below)
+reads node objects, and the column form (``check_columns_*``, taking a
+:class:`~repro.simulator.fleet.FleetRoundView`) reads the fleet's
+struct-of-arrays state — the statistical model checker runs the column
+battery over millions of sampled schedules.  The column battery also adds
+a *conservation* law no single node can state: per instance and
+direction, every pulse ever sent is processed, buffered, or in flight
+(:math:`\\sum\\sigma = \\sum\\rho + \\sum\\text{pend} +
+\\sum\\text{flight}`), which catches lost pulses the per-node lemmas can
+miss.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Any, List, Sequence
 
 from repro.core.common import OrientedRingNode
 from repro.core.terminating import TerminatingNode
@@ -41,6 +54,12 @@ from repro.simulator.engine import Engine
 
 class InvariantViolation(AssertionError):
     """An executable lemma failed; carries a forensic description."""
+
+
+def lemma6_expected_sigma(node_id: int, rho_cw: int) -> int:
+    """Lemma 6's exact send count: ``rho_cw + 1`` while the node is below
+    its ID (one excess pulse out), ``rho_cw`` once at-or-past it."""
+    return rho_cw + 1 if rho_cw < node_id else rho_cw
 
 
 def _oriented_nodes(engine: Engine) -> List[OrientedRingNode]:
@@ -56,10 +75,7 @@ def check_lemma6_cw(engine: Engine) -> None:
     transit, matching the paper's footnote 2.
     """
     for index, node in enumerate(_oriented_nodes(engine)):
-        if node.rho_cw < node.node_id:
-            expected = node.rho_cw + 1
-        else:
-            expected = node.rho_cw
+        expected = lemma6_expected_sigma(node.node_id, node.rho_cw)
         if node.sigma_cw != expected:
             raise InvariantViolation(
                 f"Lemma 6 violated at node {index} (ID {node.node_id}): "
@@ -202,3 +218,205 @@ def hooks_for(algorithm: str):
         KeyError: For unknown algorithm names.
     """
     return ALGORITHM_HOOKS[algorithm]
+
+
+# ---------------------------------------------------------------------------
+# Column forms — the same lemmas over fleet struct-of-arrays state.
+#
+# Each check takes a FleetRoundView (numpy [B, n] arrays or pure-Python
+# lists-of-lists; see repro.simulator.fleet) snapshotted at a fleet round
+# boundary — a post-drain global state, where each lemma's "end of each
+# iteration" proviso holds.  The NumPy fast path computes a violation
+# mask across the whole block and only localizes coordinates on failure,
+# so a passing round costs a handful of array ops.
+# ---------------------------------------------------------------------------
+
+
+def _locate(np: Any, bad: Any) -> Sequence[int]:
+    """First (row, node) coordinate of a violation mask."""
+    return [int(i) for i in np.argwhere(bad)[0]]
+
+
+def check_columns_lemma6_cw(view: Any) -> None:
+    """Lemma 6 (CW channel) across a fleet block; see :func:`check_lemma6_cw`."""
+    if view.backend == "numpy":
+        from repro.accel import np
+
+        expected = np.where(view.rho_cw < view.ids, view.rho_cw + 1, view.rho_cw)
+        bad = view.sigma_cw != expected
+        if not bad.any():
+            return
+        b, v = _locate(np, bad)
+        raise InvariantViolation(
+            f"instance {view.instance_offset + b}, round {view.round_index}: "
+            f"Lemma 6 violated at node {v} (ID {int(view.ids[b][v])}): "
+            f"rho_cw={int(view.rho_cw[b][v])}, sigma_cw={int(view.sigma_cw[b][v])}, "
+            f"expected sigma_cw={int(expected[b][v])}"
+        )
+    for b, (ids, rhos, sigmas) in enumerate(
+        zip(view.ids, view.rho_cw, view.sigma_cw)
+    ):
+        for v, (node_id, rho, sigma) in enumerate(zip(ids, rhos, sigmas)):
+            expected = lemma6_expected_sigma(node_id, rho)
+            if sigma != expected:
+                raise InvariantViolation(
+                    f"instance {view.instance_offset + b}, round "
+                    f"{view.round_index}: Lemma 6 violated at node {v} "
+                    f"(ID {node_id}): rho_cw={rho}, sigma_cw={sigma}, "
+                    f"expected sigma_cw={expected}"
+                )
+
+
+def check_columns_corollary14(view: Any) -> None:
+    """Corollary 14 across a fleet block; see :func:`check_corollary14`."""
+    if view.backend == "numpy":
+        from repro.accel import np
+
+        id_max = view.ids.max(axis=1, keepdims=True)
+        bad = view.rho_cw > id_max
+        if not bad.any():
+            return
+        b, v = _locate(np, bad)
+        raise InvariantViolation(
+            f"instance {view.instance_offset + b}, round {view.round_index}: "
+            f"Corollary 14 violated at node {v}: "
+            f"rho_cw={int(view.rho_cw[b][v])} > IDmax={int(id_max[b][0])}"
+        )
+    for b, (ids, rhos) in enumerate(zip(view.ids, view.rho_cw)):
+        id_max = max(ids)
+        for v, rho in enumerate(rhos):
+            if rho > id_max:
+                raise InvariantViolation(
+                    f"instance {view.instance_offset + b}, round "
+                    f"{view.round_index}: Corollary 14 violated at node {v}: "
+                    f"rho_cw={rho} > IDmax={id_max}"
+                )
+
+
+def check_columns_ccw_lag(view: Any) -> None:
+    """Algorithm 2's lag discipline across a fleet block; see
+    :func:`check_ccw_lag`."""
+    if view.backend == "numpy":
+        from repro.accel import np
+
+        allowed = view.term_sent.any(axis=1).astype(view.rho_cw.dtype)[:, None]
+        bad = view.rho_ccw > view.rho_cw + allowed
+        if not bad.any():
+            return
+        b, v = _locate(np, bad)
+        raise InvariantViolation(
+            f"instance {view.instance_offset + b}, round {view.round_index}: "
+            f"CCW lag violated at node {v} (ID {int(view.ids[b][v])}): "
+            f"rho_ccw={int(view.rho_ccw[b][v])} > "
+            f"rho_cw={int(view.rho_cw[b][v])} + {int(allowed[b][0])}"
+        )
+    for b, (ids, rho_cws, rho_ccws, sents) in enumerate(
+        zip(view.ids, view.rho_cw, view.rho_ccw, view.term_sent)
+    ):
+        allowed = 1 if any(sents) else 0
+        for v, (node_id, rho_cw, rho_ccw) in enumerate(zip(ids, rho_cws, rho_ccws)):
+            if rho_ccw > rho_cw + allowed:
+                raise InvariantViolation(
+                    f"instance {view.instance_offset + b}, round "
+                    f"{view.round_index}: CCW lag violated at node {v} "
+                    f"(ID {node_id}): rho_ccw={rho_ccw} > rho_cw={rho_cw}"
+                    f" + {allowed}"
+                )
+
+
+def check_columns_leader_event_unique(view: Any) -> None:
+    """Uniqueness of the line-14 trigger across a fleet block; see
+    :func:`check_leader_event_unique`."""
+    if view.backend == "numpy":
+        from repro.accel import np
+
+        id_max = view.ids.max(axis=1, keepdims=True)
+        bad = view.term_sent & (view.ids != id_max)
+        if not bad.any():
+            return
+        b, v = _locate(np, bad)
+        raise InvariantViolation(
+            f"instance {view.instance_offset + b}, round {view.round_index}: "
+            f"non-maximal node {v} (ID {int(view.ids[b][v])}, IDmax "
+            f"{int(id_max[b][0])}) fired the leader-only termination trigger"
+        )
+    for b, (ids, sents) in enumerate(zip(view.ids, view.term_sent)):
+        id_max = max(ids)
+        for v, (node_id, sent) in enumerate(zip(ids, sents)):
+            if sent and node_id != id_max:
+                raise InvariantViolation(
+                    f"instance {view.instance_offset + b}, round "
+                    f"{view.round_index}: non-maximal node {v} (ID {node_id}, "
+                    f"IDmax {id_max}) fired the leader-only termination trigger"
+                )
+
+
+def check_columns_conservation(view: Any) -> None:
+    """Per-direction pulse conservation across a fleet block.
+
+    Every pulse a node sends is, at any round boundary, exactly one of:
+    processed at its receiver (counted in :math:`\\rho`), buffered there
+    (pending), or in flight.  So per instance and direction,
+    :math:`\\sum_v \\sigma_v = \\sum_v \\rho_v + \\sum_v \\text{pend}_v +
+    \\sum_v \\text{flight}_v`.  A lost pulse (a fault, or a kernel bug
+    miscounting relays) breaks this immediately — it is the statistical
+    checker's primary tripwire and has no single-node equivalent.
+    """
+    pairs = (
+        ("CW", view.sigma_cw, view.rho_cw, view.pend_cw, view.flight_cw),
+        ("CCW", view.sigma_ccw, view.rho_ccw, view.pend_ccw, view.flight_ccw),
+    )
+    if view.backend == "numpy":
+        from repro.accel import np
+
+        for label, sigma, rho, pend, flight in pairs:
+            sent = sigma.sum(axis=1)
+            accounted = rho.sum(axis=1) + pend.sum(axis=1) + flight.sum(axis=1)
+            bad = sent != accounted
+            if not bad.any():
+                continue
+            b = int(np.argwhere(bad)[0][0])
+            raise InvariantViolation(
+                f"instance {view.instance_offset + b}, round {view.round_index}: "
+                f"{label} conservation violated: sum(sigma)={int(sent[b])} != "
+                f"sum(rho)+sum(pend)+sum(flight)={int(accounted[b])}"
+            )
+        return
+    for label, sigma, rho, pend, flight in pairs:
+        for b, (sigmas, rhos, pends, flights) in enumerate(
+            zip(sigma, rho, pend, flight)
+        ):
+            sent = sum(sigmas)
+            accounted = sum(rhos) + sum(pends) + sum(flights)
+            if sent != accounted:
+                raise InvariantViolation(
+                    f"instance {view.instance_offset + b}, round "
+                    f"{view.round_index}: {label} conservation violated: "
+                    f"sum(sigma)={sent} != "
+                    f"sum(rho)+sum(pend)+sum(flight)={accounted}"
+                )
+
+
+TERMINATING_COLUMN_INVARIANTS = (
+    check_columns_lemma6_cw,
+    check_columns_corollary14,
+    check_columns_ccw_lag,
+    check_columns_leader_event_unique,
+    check_columns_conservation,
+)
+
+#: Column (fleet) invariant batteries per algorithm.  Only Algorithm 2
+#: exposes observer hooks today — the warmup/nonoriented fleets quiesce
+#: inside closed-form direction runs without per-round views.
+COLUMN_INVARIANTS = {
+    "terminating": TERMINATING_COLUMN_INVARIANTS,
+}
+
+
+def column_invariants_for(algorithm: str):
+    """The fleet-column invariant battery for ``algorithm``.
+
+    Raises:
+        KeyError: For algorithms without a column battery.
+    """
+    return COLUMN_INVARIANTS[algorithm]

@@ -1,0 +1,101 @@
+"""One transition kernel per algorithm — the registry.
+
+Each entry binds an algorithm name to the module that is the *single*
+source of truth for its semantics and exact pulse bounds:
+
+* ``warmup`` — Algorithm 1 (stabilizing warm-up election, Section 3.1).
+* ``terminating`` — Algorithm 2 (terminating election, Theorem 1).
+* ``nonoriented`` — Algorithm 3 (non-oriented rings, Theorem 2 /
+  Proposition 15).
+* ``anonymous`` — Algorithm 4 (Theorem 3) has no transition kernel of
+  its own: it samples geometric IDs and runs the Algorithm 3 kernel on
+  them, so its entry points at :mod:`repro.core.kernels.nonoriented`
+  with ``samples_ids=True``.
+
+Backends (engine node adapters, the fleet's column lowerings, the
+synchronous wrapper) and the statistical checker all resolve semantics
+through :func:`get_kernel` — nothing else re-implements a transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Dict, Tuple
+
+from repro.core.kernels import nonoriented, terminating, warmup
+from repro.core.kernels.base import (
+    Emission,
+    Emissions,
+    StepOutcome,
+    apply_emissions,
+)
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """Registry row: the kernel module plus per-algorithm metadata."""
+
+    name: str
+    module: ModuleType
+    algorithm: int
+    terminating: bool
+    oriented: bool
+    samples_ids: bool = False
+
+
+KERNELS: Dict[str, KernelInfo] = {
+    "warmup": KernelInfo(
+        name="warmup",
+        module=warmup,
+        algorithm=1,
+        terminating=False,
+        oriented=True,
+    ),
+    "terminating": KernelInfo(
+        name="terminating",
+        module=terminating,
+        algorithm=2,
+        terminating=True,
+        oriented=True,
+    ),
+    "nonoriented": KernelInfo(
+        name="nonoriented",
+        module=nonoriented,
+        algorithm=3,
+        terminating=False,
+        oriented=False,
+    ),
+    "anonymous": KernelInfo(
+        name="anonymous",
+        module=nonoriented,
+        algorithm=4,
+        terminating=False,
+        oriented=False,
+        samples_ids=True,
+    ),
+}
+
+
+def get_kernel(name: str) -> KernelInfo:
+    """Resolve an algorithm name to its kernel registry row."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {', '.join(sorted(KERNELS))}"
+        ) from None
+
+
+__all__ = [
+    "Emission",
+    "Emissions",
+    "KERNELS",
+    "KernelInfo",
+    "StepOutcome",
+    "apply_emissions",
+    "get_kernel",
+    "nonoriented",
+    "terminating",
+    "warmup",
+]

@@ -40,36 +40,32 @@ stabilization); success is read off the stabilized states.
 
 from __future__ import annotations
 
-import enum
 from typing import Any, List, Optional, Sequence
 
-from repro.exceptions import ConfigurationError, ProtocolViolation
+from repro.exceptions import ConfigurationError
 from repro.core.common import LeaderState, validate_positive_ids, validate_unique_ids
+from repro.core.kernels import nonoriented as kernel
+from repro.core.kernels.base import apply_emissions
+from repro.core.kernels.nonoriented import IdScheme  # re-export (canonical home)
 from repro.simulator.engine import Engine, RunResult
-from repro.simulator.node import Node, NodeAPI, PORT_ONE, PORT_ZERO
+from repro.simulator.node import Node, NodeAPI
 from repro.simulator.ring import RingTopology, build_nonoriented_ring
 from repro.simulator.scheduler import Scheduler
 
-
-class IdScheme(enum.Enum):
-    """How a node derives its two virtual IDs from its real ID."""
-
-    #: Proposition 15: ``ID^(i) = 2*ID - 1 + i`` — globally unique virtual
-    #: IDs, message complexity ``n(4*IDmax - 1)``.
-    DOUBLED = "doubled"
-    #: Theorem 2: ``ID^(0) = ID``, ``ID^(1) = ID + 1`` — may collide, but
-    #: per-direction maxima still differ; complexity ``n(2*IDmax + 1)``.
-    SUCCESSOR = "successor"
-
-    def virtual_ids(self, node_id: int) -> "tuple[int, int]":
-        """Return ``(ID^(0), ID^(1))`` for this scheme."""
-        if self is IdScheme.DOUBLED:
-            return (2 * node_id - 1, 2 * node_id)
-        return (node_id, node_id + 1)
+__all__ = [
+    "IdScheme",
+    "NonOrientedNode",
+    "NonOrientedOutcome",
+    "run_nonoriented",
+]
 
 
 class NonOrientedNode(Node):
-    """One node of Algorithm 3.
+    """One node of Algorithm 3: a thin adapter over the non-oriented kernel.
+
+    The node *is* the kernel state (its slots are the schema fields); each
+    event forwards to :func:`repro.core.kernels.nonoriented.step` and
+    replays the emissions through the engine API.
 
     Attributes:
         node_id: The real ID :math:`\\mathsf{ID}_v`.
@@ -103,63 +99,17 @@ class NonOrientedNode(Node):
         self.state = LeaderState.UNDECIDED
         self.cw_port_label: Optional[int] = None
 
-    def _send(self, api: NodeAPI, port: int) -> None:
-        self.sigma[port] += 1
-        api.send(port)
-
     def on_init(self, api: NodeAPI) -> None:
-        # Lines 1-3: pick virtual IDs and send one pulse out of each port.
-        self._send(api, PORT_ZERO)
-        self._send(api, PORT_ONE)
-        self._update_output()
+        _, emissions, verdict = kernel.init(self)
+        apply_emissions(api, emissions, verdict)
 
     def on_message(self, api: NodeAPI, port: int, content: Any) -> None:
-        if port not in (PORT_ZERO, PORT_ONE):  # pragma: no cover
-            raise ProtocolViolation(f"invalid arrival port {port}")
-        out_port = 1 - port
-        # Lines 5-7: forward unless this direction's counter just hit the
-        # governing virtual ID (ID^(i) governs pulses received at Port_{1-i}).
-        self.rho[port] += 1
-        if self.rho[port] != self.virtual_ids[out_port]:
-            self._send(api, out_port)
-        self._update_output()
+        _, emissions, verdict = kernel.step(self, port, 1)
+        apply_emissions(api, emissions, verdict)
 
     def on_pulses(self, api: NodeAPI, port: int, count: int) -> None:
-        """Consume a run of ``count`` same-direction pulses in O(1).
-
-        Each travel direction is an independent Algorithm 1 instance, so
-        the run relays everything except the at-most-one pulse landing
-        exactly on the governing virtual ID; the verdict recomputation is a
-        pure function of the final counters, so one call at the end equals
-        one per pulse.
-        """
-        if port not in (PORT_ZERO, PORT_ONE):  # pragma: no cover
-            raise ProtocolViolation(f"invalid arrival port {port}")
-        out_port = 1 - port
-        governing = self.virtual_ids[out_port]
-        start = self.rho[port]
-        self.rho[port] += count
-        relays = count - (1 if start < governing <= self.rho[port] else 0)
-        if relays:
-            self.sigma[out_port] += relays
-            api.send_many(out_port, relays)
-        self._update_output()
-
-    def _update_output(self) -> None:
-        """Lines 8-16: recompute the tentative verdict and orientation."""
-        id_one = self.virtual_ids[PORT_ONE]
-        if max(self.rho) < id_one:
-            return  # line 8 guard not yet met; remain undecided
-        if self.rho[PORT_ZERO] == id_one and self.rho[PORT_ONE] < id_one:
-            self.state = LeaderState.LEADER  # lines 9-10
-        else:
-            self.state = LeaderState.NON_LEADER  # lines 11-12
-        # Lines 13-16: CW pulses arrive at CCW ports, so the port that
-        # received MORE pulses is the CCW port; the other leads clockwise.
-        if self.rho[PORT_ZERO] > self.rho[PORT_ONE]:
-            self.cw_port_label = PORT_ONE
-        else:
-            self.cw_port_label = PORT_ZERO
+        _, emissions, verdict = kernel.step(self, port, count)
+        apply_emissions(api, emissions, verdict)
 
 
 def run_nonoriented(

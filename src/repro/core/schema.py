@@ -1,0 +1,177 @@
+"""Declarative state schemas + the canonical state-fingerprint helpers.
+
+Every transition kernel in :mod:`repro.core.kernels` declares its local
+state as a :class:`StateSchema`: named fields with a *role* saying how the
+field behaves across schedules.  The schema is what lets four very
+different backends agree on "the same state":
+
+* the event-driven :class:`~repro.simulator.engine.Engine` and the
+  schedule explorers hold states as node objects (the schema fields are
+  the node's ``__slots__``);
+* the fleet engine (:mod:`repro.simulator.fleet`) lowers each field to a
+  struct-of-arrays column, one array per field across ``B`` instances;
+* the synchronous engine holds plain kernel-state dataclasses;
+* the backend-conformance suite fingerprints the *observable* projection
+  of each and asserts bit equality.
+
+Field roles:
+
+* ``config`` — fixed at construction (IDs, schemes, flags); trivially
+  schedule-invariant.
+* ``observable`` — terminal value is schedule-invariant (the paper's
+  counters and verdicts: every legal adversary drives them to the same
+  quiescent values, which the differential suites verify bit-for-bit).
+* ``transient`` — mid-run bookkeeping whose terminal value may depend on
+  delivery batching (node-local pending buffers); excluded from
+  cross-backend fingerprints.
+
+This module is also the canonical home of the *generic* object
+fingerprinting used by both schedule explorers and the differential
+tests (:func:`freeze_value` / :func:`node_state_dict` /
+:func:`node_fingerprint`, formerly in ``verification/common.py``, which
+still re-exports them).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Tuple
+
+# ---------------------------------------------------------------------------
+# Generic object fingerprinting (shared by explorers + differential tests).
+# ---------------------------------------------------------------------------
+
+
+def freeze_value(value: Any) -> Any:
+    """Recursively convert a value into a hashable fingerprint component."""
+    if value is None or isinstance(value, (int, float, str, bool, bytes)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_value(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(freeze_value(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, freeze_value(val)) for key, val in value.items()))
+    # Shared immutable strategy objects (e.g. a CircuitProgram) are
+    # identified by type: per-node mutable state must live on the node.
+    return type(value).__qualname__
+
+
+def node_state_dict(node: Any) -> Dict[str, Any]:
+    """Every attribute of ``node`` as a name → value dict.
+
+    Merges ``__slots__`` declarations across the MRO (slotted node classes
+    have no ``__dict__`` for their slotted attributes) with any instance
+    ``__dict__`` (unslotted subclasses, e.g. the content-carrying
+    baselines, keep one).  Unset slots are skipped.
+    """
+    state: Dict[str, Any] = {}
+    for klass in type(node).__mro__:
+        for name in getattr(klass, "__slots__", ()):
+            if name == "__dict__" or name in state:
+                continue
+            try:
+                state[name] = getattr(node, name)
+            except AttributeError:
+                continue
+    state.update(getattr(node, "__dict__", {}))
+    return state
+
+
+def node_fingerprint(nodes: Iterable[Any]) -> Tuple[Any, ...]:
+    """Canonical digest of every node's full local state.
+
+    The same function applies to explorer states and to the node objects
+    of a finished :class:`~repro.simulator.engine.Engine` run, which is
+    what makes the explorer-vs-engine differential tests possible.
+    """
+    return tuple(freeze_value(node_state_dict(node)) for node in nodes)
+
+
+# ---------------------------------------------------------------------------
+# Declarative kernel-state schemas.
+# ---------------------------------------------------------------------------
+
+#: Field role literals (see module docstring).
+CONFIG = "config"
+OBSERVABLE = "observable"
+TRANSIENT = "transient"
+
+_ROLES = (CONFIG, OBSERVABLE, TRANSIENT)
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named component of a kernel's local state.
+
+    Attributes:
+        name: Attribute name, identical on node objects, kernel-state
+            dataclasses, and fleet column structs.
+        kind: Value shape — ``"int"``, ``"bool"``, ``"enum"``,
+            ``"opt_int"``, ``"int_pair"``, or ``"int_list"`` (the fleet
+            lowers ``int``/``bool`` fields to SoA columns; structured
+            kinds stay per-node).
+        role: ``config`` / ``observable`` / ``transient``.
+        doc: What the field means in the paper's terms.
+    """
+
+    name: str
+    kind: str
+    role: str = OBSERVABLE
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if self.role not in _ROLES:
+            raise ValueError(f"unknown field role {self.role!r}")
+
+
+@dataclass(frozen=True)
+class StateSchema:
+    """The declared local state of one transition kernel."""
+
+    name: str
+    fields: Tuple[Field, ...]
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def observable_names(self) -> Tuple[str, ...]:
+        """Fields whose terminal values are schedule-invariant (+ config)."""
+        return tuple(
+            f.name for f in self.fields if f.role in (CONFIG, OBSERVABLE)
+        )
+
+    def project(self, state: Any, names: Tuple[str, ...] = ()) -> Dict[str, Any]:
+        """Read the schema's fields off any duck-typed state object."""
+        return {
+            name: getattr(state, name) for name in (names or self.field_names())
+        }
+
+    def state_fingerprint(self, state: Any) -> Tuple[Any, ...]:
+        """Hashable digest of one state's *observable* projection.
+
+        Works identically on algorithm node objects, kernel-state
+        dataclasses, and the per-node dicts the fleet reconstructs from
+        its columns — the backend-conformance suite compares exactly
+        these digests across all four backends.
+        """
+        names = self.observable_names()
+        if isinstance(state, dict):
+            return tuple(freeze_value(state[name]) for name in names)
+        return tuple(freeze_value(getattr(state, name)) for name in names)
+
+    def fleet_fingerprint(self, row: Dict[str, Any]) -> Tuple[Any, ...]:
+        """:meth:`state_fingerprint` for a fleet-reconstructed state dict."""
+        return self.state_fingerprint(row)
+
+    def columns(self, states: Iterable[Any]) -> Dict[str, List[Any]]:
+        """Lower a sequence of states to name → per-node value lists
+        (the struct-of-arrays layout the fleet engine batches over)."""
+        cols: Dict[str, List[Any]] = {name: [] for name in self.field_names()}
+        for state in states:
+            for name in cols:
+                cols[name].append(getattr(state, name))
+        return cols

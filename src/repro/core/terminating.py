@@ -43,16 +43,13 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence
 
-from repro.exceptions import ProtocolViolation
 from repro.core.common import (
-    CW_ARRIVAL_PORT,
-    CW_SEND_PORT,
-    CCW_ARRIVAL_PORT,
-    CCW_SEND_PORT,
     LeaderState,
     OrientedRingNode,
     validate_unique_ids,
 )
+from repro.core.kernels import terminating as kernel
+from repro.core.kernels.base import apply_emissions
 from repro.simulator.engine import Engine, RunResult
 from repro.simulator.node import NodeAPI
 from repro.simulator.ring import build_oriented_ring
@@ -60,7 +57,15 @@ from repro.simulator.scheduler import Scheduler
 
 
 class TerminatingNode(OrientedRingNode):
-    """One node of Algorithm 2.
+    """One node of Algorithm 2: a thin adapter over the terminating kernel.
+
+    The node *is* the kernel state (its slots are the schema fields); each
+    event forwards to :func:`repro.core.kernels.terminating.step`, which
+    buffers the delivered run and replays the listing's repeat-loop, and
+    the adapter applies the returned emissions/verdict through the engine
+    API.  With single-pulse deliveries the kernel's chunks degenerate to
+    one pulse each, so the event-driven engine observes the exact
+    per-pulse send interleaving; the batched engine passes whole runs.
 
     Attributes beyond :class:`~repro.core.common.OrientedRingNode`:
         pending_cw / pending_ccw: Delivered-but-unprocessed pulse counts
@@ -79,169 +84,17 @@ class TerminatingNode(OrientedRingNode):
         self.term_pulse_sent = False
         self.strict_lag = strict_lag
 
-    # -- event plumbing -----------------------------------------------------
-
     def on_init(self, api: NodeAPI) -> None:
-        self.send_cw(api)  # line 1
-        self._drain(api)
+        _, emissions, verdict = kernel.init(self)
+        apply_emissions(api, emissions, verdict)
 
     def on_message(self, api: NodeAPI, port: int, content: Any) -> None:
-        if port == CW_ARRIVAL_PORT:
-            self.pending_cw += 1
-        elif port == CCW_ARRIVAL_PORT:
-            self.pending_ccw += 1
-        else:  # pragma: no cover - engine validates ports
-            raise ProtocolViolation(f"invalid arrival port {port}")
-        self._drain(api)
+        _, emissions, verdict = kernel.step(self, port, 1)
+        apply_emissions(api, emissions, verdict)
 
     def on_pulses(self, api: NodeAPI, port: int, count: int) -> None:
-        """Consume a run of ``count`` pulses in amortized O(1).
-
-        Buffers the run like :meth:`on_message` does a single pulse, then
-        drains with closed-form chunking.  The ablated variant
-        (``strict_lag=False``) keeps the per-pulse reference semantics: it
-        exists to demonstrate a broken discipline, not to be fast.
-        """
-        if not self.strict_lag:
-            super().on_pulses(api, port, count)
-            return
-        if port == CW_ARRIVAL_PORT:
-            self.pending_cw += count
-        elif port == CCW_ARRIVAL_PORT:
-            self.pending_ccw += count
-        else:  # pragma: no cover - engine validates ports
-            raise ProtocolViolation(f"invalid arrival port {port}")
-        self._drain_chunked(api)
-
-    # -- the listing's repeat-loop, one pass per iteration --------------------
-
-    def _drain(self, api: NodeAPI) -> None:
-        """Run loop iterations until no buffered pulse is processable."""
-        while not self.terminated:
-            progressed = False
-
-            # Lines 3-8: the CW instance of Algorithm 1.
-            if self.pending_cw:
-                self.pending_cw -= 1
-                self.rho_cw += 1
-                if self.rho_cw == self.node_id:
-                    self.state = LeaderState.LEADER
-                else:
-                    self.state = LeaderState.NON_LEADER
-                    self.send_cw(api)
-                progressed = True
-
-            # Lines 9-13: the CCW instance, gated on rho_cw >= ID.
-            if self.rho_cw >= self.node_id or not self.strict_lag:
-                if self.sigma_ccw == 0 and self.rho_cw >= self.node_id:
-                    self.send_ccw(api)  # line 10: CCW instance's initial pulse
-                if self.pending_ccw:
-                    self.pending_ccw -= 1
-                    self.rho_ccw += 1
-                    if self.rho_ccw != self.node_id and not self.term_pulse_sent:
-                        self.send_ccw(api)  # line 13: relay within CCW instance
-                    progressed = True
-
-            # Lines 14-17: the unique leader event triggers termination.
-            if (
-                not self.term_pulse_sent
-                and self.rho_cw == self.node_id == self.rho_ccw
-            ):
-                self.term_pulse_sent = True
-                self.send_ccw(api)  # line 15: emit the termination pulse
-                # Lines 16-17 (wait for the pulse's return) are implicit:
-                # the node simply keeps handling events until the exit
-                # condition below fires.
-
-            # Line 18: exit condition `rho_ccw > rho_cw`.
-            if self.rho_ccw > self.rho_cw:
-                api.terminate(self.state)  # line 19: output and stop
-                return
-
-            if not progressed:
-                return
-
-    # -- the same loop, advancing whole pulse runs per iteration --------------
-
-    def _drain_chunked(self, api: NodeAPI) -> None:
-        """Like :meth:`_drain`, but each iteration consumes a maximal
-        *uniform* chunk of buffered pulses instead of one.
-
-        A chunk is uniform when every pulse in it takes the same branch of
-        the listing, which holds as long as no counter crosses a value the
-        branches test.  The chunk boundaries are therefore:
-
-        * CW: :math:`\\rho_{cw}` reaching :math:`\\mathsf{ID}` (the absorbed
-          pulse, and the only point the line-14 trigger can see);
-        * CCW: :math:`\\rho_{ccw}` reaching :math:`\\mathsf{ID}` (absorption
-          + trigger) and :math:`\\rho_{ccw}` reaching
-          :math:`\\rho_{cw} + 1` (the line-18 exit flips exactly there).
-
-        Stopping at every boundary means the trigger and exit conditions
-        are evaluated at each state where their truth can change, so the
-        chunked loop reaches the same decisions as the per-pulse one.
-        """
-        node_id = self.node_id
-        while not self.terminated:
-            progressed = False
-
-            # Lines 3-8: the CW instance of Algorithm 1, one chunk.
-            if self.pending_cw:
-                take = self.pending_cw
-                if self.rho_cw < node_id:
-                    take = min(take, node_id - self.rho_cw)
-                self.pending_cw -= take
-                start = self.rho_cw
-                self.rho_cw += take
-                if self.rho_cw == node_id:
-                    self.state = LeaderState.LEADER
-                else:
-                    self.state = LeaderState.NON_LEADER
-                relays = take - (1 if start < node_id <= self.rho_cw else 0)
-                if relays:
-                    self.sigma_cw += relays
-                    api.send_many(CW_SEND_PORT, relays)
-                progressed = True
-
-            # Lines 9-13: the CCW instance, gated on rho_cw >= ID.
-            if self.rho_cw >= node_id:
-                if self.sigma_ccw == 0:
-                    self.send_ccw(api)  # line 10: CCW instance's initial pulse
-                if self.pending_ccw:
-                    take = self.pending_ccw
-                    if self.rho_ccw < node_id:
-                        take = min(take, node_id - self.rho_ccw)
-                    if self.rho_ccw <= self.rho_cw:
-                        take = min(take, self.rho_cw + 1 - self.rho_ccw)
-                    self.pending_ccw -= take
-                    start = self.rho_ccw
-                    self.rho_ccw += take
-                    if self.term_pulse_sent:
-                        relays = 0
-                    else:
-                        relays = take - (
-                            1 if start < node_id <= self.rho_ccw else 0
-                        )
-                    if relays:
-                        self.sigma_ccw += relays
-                        api.send_many(CCW_SEND_PORT, relays)
-                    progressed = True
-
-            # Lines 14-17: the unique leader event triggers termination.
-            if (
-                not self.term_pulse_sent
-                and self.rho_cw == node_id == self.rho_ccw
-            ):
-                self.term_pulse_sent = True
-                self.send_ccw(api)  # line 15: emit the termination pulse
-
-            # Line 18: exit condition `rho_ccw > rho_cw`.
-            if self.rho_ccw > self.rho_cw:
-                api.terminate(self.state)  # line 19: output and stop
-                return
-
-            if not progressed:
-                return
+        _, emissions, verdict = kernel.step(self, port, count)
+        apply_emissions(api, emissions, verdict)
 
 
 def run_terminating(

@@ -25,15 +25,14 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence
 
-from repro.exceptions import ProtocolViolation
 from repro.core.common import (
     CCW_SEND_PORT,
-    CW_ARRIVAL_PORT,
-    CW_SEND_PORT,
     LeaderState,
     OrientedRingNode,
     validate_positive_ids,
 )
+from repro.core.kernels import warmup as kernel
+from repro.core.kernels.base import apply_emissions
 from repro.simulator.engine import Engine, RunResult
 from repro.simulator.node import NodeAPI
 from repro.simulator.ring import build_oriented_ring
@@ -41,12 +40,13 @@ from repro.simulator.scheduler import Scheduler
 
 
 class WarmupNode(OrientedRingNode):
-    """One node of Algorithm 1 (paper's listing, translated to events).
+    """One node of Algorithm 1: a thin adapter over the warm-up kernel.
 
-    The listing's main loop polls ``recvCW()``; event-driven, that is: on
-    every CW pulse processed, increment :math:`\\rho_{cw}`; if it now
-    equals the node's ID, become (tentatively) Leader and absorb the
-    pulse; otherwise become Non-Leader and relay it clockwise.
+    The node *is* the kernel state (its slots are the schema fields); each
+    event forwards to :func:`repro.core.kernels.warmup.step` and replays
+    the emissions through the engine API.  Per-pulse deliveries pass
+    ``count=1``, so the event-driven engine observes the exact per-pulse
+    semantics; the batched engine passes whole runs (chunk-exact).
     """
 
     # Algorithm 1 is CW-only: no execution ever sends counterclockwise.
@@ -56,46 +56,16 @@ class WarmupNode(OrientedRingNode):
     __slots__ = ()
 
     def on_init(self, api: NodeAPI) -> None:
-        # Line 1: every node injects one clockwise pulse.
-        self.send_cw(api)
+        _, emissions, verdict = kernel.init(self)
+        apply_emissions(api, emissions, verdict)
 
     def on_message(self, api: NodeAPI, port: int, content: Any) -> None:
-        if port != CW_ARRIVAL_PORT:
-            raise ProtocolViolation(
-                f"WarmupNode(id={self.node_id}) received a CCW pulse; "
-                "Algorithm 1 uses the CW channel only"
-            )
-        self.rho_cw += 1                       # recvCW() consumed a pulse
-        if self.rho_cw == self.node_id:        # line 4
-            self.state = LeaderState.LEADER    # line 5: absorb, claim lead
-        else:
-            self.state = LeaderState.NON_LEADER  # lines 7-8: relay
-            self.send_cw(api)
+        _, emissions, verdict = kernel.step(self, port, 1)
+        apply_emissions(api, emissions, verdict)
 
     def on_pulses(self, api: NodeAPI, port: int, count: int) -> None:
-        """Consume a run of ``count`` CW pulses in O(1).
-
-        Per-pulse, Algorithm 1 relays everything except the single pulse
-        that lands exactly on :math:`\\rho_{cw} = \\mathsf{ID}`, and the
-        state after the run's last pulse is Leader iff that pulse was the
-        absorbed one.  Both facts depend only on where the run starts and
-        ends relative to the ID, so the whole run collapses to arithmetic.
-        """
-        if port != CW_ARRIVAL_PORT:
-            raise ProtocolViolation(
-                f"WarmupNode(id={self.node_id}) received a CCW pulse; "
-                "Algorithm 1 uses the CW channel only"
-            )
-        start = self.rho_cw
-        self.rho_cw += count
-        if self.rho_cw == self.node_id:
-            self.state = LeaderState.LEADER
-        else:
-            self.state = LeaderState.NON_LEADER
-        relays = count - (1 if start < self.node_id <= self.rho_cw else 0)
-        if relays:
-            self.sigma_cw += relays
-            api.send_many(CW_SEND_PORT, relays)
+        _, emissions, verdict = kernel.step(self, port, count)
+        apply_emissions(api, emissions, verdict)
 
 
 def run_warmup(

@@ -57,7 +57,9 @@ from repro.simulator.trace import Trace
 from repro.simulator.fleet import (
     HAVE_NUMPY,
     AnonymousFleetResult,
+    FleetFault,
     FleetResult,
+    FleetRoundView,
     run_anonymous_fleet,
     run_nonoriented_fleet,
     run_terminating_fleet,
@@ -68,7 +70,9 @@ from repro.simulator.fleet import (
 __all__ = [
     "HAVE_NUMPY",
     "AnonymousFleetResult",
+    "FleetFault",
     "FleetResult",
+    "FleetRoundView",
     "run_anonymous_fleet",
     "run_nonoriented_fleet",
     "run_terminating_fleet",

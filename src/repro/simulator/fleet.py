@@ -11,6 +11,13 @@ state — ``rho[B, n]``, ``flight[B, n]``, ``terminated[B, n]`` — and
 advances the whole fleet in lockstep *rounds*, so one scheduler step is a
 few array operations across the fleet instead of ``B`` Python dispatches.
 
+Semantics come from the transition kernels in :mod:`repro.core.kernels`
+— this module owns *only* the round/flight/scheduler plumbing.  The
+pure-Python backend runs actual kernel states (``make_state`` /
+``step`` / ``drain``) per node; the NumPy backend runs the kernels'
+column lowerings (``step_block_np`` / ``drain_block_np``) over the whole
+fleet.  Neither backend re-implements a transition rule.
+
 Legality (the lockstep-equivalence argument, docs/PERFORMANCE.md).  A
 fleet round delivers, per instance, the entire round-start content of a
 set of channels; sends produced during the round enter the channels for
@@ -33,17 +40,27 @@ Two fleet schedulers are provided:
   counter arithmetic (``rho += L*k`` everywhere, ``L*k*n`` relays
   counted, in-flight population unchanged — after a full lap every pulse
   is back on its starting channel).  This bounds rounds by the number of
-  threshold *crossings* (O(n) per instance) instead of ``IDmax``.
+  threshold *crossings* (O(n) per instance) instead of ``IDmax``.  The
+  skip margins are the kernels' ``skip_margin`` helpers, so the
+  fast-forward legality argument lives next to the transition rules it
+  fast-forwards.
 * ``"seeded"`` — per-round, per-instance pseudo-random channel subsets
   drawn from a counter-based splitmix-style hash of
   ``(seed, instance, round, channel)``: reproducible per-instance RNG
   streams with no sequential RNG state, so the NumPy and pure-Python
   backends produce bit-identical schedules.
 
+Statistical-checking hooks (:mod:`repro.verification.statistical`): the
+terminating fleet accepts an ``observer`` called with a
+:class:`FleetRoundView` after every round (post-drain, post-flight
+update) and a :class:`FleetFault` that removes in-flight pulses at the
+start of a chosen round — a seed-reproducible "lost pulse" whose
+downstream invariant violations the checker must catch.
+
 Backends.  ``backend="numpy"`` runs the SoA kernels on NumPy arrays;
 ``backend="python"`` runs the same per-instance round/phase/skip logic
-with scalar integers (instances are independent, so lockstep across the
-fleet and per-instance iteration produce identical trajectories);
+with scalar kernel states (instances are independent, so lockstep across
+the fleet and per-instance iteration produce identical trajectories);
 ``backend="auto"`` picks NumPy when importable.  NumPy is an optional
 ``[perf]`` extra — every result is defined by the pure-Python semantics.
 """
@@ -51,17 +68,12 @@ fleet and per-instance iteration produce identical trajectories);
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.accel import HAVE_NUMPY
+from repro.accel import np as _np
 from repro.exceptions import ConfigurationError, SimulationLimitExceeded
-
-try:  # NumPy is an optional accelerator ([perf] extra), never a requirement.
-    import numpy as _np
-except ImportError:  # pragma: no cover - exercised on numpy-free installs
-    _np = None
-
-HAVE_NUMPY = _np is not None
 
 #: Safety bound on fleet rounds; with lap-skips a run needs O(n) rounds
 #: per instance, so hitting this means a livelocked kernel, not a big ID.
@@ -176,7 +188,8 @@ class FleetResult:
 
     ``states`` holds final :class:`~repro.core.common.LeaderState` values
     (for Algorithm 2 these are the terminal *outputs*).  ``rho_cw`` /
-    ``rho_ccw`` are directional receive counters; ``rho_ports`` is the
+    ``rho_ccw`` are directional receive counters, ``sigma_cw`` /
+    ``sigma_ccw`` the matching send counters; ``cw_port_labels`` is the
     port-indexed view Algorithm 3 exposes.  ``rounds`` / ``lap_skips``
     are whole-fleet diagnostics (they depend on the batching, unlike the
     per-instance outcomes, which are schedule-invariant).
@@ -198,6 +211,9 @@ class FleetResult:
     rounds: int = 0
     lap_skips: int = 0
     ignored_deliveries: int = 0
+    sigma_cw: Optional[List[List[int]]] = None
+    sigma_ccw: Optional[List[List[int]]] = None
+    term_pulse_sent: Optional[List[List[bool]]] = None
 
     @property
     def size(self) -> int:
@@ -212,12 +228,77 @@ class FleetResult:
         ]
 
 
+@dataclass(frozen=True)
+class FleetFault:
+    """One injected in-flight pulse loss, for statistical checking.
+
+    At the *start* of fleet round ``round_index`` (1-based, before
+    deliveries), up to ``count`` pulses currently in flight toward
+    ``node`` in ``direction`` are removed — in ``instance`` only, or in
+    every instance when ``instance`` is None.  Pulse loss is outside the
+    paper's model (FIFO channels never drop), so a fault must surface as
+    invariant violations downstream; the statistical checker injects one
+    to prove it would catch a buggy kernel.
+    """
+
+    round_index: int
+    node: int
+    direction: str = "cw"
+    instance: Optional[int] = None
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("cw", "ccw"):
+            raise ConfigurationError(
+                f"fault direction must be 'cw' or 'ccw', got {self.direction!r}"
+            )
+        if self.round_index < 1 or self.count < 1:
+            raise ConfigurationError(
+                "fault round_index and count must be >= 1; "
+                f"got round_index={self.round_index}, count={self.count}"
+            )
+
+
+@dataclass
+class FleetRoundView:
+    """Read-only per-round snapshot handed to fleet observers.
+
+    Column fields are ``[B, n]`` arrays on the NumPy backend and
+    single-row lists-of-lists (``B == 1``) on the pure-Python backend;
+    ``instance_offset`` maps row ``b`` to global instance index
+    ``instance_offset + b`` so sharded statistical runs can report
+    absolute counterexample coordinates.  ``flight_cw[b][v]`` counts
+    pulses in transit *toward* node ``v``.  Observers must not mutate
+    the columns.
+    """
+
+    algorithm: str
+    backend: str
+    round_index: int
+    instance_offset: int
+    ids: Any
+    rho_cw: Any
+    sigma_cw: Any
+    pend_cw: Any
+    flight_cw: Any
+    rho_ccw: Any
+    sigma_ccw: Any
+    pend_ccw: Any
+    flight_ccw: Any
+    term_sent: Any
+    terminated: Any
+
+
+#: Per-round statistical-checking hook (see :class:`FleetRoundView`).
+FleetObserver = Callable[[FleetRoundView], None]
+
+
 # ---------------------------------------------------------------------------
 # Algorithm 1 (warmup) — one directional instance; also Algorithm 3's halves.
 #
-# The round body needs no chunk loop: a run of `count` pulses at a node
-# collapses to `relays = count - [start < gov <= start + count]` (the
-# WarmupNode.on_pulses closed form), evaluated once per node per round.
+# The round body is the warmup kernel: `step_block_np` (NumPy) or
+# per-node `kernel.step` (Python) consume each node's delivered run in
+# O(1); the lap-skip margins are the kernel's `skip_margin` helpers.
 # ---------------------------------------------------------------------------
 
 
@@ -233,12 +314,14 @@ def _np_warmup_direction(gov, shift, scheduler, seed, chan_offset, max_rounds):
             two directions of Algorithm 3 draw from disjoint streams).
 
     Returns:
-        ``(rho, total_sent, rounds, lap_skips)`` as NumPy arrays/ints.
+        ``(rho, sigma, total_sent, rounds, lap_skips)`` as arrays/ints.
     """
+    from repro.core.kernels import warmup as kernel
+
     B, n = gov.shape
-    int_max = _np.iinfo(_np.int64).max
     rho = _np.zeros((B, n), _np.int64)
-    flight = _np.ones((B, n), _np.int64)  # on_init: one pulse toward each node
+    sigma = _np.ones((B, n), _np.int64)  # kernel.init: one pulse sent each
+    flight = _np.ones((B, n), _np.int64)  # ... and one in flight toward each
     total = _np.full(B, n, _np.int64)
     seed_mixed = _mix64(seed)
     rounds = 0
@@ -254,13 +337,14 @@ def _np_warmup_direction(gov, shift, scheduler, seed, chan_offset, max_rounds):
             # Lap-skip: L full laps are uniform as long as no node's rho
             # crosses its threshold; whenever k > 0 some node is still
             # below threshold, so the margin minimum is finite.
-            below = rho < gov
-            margin = _np.where(below, gov - rho - 1, int_max)
+            margin = kernel.skip_margins_np(_np, gov, rho)
             laps = _np.where(active, margin.min(axis=1) // _np.maximum(k, 1), 0)
             do = laps >= 1
             if do.any():
                 skips += 1
-                rho += (laps * k)[:, None] * do[:, None]
+                add = (laps * k)[:, None] * do[:, None]
+                rho += add
+                sigma += add
                 total += do * (laps * k * n)
             delivered = flight
             flight = _np.zeros_like(flight)
@@ -274,22 +358,28 @@ def _np_warmup_direction(gov, shift, scheduler, seed, chan_offset, max_rounds):
             stuck = active & (delivered.sum(axis=1) == 0)
             delivered = _np.where(stuck[:, None], flight, delivered)
             flight = flight - delivered
-        start = rho
-        rho = rho + delivered
-        absorbed = (start < gov) & (gov <= rho) & (delivered > 0)
-        relays = delivered - absorbed
+        rho, relays = kernel.step_block_np(_np, gov, rho, delivered)
+        sigma += relays
         flight += _np.roll(relays, shift, axis=1)
         total += relays.sum(axis=1)
-    return rho, total, rounds, skips
+    return rho, sigma, total, rounds, skips
 
 
 def _py_warmup_direction_one(gov, shift, scheduler, seed, chan_offset, max_rounds, instance):
-    """Scalar twin of :func:`_np_warmup_direction` for one instance."""
+    """Scalar twin of :func:`_np_warmup_direction` for one instance,
+    driving per-node warmup kernel states."""
+    from repro.core.common import CW_ARRIVAL_PORT
+    from repro.core.kernels import warmup as kernel
+
     n = len(gov)
-    rho = [0] * n
-    flight = [1] * n
-    total = n
-    seed_mixed = _mix64(seed)
+    states = [kernel.make_state(g) for g in gov]
+    flight = [0] * n
+    total = 0
+    for v, st in enumerate(states):
+        _, emissions, _ = kernel.init(st)
+        for _port, cnt in emissions:
+            flight[(v + shift) % n] += cnt
+            total += cnt
     rounds = 0
     skips = 0
     while True:
@@ -300,14 +390,16 @@ def _py_warmup_direction_one(gov, shift, scheduler, seed, chan_offset, max_round
         _limit(rounds, max_rounds)
         if scheduler == "lockstep":
             margin = min(
-                (gov[v] - rho[v] - 1) for v in range(n) if rho[v] < gov[v]
+                m
+                for m in (kernel.skip_margin(st.node_id, st.rho_cw) for st in states)
+                if m is not None
             )
             laps = margin // k
             if laps >= 1:
                 skips += 1
                 add = laps * k
-                for v in range(n):
-                    rho[v] += add
+                for st in states:
+                    kernel.apply_laps(st, add)
                 total += add * n
             delivered = flight
             flight = [0] * n
@@ -323,19 +415,19 @@ def _py_warmup_direction_one(gov, shift, scheduler, seed, chan_offset, max_round
                 flight = [0] * n
             else:
                 flight = [flight[v] - delivered[v] for v in range(n)]
-        relays = [0] * n
+        # Sends enter the flight array directly: `delivered` is a
+        # round-start snapshot, so nothing lands before the next round.
         for v in range(n):
             count = delivered[v]
             if not count:
                 continue
-            start = rho[v]
-            rho[v] += count
-            relays[v] = count - (1 if start < gov[v] <= rho[v] else 0)
-        for v in range(n):
-            if relays[v]:
-                flight[(v + shift) % n] += relays[v]
-                total += relays[v]
-    return rho, total, rounds, skips
+            _, emissions, _ = kernel.step(states[v], CW_ARRIVAL_PORT, count)
+            for _port, cnt in emissions:
+                flight[(v + shift) % n] += cnt
+                total += cnt
+    rho = [st.rho_cw for st in states]
+    sigma = [st.sigma_cw for st in states]
+    return rho, sigma, total, rounds, skips
 
 
 def run_warmup_fleet(
@@ -358,36 +450,40 @@ def run_warmup_fleet(
         seed: Stream seed for the seeded scheduler.
         max_rounds: Safety bound on fleet rounds.
     """
-    from repro.core.common import LeaderState
+    from repro.core.kernels import warmup as kernel
 
     _check_scheduler(scheduler)
     resolved = _resolve_backend(backend)
     _check_fleet(id_lists, unique=False)
     if resolved == "numpy":
         gov = _np.asarray(id_lists, dtype=_np.int64)
-        rho, total, rounds, skips = _np_warmup_direction(
+        rho, sigma, total, rounds, skips = _np_warmup_direction(
             gov, +1, scheduler, seed, 0, max_rounds
         )
         rho_rows = rho.tolist()
+        sigma_rows = sigma.tolist()
         totals = total.tolist()
     else:
-        rho_rows, totals = [], []
+        rho_rows, sigma_rows, totals = [], [], []
         rounds = skips = 0
         for b, ids in enumerate(id_lists):
-            rho_b, total_b, rounds_b, skips_b = _py_warmup_direction_one(
+            rho_b, sigma_b, total_b, rounds_b, skips_b = _py_warmup_direction_one(
                 list(ids), +1, scheduler, seed, 0, max_rounds, b
             )
             rho_rows.append(rho_b)
+            sigma_rows.append(sigma_b)
             totals.append(total_b)
             rounds = max(rounds, rounds_b)
             skips += skips_b
     states = [
         [
-            LeaderState.LEADER if rho_v == node_id else LeaderState.NON_LEADER
+            kernel.stabilized_state(node_id, rho_v)
             for rho_v, node_id in zip(rho_b, ids)
         ]
         for rho_b, ids in zip(rho_rows, id_lists)
     ]
+    from repro.core.common import LeaderState
+
     return FleetResult(
         algorithm="warmup",
         backend=resolved,
@@ -400,6 +496,7 @@ def run_warmup_fleet(
         states=states,
         total_pulses=totals,
         rho_cw=rho_rows,
+        sigma_cw=sigma_rows,
         rounds=rounds,
         lap_skips=skips,
     )
@@ -414,88 +511,99 @@ def run_warmup_fleet(
 # both halves: during the CW half the stalled CCW population is constant,
 # and during the CCW half every gate is open (k_cw == 0 means all n CW
 # absorptions happened, so rho_cw >= ID everywhere) and the exit
-# threshold rho_cw is static.  The CCW skip margin additionally keeps
-# rho_ccw <= rho_cw so neither the line-14 trigger nor the line-18 exit
-# can fire mid-skip; skips are disabled once any term pulse is sent.
+# threshold rho_cw is static.  The margins are the terminating kernel's
+# `cw_skip_margin` / `ccw_skip_margin` (the CCW one keeps rho_ccw <=
+# rho_cw so neither the line-14 trigger nor the line-18 exit can fire
+# mid-skip); skips are disabled once any term pulse is sent.
+#
+# Both directions' deliveries are buffered into the kernel pendings and
+# then drained ONCE per round: draining between the directions would be
+# a different legal schedule, and the differential tests pin this one.
 # ---------------------------------------------------------------------------
 
 
-def _np_terminating(ids, scheduler, seed, max_rounds):
+def _apply_fault_np(fault, cw_flight, ccw_flight, B, instance_offset):
+    target = cw_flight if fault.direction == "cw" else ccw_flight
+    if fault.instance is None:
+        removed = _np.minimum(target[:, fault.node], fault.count)
+        target[:, fault.node] -= removed
+    else:
+        row = fault.instance - instance_offset
+        if 0 <= row < B:
+            removed = min(int(target[row, fault.node]), fault.count)
+            target[row, fault.node] -= removed
+
+
+def _np_hop_skip(np_mod, flight, margins, cand, backward):
+    """Intra-lap fast-forward: collapse the largest crossing-free hop run.
+
+    The whole-lap skip above jumps ``L`` full laps but still pays up to a
+    full lap of rounds (``n`` hops) to reach the next threshold crossing
+    — that residual is what makes lockstep rounds scale like ``n^2`` per
+    instance.  This helper removes it: after ``H < n`` consecutive
+    all-deliver rounds with no branch crossing, node ``v`` has received
+    the window sum of ``flight`` over the ``H`` channels upstream of it
+    (``backward=True`` when sends roll ``+1``, i.e. CW travel; ``False``
+    for CCW) and the flight array is the original rolled by ``H`` — so
+    those rounds are one closed-form update.  ``H`` is the largest value
+    whose window sums stay within ``margins`` at every node; window sums
+    are nondecreasing in ``H``, so per-instance bisection over prefix
+    sums of the doubled flight array finds it.  Rows outside ``cand``
+    get ``H = 0``.  Returns ``(H, gains, flight_after)`` or ``None``
+    when no row can advance.
+    """
+    B, n = flight.shape
+    if n < 2:
+        return None
+    doubled = np_mod.concatenate([flight, flight], axis=1)
+    csum = np_mod.concatenate(
+        [np_mod.zeros((B, 1), np_mod.int64), np_mod.cumsum(doubled, axis=1)],
+        axis=1,
+    )
+    pos = np_mod.arange(n)
+    if backward:
+        window_end = csum[:, n + 1 : 2 * n + 1]  # C[v + n + 1], fixed per v
+
+    def window_gains(hops):
+        if backward:
+            idx = pos[None, :] + (n + 1) - hops[:, None]
+            return window_end - np_mod.take_along_axis(csum, idx, axis=1)
+        idx = pos[None, :] + hops[:, None]
+        return np_mod.take_along_axis(csum, idx, axis=1) - csum[:, :n]
+
+    lo = np_mod.zeros(B, np_mod.int64)
+    hi = np_mod.where(cand, n - 1, 0)
+    for _ in range(int(n - 1).bit_length()):
+        mid = np_mod.maximum((lo + hi + 1) // 2, 0)
+        ok = (mid >= 1) & (window_gains(mid) <= margins).all(axis=1)
+        lo = np_mod.where(ok, mid, lo)
+        hi = np_mod.where(ok, hi, mid - 1)
+    if not (lo > 0).any():
+        return None
+    gains = window_gains(lo)
+    shift = -lo[:, None] if backward else lo[:, None]
+    flight_after = np_mod.take_along_axis(flight, (pos[None, :] + shift) % n, axis=1)
+    return lo, gains, flight_after
+
+
+def _np_terminating(
+    ids, scheduler, seed, max_rounds, observer=None, fault=None, instance_offset=0
+):
+    from repro.core.kernels import terminating as kernel
+
     B, n = ids.shape
-    int_max = _np.iinfo(_np.int64).max
-    rho_cw = _np.zeros((B, n), _np.int64)
-    rho_ccw = _np.zeros((B, n), _np.int64)
-    pend_cw = _np.zeros((B, n), _np.int64)
-    pend_ccw = _np.zeros((B, n), _np.int64)
-    term_sent = _np.zeros((B, n), bool)
-    terminated = _np.zeros((B, n), bool)
-    ccw_started = _np.zeros((B, n), bool)
-    out_leader = _np.zeros((B, n), bool)
+    cols = kernel.TerminatingColumns.fresh(_np, ids)
     cw_flight = _np.ones((B, n), _np.int64)  # on_init: one CW pulse toward each
     ccw_flight = _np.zeros((B, n), _np.int64)
     total = _np.full(B, n, _np.int64)
-    sends_cw = _np.zeros((B, n), _np.int64)
-    sends_ccw = _np.zeros((B, n), _np.int64)
     ignored = 0
     seed_mixed = _mix64(seed)
-
-    def drain():
-        nonlocal rho_cw, rho_ccw, pend_cw, pend_ccw, sends_cw, sends_ccw
-        nonlocal term_sent, terminated, ccw_started, out_leader
-        while True:
-            live = ~terminated
-            # CW chunk (listing lines 3-8), boundary at rho_cw -> ID.
-            has_cw = live & (pend_cw > 0)
-            below = rho_cw < ids
-            take = _np.where(
-                has_cw,
-                _np.where(below, _np.minimum(pend_cw, ids - rho_cw), pend_cw),
-                0,
-            )
-            start = rho_cw
-            rho_cw = rho_cw + take
-            absorbed = has_cw & (start < ids) & (ids <= rho_cw)
-            sends_cw += take - absorbed
-            pend_cw -= take
-            progressed = has_cw
-            # CCW chunk (lines 9-13), gated on rho_cw >= ID; boundaries at
-            # rho_ccw -> ID and rho_ccw -> rho_cw + 1.
-            gate = live & (rho_cw >= ids)
-            start_now = gate & ~ccw_started
-            sends_ccw += start_now  # line 10: CCW instance's initial pulse
-            ccw_started |= start_now
-            has_ccw = gate & (pend_ccw > 0)
-            take2 = _np.where(has_ccw, pend_ccw, 0)
-            take2 = _np.where(
-                has_ccw & (rho_ccw < ids),
-                _np.minimum(take2, ids - rho_ccw),
-                take2,
-            )
-            take2 = _np.where(
-                has_ccw & (rho_ccw <= rho_cw),
-                _np.minimum(take2, rho_cw + 1 - rho_ccw),
-                take2,
-            )
-            start2 = rho_ccw
-            rho_ccw = rho_ccw + take2
-            absorbed2 = has_ccw & (start2 < ids) & (ids <= rho_ccw)
-            sends_ccw += _np.where(term_sent, 0, take2 - absorbed2)
-            pend_ccw -= take2
-            progressed |= has_ccw
-            # Lines 14-15: the unique leader event emits the term pulse.
-            trigger = live & ~term_sent & (rho_cw == ids) & (rho_ccw == ids)
-            term_sent |= trigger
-            sends_ccw += trigger
-            # Line 18: exit on rho_ccw > rho_cw.
-            exits = live & (rho_ccw > rho_cw)
-            terminated |= exits
-            out_leader |= exits & (rho_cw == ids)
-            if not progressed.any():
-                return
 
     rounds = 0
     skips = 0
     while True:
+        if fault is not None and rounds + 1 == fault.round_index:
+            _apply_fault_np(fault, cw_flight, ccw_flight, B, instance_offset)
         k_cw = cw_flight.sum(axis=1)
         k_ccw = ccw_flight.sum(axis=1)
         active = (k_cw + k_ccw) > 0
@@ -504,32 +612,47 @@ def _np_terminating(ids, scheduler, seed, max_rounds):
         rounds += 1
         _limit(rounds, max_rounds)
         if scheduler == "lockstep":
-            skippable = ~term_sent.any(axis=1) & ~terminated.any(axis=1)
+            skippable = ~cols.term_sent.any(axis=1) & ~cols.terminated.any(axis=1)
             phase_cw = k_cw > 0
             phase_ccw = ~phase_cw & (k_ccw > 0)
             cand = phase_cw & skippable
             if cand.any():
-                below = rho_cw < ids
-                margin = _np.where(below, ids - rho_cw - 1, int_max)
+                margin = kernel.cw_skip_margins_np(_np, ids, cols.rho_cw)
                 laps = _np.where(cand, margin.min(axis=1) // _np.maximum(k_cw, 1), 0)
                 do = laps >= 1
                 if do.any():
                     skips += 1
-                    rho_cw += (laps * k_cw)[:, None] * do[:, None]
+                    add = (laps * k_cw)[:, None] * do[:, None]
+                    cols.rho_cw += add
+                    cols.sigma_cw += add
                     total += do * (laps * k_cw * n)
+                    margin = margin - add
+                hop = _np_hop_skip(_np, cw_flight, margin, cand, backward=True)
+                if hop is not None:
+                    skips += 1
+                    _, gains, cw_flight = hop
+                    cols.rho_cw += gains
+                    cols.sigma_cw += gains
+                    total += gains.sum(axis=1)
             cand = phase_ccw & skippable
             if cand.any():
-                below = rho_ccw < ids
-                margin = _np.minimum(
-                    _np.where(below, ids - rho_ccw - 1, int_max),
-                    rho_cw - rho_ccw,
-                )
+                margin = kernel.ccw_skip_margins_np(_np, ids, cols.rho_cw, cols.rho_ccw)
                 laps = _np.where(cand, margin.min(axis=1) // _np.maximum(k_ccw, 1), 0)
                 do = laps >= 1
                 if do.any():
                     skips += 1
-                    rho_ccw += (laps * k_ccw)[:, None] * do[:, None]
+                    add = (laps * k_ccw)[:, None] * do[:, None]
+                    cols.rho_ccw += add
+                    cols.sigma_ccw += add
                     total += do * (laps * k_ccw * n)
+                    margin = margin - add
+                hop = _np_hop_skip(_np, ccw_flight, margin, cand, backward=False)
+                if hop is not None:
+                    skips += 1
+                    _, gains, ccw_flight = hop
+                    cols.rho_ccw += gains
+                    cols.sigma_ccw += gains
+                    total += gains.sum(axis=1)
             deliver_cw = cw_flight
             cw_flight = _np.zeros_like(cw_flight)
             deliver_ccw = ccw_flight * phase_ccw[:, None]
@@ -546,95 +669,143 @@ def _np_terminating(ids, scheduler, seed, max_rounds):
         # Deliveries to terminated nodes are ignored (the model: a
         # terminated node reacts to nothing); Algorithm 2's quiescent
         # termination guarantees this count stays zero.
-        dropped = (deliver_cw + deliver_ccw) * terminated
+        dropped = (deliver_cw + deliver_ccw) * cols.terminated
         if dropped.any():
             ignored += int(dropped.sum())
-            deliver_cw = deliver_cw * ~terminated
-            deliver_ccw = deliver_ccw * ~terminated
-        pend_cw += deliver_cw
-        pend_ccw += deliver_ccw
-        drain()
-        cw_flight += _np.roll(sends_cw, 1, axis=1)
-        ccw_flight += _np.roll(sends_ccw, -1, axis=1)
-        total += sends_cw.sum(axis=1) + sends_ccw.sum(axis=1)
-        sends_cw[:] = 0
-        sends_ccw[:] = 0
-    ignored += int((pend_cw + pend_ccw)[terminated].sum())
-    return (
-        rho_cw,
-        rho_ccw,
-        out_leader,
-        terminated,
-        total,
-        rounds,
-        skips,
-        ignored,
-    )
+            deliver_cw = deliver_cw * ~cols.terminated
+            deliver_ccw = deliver_ccw * ~cols.terminated
+        cols.pend_cw += deliver_cw
+        cols.pend_ccw += deliver_ccw
+        kernel.drain_block_np(_np, cols)
+        cw_flight += _np.roll(cols.sends_cw, 1, axis=1)
+        ccw_flight += _np.roll(cols.sends_ccw, -1, axis=1)
+        total += cols.sends_cw.sum(axis=1) + cols.sends_ccw.sum(axis=1)
+        cols.sends_cw[:] = 0
+        cols.sends_ccw[:] = 0
+        if observer is not None:
+            observer(
+                FleetRoundView(
+                    algorithm="terminating",
+                    backend="numpy",
+                    round_index=rounds,
+                    instance_offset=instance_offset,
+                    ids=ids,
+                    rho_cw=cols.rho_cw,
+                    sigma_cw=cols.sigma_cw,
+                    pend_cw=cols.pend_cw,
+                    flight_cw=cw_flight,
+                    rho_ccw=cols.rho_ccw,
+                    sigma_ccw=cols.sigma_ccw,
+                    pend_ccw=cols.pend_ccw,
+                    flight_ccw=ccw_flight,
+                    term_sent=cols.term_sent,
+                    terminated=cols.terminated,
+                )
+            )
+    ignored += int((cols.pend_cw + cols.pend_ccw)[cols.terminated].sum())
+    return cols, total, rounds, skips, ignored
 
 
-def _py_terminating_one(ids, scheduler, seed, max_rounds, instance):
-    """Scalar twin of :func:`_np_terminating` for one instance."""
+#: Scalar stand-in for the NumPy path's int64-max margin sentinel; only
+#: its "larger than any reachable window sum" property is observable.
+_MARGIN_INF = 1 << 62
+
+
+def _py_hop_skip(flight, margins, backward):
+    """Scalar twin of :func:`_np_hop_skip` for one instance.
+
+    Same contract: the largest ``H < n`` whose window sums stay within
+    the per-node margins, found by extending the windows one hop at a
+    time (the predicate is monotone, so the incremental scan and the
+    NumPy bisection agree exactly).  Returns ``(H, gains, flight_after)``
+    with ``gains`` ``None`` when ``H == 0``.
+    """
+    n = len(flight)
+    gains = [0] * n
+    hops = 0
+    while hops < n - 1:
+        nxt = hops + 1
+        trial = []
+        for v in range(n):
+            src = (v - nxt + 1) % n if backward else (v + nxt - 1) % n
+            g = gains[v] + flight[src]
+            if g > margins[v]:
+                trial = None
+                break
+            trial.append(g)
+        if trial is None:
+            break
+        gains = trial
+        hops = nxt
+    if hops == 0:
+        return 0, None, flight
+    if backward:
+        flight_after = [flight[(v - hops) % n] for v in range(n)]
+    else:
+        flight_after = [flight[(v + hops) % n] for v in range(n)]
+    return hops, gains, flight_after
+
+
+def _py_terminating_one(
+    ids,
+    scheduler,
+    seed,
+    max_rounds,
+    instance,
+    observer=None,
+    fault=None,
+    instance_offset=0,
+):
+    """Scalar twin of :func:`_np_terminating` for one instance, driving
+    per-node terminating kernel states."""
+    from repro.core.common import CW_SEND_PORT, LeaderState
+    from repro.core.kernels import terminating as kernel
+
     n = len(ids)
-    rho_cw = [0] * n
-    rho_ccw = [0] * n
-    pend_cw = [0] * n
-    pend_ccw = [0] * n
-    term_sent = [False] * n
-    terminated = [False] * n
-    ccw_started = [False] * n
-    out_leader = [False] * n
-    cw_flight = [1] * n
+    states = [kernel.make_state(node_id) for node_id in ids]
+    cw_flight = [0] * n
     ccw_flight = [0] * n
-    total = n
     sends_cw = [0] * n
     sends_ccw = [0] * n
+    out_leader = [False] * n
+    total = 0
     ignored = 0
 
-    def drain_node(v):
-        """Chunked listing loop for node v; pend/rho/send buffers only."""
-        node_id = ids[v]
-        while not terminated[v]:
-            progressed = False
-            if pend_cw[v]:
-                take = pend_cw[v]
-                if rho_cw[v] < node_id:
-                    take = min(take, node_id - rho_cw[v])
-                pend_cw[v] -= take
-                start = rho_cw[v]
-                rho_cw[v] += take
-                sends_cw[v] += take - (1 if start < node_id <= rho_cw[v] else 0)
-                progressed = True
-            if rho_cw[v] >= node_id:
-                if not ccw_started[v]:
-                    ccw_started[v] = True
-                    sends_ccw[v] += 1
-                if pend_ccw[v]:
-                    take = pend_ccw[v]
-                    if rho_ccw[v] < node_id:
-                        take = min(take, node_id - rho_ccw[v])
-                    if rho_ccw[v] <= rho_cw[v]:
-                        take = min(take, rho_cw[v] + 1 - rho_ccw[v])
-                    pend_ccw[v] -= take
-                    start = rho_ccw[v]
-                    rho_ccw[v] += take
-                    if not term_sent[v]:
-                        sends_ccw[v] += take - (
-                            1 if start < node_id <= rho_ccw[v] else 0
-                        )
-                    progressed = True
-            if not term_sent[v] and rho_cw[v] == node_id == rho_ccw[v]:
-                term_sent[v] = True
-                sends_ccw[v] += 1
-            if rho_ccw[v] > rho_cw[v]:
-                terminated[v] = True
-                out_leader[v] = rho_cw[v] == node_id
-                return
-            if not progressed:
-                return
+    def buffer_emissions(v, emissions):
+        for port, cnt in emissions:
+            if port == CW_SEND_PORT:
+                sends_cw[v] += cnt
+            else:
+                sends_ccw[v] += cnt
+
+    for v, st in enumerate(states):
+        _, emissions, _ = kernel.init(st)
+        buffer_emissions(v, emissions)
+
+    def flush_sends():
+        nonlocal total
+        for v in range(n):
+            if sends_cw[v]:
+                cw_flight[(v + 1) % n] += sends_cw[v]
+                total += sends_cw[v]
+                sends_cw[v] = 0
+            if sends_ccw[v]:
+                ccw_flight[(v - 1) % n] += sends_ccw[v]
+                total += sends_ccw[v]
+                sends_ccw[v] = 0
+
+    flush_sends()
 
     rounds = 0
     skips = 0
     while True:
+        if (
+            fault is not None
+            and rounds + 1 == fault.round_index
+            and (fault.instance is None or fault.instance == instance_offset + instance)
+        ):
+            target = cw_flight if fault.direction == "cw" else ccw_flight
+            target[fault.node] -= min(target[fault.node], fault.count)
         k_cw = sum(cw_flight)
         k_ccw = sum(ccw_flight)
         if k_cw + k_ccw == 0:
@@ -642,35 +813,51 @@ def _py_terminating_one(ids, scheduler, seed, max_rounds, instance):
         rounds += 1
         _limit(rounds, max_rounds)
         if scheduler == "lockstep":
-            skippable = not any(term_sent) and not any(terminated)
+            skippable = not any(st.term_pulse_sent for st in states) and not any(
+                st.terminated for st in states
+            )
             if skippable and k_cw > 0:
-                margin = min(
-                    ids[v] - rho_cw[v] - 1 for v in range(n) if rho_cw[v] < ids[v]
-                )
-                laps = margin // k_cw
+                margins = [
+                    kernel.cw_skip_margin(st.node_id, st.rho_cw) for st in states
+                ]
+                margins = [_MARGIN_INF if m is None else m for m in margins]
+                laps = min(margins) // k_cw
                 if laps >= 1:
                     skips += 1
                     add = laps * k_cw
-                    for v in range(n):
-                        rho_cw[v] += add
+                    for st in states:
+                        kernel.apply_cw_laps(st, add)
                     total += add * n
-            elif skippable and k_ccw > 0:
-                margin = min(
-                    min(
-                        ids[v] - rho_ccw[v] - 1
-                        if rho_ccw[v] < ids[v]
-                        else rho_cw[v] - rho_ccw[v],
-                        rho_cw[v] - rho_ccw[v],
-                    )
-                    for v in range(n)
+                    margins = [m - add for m in margins]
+                hops, gains, cw_flight = _py_hop_skip(
+                    cw_flight, margins, backward=True
                 )
-                laps = margin // k_ccw
+                if hops:
+                    skips += 1
+                    for v, st in enumerate(states):
+                        kernel.apply_cw_laps(st, gains[v])
+                    total += sum(gains)
+            elif skippable and k_ccw > 0:
+                margins = [
+                    kernel.ccw_skip_margin(st.node_id, st.rho_cw, st.rho_ccw)
+                    for st in states
+                ]
+                laps = min(margins) // k_ccw
                 if laps >= 1:
                     skips += 1
                     add = laps * k_ccw
-                    for v in range(n):
-                        rho_ccw[v] += add
+                    for st in states:
+                        kernel.apply_ccw_laps(st, add)
                     total += add * n
+                    margins = [m - add for m in margins]
+                hops, gains, ccw_flight = _py_hop_skip(
+                    ccw_flight, margins, backward=False
+                )
+                if hops:
+                    skips += 1
+                    for v, st in enumerate(states):
+                        kernel.apply_ccw_laps(st, gains[v])
+                    total += sum(gains)
             deliver_cw = cw_flight
             cw_flight = [0] * n
             if k_cw > 0:
@@ -693,27 +880,47 @@ def _py_terminating_one(ids, scheduler, seed, max_rounds, instance):
             else:
                 cw_flight = [cw_flight[v] - deliver_cw[v] for v in range(n)]
                 ccw_flight = [ccw_flight[v] - deliver_ccw[v] for v in range(n)]
-        for v in range(n):
-            if terminated[v]:
+        # Buffer both directions, then drain once per node (see the
+        # section comment); drains without fresh deliveries are no-ops.
+        for v, st in enumerate(states):
+            if st.terminated:
                 ignored += deliver_cw[v] + deliver_ccw[v]
-            else:
-                pend_cw[v] += deliver_cw[v]
-                pend_ccw[v] += deliver_ccw[v]
-        for v in range(n):
-            drain_node(v)
-        for v in range(n):
-            if sends_cw[v]:
-                cw_flight[(v + 1) % n] += sends_cw[v]
-                total += sends_cw[v]
-                sends_cw[v] = 0
-            if sends_ccw[v]:
-                ccw_flight[(v - 1) % n] += sends_ccw[v]
-                total += sends_ccw[v]
-                sends_ccw[v] = 0
+                continue
+            st.pending_cw += deliver_cw[v]
+            st.pending_ccw += deliver_ccw[v]
+        for v, st in enumerate(states):
+            if st.terminated:
+                continue
+            emissions, verdict = kernel.drain(st)
+            buffer_emissions(v, emissions)
+            if verdict is not None:
+                st.terminated = True
+                out_leader[v] = verdict is LeaderState.LEADER
+        flush_sends()
+        if observer is not None:
+            observer(
+                FleetRoundView(
+                    algorithm="terminating",
+                    backend="python",
+                    round_index=rounds,
+                    instance_offset=instance_offset + instance,
+                    ids=[list(ids)],
+                    rho_cw=[[st.rho_cw for st in states]],
+                    sigma_cw=[[st.sigma_cw for st in states]],
+                    pend_cw=[[st.pending_cw for st in states]],
+                    flight_cw=[list(cw_flight)],
+                    rho_ccw=[[st.rho_ccw for st in states]],
+                    sigma_ccw=[[st.sigma_ccw for st in states]],
+                    pend_ccw=[[st.pending_ccw for st in states]],
+                    flight_ccw=[list(ccw_flight)],
+                    term_sent=[[st.term_pulse_sent for st in states]],
+                    terminated=[[st.terminated for st in states]],
+                )
+            )
     ignored += sum(
-        pend_cw[v] + pend_ccw[v] for v in range(n) if terminated[v]
+        st.pending_cw + st.pending_ccw for st in states if st.terminated
     )
-    return rho_cw, rho_ccw, out_leader, terminated, total, rounds, skips, ignored
+    return states, out_leader, total, rounds, skips, ignored
 
 
 def run_terminating_fleet(
@@ -722,6 +929,9 @@ def run_terminating_fleet(
     scheduler: str = "lockstep",
     seed: int = 0,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    observer: Optional[FleetObserver] = None,
+    fault: Optional[FleetFault] = None,
+    instance_offset: int = 0,
 ) -> FleetResult:
     """Run a fleet of independent Algorithm 2 executions.
 
@@ -729,6 +939,11 @@ def run_terminating_fleet(
     the maximal-ID node is the unique leader, every node terminates, and
     the pulse count is exactly ``n(2*IDmax + 1)`` (Theorem 1).  See
     :func:`run_warmup_fleet` for the shared parameters.
+
+    Statistical-checking hooks: ``observer`` is called with a
+    :class:`FleetRoundView` after every round; ``fault`` injects one
+    in-flight pulse loss (see :class:`FleetFault`); ``instance_offset``
+    shifts the global instance indices reported to both (sharded runs).
     """
     from repro.core.common import LeaderState
 
@@ -737,44 +952,50 @@ def run_terminating_fleet(
     _check_fleet(id_lists, unique=True)
     if resolved == "numpy":
         ids_arr = _np.asarray(id_lists, dtype=_np.int64)
-        (
-            rho_cw,
-            rho_ccw,
-            out_leader,
-            terminated,
-            total,
-            rounds,
-            skips,
-            ignored,
-        ) = _np_terminating(ids_arr, scheduler, seed, max_rounds)
-        rho_cw_rows = rho_cw.tolist()
-        rho_ccw_rows = rho_ccw.tolist()
-        leader_rows = out_leader.tolist()
-        term_rows = terminated.tolist()
+        cols, total, rounds, skips, ignored = _np_terminating(
+            ids_arr,
+            scheduler,
+            seed,
+            max_rounds,
+            observer=observer,
+            fault=fault,
+            instance_offset=instance_offset,
+        )
+        rho_cw_rows = cols.rho_cw.tolist()
+        rho_ccw_rows = cols.rho_ccw.tolist()
+        sigma_cw_rows = cols.sigma_cw.tolist()
+        sigma_ccw_rows = cols.sigma_ccw.tolist()
+        leader_rows = cols.out_leader.tolist()
+        term_rows = cols.terminated.tolist()
+        term_sent_rows = cols.term_sent.tolist()
         totals = total.tolist()
     else:
         rho_cw_rows, rho_ccw_rows, leader_rows, term_rows, totals = [], [], [], [], []
+        sigma_cw_rows, sigma_ccw_rows, term_sent_rows = [], [], []
         rounds = skips = ignored = 0
         for b, ids in enumerate(id_lists):
-            (
-                rho_cw_b,
-                rho_ccw_b,
-                out_b,
-                term_b,
-                total_b,
-                rounds_b,
-                skips_b,
-                ignored_b,
-            ) = _py_terminating_one(list(ids), scheduler, seed, max_rounds, b)
-            rho_cw_rows.append(rho_cw_b)
-            rho_ccw_rows.append(rho_ccw_b)
+            states, out_b, total_b, rounds_b, skips_b, ignored_b = _py_terminating_one(
+                list(ids),
+                scheduler,
+                seed,
+                max_rounds,
+                b,
+                observer=observer,
+                fault=fault,
+                instance_offset=instance_offset,
+            )
+            rho_cw_rows.append([st.rho_cw for st in states])
+            rho_ccw_rows.append([st.rho_ccw for st in states])
+            sigma_cw_rows.append([st.sigma_cw for st in states])
+            sigma_ccw_rows.append([st.sigma_ccw for st in states])
+            term_sent_rows.append([st.term_pulse_sent for st in states])
             leader_rows.append(out_b)
-            term_rows.append(term_b)
+            term_rows.append([st.terminated for st in states])
             totals.append(total_b)
             rounds = max(rounds, rounds_b)
             skips += skips_b
             ignored += ignored_b
-    states = [
+    states_rows = [
         [
             LeaderState.LEADER if is_leader else LeaderState.NON_LEADER
             for is_leader in row
@@ -787,7 +1008,7 @@ def run_terminating_fleet(
         scheduler=scheduler,
         ids=[list(ids) for ids in id_lists],
         leaders=[[v for v, flag in enumerate(row) if flag] for row in leader_rows],
-        states=states,
+        states=states_rows,
         total_pulses=totals,
         rho_cw=rho_cw_rows,
         rho_ccw=rho_ccw_rows,
@@ -795,20 +1016,17 @@ def run_terminating_fleet(
         rounds=rounds,
         lap_skips=skips,
         ignored_deliveries=ignored,
+        sigma_cw=sigma_cw_rows,
+        sigma_ccw=sigma_ccw_rows,
+        term_pulse_sent=term_sent_rows,
     )
 
 
 # ---------------------------------------------------------------------------
-# Algorithm 3 (non-oriented) — two independent directional warmup instances
-# over per-direction virtual IDs; verdict/orientation are pure functions of
-# the final counters (NonOrientedNode._update_output).
+# Algorithm 3 (non-oriented) — two independent directional warmup-kernel
+# instances over per-direction virtual IDs; verdict/orientation are the
+# kernel's `stabilized_verdict`, a pure function of the final counters.
 # ---------------------------------------------------------------------------
-
-
-def _virtual_ids(node_id: int, scheme: str) -> Tuple[int, int]:
-    if scheme == "doubled":
-        return (2 * node_id - 1, 2 * node_id)
-    return (node_id, node_id + 1)
 
 
 def run_nonoriented_fleet(
@@ -828,8 +1046,8 @@ def run_nonoriented_fleet(
             ``require_unique_ids=False``, as the Theorem 3 pipeline needs).
         flip_lists: Per-instance port flips; ``None`` means all-unflipped
             rings, matching :func:`run_nonoriented`.
-        scheme: :class:`~repro.core.nonoriented.IdScheme` or its string
-            value (``"successor"`` / ``"doubled"``).
+        scheme: :class:`~repro.core.kernels.nonoriented.IdScheme` or its
+            string value (``"successor"`` / ``"doubled"``).
 
     A pulse travelling clockwise arrives at node ``v``'s CCW port, so the
     governing virtual ID of the CW direction at ``v`` is
@@ -837,6 +1055,7 @@ def run_nonoriented_fleet(
     and maps them back to the port-indexed view at the end.
     """
     from repro.core.common import LeaderState
+    from repro.core.kernels import nonoriented as kernel
 
     _check_scheduler(scheduler)
     resolved = _resolve_backend(backend)
@@ -844,6 +1063,7 @@ def run_nonoriented_fleet(
     scheme_name = getattr(scheme, "value", scheme)
     if scheme_name not in ("successor", "doubled"):
         raise ConfigurationError(f"unknown virtual-ID scheme {scheme!r}")
+    id_scheme = kernel.coerce_scheme(scheme_name)
     if flip_lists is None:
         flip_lists = [[False] * n for _ in range(B)]
     flips = [[bool(f) for f in row] for row in flip_lists]
@@ -852,41 +1072,50 @@ def run_nonoriented_fleet(
     # Ground-truth ports: cw_port(v) = 0 if flipped else 1 (ring.py).
     cw_ports = [[0 if f else 1 for f in row] for row in flips]
     gov_cw = [
-        [_virtual_ids(ids[v], scheme_name)[cw_ports[b][v]] for v in range(n)]
+        [id_scheme.virtual_ids(ids[v])[cw_ports[b][v]] for v in range(n)]
         for b, ids in enumerate(id_lists)
     ]
     gov_ccw = [
-        [_virtual_ids(ids[v], scheme_name)[1 - cw_ports[b][v]] for v in range(n)]
+        [id_scheme.virtual_ids(ids[v])[1 - cw_ports[b][v]] for v in range(n)]
         for b, ids in enumerate(id_lists)
     ]
     if resolved == "numpy":
-        rho_cw, total_cw, rounds_cw, skips_cw = _np_warmup_direction(
+        rho_cw, sigma_cw, total_cw, rounds_cw, skips_cw = _np_warmup_direction(
             _np.asarray(gov_cw, dtype=_np.int64), +1, scheduler, seed, 0, max_rounds
         )
-        rho_ccw, total_ccw, rounds_ccw, skips_ccw = _np_warmup_direction(
+        rho_ccw, sigma_ccw, total_ccw, rounds_ccw, skips_ccw = _np_warmup_direction(
             _np.asarray(gov_ccw, dtype=_np.int64), -1, scheduler, seed, n, max_rounds
         )
         rho_cw_rows = rho_cw.tolist()
         rho_ccw_rows = rho_ccw.tolist()
+        sigma_cw_rows = sigma_cw.tolist()
+        sigma_ccw_rows = sigma_ccw.tolist()
         totals = (total_cw + total_ccw).tolist()
         rounds = rounds_cw + rounds_ccw
         skips = skips_cw + skips_ccw
     else:
         rho_cw_rows, rho_ccw_rows, totals = [], [], []
+        sigma_cw_rows, sigma_ccw_rows = [], []
         rounds = skips = 0
         for b in range(B):
-            rho_cw_b, total_cw_b, rounds_a, skips_a = _py_warmup_direction_one(
-                gov_cw[b], +1, scheduler, seed, 0, max_rounds, b
+            rho_cw_b, sigma_cw_b, total_cw_b, rounds_a, skips_a = (
+                _py_warmup_direction_one(
+                    gov_cw[b], +1, scheduler, seed, 0, max_rounds, b
+                )
             )
-            rho_ccw_b, total_ccw_b, rounds_b, skips_b = _py_warmup_direction_one(
-                gov_ccw[b], -1, scheduler, seed, n, max_rounds, b
+            rho_ccw_b, sigma_ccw_b, total_ccw_b, rounds_b, skips_b = (
+                _py_warmup_direction_one(
+                    gov_ccw[b], -1, scheduler, seed, n, max_rounds, b
+                )
             )
             rho_cw_rows.append(rho_cw_b)
             rho_ccw_rows.append(rho_ccw_b)
+            sigma_cw_rows.append(sigma_cw_b)
+            sigma_ccw_rows.append(sigma_ccw_b)
             totals.append(total_cw_b + total_ccw_b)
             rounds = max(rounds, rounds_a + rounds_b)
             skips += skips_a + skips_b
-    # Port-indexed view + verdicts (NonOrientedNode._update_output).
+    # Port-indexed view + verdicts (the kernel's stabilized_verdict).
     states: List[List[Any]] = []
     labels: List[List[Optional[int]]] = []
     consistent: List[bool] = []
@@ -900,16 +1129,10 @@ def run_nonoriented_fleet(
                 rho0, rho1 = rho_ccw_rows[b][v], rho_cw_rows[b][v]
             else:
                 rho0, rho1 = rho_cw_rows[b][v], rho_ccw_rows[b][v]
-            id_one = _virtual_ids(ids[v], scheme_name)[1]
-            if max(rho0, rho1) < id_one:
-                row_states.append(LeaderState.UNDECIDED)
-                row_labels.append(None)
-                continue
-            if rho0 == id_one and rho1 < id_one:
-                row_states.append(LeaderState.LEADER)
-            else:
-                row_states.append(LeaderState.NON_LEADER)
-            row_labels.append(1 if rho0 > rho1 else 0)
+            id_one = id_scheme.virtual_ids(ids[v])[1]
+            verdict, label = kernel.stabilized_verdict(rho0, rho1, id_one)
+            row_states.append(verdict)
+            row_labels.append(label)
         states.append(row_states)
         labels.append(row_labels)
         if any(label is None for label in row_labels):
@@ -937,6 +1160,8 @@ def run_nonoriented_fleet(
         flips=flips,
         rounds=rounds,
         lap_skips=skips,
+        sigma_cw=sigma_cw_rows,
+        sigma_ccw=sigma_ccw_rows,
     )
 
 

@@ -26,12 +26,14 @@ denies.
 """
 
 from repro.synchronous.engine import SyncEngine, SyncRunResult
+from repro.synchronous.kernel_node import KernelSyncNode
 from repro.synchronous.time_coded import (
     TimeCodedElectionNode,
     run_time_coded_election,
 )
 
 __all__ = [
+    "KernelSyncNode",
     "SyncEngine",
     "SyncRunResult",
     "TimeCodedElectionNode",

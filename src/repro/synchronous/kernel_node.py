@@ -1,0 +1,73 @@
+"""Synchronous adapter around the transition kernels.
+
+The synchronous engine is just another backend of the per-algorithm
+kernels (:mod:`repro.core.kernels`): a :class:`KernelSyncNode` holds one
+kernel state and forwards each round's inbox to the kernel's ``step`` —
+no transition logic lives here.  Running the paper's algorithms under
+lockstep rounds is the related-work contrast of Section 1.2: the message
+count does *not* improve (content-obliviousness, not asynchrony, pins it
+to ``IDmax``), which the backend-conformance tests check by comparing
+terminal kernel fingerprints and pulse totals against the asynchronous
+backends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.synchronous.engine import SyncNode, SyncNodeAPI
+
+
+class KernelSyncNode(SyncNode):
+    """Drives one kernel state in synchronous rounds.
+
+    Args:
+        kernel: A kernel module from :mod:`repro.core.kernels` (must
+            expose ``make_state`` / ``init`` / ``step``).
+        node_id: The node's identifier, forwarded to ``make_state``.
+        **make_state_kwargs: Extra ``make_state`` options (e.g. the
+            non-oriented kernel's ``scheme``).
+    """
+
+    def __init__(self, kernel: Any, node_id: int, **make_state_kwargs: Any):
+        super().__init__()
+        self.kernel = kernel
+        self.state = kernel.make_state(node_id, **make_state_kwargs)
+
+    def _apply(
+        self,
+        api: SyncNodeAPI,
+        emissions: Tuple[Tuple[int, int], ...],
+        verdict: Optional[Any],
+    ) -> None:
+        for port, count in emissions:
+            for _ in range(count):
+                api.send(port)
+        if verdict is not None:
+            if hasattr(self.state, "terminated"):
+                self.state.terminated = True
+            api.terminate(verdict)
+
+    def on_round(
+        self,
+        api: SyncNodeAPI,
+        round_number: int,
+        inbox: List[Tuple[int, Any]],
+    ) -> None:
+        if round_number == 0:
+            _, emissions, verdict = self.kernel.init(self.state)
+            self._apply(api, emissions, verdict)
+        counts: Dict[int, int] = {}
+        for port, _content in inbox:
+            counts[port] = counts.get(port, 0) + 1
+        # Port 0 is the CW arrival port: processing CW before CCW within a
+        # round matches the fleet's flush order (any per-round interleaving
+        # is a legal asynchronous schedule; this one is pinned for the
+        # conformance tests).
+        for port in sorted(counts):
+            if self.terminated:
+                break
+            _, emissions, verdict = self.kernel.step(
+                self.state, port, counts[port]
+            )
+            self._apply(api, emissions, verdict)

@@ -8,7 +8,9 @@ partial-order-reduced search) stay byte-for-byte comparable:
   state into hashable, order-stable tuples; :func:`node_fingerprint` is
   the canonical "all node states" digest both explorers (and the
   differential tests, via live :class:`~repro.simulator.engine.Engine`
-  runs) use to compare terminal states.
+  runs) use to compare terminal states.  The canonical implementations
+  now live in :mod:`repro.core.schema` (next to the kernel state
+  schemas); this module re-exports them unchanged.
 * **Invariant-hook adapters** — the executable lemmas in
   :mod:`repro.core.invariants` are written against a running engine but
   only ever touch ``engine.network.nodes`` and
@@ -25,60 +27,16 @@ partial-order-reduced search) stay byte-for-byte comparable:
 
 from __future__ import annotations
 
-import enum
 import random
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence
 
+from repro.core.schema import (  # noqa: F401  (re-exported, canonical home)
+    freeze_value,
+    node_fingerprint,
+    node_state_dict,
+)
 from repro.simulator.faults import FaultyChannel
 from repro.simulator.network import Network
-
-
-def freeze_value(value: Any) -> Any:
-    """Recursively convert a value into a hashable fingerprint component."""
-    if value is None or isinstance(value, (int, float, str, bool, bytes)):
-        return value
-    if isinstance(value, enum.Enum):
-        return value
-    if isinstance(value, (list, tuple)):
-        return tuple(freeze_value(item) for item in value)
-    if isinstance(value, (set, frozenset)):
-        return frozenset(freeze_value(item) for item in value)
-    if isinstance(value, dict):
-        return tuple(sorted((key, freeze_value(val)) for key, val in value.items()))
-    # Shared immutable strategy objects (e.g. a CircuitProgram) are
-    # identified by type: per-node mutable state must live on the node.
-    return type(value).__qualname__
-
-
-def node_state_dict(node: Any) -> dict:
-    """Every attribute of ``node`` as a name → value dict.
-
-    Merges ``__slots__`` declarations across the MRO (slotted node classes
-    have no ``__dict__`` for their slotted attributes) with any instance
-    ``__dict__`` (unslotted subclasses, e.g. the content-carrying
-    baselines, keep one).  Unset slots are skipped.
-    """
-    state: dict = {}
-    for klass in type(node).__mro__:
-        for name in getattr(klass, "__slots__", ()):
-            if name == "__dict__" or name in state:
-                continue
-            try:
-                state[name] = getattr(node, name)
-            except AttributeError:
-                continue
-    state.update(getattr(node, "__dict__", {}))
-    return state
-
-
-def node_fingerprint(nodes: Iterable[Any]) -> Tuple:
-    """Canonical digest of every node's full local state.
-
-    The same function applies to explorer states and to the node objects
-    of a finished :class:`~repro.simulator.engine.Engine` run, which is
-    what makes the explorer-vs-engine differential tests possible.
-    """
-    return tuple(freeze_value(node_state_dict(node)) for node in nodes)
 
 
 class _NetworkFacade:

@@ -42,12 +42,8 @@ from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set
 from repro.exceptions import ProtocolViolation, ReproError
 from repro.simulator.network import Network
 from repro.simulator.node import NodeAPI, check_port
-from repro.verification.common import (
-    EngineView,
-    build_fault_profile,
-    freeze_value,
-    node_fingerprint,
-)
+from repro.core.schema import freeze_value, node_fingerprint
+from repro.verification.common import EngineView, build_fault_profile
 
 # Backwards-compatible alias: the freezing helper began life here.
 _freeze = freeze_value

@@ -56,12 +56,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.exceptions import ProtocolViolation
 from repro.simulator.network import Network
 from repro.simulator.node import NodeAPI, check_port
-from repro.verification.common import (
-    EngineView,
-    build_fault_profile,
-    freeze_value,
-    node_fingerprint,
-)
+from repro.core.schema import freeze_value, node_fingerprint
+from repro.verification.common import EngineView, build_fault_profile
 from repro.verification.explorer import ExplorationLimitExceeded, StateHook
 
 

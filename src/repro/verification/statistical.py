@@ -1,0 +1,431 @@
+"""Statistical model checking over fleet-sampled schedules.
+
+The exhaustive explorers (:mod:`repro.verification.explorer`,
+:mod:`repro.verification.reduced`) certify *every* schedule of one small
+instance.  This module attacks the complementary regime — instances far
+too large to enumerate — by sampling: it draws millions of random ID
+assignments, runs each through the vectorized fleet engine
+(:mod:`repro.simulator.fleet`), evaluates the executable-lemma battery
+(:mod:`repro.core.invariants`, column forms) at every fleet round plus
+the end-state Theorem 1 contract, and reports the invariant pass-rate
+with an exact Clopper–Pearson confidence interval
+(:func:`repro.analysis.stats.clopper_pearson_interval`).
+
+Everything is a pure function of ``(seed, sched_seed)``:
+
+* sample ``index`` gets the ID assignment
+  :func:`ids_for_instance` ``(seed, index, n, id_max)`` — a counter-based
+  derivation, independent of block sharding and process count;
+* the fleet's seeded scheduler (when selected) is already counter-based.
+
+So a violation found at sample ``index`` is *replayable*: the returned
+:class:`Counterexample` carries everything needed to re-run exactly that
+instance (:meth:`Counterexample.replay`) and re-raise the violation.
+
+Violation localization.  The fleet simulates a block of ``B`` instances
+at once, and a column invariant raises for the whole block.  The checker
+then bisects the failing block — re-running halves until single
+instances — which costs ``O(log B)`` extra fleet runs per violating
+instance and attributes pass/fail exactly.  With many violations, the
+search stops after ``max_counterexamples`` are localized and counts the
+remaining failing sub-blocks' instances as failures (conservative for
+the pass-rate, and the interval inherits the conservatism).
+
+Fault injection (the checker's self-test): a
+:class:`~repro.simulator.fleet.FleetFault` deletes in-flight pulses at a
+chosen round.  Pulse loss is outside the model, so a correct kernel +
+invariant battery must flag it; ``repro verify --statistical
+--inject-drop`` demonstrates the full find → localize → replay loop.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.parallel import (
+    ProcessCount,
+    parallel_map,
+    resolve_processes,
+    shard_evenly,
+)
+from repro.analysis.stats import clopper_pearson_interval
+from repro.core.invariants import InvariantViolation, column_invariants_for
+from repro.exceptions import ConfigurationError
+from repro.simulator.fleet import (
+    DEFAULT_MAX_ROUNDS,
+    FleetFault,
+    FleetResult,
+    _mix64,
+    run_terminating_fleet,
+)
+
+#: Default fleet block size: big enough to amortize array dispatch,
+#: small enough that bisecting a failing block stays cheap.
+DEFAULT_BLOCK_SIZE = 8192
+
+_KEY_SAMPLE = 0xA24BAED4963EE407  # odd constant for the per-sample stream
+
+
+def ids_for_instance(seed: int, index: int, n: int, id_max: int) -> List[int]:
+    """The ID assignment of sample ``index`` — pure in ``(seed, index)``.
+
+    Draws ``n`` distinct IDs uniformly from ``[1, id_max]`` using a
+    counter-derived RNG stream, so any shard layout (block size, process
+    count) sees the same assignment for the same global sample index.
+    """
+    derived = _mix64(_mix64(seed) + index * _KEY_SAMPLE)
+    rng = random.Random(derived)
+    return rng.sample(range(1, id_max + 1), n)
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """One localized, replayable invariant violation.
+
+    ``instance`` is the global sample index; ``ids`` its ID assignment
+    (recomputable from ``(seed, instance)``, stored for forensics).
+    """
+
+    instance: int
+    ids: Tuple[int, ...]
+    message: str
+    algorithm: str
+    seed: int
+    sched_seed: int
+    scheduler: str
+    backend: str
+    fault: Optional[FleetFault] = None
+
+    def replay(self) -> Optional[str]:
+        """Re-run exactly this instance; the violation message, or None.
+
+        Returns the (possibly refined) violation message when the re-run
+        reproduces a violation, None when it does not — determinism of
+        the whole pipeline means a genuine counterexample always
+        reproduces.
+        """
+        failures = _check_block(
+            algorithm=self.algorithm,
+            id_lists=[list(self.ids)],
+            offset=self.instance,
+            scheduler=self.scheduler,
+            backend=self.backend,
+            sched_seed=self.sched_seed,
+            fault=self.fault,
+            max_rounds=DEFAULT_MAX_ROUNDS,
+            budget=1,
+        )
+        for index, message in failures:
+            if index == self.instance:
+                return message
+        return None
+
+
+@dataclass
+class StatisticalReport:
+    """Outcome of one statistical-checking run.
+
+    ``violations`` counts failing samples; the pass-rate interval is the
+    exact Clopper–Pearson interval at ``confidence`` for
+    ``samples - violations`` successes out of ``samples``.
+    """
+
+    algorithm: str
+    n: int
+    id_max: int
+    samples: int
+    violations: int
+    confidence: float
+    rate_low: float
+    rate_high: float
+    backend: str
+    scheduler: str
+    seed: int
+    sched_seed: int
+    block_size: int
+    counterexamples: List[Counterexample] = field(default_factory=list)
+
+    @property
+    def pass_rate(self) -> float:
+        """Observed proportion of samples with no invariant violation."""
+        return (self.samples - self.violations) / self.samples
+
+    @property
+    def clean(self) -> bool:
+        """True when no sample violated any invariant."""
+        return self.violations == 0
+
+
+def _observer_for(algorithm: str) -> Optional[Callable[[Any], None]]:
+    """Per-round battery: run every column invariant on the view."""
+    try:
+        battery = column_invariants_for(algorithm)
+    except KeyError:
+        return None
+
+    def observe(view: Any) -> None:
+        for check in battery:
+            check(view)
+
+    return observe
+
+
+def _end_state_failures(
+    algorithm: str, result: FleetResult, offset: int
+) -> List[Tuple[int, str]]:
+    """Theorem 1's end-state contract, attributed per instance."""
+    failures: List[Tuple[int, str]] = []
+    for b, ids in enumerate(result.ids):
+        index = offset + b
+        n, id_max = len(ids), max(ids)
+        expected_leader = max(range(n), key=lambda v: ids[v])
+        if result.terminated is not None and not all(result.terminated[b]):
+            failures.append(
+                (index, f"instance {index}: not all nodes terminated")
+            )
+        elif result.leaders[b] != [expected_leader]:
+            failures.append(
+                (
+                    index,
+                    f"instance {index}: leaders {result.leaders[b]} != "
+                    f"[{expected_leader}] (the maximal-ID node)",
+                )
+            )
+        elif result.total_pulses[b] != n * (2 * id_max + 1):
+            failures.append(
+                (
+                    index,
+                    f"instance {index}: total pulses {result.total_pulses[b]} "
+                    f"!= n(2*IDmax+1) = {n * (2 * id_max + 1)}",
+                )
+            )
+        elif result.ignored_deliveries:
+            # Whole-fleet counter; only reachable when some instance also
+            # fails a per-instance check, but keep it as a backstop.
+            pass
+    return failures
+
+
+def _check_block(
+    algorithm: str,
+    id_lists: List[List[int]],
+    offset: int,
+    scheduler: str,
+    backend: str,
+    sched_seed: int,
+    fault: Optional[FleetFault],
+    max_rounds: int,
+    budget: int,
+) -> List[Tuple[int, str]]:
+    """Failing ``(global_index, message)`` pairs within one block.
+
+    Runs the whole block as one fleet; a per-round violation aborts the
+    fleet run, so the block is bisected to localize it.  ``budget`` caps
+    how many violations are localized exactly; once exceeded, a failing
+    sub-block is attributed wholesale (every instance counted failing,
+    with the block-level message).
+    """
+    try:
+        result = run_terminating_fleet(
+            id_lists,
+            backend=backend,
+            scheduler=scheduler,
+            seed=sched_seed,
+            max_rounds=max_rounds,
+            observer=_observer_for(algorithm),
+            fault=fault,
+            instance_offset=offset,
+        )
+    except InvariantViolation as violation:
+        if len(id_lists) == 1:
+            return [(offset, str(violation))]
+        if budget <= 0:
+            return [
+                (offset + b, f"unlocalized (budget exhausted): {violation}")
+                for b in range(len(id_lists))
+            ]
+        half = len(id_lists) // 2
+        left = _check_block(
+            algorithm,
+            id_lists[:half],
+            offset,
+            scheduler,
+            backend,
+            sched_seed,
+            fault,
+            max_rounds,
+            budget,
+        )
+        right = _check_block(
+            algorithm,
+            id_lists[half:],
+            offset + half,
+            scheduler,
+            backend,
+            sched_seed,
+            fault,
+            max_rounds,
+            budget - len(left),
+        )
+        return left + right
+    return _end_state_failures(algorithm, result, offset)
+
+
+def _worker(job: Tuple) -> List[Tuple[int, str]]:
+    """Picklable shard worker: failing pairs across this shard's blocks."""
+    (
+        algorithm,
+        n,
+        id_max,
+        indices,
+        seed,
+        sched_seed,
+        scheduler,
+        backend,
+        block_size,
+        fault,
+        max_rounds,
+        budget,
+    ) = job
+    failures: List[Tuple[int, str]] = []
+    for start in range(0, len(indices), block_size):
+        chunk = indices[start : start + block_size]
+        id_lists = [ids_for_instance(seed, i, n, id_max) for i in chunk]
+        failures.extend(
+            _check_block(
+                algorithm,
+                id_lists,
+                chunk[0],
+                scheduler,
+                backend,
+                sched_seed,
+                fault,
+                max_rounds,
+                budget - len(failures),
+            )
+        )
+    return failures
+
+
+def run_statistical_check(
+    algorithm: str = "terminating",
+    n: int = 8,
+    id_max: int = 1000,
+    samples: int = 1000,
+    seed: int = 0,
+    sched_seed: int = 0,
+    scheduler: str = "lockstep",
+    backend: str = "auto",
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    confidence: float = 0.99,
+    fault: Optional[FleetFault] = None,
+    max_counterexamples: int = 5,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    processes: ProcessCount = 1,
+) -> StatisticalReport:
+    """Statistically model-check ``algorithm`` over sampled instances.
+
+    Args:
+        algorithm: Only ``"terminating"`` (Algorithm 2) today — the one
+            algorithm with both a column invariant battery and an exact
+            end-state theorem to check against.
+        n: Ring size of every sampled instance.
+        id_max: IDs are drawn uniformly (distinct) from ``[1, id_max]``.
+        samples: Number of sampled instances.
+        seed: Master seed of the ID-sampling stream (see
+            :func:`ids_for_instance`).
+        sched_seed: Seed of the fleet's ``"seeded"`` scheduler stream.
+        scheduler: ``"lockstep"`` (default; lap-skip makes large
+            ``id_max`` cheap) or ``"seeded"`` (random schedules, runtime
+            grows with ``id_max``).
+        backend: Fleet backend (``"auto"`` / ``"numpy"`` / ``"python"``).
+        block_size: Instances per fleet run.
+        confidence: Clopper–Pearson coverage for the pass-rate interval.
+        fault: Optional injected pulse loss (the checker's self-test).
+        max_counterexamples: How many violations to localize exactly
+            (and record as replayable :class:`Counterexample` objects).
+        max_rounds: Fleet safety bound.
+        processes: Worker processes; samples are sharded evenly.
+    """
+    if algorithm != "terminating":
+        raise ConfigurationError(
+            "statistical checking currently supports algorithm='terminating' "
+            f"only, got {algorithm!r}"
+        )
+    if samples < 1:
+        raise ConfigurationError(f"need at least one sample, got {samples}")
+    if n < 2:
+        raise ConfigurationError(f"need a ring of at least 2 nodes, got n={n}")
+    if id_max < n:
+        raise ConfigurationError(
+            f"id_max={id_max} cannot host {n} distinct IDs"
+        )
+    if block_size < 1:
+        raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
+
+    indices = list(range(samples))
+    shards = shard_evenly(indices, resolve_processes(processes))
+    jobs = [
+        (
+            algorithm,
+            n,
+            id_max,
+            shard,
+            seed,
+            sched_seed,
+            scheduler,
+            backend,
+            block_size,
+            fault,
+            max_rounds,
+            max_counterexamples,
+        )
+        for shard in shards
+        if shard
+    ]
+    per_shard = parallel_map(_worker, jobs, processes=processes)
+    failures = sorted(
+        (pair for shard in per_shard for pair in shard), key=lambda p: p[0]
+    )
+
+    resolved_backend = backend
+    if backend == "auto":
+        from repro.simulator.fleet import HAVE_NUMPY
+
+        resolved_backend = "numpy" if HAVE_NUMPY else "python"
+    counterexamples = [
+        Counterexample(
+            instance=index,
+            ids=tuple(ids_for_instance(seed, index, n, id_max)),
+            message=message,
+            algorithm=algorithm,
+            seed=seed,
+            sched_seed=sched_seed,
+            scheduler=scheduler,
+            backend=resolved_backend,
+            fault=fault,
+        )
+        for index, message in failures[:max_counterexamples]
+    ]
+    violations = len(failures)
+    low, high = clopper_pearson_interval(
+        samples - violations, samples, confidence=confidence
+    )
+    return StatisticalReport(
+        algorithm=algorithm,
+        n=n,
+        id_max=id_max,
+        samples=samples,
+        violations=violations,
+        confidence=confidence,
+        rate_low=low,
+        rate_high=high,
+        backend=resolved_backend,
+        scheduler=scheduler,
+        seed=seed,
+        sched_seed=sched_seed,
+        block_size=block_size,
+        counterexamples=counterexamples,
+    )

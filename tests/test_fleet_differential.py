@@ -26,6 +26,7 @@ from repro.analysis.average_case import measure_oblivious_over_placements
 from repro.analysis.parallel import parallel_map, shard_evenly
 from repro.analysis.whp import measure_anonymous_success
 from repro.core.anonymous import run_anonymous
+from repro.core.kernels import terminating as terminating_kernel
 from repro.core.common import LeaderState
 from repro.core.nonoriented import IdScheme, run_nonoriented
 from repro.core.terminating import run_terminating
@@ -104,8 +105,40 @@ class TestTerminatingFleet:
             assert fleet.leaders[0] == eng.leaders
             assert fleet.total_pulses[0] == eng.total_pulses
             assert fleet.states[0] == list(eng.outputs)
+            assert fleet.sigma_cw[0] == [n.sigma_cw for n in eng.nodes]
+            assert fleet.sigma_ccw[0] == [n.sigma_ccw for n in eng.nodes]
+            assert fleet.term_pulse_sent[0] == [
+                n.term_pulse_sent for n in eng.nodes
+            ]
         assert all(fleet.terminated[0])
         assert fleet.ignored_deliveries == 0
+
+    @given(ids=unique_id_lists(min_size=1, max_size=6))
+    def test_schema_fingerprints_match_engine(self, backend, scheduler, ids):
+        # The shared-schema digest (repro.core.schema) must agree between
+        # engine node objects and fleet-reconstructed rows.
+        fleet = run_terminating_fleet([ids], backend=backend, scheduler=scheduler)
+        eng = run_terminating(ids)
+        engine_prints = [
+            terminating_kernel.SCHEMA.state_fingerprint(node)
+            for node in eng.nodes
+        ]
+        fleet_prints = [
+            terminating_kernel.SCHEMA.fleet_fingerprint(
+                {
+                    "node_id": ids[v],
+                    "strict_lag": True,
+                    "rho_cw": fleet.rho_cw[0][v],
+                    "sigma_cw": fleet.sigma_cw[0][v],
+                    "rho_ccw": fleet.rho_ccw[0][v],
+                    "sigma_ccw": fleet.sigma_ccw[0][v],
+                    "state": fleet.states[0][v],
+                    "term_pulse_sent": fleet.term_pulse_sent[0][v],
+                }
+            )
+            for v in range(len(ids))
+        ]
+        assert fleet_prints == engine_prints
 
     @given(pool=uniform_pools())
     def test_no_cross_instance_leakage(self, backend, scheduler, pool):
@@ -185,12 +218,24 @@ class TestBackendBitIdentity:
     def test_terminating(self, pool, scheduler, seed):
         a = run_terminating_fleet(pool, backend="numpy", scheduler=scheduler, seed=seed)
         b = run_terminating_fleet(pool, backend="python", scheduler=scheduler, seed=seed)
-        assert (a.leaders, a.states, a.total_pulses, a.rho_cw, a.rho_ccw) == (
+        assert (
+            a.leaders,
+            a.states,
+            a.total_pulses,
+            a.rho_cw,
+            a.rho_ccw,
+            a.sigma_cw,
+            a.sigma_ccw,
+            a.term_pulse_sent,
+        ) == (
             b.leaders,
             b.states,
             b.total_pulses,
             b.rho_cw,
             b.rho_ccw,
+            b.sigma_cw,
+            b.sigma_ccw,
+            b.term_pulse_sent,
         )
 
     @given(case=flipped_rings(), scheduler=st.sampled_from(SCHEDULERS))

@@ -1,0 +1,87 @@
+"""The full CLI surface must work with NumPy uninstalled.
+
+NumPy is the ``[perf]`` extra — an accelerator, never a requirement
+(:mod:`repro.accel` is the single import site).  This suite launches one
+subprocess with a shadow ``numpy`` module (raising ImportError) first on
+``PYTHONPATH`` and drives every CLI subcommand through it, asserting the
+pure-Python fallbacks cover the whole surface, including the fleet
+backends and the statistical checker.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+DRIVER = textwrap.dedent(
+    """
+    import sys
+
+    from repro.accel import HAVE_NUMPY
+    assert not HAVE_NUMPY, "numpy shadow failed; test is vacuous"
+
+    from repro.simulator.fleet import HAVE_NUMPY as FLEET_HAVE_NUMPY
+    assert not FLEET_HAVE_NUMPY
+
+    from repro.cli import main
+
+    COMMANDS = [
+        ["elect", "--ids", "3,7,5,2"],
+        ["elect", "--setting", "nonoriented", "--ids", "3,7,5",
+         "--flips", "1,0,1"],
+        ["elect", "--setting", "anonymous", "--n", "4", "--seed", "1"],
+        ["compute", "--ids", "3,1,2", "--inputs", "4,5,6"],
+        ["simulate", "--ids", "3,1,2"],
+        ["verify", "--ids", "3,1,2"],
+        ["verify", "--statistical", "--samples", "40", "--n", "5",
+         "--id-max", "40", "--block-size", "16"],
+        ["verify", "--statistical", "--samples", "16", "--n", "4",
+         "--id-max", "30", "--backend", "python", "--scheduler", "seeded"],
+        ["solitude", "--max-id", "6"],
+        ["compare", "--n", "5", "--spread", "16"],
+        ["timeline", "--ids", "3,1,2", "--rows", "12"],
+        ["sweep", "--workload", "placements", "--n", "5", "--trials", "8"],
+        ["sweep", "--workload", "whp", "--n", "4", "--trials", "8"],
+        ["sweep", "--workload", "whp", "--n", "4", "--trials", "8",
+         "--no-fleet"],
+    ]
+
+    for argv in COMMANDS:
+        code = main(argv)
+        assert code == 0, f"{argv} exited {code}"
+        print("OK", " ".join(argv))
+
+    # The injected-fault path must fail loudly even without numpy.
+    code = main([
+        "verify", "--statistical", "--samples", "16", "--n", "5",
+        "--id-max", "40", "--block-size", "16", "--inject-drop", "3,2,7",
+    ])
+    assert code == 1, f"fault injection exited {code}, expected 1"
+    print("OK fault-injection FAILED as expected")
+    print("ALL-COMMANDS-PASSED")
+    """
+)
+
+
+def test_cli_surface_without_numpy(tmp_path):
+    (tmp_path / "numpy.py").write_text(
+        'raise ImportError("numpy disabled by tests/test_numpy_free.py")\n'
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join([str(tmp_path), str(REPO_SRC)])
+    proc = subprocess.run(
+        [sys.executable, "-c", DRIVER],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert "ALL-COMMANDS-PASSED" in proc.stdout

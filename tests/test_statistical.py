@@ -1,0 +1,164 @@
+"""Tests for the statistical model checker (sampled-schedule verification).
+
+The checker (:mod:`repro.verification.statistical`) runs the invariant
+battery over fleet-sampled instances.  Correct code must yield pass-rate
+1.0; a :class:`~repro.simulator.fleet.FleetFault` injection (pulse loss —
+outside the model) must be caught, localized by block bisection to the
+exact instance, and reproduced by :meth:`Counterexample.replay`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import clopper_pearson_interval
+from repro.exceptions import ConfigurationError
+from repro.simulator.fleet import HAVE_NUMPY, FleetFault
+from repro.verification.statistical import (
+    Counterexample,
+    ids_for_instance,
+    run_statistical_check,
+)
+
+BACKENDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+
+# -- ID sampling ------------------------------------------------------------
+
+
+def test_ids_for_instance_is_deterministic_and_distinct():
+    a = ids_for_instance(7, 3, 8, 100)
+    assert a == ids_for_instance(7, 3, 8, 100)
+    assert len(a) == 8 == len(set(a))
+    assert all(1 <= x <= 100 for x in a)
+    assert a != ids_for_instance(8, 3, 8, 100)  # seed matters
+    assert a != ids_for_instance(7, 4, 8, 100)  # index matters
+
+
+def test_ids_for_instance_independent_of_sharding():
+    # The assignment of global sample index 37 must not depend on which
+    # block or process evaluates it.
+    direct = ids_for_instance(0, 37, 6, 64)
+    report_a = run_statistical_check(n=6, id_max=64, samples=40, block_size=8)
+    report_b = run_statistical_check(n=6, id_max=64, samples=40, block_size=40)
+    assert report_a.clean and report_b.clean
+    assert direct == ids_for_instance(report_a.seed, 37, 6, 64)
+
+
+# -- clean runs -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_clean_run_passes_with_exact_interval(backend):
+    report = run_statistical_check(
+        n=6, id_max=60, samples=300, block_size=64, backend=backend
+    )
+    assert report.clean
+    assert report.violations == 0
+    assert report.pass_rate == 1.0
+    assert report.counterexamples == []
+    assert (report.rate_low, report.rate_high) == clopper_pearson_interval(
+        300, 300, confidence=report.confidence
+    )
+    assert report.rate_high == 1.0
+    assert 0.97 < report.rate_low < 1.0
+
+
+def test_seeded_scheduler_clean():
+    report = run_statistical_check(
+        n=5, id_max=40, samples=60, block_size=16,
+        scheduler="seeded", sched_seed=11,
+    )
+    assert report.clean
+
+
+def test_multiprocess_run_matches_serial():
+    serial = run_statistical_check(n=5, id_max=40, samples=120, block_size=32)
+    forked = run_statistical_check(
+        n=5, id_max=40, samples=120, block_size=32, processes=2
+    )
+    assert serial.clean and forked.clean
+    assert serial.violations == forked.violations
+
+
+# -- fault injection: find, localize, replay --------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_injected_drop_is_caught_localized_and_replayed(backend):
+    fault = FleetFault(round_index=3, node=1, direction="cw", instance=10)
+    report = run_statistical_check(
+        n=6, id_max=50, samples=64, block_size=64, backend=backend, fault=fault
+    )
+    assert not report.clean
+    assert report.violations == 1
+    assert len(report.counterexamples) == 1
+    ce = report.counterexamples[0]
+    assert ce.instance == 10  # bisection attributed the exact instance
+    assert "conservation" in ce.message or "instance 10" in ce.message
+    assert list(ce.ids) == ids_for_instance(report.seed, 10, 6, 50)
+    replayed = ce.replay()
+    assert replayed is not None  # deterministic: always reproduces
+    assert "instance 10" in replayed
+
+
+def test_fault_in_untested_instance_is_silent():
+    # Instance index beyond the sample range: nothing to catch.
+    fault = FleetFault(round_index=3, node=1, direction="cw", instance=999)
+    report = run_statistical_check(
+        n=6, id_max=50, samples=32, block_size=32, fault=fault
+    )
+    assert report.clean
+
+
+def test_counterexample_budget_is_respected():
+    # Fault with instance=None hits EVERY instance; the checker must
+    # still terminate quickly, recording at most max_counterexamples.
+    fault = FleetFault(round_index=3, node=0, direction="cw", instance=None)
+    report = run_statistical_check(
+        n=6, id_max=50, samples=48, block_size=16, fault=fault,
+        max_counterexamples=2,
+    )
+    assert not report.clean
+    assert len(report.counterexamples) <= 2
+    assert report.violations >= len(report.counterexamples)
+    assert report.pass_rate < 1.0
+
+
+def test_fleet_fault_validation():
+    with pytest.raises(ConfigurationError):
+        FleetFault(round_index=0, node=0)
+    with pytest.raises(ConfigurationError):
+        FleetFault(round_index=1, node=0, direction="sideways")
+    with pytest.raises(ConfigurationError):
+        FleetFault(round_index=1, node=0, count=0)
+
+
+# -- configuration errors ---------------------------------------------------
+
+
+def test_configuration_validation():
+    with pytest.raises(ConfigurationError, match="terminating"):
+        run_statistical_check(algorithm="warmup", samples=1)
+    with pytest.raises(ConfigurationError, match="sample"):
+        run_statistical_check(samples=0)
+    with pytest.raises(ConfigurationError, match="distinct"):
+        run_statistical_check(n=10, id_max=5, samples=1)
+    with pytest.raises(ConfigurationError, match="block_size"):
+        run_statistical_check(samples=1, block_size=0)
+
+
+# -- report arithmetic ------------------------------------------------------
+
+def test_report_interval_with_failures():
+    fault = FleetFault(round_index=3, node=0, direction="cw", instance=None)
+    report = run_statistical_check(
+        n=5, id_max=30, samples=20, block_size=4, fault=fault,
+        max_counterexamples=1,
+    )
+    low, high = clopper_pearson_interval(
+        report.samples - report.violations,
+        report.samples,
+        confidence=report.confidence,
+    )
+    assert (report.rate_low, report.rate_high) == (low, high)
