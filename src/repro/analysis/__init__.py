@@ -18,10 +18,17 @@ from repro.analysis.average_case import (
     measure_oblivious_over_placements,
     random_placements,
 )
+from repro.analysis.degradation import (
+    DegradationCurve,
+    DegradationPoint,
+    measure_degradation,
+    model_for_rate,
+)
 from repro.analysis.parallel import parallel_map, resolve_processes, shard_evenly
 from repro.analysis.whp import measure_anonymous_success
 from repro.analysis.stats import (
     BernoulliEstimate,
+    clopper_pearson_interval,
     estimate_success_rate,
     wilson_interval,
 )
@@ -36,8 +43,13 @@ __all__ = [
     "lower_bound_gap",
     "warmup_pulses",
     "BernoulliEstimate",
+    "clopper_pearson_interval",
     "estimate_success_rate",
     "wilson_interval",
+    "DegradationCurve",
+    "DegradationPoint",
+    "measure_degradation",
+    "model_for_rate",
     "PlacementStats",
     "chang_roberts_expected_total",
     "harmonic",

@@ -151,19 +151,170 @@ def _expected_pulse_bound(algorithm: str, ids: List[int]) -> "tuple[str, int]":
     return ("n(2*IDmax+1) (Thm 2)", n * (2 * id_max + 1))
 
 
+def _fault_model_from_args(args: argparse.Namespace):
+    """Compile the declarative ``--inject-*`` flags into a FaultModel.
+
+    Returns None when no fault clause was requested (fault-free run).
+    """
+    from repro.exceptions import ConfigurationError
+    from repro.faults.model import (
+        FaultBurst,
+        FaultModel,
+        NodeCrash,
+        StateCorruption,
+    )
+
+    burst = None
+    if args.inject_burst is not None:
+        if len(args.inject_burst) != 2:
+            raise SystemExit("--inject-burst takes START,LENGTH")
+        start, length = args.inject_burst
+        burst = FaultBurst(start=start, length=length)
+    crashes = []
+    for spec in args.inject_crash or []:
+        parts = _parse_int_list(spec)
+        if len(parts) == 2:
+            crashes.append(NodeCrash(node=parts[0], at_round=parts[1]))
+        elif len(parts) == 3:
+            crashes.append(
+                NodeCrash(
+                    node=parts[0], at_round=parts[1], restart_after=parts[2]
+                )
+            )
+        else:
+            raise SystemExit("--inject-crash takes NODE,ROUND[,RESTART_AFTER]")
+    corruptions = []
+    for spec in args.inject_corrupt or []:
+        parts = spec.split(",")
+        if len(parts) != 4:
+            raise SystemExit("--inject-corrupt takes NODE,ROUND,FIELD,VALUE")
+        try:
+            corruptions.append(
+                StateCorruption(
+                    node=int(parts[0]),
+                    at_round=int(parts[1]),
+                    field=parts[2],
+                    value=int(parts[3]),
+                )
+            )
+        except ValueError:
+            raise SystemExit(
+                "--inject-corrupt NODE, ROUND and VALUE must be integers"
+            ) from None
+    try:
+        model = FaultModel(
+            drop_rate=args.inject_drop_rate,
+            duplicate_rate=args.inject_duplicate_rate,
+            spurious_rate=args.inject_spurious_rate,
+            seed=args.inject_seed,
+            burst=burst,
+            crashes=tuple(crashes),
+            corruptions=tuple(corruptions),
+        )
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
+    return None if model.is_noop else model
+
+
+def _print_recovery_counterexamples(report) -> bool:
+    """Print and replay each counterexample; True when all reproduce."""
+    all_reproduce = True
+    for ce in report.counterexamples:
+        print(f"counterexample       : [{ce.classification}] {ce.message}")
+        if ce.first_invariant is not None:
+            print(f"  first invariant    : {ce.first_invariant}")
+        print(
+            f"  replay             : instance {ce.instance}, ids "
+            f"{list(ce.ids)}"
+            + (f", flips {list(ce.flips)}" if ce.flips is not None else "")
+            + f", seed {ce.seed}, sched-seed {ce.sched_seed}"
+        )
+        reproduced = ce.replay()
+        print(
+            f"  replay reproduces  : "
+            f"{'yes' if reproduced is not None else 'NO'}"
+        )
+        all_reproduce = all_reproduce and reproduced is not None
+    return all_reproduce
+
+
+def _cmd_verify_recovery(args: argparse.Namespace, model) -> int:
+    from repro.exceptions import ConfigurationError
+    from repro.verification.statistical import run_recovery_check
+
+    try:
+        report = run_recovery_check(
+            algorithm=args.algorithm,
+            n=args.n,
+            id_max=args.id_max,
+            samples=args.samples,
+            seed=args.seed,
+            sched_seed=args.sched_seed,
+            scheduler=args.scheduler,
+            backend=args.backend,
+            block_size=args.block_size,
+            confidence=args.confidence,
+            faults=model,
+            watchdog_rounds=args.watchdog,
+            processes=args.processes,
+        )
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
+
+    print(f"algorithm            : {report.algorithm}")
+    print(f"mode                 : recovery (faulted runs, stable end state)")
+    print(f"ring size n          : {report.n}")
+    print(f"id max               : {report.id_max}")
+    print(f"samples              : {report.samples}")
+    print(f"backend / scheduler  : {report.backend} / {report.scheduler}")
+    print(f"seeds (ids, sched)   : {report.seed}, {report.sched_seed}")
+    print(f"fault model          : {report.faults}")
+    if report.fault_events:
+        applied = {k: v for k, v in report.fault_events.items() if v}
+        print(f"fault events applied : {applied or 'none'}")
+    print(
+        f"classification       : recovered={report.recovered} "
+        f"wrong_stable={report.wrong_stable} stuck={report.stuck}"
+    )
+    print(
+        f"recovery rate        : {report.recovery_rate:.6f} "
+        f"({int(report.confidence * 100)}% CP interval "
+        f"[{report.rate_low:.6f}, {report.rate_high:.6f}])"
+    )
+    all_reproduce = _print_recovery_counterexamples(report)
+    total = report.recovered + report.wrong_stable + report.stuck
+    ok = total == report.samples and all_reproduce
+    print(
+        "CLASSIFIED (every faulted run; counterexamples replayable)"
+        if ok
+        else "FAILED"
+    )
+    return 0 if ok else 1
+
+
 def _cmd_verify_statistical(args: argparse.Namespace) -> int:
     from repro.simulator.fleet import FleetFault
     from repro.verification.statistical import run_statistical_check
 
-    fault = None
+    model = _fault_model_from_args(args)
+    if args.recovery:
+        return _cmd_verify_recovery(args, model)
+
+    fault = model
     if args.inject_drop is not None:
         if len(args.inject_drop) != 3:
             raise SystemExit("--inject-drop takes ROUND,NODE,INSTANCE")
         round_index, node, instance = args.inject_drop
-        fault = FleetFault(
+        drop = FleetFault(
             round_index=round_index, node=node, direction="cw",
             instance=instance,
         )
+        if model is None:
+            fault = drop
+        else:
+            from dataclasses import replace
+
+            fault = replace(model, drops=model.drops + (drop,))
 
     report = run_statistical_check(
         algorithm=args.algorithm,
@@ -177,6 +328,7 @@ def _cmd_verify_statistical(args: argparse.Namespace) -> int:
         block_size=args.block_size,
         confidence=args.confidence,
         fault=fault,
+        watchdog_rounds=args.watchdog,
         processes=args.processes,
     )
 
@@ -187,12 +339,14 @@ def _cmd_verify_statistical(args: argparse.Namespace) -> int:
     print(f"samples              : {report.samples}")
     print(f"backend / scheduler  : {report.backend} / {report.scheduler}")
     print(f"seeds (ids, sched)   : {report.seed}, {report.sched_seed}")
-    if fault is not None:
+    if isinstance(fault, FleetFault):
         print(
             f"injected fault       : drop 1 {fault.direction} pulse at "
             f"round {fault.round_index} toward node {fault.node} in "
             f"instance {fault.instance}"
         )
+    elif fault is not None:
+        print(f"injected fault       : {fault}")
     print(f"invariant violations : {report.violations}")
     print(
         f"pass rate            : {report.pass_rate:.6f} "
@@ -243,6 +397,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             drop_rate=args.fault_drop,
             duplicate_rate=args.fault_duplicate,
             seed=args.fault_seed,
+        )
+    elif args.fault_seed:
+        # An all-zero plan is a valid no-op value at the library level;
+        # requesting one at the CLI is almost certainly a typo, so warn
+        # (but proceed fault-free) rather than reject.
+        print(
+            "warning: fault seed given but all fault rates are zero — "
+            "running fault-free (no-op fault plan)"
         )
 
     def factory():
@@ -453,6 +615,75 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_float_list(text: str) -> List[float]:
+    try:
+        return [float(part) for part in text.split(",") if part != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated floats, got {text!r}"
+        )
+
+
+def _cmd_faults_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.degradation import measure_degradation
+    from repro.exceptions import ConfigurationError
+
+    try:
+        curve = measure_degradation(
+            args.rates,
+            kind=args.kind,
+            algorithm=args.algorithm,
+            n=args.n,
+            id_max=args.id_max,
+            samples=args.samples,
+            seed=args.seed,
+            sched_seed=args.sched_seed,
+            scheduler=args.scheduler,
+            backend=args.backend,
+            block_size=args.block_size,
+            confidence=args.confidence,
+            fault_seed=args.fault_seed,
+            processes=args.processes,
+        )
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
+
+    print(
+        f"degradation sweep: algorithm={curve.algorithm} kind={curve.kind} "
+        f"n={curve.n} id_max={curve.id_max} samples/point={args.samples} "
+        f"backend={curve.backend}"
+    )
+    print(
+        f"{'rate':>8}  {'success':>8}  "
+        f"{int(curve.confidence * 100)}% CP interval      r/w/s"
+    )
+    for point in curve.points:
+        print(
+            f"{point.rate:>8.4f}  {point.success_rate:>8.4f}  "
+            f"[{point.low:.4f}, {point.high:.4f}]  "
+            f"{point.recovered}/{point.wrong_stable}/{point.stuck}"
+        )
+    ok = True
+    if not curve.clean_at_zero:
+        print("FAIL: fault-free point (rate 0) did not succeed with rate 1.0")
+        ok = False
+    if not curve.monotone_within_bands():
+        print(
+            "FAIL: success rate is not monotonically degrading within the "
+            "confidence bands"
+        )
+        ok = False
+    if args.json is not None:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(curve.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"curve written        : {args.json}")
+    print("OK (graceful degradation)" if ok else "FAILED")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -555,6 +786,34 @@ def build_parser() -> argparse.ArgumentParser:
                         help="self-test: delete one in-flight CW pulse at "
                              "ROUND toward NODE in sampled INSTANCE; the "
                              "battery must flag it")
+    verify.add_argument("--inject-drop-rate", type=float, default=0.0,
+                        help="per-pulse drop probability (--statistical)")
+    verify.add_argument("--inject-duplicate-rate", type=float, default=0.0,
+                        help="per-pulse duplication probability")
+    verify.add_argument("--inject-spurious-rate", type=float, default=0.0,
+                        help="per-channel-per-round spurious pulse probability")
+    verify.add_argument("--inject-burst", type=_parse_int_list, default=None,
+                        metavar="START,LENGTH",
+                        help="confine the random fault rates to rounds "
+                             "[START, START+LENGTH)")
+    verify.add_argument("--inject-crash", action="append", default=None,
+                        metavar="NODE,ROUND[,RESTART_AFTER]",
+                        help="crash NODE at ROUND (repeatable); with "
+                             "RESTART_AFTER, restart it fresh that many "
+                             "rounds later")
+    verify.add_argument("--inject-corrupt", action="append", default=None,
+                        metavar="NODE,ROUND,FIELD,VALUE",
+                        help="set a schema-validated kernel state FIELD of "
+                             "NODE to VALUE at ROUND (repeatable)")
+    verify.add_argument("--inject-seed", type=int, default=0,
+                        help="seed of the counter-based fault streams")
+    verify.add_argument("--recovery", action="store_true",
+                        help="classify every faulted sampled run by its "
+                             "stable end state (recovered / wrong_stable / "
+                             "stuck) instead of pass/fail invariant checking")
+    verify.add_argument("--watchdog", type=int, default=None,
+                        help="stuck-run watchdog rounds (default: automatic "
+                             "when faults are injected)")
     verify.add_argument(
         "--processes",
         type=lambda text: text if text == "auto" else int(text),
@@ -616,6 +875,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="whp only: fail unless the Wilson interval admits this rate",
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-model tooling (graceful-degradation sweeps)",
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    fsweep = faults_sub.add_parser(
+        "sweep",
+        help="success-probability-vs-fault-rate degradation curve",
+    )
+    fsweep.add_argument("--kind", choices=("drop", "duplicate", "spurious"),
+                        default="drop",
+                        help="which per-pulse fault rate to sweep")
+    fsweep.add_argument("--rates", type=_parse_float_list,
+                        default=[0.0, 0.005, 0.01, 0.02, 0.05],
+                        help="non-decreasing fault-rate grid, e.g. "
+                             "0,0.01,0.05")
+    fsweep.add_argument("--algorithm",
+                        choices=["terminating", "nonoriented"],
+                        default="nonoriented")
+    fsweep.add_argument("--n", type=int, default=6)
+    fsweep.add_argument("--id-max", type=int, default=64)
+    fsweep.add_argument("--samples", type=int, default=200,
+                        help="sampled instances per grid point")
+    fsweep.add_argument("--seed", type=int, default=0,
+                        help="ID/flip sampling seed")
+    fsweep.add_argument("--sched-seed", type=int, default=0)
+    fsweep.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the counter-based fault streams")
+    fsweep.add_argument("--scheduler", choices=["lockstep", "seeded"],
+                        default="lockstep")
+    fsweep.add_argument("--backend", choices=["auto", "numpy", "python"],
+                        default="auto")
+    fsweep.add_argument("--block-size", type=int, default=256)
+    fsweep.add_argument("--confidence", type=float, default=0.99)
+    fsweep.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the curve as JSON to PATH")
+    fsweep.add_argument(
+        "--processes",
+        type=lambda text: text if text == "auto" else int(text),
+        default=None,
+        help="worker processes (int or 'auto')",
+    )
+    fsweep.set_defaults(func=_cmd_faults_sweep)
 
     return parser
 

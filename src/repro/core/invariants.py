@@ -405,11 +405,25 @@ TERMINATING_COLUMN_INVARIANTS = (
     check_columns_conservation,
 )
 
-#: Column (fleet) invariant batteries per algorithm.  Only Algorithm 2
-#: exposes observer hooks today — the warmup/nonoriented fleets quiesce
-#: inside closed-form direction runs without per-round views.
+#: Battery for one warmup-kernel direction run (Algorithm 1, or either
+#: half of Algorithm 3).  The direction fleets publish their counters in
+#: the CW view slots with ``ids`` holding the governing values, so the
+#: CW-lemma column forms apply verbatim; the CCW slots are all-zero and
+#: the CCW conservation pair holds trivially.
+WARMUP_COLUMN_INVARIANTS = (
+    check_columns_lemma6_cw,
+    check_columns_corollary14,
+    check_columns_conservation,
+)
+
+#: Column (fleet) invariant batteries per algorithm, keyed by the CLI's
+#: algorithm names.  Algorithm 3's two direction runs each report under
+#: the warmup battery (its correctness is argued by reduction to
+#: Algorithm 1, so the reduced instances' lemmas are the invariants).
 COLUMN_INVARIANTS = {
+    "warmup": WARMUP_COLUMN_INVARIANTS,
     "terminating": TERMINATING_COLUMN_INVARIANTS,
+    "nonoriented": WARMUP_COLUMN_INVARIANTS,
 }
 
 

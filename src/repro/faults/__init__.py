@@ -1,0 +1,78 @@
+"""One declarative fault language, compiled onto every backend.
+
+:class:`FaultModel` states *what the adversary may do* — per-pulse
+drop/duplicate rates, spurious injection, bounded bursts, node
+crash(-restart), transient state corruption — once, against the kernel
+``SCHEMA``\\ s.  Each backend gets a thin compiler:
+
+* event-driven + batched engines → :class:`FaultyChannel`
+  (:func:`apply_fault_model`);
+* fleet NumPy + pure-Python columns → :class:`~repro.faults.fleet.DirectionFaults`
+  / :class:`~repro.faults.fleet.TerminatingFaults`;
+* schedule explorers → :class:`ReplayProfile` (pure-function replay).
+
+All randomness is counter-based (:func:`roll_u64`): a decision is a pure
+function of ``(seed, kind, instance, round, channel, pulse)``, so any
+run — solo, sharded, or branched — replays bit-identically.
+
+The historical per-backend spellings (``FaultPlan``, ``FaultProfile``,
+``FleetFault``) survive as aliases over this model.
+"""
+
+from repro.faults.channel import (
+    FAULT_SPURIOUS_BIT,
+    FAULT_TWIN_BIT,
+    FaultyChannel,
+    apply_fault_model,
+    fault_counts,
+    is_fault_seq,
+    total_faults,
+)
+from repro.faults.fleet import (
+    DirectionFaults,
+    TerminatingFaults,
+    merge_events,
+)
+from repro.faults.model import (
+    FaultBurst,
+    FaultModel,
+    FleetFault,
+    NodeCrash,
+    PulseDrop,
+    StateCorruption,
+    corruptible_fields,
+    mix64,
+    rate_threshold,
+    roll_u64,
+)
+from repro.faults.profile import (
+    FaultProfile,
+    ReplayProfile,
+    build_fault_profile,
+)
+
+__all__ = [
+    "FAULT_SPURIOUS_BIT",
+    "FAULT_TWIN_BIT",
+    "DirectionFaults",
+    "FaultBurst",
+    "FaultModel",
+    "FaultProfile",
+    "FaultyChannel",
+    "FleetFault",
+    "NodeCrash",
+    "PulseDrop",
+    "ReplayProfile",
+    "StateCorruption",
+    "TerminatingFaults",
+    "apply_fault_model",
+    "build_fault_profile",
+    "corruptible_fields",
+    "fault_counts",
+    "is_fault_seq",
+    "merge_events",
+    "mix64",
+    "rate_threshold",
+    "roll_u64",
+    "total_faults",
+]

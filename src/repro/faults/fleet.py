@@ -1,0 +1,604 @@
+"""Fleet-backend compiler: the fault model over struct-of-arrays rounds.
+
+The fleet engine (:mod:`repro.simulator.fleet`) advances ``B`` instances
+in lockstep rounds over per-direction ``flight[B, n]`` columns.  This
+module lowers a :class:`~repro.faults.model.FaultModel` onto that loop:
+
+* **random channel faults** roll once per *(instance, round, channel)*
+  — the fleet's notion of a fault opportunity (event channels roll per
+  send; same declarative rates, per-backend opportunity grain).  Drops
+  thin the in-flight population pulse-by-pulse (each of the ``f`` pulses
+  on a channel rolls independently), duplicates/spurious add at most one
+  pulse per channel per round.
+* **deterministic drops** (:class:`~repro.faults.model.PulseDrop`)
+  reproduce the fleet's historical ``FleetFault`` semantics exactly.
+* **crashes** evaporate all deliveries toward the node while down (its
+  state freezes: nothing is delivered, its pending is empty at round
+  boundaries, so the kernels never touch it); a restart resets the node
+  via the kernel's fresh-state semantics and re-sends its init pulse.
+* **corruption** overwrites one materialized column value at the start
+  of its round (fields pre-validated against the kernel ``SCHEMA``).
+
+Every decision is a counter-based roll keyed on the **global** instance
+index (``instance_offset + row``), so a counterexample replayed solo at
+the same global index sees the identical fault pattern.  The NumPy and
+pure-Python applications are written as exact twins (same clause order,
+same roll coordinates) — the fleet differential tests pin this
+bit-for-bit.
+
+Lap-skips and faults: fault opportunities are defined per fleet *round*,
+and a lap-skip compresses laps **within** one round, so skipping changes
+no fault decision.  Node crashes are the exception — a skip would relay
+pulses through a node that must absorb nothing — so a model with crash
+clauses disables the skip fast-paths (correctness over throughput; the
+recovery harness caps rounds with a watchdog anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.faults.model import (
+    _KEY_CHANNEL,
+    _KEY_INSTANCE,
+    _KEY_PULSE,
+    _KEY_ROUND,
+    _MIX_A,
+    _MIX_B,
+    _TWO64,
+    KIND_DROP,
+    KIND_DUPLICATE,
+    KIND_SPURIOUS,
+    FaultModel,
+    corruptible_fields,
+    mix64,
+    rate_threshold,
+    roll_u64,
+)
+
+#: Event-counter keys shared by every fleet fault adapter (same totals on
+#: both backends; the differential tests compare the dicts directly).
+EVENT_KEYS = (
+    "dropped",
+    "duplicated",
+    "injected",
+    "det_dropped",
+    "crash_lost",
+    "restarts",
+    "corruptions",
+)
+
+
+def _fresh_events() -> Dict[str, int]:
+    return {key: 0 for key in EVENT_KEYS}
+
+
+def merge_events(*dicts: Optional[Dict[str, int]]) -> Dict[str, int]:
+    """Sum per-kind fault-event counters across adapters."""
+    merged = _fresh_events()
+    for events in dicts:
+        if events:
+            for key, value in events.items():
+                merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def _check_node(node: int, n: int, what: str) -> None:
+    if not 0 <= node < n:
+        raise ConfigurationError(
+            f"{what} targets node {node}, outside the ring [0, {n})"
+        )
+
+
+def _np_rolls(
+    np_mod: Any,
+    seed: int,
+    kind: int,
+    round_index: int,
+    pulse: int,
+    instance_offset: int,
+    n_rows: int,
+    chan_base: int,
+    n: int,
+) -> Any:
+    """Vectorized :func:`~repro.faults.model.roll_u64`: uint64 ``[B, n]``."""
+    u64 = np_mod.uint64
+    with np_mod.errstate(over="ignore"):
+        b = (u64(instance_offset) + np_mod.arange(n_rows, dtype=u64))[:, None]
+        c = (u64(chan_base) + np_mod.arange(n, dtype=u64))[None, :]
+        x = (
+            u64(mix64(seed))
+            + u64(kind)
+            + b * u64(_KEY_INSTANCE)
+            + u64(round_index % _TWO64) * u64(_KEY_ROUND)
+            + c * u64(_KEY_CHANNEL)
+            + u64(pulse) * u64(_KEY_PULSE)
+        )
+        x = (x ^ (x >> u64(33))) * u64(_MIX_A)
+        x = (x ^ (x >> u64(33))) * u64(_MIX_B)
+        x = x ^ (x >> u64(33))
+    return x
+
+
+def _np_under(np_mod: Any, rolls: Any, threshold: int) -> Any:
+    """``roll < threshold`` with the 2**64 (certain) threshold handled."""
+    if threshold >= _TWO64:
+        return np_mod.ones(rolls.shape, dtype=bool)
+    return rolls < np_mod.uint64(threshold)
+
+
+def _apply_random_np(
+    np_mod: Any,
+    model: FaultModel,
+    events: Dict[str, int],
+    round_index: int,
+    flight: Any,
+    instance_offset: int,
+    chan_base: int,
+    live: Any,
+) -> None:
+    """Random drop/dup/spurious over one direction's flight (in place).
+
+    ``live`` is a bool ``[B]`` row mask: rows whose instance already
+    quiesced are frozen — the pure-Python twin's per-instance loop has
+    exited by then, so the batch must stop rolling faults for them too
+    (fault streams must not depend on batch composition).
+    """
+    if not model.covers(round_index):
+        return
+    B, n = flight.shape
+    rows = live[:, None]
+    t_drop = rate_threshold(model.drop_rate)
+    t_dup = rate_threshold(model.duplicate_rate)
+    t_spur = rate_threshold(model.spurious_rate)
+    if t_drop:
+        fmax = int(flight.max())
+        if fmax:
+            removed = np_mod.zeros_like(flight)
+            for j in range(fmax):
+                rolls = _np_rolls(
+                    np_mod, model.seed, KIND_DROP, round_index, j,
+                    instance_offset, B, chan_base, n,
+                )
+                removed += _np_under(np_mod, rolls, t_drop) & (flight > j) & rows
+            flight -= removed
+            events["dropped"] += int(removed.sum())
+    if t_dup:
+        rolls = _np_rolls(
+            np_mod, model.seed, KIND_DUPLICATE, round_index, 0,
+            instance_offset, B, chan_base, n,
+        )
+        hit = _np_under(np_mod, rolls, t_dup) & (flight > 0) & rows
+        flight += hit
+        events["duplicated"] += int(hit.sum())
+    if t_spur:
+        rolls = _np_rolls(
+            np_mod, model.seed, KIND_SPURIOUS, round_index, 0,
+            instance_offset, B, chan_base, n,
+        )
+        hit = _np_under(np_mod, rolls, t_spur) & rows
+        flight += hit
+        events["injected"] += int(hit.sum())
+
+
+def _apply_random_py(
+    model: FaultModel,
+    events: Dict[str, int],
+    round_index: int,
+    flight: List[int],
+    instance: int,
+    chan_base: int,
+) -> None:
+    """Scalar twin of :func:`_apply_random_np` for one instance."""
+    if not model.covers(round_index):
+        return
+    n = len(flight)
+    t_drop = rate_threshold(model.drop_rate)
+    t_dup = rate_threshold(model.duplicate_rate)
+    t_spur = rate_threshold(model.spurious_rate)
+    if t_drop:
+        for v in range(n):
+            hits = 0
+            for j in range(flight[v]):
+                roll = roll_u64(
+                    model.seed, KIND_DROP, instance, round_index, chan_base + v, j
+                )
+                if roll < t_drop:
+                    hits += 1
+            if hits:
+                flight[v] -= hits
+                events["dropped"] += hits
+    if t_dup:
+        for v in range(n):
+            if flight[v] > 0:
+                roll = roll_u64(
+                    model.seed, KIND_DUPLICATE, instance, round_index,
+                    chan_base + v, 0,
+                )
+                if roll < t_dup:
+                    flight[v] += 1
+                    events["duplicated"] += 1
+    if t_spur:
+        for v in range(n):
+            roll = roll_u64(
+                model.seed, KIND_SPURIOUS, instance, round_index,
+                chan_base + v, 0,
+            )
+            if roll < t_spur:
+                flight[v] += 1
+                events["injected"] += 1
+
+
+class DirectionFaults:
+    """A :class:`FaultModel` compiled onto one directional warmup-kernel
+    fleet run (Algorithm 1, or one half of Algorithm 3).
+
+    The direction run materializes exactly two counter columns — its
+    ``rho`` and ``sigma`` — so corruption clauses naming the *other*
+    direction's fields are silently owned by the twin adapter (the
+    caller compiles one adapter per direction).
+    """
+
+    def __init__(
+        self,
+        model: FaultModel,
+        n: int,
+        direction: str,
+        shift: int,
+        chan_base: int,
+        algorithm: str,
+    ) -> None:
+        self.model = model
+        self.n = n
+        self.direction = direction
+        self.shift = shift
+        self.chan_base = chan_base
+        allowed = corruptible_fields(algorithm)
+        for corruption in model.corruptions:
+            if corruption.field not in allowed:
+                raise ConfigurationError(
+                    f"cannot corrupt field {corruption.field!r} of algorithm "
+                    f"{algorithm!r}; schema-validated targets: {list(allowed)}"
+                )
+            _check_node(corruption.node, n, "corruption")
+        for crash in model.crashes:
+            _check_node(crash.node, n, "crash")
+        for drop in model.drops:
+            _check_node(drop.node, n, "pulse-drop")
+        self.drops = tuple(d for d in model.drops if d.direction == direction)
+        rho_field = "rho_cw" if direction == "cw" else "rho_ccw"
+        sigma_field = "sigma_cw" if direction == "cw" else "sigma_ccw"
+        self._owned = {rho_field: "rho", sigma_field: "sigma"}
+        self.corruptions = tuple(
+            c for c in model.corruptions if c.field in self._owned
+        )
+        #: Lap/hop skips relay pulses through every node, which a crashed
+        #: node must not do — crash models run skip-free (see module doc).
+        self.allow_skips = not model.crashes
+        self.events = _fresh_events()
+
+    def apply_np(
+        self,
+        np_mod: Any,
+        round_index: int,
+        rho: Any,
+        sigma: Any,
+        flight: Any,
+        instance_offset: int,
+        live: Any,
+    ) -> Any:
+        """Mutate the columns for one round start; returns extra sends
+        (0, or an int64 ``[B]`` array when a restart re-init sent pulses).
+
+        ``live`` is a bool ``[B]`` mask of rows that have not yet
+        quiesced; quiesced rows are frozen (the pure-Python twin's
+        per-instance loop has already exited for them)."""
+        B, n = flight.shape
+        extra = None
+        for drop in self.drops:
+            if drop.round_index != round_index:
+                continue
+            if drop.instance is None:
+                removed = np_mod.where(
+                    live, np_mod.minimum(flight[:, drop.node], drop.count), 0
+                )
+                flight[:, drop.node] -= removed
+                self.events["det_dropped"] += int(removed.sum())
+            else:
+                row = drop.instance - instance_offset
+                if 0 <= row < B and live[row]:
+                    removed = min(int(flight[row, drop.node]), drop.count)
+                    flight[row, drop.node] -= removed
+                    self.events["det_dropped"] += removed
+        for crash in self.model.crashes:
+            if crash.instance is None:
+                rows: Any = live
+                count = int(np_mod.sum(live))
+            else:
+                row = crash.instance - instance_offset
+                if not (0 <= row < B and live[row]):
+                    continue
+                rows = row
+                count = 1
+            if count == 0:
+                continue
+            if crash.down(round_index):
+                lost = flight[rows, crash.node]
+                self.events["crash_lost"] += int(np_mod.sum(lost))
+                flight[rows, crash.node] = 0
+            elif crash.restarts_at(round_index):
+                rho[rows, crash.node] = 0
+                sigma[rows, crash.node] = 1
+                flight[rows, (crash.node + self.shift) % n] += 1
+                self.events["restarts"] += count
+                if extra is None:
+                    extra = np_mod.zeros(B, np_mod.int64)
+                extra[rows] += 1
+        _apply_random_np(
+            np_mod, self.model, self.events, round_index, flight,
+            instance_offset, self.chan_base, live,
+        )
+        for corruption in self.corruptions:
+            if corruption.at_round != round_index:
+                continue
+            target = rho if self._owned[corruption.field] == "rho" else sigma
+            if corruption.instance is None:
+                target[live, corruption.node] = corruption.value
+                self.events["corruptions"] += int(np_mod.sum(live))
+            else:
+                row = corruption.instance - instance_offset
+                if 0 <= row < B and live[row]:
+                    target[row, corruption.node] = corruption.value
+                    self.events["corruptions"] += 1
+        return 0 if extra is None else extra
+
+    def apply_py(
+        self,
+        round_index: int,
+        instance: int,
+        gov: List[int],
+        states: List[Any],
+        flight: List[int],
+        kernel: Any,
+    ) -> int:
+        """Scalar twin of :meth:`apply_np` for global ``instance``;
+        returns the number of extra pulses sent (restart re-inits)."""
+        n = self.n
+        extra = 0
+        for drop in self.drops:
+            if drop.round_index != round_index:
+                continue
+            if drop.instance is None or drop.instance == instance:
+                removed = min(flight[drop.node], drop.count)
+                flight[drop.node] -= removed
+                self.events["det_dropped"] += removed
+        for crash in self.model.crashes:
+            if crash.instance is not None and crash.instance != instance:
+                continue
+            if crash.down(round_index):
+                self.events["crash_lost"] += flight[crash.node]
+                flight[crash.node] = 0
+            elif crash.restarts_at(round_index):
+                states[crash.node] = kernel.make_state(gov[crash.node])
+                _, emissions, _ = kernel.init(states[crash.node])
+                for _port, cnt in emissions:
+                    flight[(crash.node + self.shift) % n] += cnt
+                    extra += cnt
+                self.events["restarts"] += 1
+        _apply_random_py(
+            self.model, self.events, round_index, flight, instance,
+            self.chan_base,
+        )
+        for corruption in self.corruptions:
+            if corruption.at_round != round_index:
+                continue
+            if corruption.instance is None or corruption.instance == instance:
+                attr = (
+                    "rho_cw"
+                    if self._owned[corruption.field] == "rho"
+                    else "sigma_cw"
+                )
+                setattr(states[corruption.node], attr, corruption.value)
+                self.events["corruptions"] += 1
+        return extra
+
+
+#: Terminating-kernel column spellings for corruptible schema fields.
+_TERMINATING_COLS = {
+    "rho_cw": "rho_cw",
+    "sigma_cw": "sigma_cw",
+    "rho_ccw": "rho_ccw",
+    "sigma_ccw": "sigma_ccw",
+    "pending_cw": "pend_cw",
+    "pending_ccw": "pend_ccw",
+}
+
+
+class TerminatingFaults:
+    """A :class:`FaultModel` compiled onto the terminating fleet run
+    (Algorithm 2: both directions in one round loop, CW channels at
+    indices ``[0, n)`` and CCW at ``[n, 2n)`` — the seeded scheduler's
+    layout)."""
+
+    def __init__(self, model: FaultModel, n: int) -> None:
+        self.model = model
+        self.n = n
+        allowed = corruptible_fields("terminating")
+        for corruption in model.corruptions:
+            if corruption.field not in allowed:
+                raise ConfigurationError(
+                    f"cannot corrupt field {corruption.field!r} of algorithm "
+                    f"'terminating'; schema-validated targets: {list(allowed)}"
+                )
+            _check_node(corruption.node, n, "corruption")
+        for crash in model.crashes:
+            _check_node(crash.node, n, "crash")
+        for drop in model.drops:
+            _check_node(drop.node, n, "pulse-drop")
+        self.cw_drops = tuple(d for d in model.drops if d.direction == "cw")
+        self.ccw_drops = tuple(d for d in model.drops if d.direction == "ccw")
+        self.allow_skips = not model.crashes
+        self.events = _fresh_events()
+
+    def _det_drops_np(
+        self,
+        np_mod: Any,
+        drops: Tuple[Any, ...],
+        round_index: int,
+        flight: Any,
+        instance_offset: int,
+        live: Any,
+    ) -> None:
+        B = flight.shape[0]
+        for drop in drops:
+            if drop.round_index != round_index:
+                continue
+            if drop.instance is None:
+                removed = np_mod.where(
+                    live, np_mod.minimum(flight[:, drop.node], drop.count), 0
+                )
+                flight[:, drop.node] -= removed
+                self.events["det_dropped"] += int(removed.sum())
+            else:
+                row = drop.instance - instance_offset
+                if 0 <= row < B and live[row]:
+                    removed = min(int(flight[row, drop.node]), drop.count)
+                    flight[row, drop.node] -= removed
+                    self.events["det_dropped"] += removed
+
+    def apply_np(
+        self,
+        np_mod: Any,
+        round_index: int,
+        cols: Any,
+        cw_flight: Any,
+        ccw_flight: Any,
+        instance_offset: int,
+        live: Any,
+    ) -> Any:
+        """Mutate columns/flights for one round start; returns extra sends
+        (0, or int64 ``[B]`` when restart re-inits sent pulses).
+
+        ``live`` freezes already-quiesced rows, matching the pure-Python
+        per-instance loop exit (see :meth:`DirectionFaults.apply_np`)."""
+        B, n = cw_flight.shape
+        extra = None
+        self._det_drops_np(
+            np_mod, self.cw_drops, round_index, cw_flight, instance_offset, live
+        )
+        self._det_drops_np(
+            np_mod, self.ccw_drops, round_index, ccw_flight, instance_offset, live
+        )
+        for crash in self.model.crashes:
+            if crash.instance is None:
+                rows: Any = live
+                count = int(np_mod.sum(live))
+            else:
+                row = crash.instance - instance_offset
+                if not (0 <= row < B and live[row]):
+                    continue
+                rows = row
+                count = 1
+            if count == 0:
+                continue
+            if crash.down(round_index):
+                lost = cw_flight[rows, crash.node] + ccw_flight[rows, crash.node]
+                self.events["crash_lost"] += int(np_mod.sum(lost))
+                cw_flight[rows, crash.node] = 0
+                ccw_flight[rows, crash.node] = 0
+            elif crash.restarts_at(round_index):
+                # Fresh-state reset (TerminatingColumns.fresh semantics for
+                # one node) + the kernel init pulse on the CW channel.
+                cols.rho_cw[rows, crash.node] = 0
+                cols.rho_ccw[rows, crash.node] = 0
+                cols.pend_cw[rows, crash.node] = 0
+                cols.pend_ccw[rows, crash.node] = 0
+                cols.sigma_cw[rows, crash.node] = 1
+                cols.sigma_ccw[rows, crash.node] = 0
+                cols.term_sent[rows, crash.node] = False
+                cols.terminated[rows, crash.node] = False
+                cols.out_leader[rows, crash.node] = False
+                cw_flight[rows, (crash.node + 1) % n] += 1
+                self.events["restarts"] += count
+                if extra is None:
+                    extra = np_mod.zeros(B, np_mod.int64)
+                extra[rows] += 1
+        _apply_random_np(
+            np_mod, self.model, self.events, round_index, cw_flight,
+            instance_offset, 0, live,
+        )
+        _apply_random_np(
+            np_mod, self.model, self.events, round_index, ccw_flight,
+            instance_offset, n, live,
+        )
+        for corruption in self.model.corruptions:
+            if corruption.at_round != round_index:
+                continue
+            target = getattr(cols, _TERMINATING_COLS[corruption.field])
+            if corruption.instance is None:
+                target[live, corruption.node] = corruption.value
+                self.events["corruptions"] += int(np_mod.sum(live))
+            else:
+                row = corruption.instance - instance_offset
+                if 0 <= row < B and live[row]:
+                    target[row, corruption.node] = corruption.value
+                    self.events["corruptions"] += 1
+        return 0 if extra is None else extra
+
+    def apply_py(
+        self,
+        round_index: int,
+        instance: int,
+        ids: List[int],
+        states: List[Any],
+        out_leader: List[bool],
+        cw_flight: List[int],
+        ccw_flight: List[int],
+        kernel: Any,
+    ) -> int:
+        """Scalar twin of :meth:`apply_np` for global ``instance``."""
+        n = self.n
+        extra = 0
+        for drops, flight in ((self.cw_drops, cw_flight), (self.ccw_drops, ccw_flight)):
+            for drop in drops:
+                if drop.round_index != round_index:
+                    continue
+                if drop.instance is None or drop.instance == instance:
+                    removed = min(flight[drop.node], drop.count)
+                    flight[drop.node] -= removed
+                    self.events["det_dropped"] += removed
+        for crash in self.model.crashes:
+            if crash.instance is not None and crash.instance != instance:
+                continue
+            if crash.down(round_index):
+                self.events["crash_lost"] += (
+                    cw_flight[crash.node] + ccw_flight[crash.node]
+                )
+                cw_flight[crash.node] = 0
+                ccw_flight[crash.node] = 0
+            elif crash.restarts_at(round_index):
+                states[crash.node] = kernel.make_state(ids[crash.node])
+                _, emissions, _ = kernel.init(states[crash.node])
+                for _port, cnt in emissions:
+                    # The terminating kernel's init emits on the CW send
+                    # port only; route accordingly.
+                    cw_flight[(crash.node + 1) % n] += cnt
+                    extra += cnt
+                out_leader[crash.node] = False
+                self.events["restarts"] += 1
+        _apply_random_py(
+            self.model, self.events, round_index, cw_flight, instance, 0
+        )
+        _apply_random_py(
+            self.model, self.events, round_index, ccw_flight, instance, n
+        )
+        for corruption in self.model.corruptions:
+            if corruption.at_round != round_index:
+                continue
+            if corruption.instance is None or corruption.instance == instance:
+                setattr(
+                    states[corruption.node], corruption.field, corruption.value
+                )
+                self.events["corruptions"] += 1
+        return extra

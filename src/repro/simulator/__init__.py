@@ -44,7 +44,6 @@ from repro.simulator.scheduler import (
     Scheduler,
     all_standard_schedulers,
 )
-from repro.simulator.faults import FaultPlan, FaultyChannel, apply_fault_plan
 from repro.simulator.timeline import (
     render_event_log,
     render_space_time,
@@ -66,6 +65,19 @@ from repro.simulator.fleet import (
     run_warmup_fleet,
     schedule_bit,
 )
+
+
+def __getattr__(name: str):
+    # Lazy so that `import repro.faults` (whose channel compiler imports
+    # repro.simulator.channel, triggering this package's init) never hits
+    # a half-initialized repro.faults.channel through the legacy
+    # repro.simulator.faults shim.
+    if name in ("FaultPlan", "FaultyChannel", "apply_fault_plan"):
+        from repro.simulator import faults as _faults
+
+        return getattr(_faults, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "HAVE_NUMPY",

@@ -1,112 +1,54 @@
-"""Fault injection beyond the model: dropping and duplicating channels.
+"""Deprecated location: fault injection moved to :mod:`repro.faults`.
 
-The content-oblivious model (paper, Section 2) is precise about what the
-noise may do: corrupt *content* only — "pulses cannot be dropped or
-injected by the channel."  This module deliberately violates those two
-assumptions so the test-suite can demonstrate they are load-bearing:
+This module used to own the event-channel fault mechanism (a seeded
+``random.Random`` stream per channel).  PR 5 unified all fault semantics
+behind the declarative :class:`~repro.faults.model.FaultModel`; this
+shim keeps the historical import path and names working:
 
-* with **pulse loss**, Algorithm 1/2's conservation invariants (Lemma 6)
-  collapse — executions end in wrong leaders, missing terminations, or
-  nodes stuck forever awaiting pulses that no longer exist;
-* with **pulse injection** (spontaneous duplication), received counts
-  overshoot IDs and multiple or zero leaders emerge.
+* ``FaultPlan`` *is* :class:`~repro.faults.model.FaultModel` — the old
+  ``(drop_rate, duplicate_rate, seed)`` constructor is a subset of the
+  model's fields.  Note the old class rejected the all-zero plan; the
+  model accepts it as the explicit no-op (``FaultPlan.none()``), and the
+  CLI downgrades "no faults requested" to a warning.
+* ``FaultyChannel`` / ``apply_fault_plan`` / ``total_faults`` are the
+  event-backend compiler from :mod:`repro.faults.channel`.
 
-These are *negative* experiments: they reproduce the paper's modelling
-discussion, not its theorems.  The faulty channels still honour FIFO
-order for the pulses they do deliver.
+The negative-experiment framing (drops/injection demonstrate the
+paper's Section 2 assumptions are load-bearing) now lives in
+``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-from typing import Any, Optional, Sequence
-
-from repro.exceptions import ConfigurationError
-from repro.simulator.channel import Channel
+from repro.faults.channel import (  # noqa: F401  (re-exported)
+    FAULT_SPURIOUS_BIT,
+    FAULT_TWIN_BIT,
+    FaultyChannel,
+    apply_fault_model,
+    fault_counts,
+    is_fault_seq,
+    total_faults,
+)
+from repro.faults.model import FaultModel
 from repro.simulator.network import Network
 
-
-@dataclass
-class FaultPlan:
-    """A seeded, reproducible description of which sends go wrong.
-
-    Each send is independently dropped with probability ``drop_rate`` or
-    duplicated with probability ``duplicate_rate`` (drop wins if both
-    fire).  Determinism comes from the seed, so a failing ring is exactly
-    replayable.
-    """
-
-    drop_rate: float = 0.0
-    duplicate_rate: float = 0.0
-    seed: int = 0
-
-    def __post_init__(self) -> None:
-        for name, rate in (("drop_rate", self.drop_rate), ("duplicate_rate", self.duplicate_rate)):
-            if not 0.0 <= rate <= 1.0:
-                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
-        if self.drop_rate == 0.0 and self.duplicate_rate == 0.0:
-            raise ConfigurationError("a FaultPlan must inject at least one fault kind")
+#: Historical name: a fault plan is now the unified declarative model.
+FaultPlan = FaultModel
 
 
-class FaultyChannel(Channel):
-    """A channel that violates the model per a :class:`FaultPlan`.
-
-    Attributes:
-        dropped: Number of messages silently destroyed so far.
-        duplicated: Number of messages delivered twice so far.
-    """
-
-    def __init__(self, base: Channel, plan: FaultPlan) -> None:
-        super().__init__(
-            channel_id=base.channel_id,
-            src=base.src,
-            dst=base.dst,
-            defective=base.defective,
-        )
-        self._plan = plan
-        self._rng = random.Random((plan.seed << 16) ^ base.channel_id)
-        self.dropped = 0
-        self.duplicated = 0
-
-    def enqueue(self, send_seq: int, content: Any = None) -> None:
-        roll = self._rng.random()
-        if roll < self._plan.drop_rate:
-            self.dropped += 1
-            return  # the pulse evaporates: model violation #1
-        if roll < self._plan.drop_rate + self._plan.duplicate_rate:
-            self.duplicated += 1
-            super().enqueue(send_seq, content)  # injected twin: violation #2
-        super().enqueue(send_seq, content)
+def apply_fault_plan(network: Network, plan: FaultModel) -> Network:
+    """Deprecated alias for :func:`repro.faults.channel.apply_fault_model`."""
+    return apply_fault_model(network, plan)
 
 
-def apply_fault_plan(network: Network, plan: FaultPlan) -> Network:
-    """Replace every channel of ``network`` with a faulty twin, in place.
-
-    Must be called before the engine run starts (queues must be empty).
-    Returns the same network for chaining.
-    """
-    for channel in network.channels:
-        if channel.pending:
-            raise ConfigurationError(
-                "fault plans must be applied before any message is sent"
-            )
-    network.channels = [
-        FaultyChannel(channel, plan) for channel in network.channels
-    ]
-    return network
-
-
-def total_faults(network: Network) -> tuple:
-    """(dropped, duplicated) across all channels of a faulted network."""
-    dropped = sum(
-        channel.dropped
-        for channel in network.channels
-        if isinstance(channel, FaultyChannel)
-    )
-    duplicated = sum(
-        channel.duplicated
-        for channel in network.channels
-        if isinstance(channel, FaultyChannel)
-    )
-    return dropped, duplicated
+__all__ = [
+    "FAULT_SPURIOUS_BIT",
+    "FAULT_TWIN_BIT",
+    "FaultPlan",
+    "FaultyChannel",
+    "apply_fault_model",
+    "apply_fault_plan",
+    "fault_counts",
+    "is_fault_seq",
+    "total_faults",
+]

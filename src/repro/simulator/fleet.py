@@ -80,21 +80,19 @@ from repro.exceptions import ConfigurationError, SimulationLimitExceeded
 DEFAULT_MAX_ROUNDS = 1_000_000
 
 _MASK64 = (1 << 64) - 1
-# Odd 64-bit constants for the counter-based schedule hash (golden-ratio
-# and murmur3-finalizer family); any fixed odd constants would do.
-_KEY_INSTANCE = 0x9E3779B97F4A7C15
-_KEY_ROUND = 0xC2B2AE3D27D4EB4F
-_KEY_CHANNEL = 0xD6E8FEB86659FD93
-_MIX_A = 0xFF51AFD7ED558CCD
-_MIX_B = 0xC4CEB9FE1A85EC53
 
-
-def _mix64(x: int) -> int:
-    """Murmur3 finalizer: a bijective 64-bit mix, pure-Python reference."""
-    x &= _MASK64
-    x = ((x ^ (x >> 33)) * _MIX_A) & _MASK64
-    x = ((x ^ (x >> 33)) * _MIX_B) & _MASK64
-    return x ^ (x >> 33)
+# The counter-based hash machinery (murmur3 finalizer + odd key
+# constants) is shared with the fault subsystem — one mix, one set of
+# keys, so schedule streams and fault streams live in the same
+# replayable universe (disjoint by their kind/usage coordinates).
+from repro.faults.model import (  # noqa: E402
+    _KEY_CHANNEL,
+    _KEY_INSTANCE,
+    _KEY_ROUND,
+    _MIX_A,
+    _MIX_B,
+)
+from repro.faults.model import mix64 as _mix64  # noqa: E402
 
 
 def schedule_bit(seed: int, instance: int, round_index: int, channel: int) -> int:
@@ -214,6 +212,13 @@ class FleetResult:
     sigma_cw: Optional[List[List[int]]] = None
     sigma_ccw: Optional[List[List[int]]] = None
     term_pulse_sent: Optional[List[List[bool]]] = None
+    #: Per-instance True when the run was cut off by the stuck-run
+    #: watchdog or the livelock guard instead of reaching quiescence
+    #: (only possible under fault injection).
+    unfinished: Optional[List[bool]] = None
+    #: Per-kind totals of applied fault events (see
+    #: :data:`repro.faults.fleet.EVENT_KEYS`), None for fault-free runs.
+    fault_events: Optional[dict] = None
 
     @property
     def size(self) -> int:
@@ -228,35 +233,50 @@ class FleetResult:
         ]
 
 
-@dataclass(frozen=True)
-class FleetFault:
-    """One injected in-flight pulse loss, for statistical checking.
+# The deterministic in-flight pulse loss moved into the unified fault
+# model; ``FleetFault`` remains the fleet's historical name for it.
+from repro.faults.fleet import merge_events as _merge_fault_events  # noqa: E402
+from repro.faults.model import FaultModel  # noqa: E402
+from repro.faults.model import PulseDrop as FleetFault  # noqa: E402
 
-    At the *start* of fleet round ``round_index`` (1-based, before
-    deliveries), up to ``count`` pulses currently in flight toward
-    ``node`` in ``direction`` are removed — in ``instance`` only, or in
-    every instance when ``instance`` is None.  Pulse loss is outside the
-    paper's model (FIFO channels never drop), so a fault must surface as
-    invariant violations downstream; the statistical checker injects one
-    to prove it would catch a buggy kernel.
+
+def _fault_adapters(fault, n, algorithm):
+    """Normalize the ``fault`` argument of the fleet entry points.
+
+    Accepts None, a single :class:`FleetFault` (historical), or a full
+    :class:`~repro.faults.model.FaultModel`; returns the per-direction
+    compiler(s) for ``algorithm`` or None for a no-op.
     """
+    from repro.faults.fleet import DirectionFaults, TerminatingFaults
 
-    round_index: int
-    node: int
-    direction: str = "cw"
-    instance: Optional[int] = None
-    count: int = 1
+    if fault is None:
+        return None
+    model = (
+        fault
+        if isinstance(fault, FaultModel)
+        else FaultModel(drops=(fault,))
+    )
+    if model.is_noop:
+        return None
+    if algorithm == "terminating":
+        return TerminatingFaults(model, n)
+    if algorithm == "warmup":
+        return DirectionFaults(model, n, "cw", +1, 0, "warmup")
+    if algorithm == "nonoriented":
+        return (
+            DirectionFaults(model, n, "cw", +1, 0, "nonoriented"),
+            DirectionFaults(model, n, "ccw", -1, n, "nonoriented"),
+        )
+    raise ConfigurationError(f"no fleet fault lowering for {algorithm!r}")
 
-    def __post_init__(self) -> None:
-        if self.direction not in ("cw", "ccw"):
-            raise ConfigurationError(
-                f"fault direction must be 'cw' or 'ccw', got {self.direction!r}"
-            )
-        if self.round_index < 1 or self.count < 1:
-            raise ConfigurationError(
-                "fault round_index and count must be >= 1; "
-                f"got round_index={self.round_index}, count={self.count}"
-            )
+
+def _auto_watchdog(watchdog_rounds, faults, n):
+    """Resolve the stuck-run watchdog: explicit value, or a generous
+    default whenever faults are injected (faulted runs may never
+    quiesce — spurious pulses can circulate forever)."""
+    if watchdog_rounds is not None:
+        return watchdog_rounds
+    return 1024 + 128 * n if faults is not None else None
 
 
 @dataclass
@@ -302,7 +322,19 @@ FleetObserver = Callable[[FleetRoundView], None]
 # ---------------------------------------------------------------------------
 
 
-def _np_warmup_direction(gov, shift, scheduler, seed, chan_offset, max_rounds):
+def _np_warmup_direction(
+    gov,
+    shift,
+    scheduler,
+    seed,
+    chan_offset,
+    max_rounds,
+    faults=None,
+    observer=None,
+    instance_offset=0,
+    watchdog=None,
+    algorithm="warmup",
+):
     """Advance a fleet of directional Algorithm-1 instances to quiescence.
 
     Args:
@@ -312,9 +344,14 @@ def _np_warmup_direction(gov, shift, scheduler, seed, chan_offset, max_rounds):
             travel direction), -1 for CCW.
         chan_offset: Base channel index for the seeded schedule hash (the
             two directions of Algorithm 3 draw from disjoint streams).
+        faults: Optional :class:`repro.faults.fleet.DirectionFaults`
+            applied at the start of every round.
+        watchdog: Round bound after which still-active instances are
+            marked stuck instead of raising (the recovery harness's
+            deadlock detector); None disables.
 
     Returns:
-        ``(rho, sigma, total_sent, rounds, lap_skips)`` as arrays/ints.
+        ``(rho, sigma, total_sent, rounds, lap_skips, stuck)``.
     """
     from repro.core.kernels import warmup as kernel
 
@@ -324,28 +361,57 @@ def _np_warmup_direction(gov, shift, scheduler, seed, chan_offset, max_rounds):
     flight = _np.ones((B, n), _np.int64)  # ... and one in flight toward each
     total = _np.full(B, n, _np.int64)
     seed_mixed = _mix64(seed)
+    margin_inf = _np.iinfo(_np.int64).max
+    stuck = _np.zeros(B, bool)
+    # A row whose flight hit zero after fault application has quiesced:
+    # its pure-Python twin's per-instance loop exits there, so faults must
+    # never touch it again (batch composition must not alter per-instance
+    # fault streams).
+    done = _np.zeros(B, bool)
+    if observer is not None:
+        zeros = _np.zeros((B, n), _np.int64)
+        falses = _np.zeros((B, n), bool)
     rounds = 0
     skips = 0
     while True:
+        if faults is not None:
+            total += faults.apply_np(
+                _np, rounds + 1, rho, sigma, flight, instance_offset,
+                live=~done,
+            )
         k = flight.sum(axis=1)
-        active = k > 0
+        done |= k == 0
+        active = ~done
         if not active.any():
+            break
+        if watchdog is not None and rounds >= watchdog:
+            # Deadlock/livelock watchdog: whatever is still circulating
+            # will never quiesce within budget — report, don't raise.
+            stuck |= active
             break
         rounds += 1
         _limit(rounds, max_rounds)
         if scheduler == "lockstep":
             # Lap-skip: L full laps are uniform as long as no node's rho
             # crosses its threshold; whenever k > 0 some node is still
-            # below threshold, so the margin minimum is finite.
+            # below threshold, so the margin minimum is finite.  Fault
+            # injection voids that guarantee: a row whose every node is
+            # past threshold relays forever (an infinite loop the
+            # watchdog will cut); suppress its skip so the int64 margin
+            # sentinel cannot overflow into the counters.
             margin = kernel.skip_margins_np(_np, gov, rho)
-            laps = _np.where(active, margin.min(axis=1) // _np.maximum(k, 1), 0)
-            do = laps >= 1
-            if do.any():
-                skips += 1
-                add = (laps * k)[:, None] * do[:, None]
-                rho += add
-                sigma += add
-                total += do * (laps * k * n)
+            mmin = margin.min(axis=1)
+            if faults is not None:
+                mmin = _np.where(mmin == margin_inf, 0, mmin)
+            if faults is None or faults.allow_skips:
+                laps = _np.where(active, mmin // _np.maximum(k, 1), 0)
+                do = laps >= 1
+                if do.any():
+                    skips += 1
+                    add = (laps * k)[:, None] * do[:, None]
+                    rho += add
+                    sigma += add
+                    total += do * (laps * k * n)
             delivered = flight
             flight = _np.zeros_like(flight)
         else:
@@ -355,19 +421,54 @@ def _np_warmup_direction(gov, shift, scheduler, seed, chan_offset, max_rounds):
             delivered = flight * mask
             # Progress guarantee: an active instance whose drawn subset
             # holds no pulse delivers everything this round instead.
-            stuck = active & (delivered.sum(axis=1) == 0)
-            delivered = _np.where(stuck[:, None], flight, delivered)
+            starved = active & (delivered.sum(axis=1) == 0)
+            delivered = _np.where(starved[:, None], flight, delivered)
             flight = flight - delivered
         rho, relays = kernel.step_block_np(_np, gov, rho, delivered)
         sigma += relays
         flight += _np.roll(relays, shift, axis=1)
         total += relays.sum(axis=1)
-    return rho, sigma, total, rounds, skips
+        if observer is not None:
+            observer(
+                FleetRoundView(
+                    algorithm=algorithm,
+                    backend="numpy",
+                    round_index=rounds,
+                    instance_offset=instance_offset,
+                    ids=gov,
+                    rho_cw=rho,
+                    sigma_cw=sigma,
+                    pend_cw=zeros,
+                    flight_cw=flight,
+                    rho_ccw=zeros,
+                    sigma_ccw=zeros,
+                    pend_ccw=zeros,
+                    flight_ccw=zeros,
+                    term_sent=falses,
+                    terminated=falses,
+                )
+            )
+    return rho, sigma, total, rounds, skips, stuck
 
 
-def _py_warmup_direction_one(gov, shift, scheduler, seed, chan_offset, max_rounds, instance):
+def _py_warmup_direction_one(
+    gov,
+    shift,
+    scheduler,
+    seed,
+    chan_offset,
+    max_rounds,
+    instance,
+    faults=None,
+    observer=None,
+    instance_offset=0,
+    watchdog=None,
+    algorithm="warmup",
+):
     """Scalar twin of :func:`_np_warmup_direction` for one instance,
-    driving per-node warmup kernel states."""
+    driving per-node warmup kernel states.  ``instance`` is the local
+    row (the seeded scheduler's historical keying); fault rolls use the
+    global index ``instance_offset + instance``."""
     from repro.core.common import CW_ARRIVAL_PORT
     from repro.core.kernels import warmup as kernel
 
@@ -380,22 +481,33 @@ def _py_warmup_direction_one(gov, shift, scheduler, seed, chan_offset, max_round
         for _port, cnt in emissions:
             flight[(v + shift) % n] += cnt
             total += cnt
+    stuck = False
     rounds = 0
     skips = 0
     while True:
+        if faults is not None:
+            total += faults.apply_py(
+                rounds + 1, instance_offset + instance, gov, states, flight, kernel
+            )
         k = sum(flight)
         if k == 0:
+            break
+        if watchdog is not None and rounds >= watchdog:
+            stuck = True
             break
         rounds += 1
         _limit(rounds, max_rounds)
         if scheduler == "lockstep":
-            margin = min(
+            finite = [
                 m
                 for m in (kernel.skip_margin(st.node_id, st.rho_cw) for st in states)
                 if m is not None
-            )
+            ]
+            # Empty only under faults: every node past threshold relays
+            # forever (the watchdog cuts the loop); no skip to take.
+            margin = min(finite) if finite else 0
             laps = margin // k
-            if laps >= 1:
+            if laps >= 1 and (faults is None or faults.allow_skips):
                 skips += 1
                 add = laps * k
                 for st in states:
@@ -425,9 +537,31 @@ def _py_warmup_direction_one(gov, shift, scheduler, seed, chan_offset, max_round
             for _port, cnt in emissions:
                 flight[(v + shift) % n] += cnt
                 total += cnt
+        if observer is not None:
+            zeros = [[0] * n]
+            falses = [[False] * n]
+            observer(
+                FleetRoundView(
+                    algorithm=algorithm,
+                    backend="python",
+                    round_index=rounds,
+                    instance_offset=instance_offset + instance,
+                    ids=[list(gov)],
+                    rho_cw=[[st.rho_cw for st in states]],
+                    sigma_cw=[[st.sigma_cw for st in states]],
+                    pend_cw=zeros,
+                    flight_cw=[list(flight)],
+                    rho_ccw=zeros,
+                    sigma_ccw=zeros,
+                    pend_ccw=zeros,
+                    flight_ccw=zeros,
+                    term_sent=falses,
+                    terminated=falses,
+                )
+            )
     rho = [st.rho_cw for st in states]
     sigma = [st.sigma_cw for st in states]
-    return rho, sigma, total, rounds, skips
+    return rho, sigma, total, rounds, skips, stuck
 
 
 def run_warmup_fleet(
@@ -436,6 +570,10 @@ def run_warmup_fleet(
     scheduler: str = "lockstep",
     seed: int = 0,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    faults: Optional[FaultModel] = None,
+    observer: Optional[FleetObserver] = None,
+    instance_offset: int = 0,
+    watchdog_rounds: Optional[int] = None,
 ) -> FleetResult:
     """Run a fleet of independent Algorithm 1 executions.
 
@@ -449,30 +587,48 @@ def run_warmup_fleet(
             ``"seeded"`` (per-instance pseudo-random channel subsets).
         seed: Stream seed for the seeded scheduler.
         max_rounds: Safety bound on fleet rounds.
+        faults: Optional :class:`~repro.faults.model.FaultModel` (or a
+            single :class:`FleetFault`) applied at the start of every
+            round; fault rolls key on the global instance index.
+        observer: Per-round statistical hook (direction data appears in
+            the CW slots of the view; ``ids`` are governing thresholds).
+        instance_offset: Global index of the first instance (sharding).
+        watchdog_rounds: Stuck-run bound; defaults to ``1024 + 128 n``
+            whenever faults are injected, None (disabled) otherwise.
     """
     from repro.core.kernels import warmup as kernel
 
     _check_scheduler(scheduler)
     resolved = _resolve_backend(backend)
-    _check_fleet(id_lists, unique=False)
+    _, n = _check_fleet(id_lists, unique=False)
+    adapter = _fault_adapters(faults, n, "warmup")
+    watchdog = _auto_watchdog(watchdog_rounds, adapter, n)
     if resolved == "numpy":
         gov = _np.asarray(id_lists, dtype=_np.int64)
-        rho, sigma, total, rounds, skips = _np_warmup_direction(
-            gov, +1, scheduler, seed, 0, max_rounds
+        rho, sigma, total, rounds, skips, stuck = _np_warmup_direction(
+            gov, +1, scheduler, seed, 0, max_rounds,
+            faults=adapter, observer=observer,
+            instance_offset=instance_offset, watchdog=watchdog,
         )
         rho_rows = rho.tolist()
         sigma_rows = sigma.tolist()
         totals = total.tolist()
+        unfinished = stuck.tolist()
     else:
-        rho_rows, sigma_rows, totals = [], [], []
+        rho_rows, sigma_rows, totals, unfinished = [], [], [], []
         rounds = skips = 0
         for b, ids in enumerate(id_lists):
-            rho_b, sigma_b, total_b, rounds_b, skips_b = _py_warmup_direction_one(
-                list(ids), +1, scheduler, seed, 0, max_rounds, b
+            rho_b, sigma_b, total_b, rounds_b, skips_b, stuck_b = (
+                _py_warmup_direction_one(
+                    list(ids), +1, scheduler, seed, 0, max_rounds, b,
+                    faults=adapter, observer=observer,
+                    instance_offset=instance_offset, watchdog=watchdog,
+                )
             )
             rho_rows.append(rho_b)
             sigma_rows.append(sigma_b)
             totals.append(total_b)
+            unfinished.append(stuck_b)
             rounds = max(rounds, rounds_b)
             skips += skips_b
     states = [
@@ -499,6 +655,8 @@ def run_warmup_fleet(
         sigma_cw=sigma_rows,
         rounds=rounds,
         lap_skips=skips,
+        unfinished=unfinished,
+        fault_events=dict(adapter.events) if adapter is not None else None,
     )
 
 
@@ -520,18 +678,6 @@ def run_warmup_fleet(
 # then drained ONCE per round: draining between the directions would be
 # a different legal schedule, and the differential tests pin this one.
 # ---------------------------------------------------------------------------
-
-
-def _apply_fault_np(fault, cw_flight, ccw_flight, B, instance_offset):
-    target = cw_flight if fault.direction == "cw" else ccw_flight
-    if fault.instance is None:
-        removed = _np.minimum(target[:, fault.node], fault.count)
-        target[:, fault.node] -= removed
-    else:
-        row = fault.instance - instance_offset
-        if 0 <= row < B:
-            removed = min(int(target[row, fault.node]), fault.count)
-            target[row, fault.node] -= removed
 
 
 def _np_hop_skip(np_mod, flight, margins, cand, backward):
@@ -587,7 +733,14 @@ def _np_hop_skip(np_mod, flight, margins, cand, backward):
 
 
 def _np_terminating(
-    ids, scheduler, seed, max_rounds, observer=None, fault=None, instance_offset=0
+    ids,
+    scheduler,
+    seed,
+    max_rounds,
+    observer=None,
+    fault=None,
+    instance_offset=0,
+    watchdog=None,
 ):
     from repro.core.kernels import terminating as kernel
 
@@ -598,27 +751,46 @@ def _np_terminating(
     total = _np.full(B, n, _np.int64)
     ignored = 0
     seed_mixed = _mix64(seed)
+    margin_inf = _np.iinfo(_np.int64).max
+    stuck = _np.zeros(B, bool)
+    # Quiesced rows are frozen for fault purposes — see _np_warmup_direction.
+    done = _np.zeros(B, bool)
 
     rounds = 0
     skips = 0
     while True:
-        if fault is not None and rounds + 1 == fault.round_index:
-            _apply_fault_np(fault, cw_flight, ccw_flight, B, instance_offset)
+        if fault is not None:
+            total += fault.apply_np(
+                _np, rounds + 1, cols, cw_flight, ccw_flight, instance_offset,
+                live=~done,
+            )
         k_cw = cw_flight.sum(axis=1)
         k_ccw = ccw_flight.sum(axis=1)
-        active = (k_cw + k_ccw) > 0
+        done |= (k_cw + k_ccw) == 0
+        active = ~done
         if not active.any():
+            break
+        if watchdog is not None and rounds >= watchdog:
+            stuck |= active
             break
         rounds += 1
         _limit(rounds, max_rounds)
         if scheduler == "lockstep":
             skippable = ~cols.term_sent.any(axis=1) & ~cols.terminated.any(axis=1)
+            if fault is not None and not fault.allow_skips:
+                skippable &= False
             phase_cw = k_cw > 0
             phase_ccw = ~phase_cw & (k_ccw > 0)
             cand = phase_cw & skippable
             if cand.any():
                 margin = kernel.cw_skip_margins_np(_np, ids, cols.rho_cw)
-                laps = _np.where(cand, margin.min(axis=1) // _np.maximum(k_cw, 1), 0)
+                mmin = margin.min(axis=1)
+                if fault is not None:
+                    # Under injection every node may sit past threshold
+                    # (infinite relay; the watchdog cuts it) — suppress
+                    # the skip so the sentinel cannot overflow.
+                    mmin = _np.where(mmin == margin_inf, 0, mmin)
+                laps = _np.where(cand, mmin // _np.maximum(k_cw, 1), 0)
                 do = laps >= 1
                 if do.any():
                     skips += 1
@@ -661,9 +833,9 @@ def _np_terminating(
             mask = _np_schedule_bits(seed_mixed, B, rounds, 2 * n)
             deliver_cw = cw_flight * mask[:, :n]
             deliver_ccw = ccw_flight * mask[:, n:]
-            stuck = active & ((deliver_cw.sum(axis=1) + deliver_ccw.sum(axis=1)) == 0)
-            deliver_cw = _np.where(stuck[:, None], cw_flight, deliver_cw)
-            deliver_ccw = _np.where(stuck[:, None], ccw_flight, deliver_ccw)
+            forced = active & ((deliver_cw.sum(axis=1) + deliver_ccw.sum(axis=1)) == 0)
+            deliver_cw = _np.where(forced[:, None], cw_flight, deliver_cw)
+            deliver_ccw = _np.where(forced[:, None], ccw_flight, deliver_ccw)
             cw_flight = cw_flight - deliver_cw
             ccw_flight = ccw_flight - deliver_ccw
         # Deliveries to terminated nodes are ignored (the model: a
@@ -703,7 +875,7 @@ def _np_terminating(
                 )
             )
     ignored += int((cols.pend_cw + cols.pend_ccw)[cols.terminated].sum())
-    return cols, total, rounds, skips, ignored
+    return cols, total, rounds, skips, ignored, stuck
 
 
 #: Scalar stand-in for the NumPy path's int64-max margin sentinel; only
@@ -755,6 +927,7 @@ def _py_terminating_one(
     observer=None,
     fault=None,
     instance_offset=0,
+    watchdog=None,
 ):
     """Scalar twin of :func:`_np_terminating` for one instance, driving
     per-node terminating kernel states."""
@@ -796,19 +969,27 @@ def _py_terminating_one(
 
     flush_sends()
 
+    stuck = False
     rounds = 0
     skips = 0
     while True:
-        if (
-            fault is not None
-            and rounds + 1 == fault.round_index
-            and (fault.instance is None or fault.instance == instance_offset + instance)
-        ):
-            target = cw_flight if fault.direction == "cw" else ccw_flight
-            target[fault.node] -= min(target[fault.node], fault.count)
+        if fault is not None:
+            total += fault.apply_py(
+                rounds + 1,
+                instance_offset + instance,
+                ids,
+                states,
+                out_leader,
+                cw_flight,
+                ccw_flight,
+                kernel,
+            )
         k_cw = sum(cw_flight)
         k_ccw = sum(ccw_flight)
         if k_cw + k_ccw == 0:
+            break
+        if watchdog is not None and rounds >= watchdog:
+            stuck = True
             break
         rounds += 1
         _limit(rounds, max_rounds)
@@ -816,12 +997,19 @@ def _py_terminating_one(
             skippable = not any(st.term_pulse_sent for st in states) and not any(
                 st.terminated for st in states
             )
+            if fault is not None and not fault.allow_skips:
+                skippable = False
             if skippable and k_cw > 0:
                 margins = [
                     kernel.cw_skip_margin(st.node_id, st.rho_cw) for st in states
                 ]
                 margins = [_MARGIN_INF if m is None else m for m in margins]
-                laps = min(margins) // k_cw
+                mmin = min(margins)
+                if fault is not None and mmin >= _MARGIN_INF:
+                    # All nodes past threshold: infinite relay loop (the
+                    # watchdog cuts it); no legal skip (NumPy twin).
+                    mmin = 0
+                laps = mmin // k_cw
                 if laps >= 1:
                     skips += 1
                     add = laps * k_cw
@@ -920,7 +1108,7 @@ def _py_terminating_one(
     ignored += sum(
         st.pending_cw + st.pending_ccw for st in states if st.terminated
     )
-    return states, out_leader, total, rounds, skips, ignored
+    return states, out_leader, total, rounds, skips, ignored, stuck
 
 
 def run_terminating_fleet(
@@ -930,8 +1118,9 @@ def run_terminating_fleet(
     seed: int = 0,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     observer: Optional[FleetObserver] = None,
-    fault: Optional[FleetFault] = None,
+    fault: Optional[Any] = None,
     instance_offset: int = 0,
+    watchdog_rounds: Optional[int] = None,
 ) -> FleetResult:
     """Run a fleet of independent Algorithm 2 executions.
 
@@ -941,25 +1130,30 @@ def run_terminating_fleet(
     :func:`run_warmup_fleet` for the shared parameters.
 
     Statistical-checking hooks: ``observer`` is called with a
-    :class:`FleetRoundView` after every round; ``fault`` injects one
-    in-flight pulse loss (see :class:`FleetFault`); ``instance_offset``
-    shifts the global instance indices reported to both (sharded runs).
+    :class:`FleetRoundView` after every round; ``fault`` accepts a full
+    :class:`~repro.faults.model.FaultModel` or a single
+    :class:`FleetFault` (historical); ``instance_offset`` shifts the
+    global instance indices reported to both (sharded runs);
+    ``watchdog_rounds`` bounds stuck runs (see :func:`run_warmup_fleet`).
     """
     from repro.core.common import LeaderState
 
     _check_scheduler(scheduler)
     resolved = _resolve_backend(backend)
-    _check_fleet(id_lists, unique=True)
+    _, n = _check_fleet(id_lists, unique=True)
+    adapter = _fault_adapters(fault, n, "terminating")
+    watchdog = _auto_watchdog(watchdog_rounds, adapter, n)
     if resolved == "numpy":
         ids_arr = _np.asarray(id_lists, dtype=_np.int64)
-        cols, total, rounds, skips, ignored = _np_terminating(
+        cols, total, rounds, skips, ignored, stuck = _np_terminating(
             ids_arr,
             scheduler,
             seed,
             max_rounds,
             observer=observer,
-            fault=fault,
+            fault=adapter,
             instance_offset=instance_offset,
+            watchdog=watchdog,
         )
         rho_cw_rows = cols.rho_cw.tolist()
         rho_ccw_rows = cols.rho_ccw.tolist()
@@ -969,20 +1163,25 @@ def run_terminating_fleet(
         term_rows = cols.terminated.tolist()
         term_sent_rows = cols.term_sent.tolist()
         totals = total.tolist()
+        unfinished = stuck.tolist()
     else:
         rho_cw_rows, rho_ccw_rows, leader_rows, term_rows, totals = [], [], [], [], []
         sigma_cw_rows, sigma_ccw_rows, term_sent_rows = [], [], []
+        unfinished = []
         rounds = skips = ignored = 0
         for b, ids in enumerate(id_lists):
-            states, out_b, total_b, rounds_b, skips_b, ignored_b = _py_terminating_one(
-                list(ids),
-                scheduler,
-                seed,
-                max_rounds,
-                b,
-                observer=observer,
-                fault=fault,
-                instance_offset=instance_offset,
+            states, out_b, total_b, rounds_b, skips_b, ignored_b, stuck_b = (
+                _py_terminating_one(
+                    list(ids),
+                    scheduler,
+                    seed,
+                    max_rounds,
+                    b,
+                    observer=observer,
+                    fault=adapter,
+                    instance_offset=instance_offset,
+                    watchdog=watchdog,
+                )
             )
             rho_cw_rows.append([st.rho_cw for st in states])
             rho_ccw_rows.append([st.rho_ccw for st in states])
@@ -992,6 +1191,7 @@ def run_terminating_fleet(
             leader_rows.append(out_b)
             term_rows.append([st.terminated for st in states])
             totals.append(total_b)
+            unfinished.append(stuck_b)
             rounds = max(rounds, rounds_b)
             skips += skips_b
             ignored += ignored_b
@@ -1019,6 +1219,8 @@ def run_terminating_fleet(
         sigma_cw=sigma_cw_rows,
         sigma_ccw=sigma_ccw_rows,
         term_pulse_sent=term_sent_rows,
+        unfinished=unfinished,
+        fault_events=dict(adapter.events) if adapter is not None else None,
     )
 
 
@@ -1038,6 +1240,10 @@ def run_nonoriented_fleet(
     scheduler: str = "lockstep",
     seed: int = 0,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    faults: Optional[FaultModel] = None,
+    observer: Optional[FleetObserver] = None,
+    instance_offset: int = 0,
+    watchdog_rounds: Optional[int] = None,
 ) -> FleetResult:
     """Run a fleet of independent Algorithm 3 executions.
 
@@ -1048,6 +1254,12 @@ def run_nonoriented_fleet(
             rings, matching :func:`run_nonoriented`.
         scheme: :class:`~repro.core.kernels.nonoriented.IdScheme` or its
             string value (``"successor"`` / ``"doubled"``).
+        faults: Optional :class:`~repro.faults.model.FaultModel` compiled
+            onto both directional runs (CW channels key at base 0, CCW
+            at base ``n``, matching the seeded scheduler's layout).
+        observer / instance_offset / watchdog_rounds: As in
+            :func:`run_warmup_fleet`; the observer sees each directional
+            run separately, with direction data in the CW view slots.
 
     A pulse travelling clockwise arrives at node ``v``'s CCW port, so the
     governing virtual ID of the CW direction at ``v`` is
@@ -1060,6 +1272,9 @@ def run_nonoriented_fleet(
     _check_scheduler(scheduler)
     resolved = _resolve_backend(backend)
     B, n = _check_fleet(id_lists, unique=require_unique_ids)
+    adapters = _fault_adapters(faults, n, "nonoriented")
+    adapter_cw, adapter_ccw = adapters if adapters is not None else (None, None)
+    watchdog = _auto_watchdog(watchdog_rounds, adapters, n)
     scheme_name = getattr(scheme, "value", scheme)
     if scheme_name not in ("successor", "doubled"):
         raise ConfigurationError(f"unknown virtual-ID scheme {scheme!r}")
@@ -1080,11 +1295,21 @@ def run_nonoriented_fleet(
         for b, ids in enumerate(id_lists)
     ]
     if resolved == "numpy":
-        rho_cw, sigma_cw, total_cw, rounds_cw, skips_cw = _np_warmup_direction(
-            _np.asarray(gov_cw, dtype=_np.int64), +1, scheduler, seed, 0, max_rounds
+        rho_cw, sigma_cw, total_cw, rounds_cw, skips_cw, stuck_cw = (
+            _np_warmup_direction(
+                _np.asarray(gov_cw, dtype=_np.int64), +1, scheduler, seed, 0,
+                max_rounds, faults=adapter_cw, observer=observer,
+                instance_offset=instance_offset, watchdog=watchdog,
+                algorithm="nonoriented",
+            )
         )
-        rho_ccw, sigma_ccw, total_ccw, rounds_ccw, skips_ccw = _np_warmup_direction(
-            _np.asarray(gov_ccw, dtype=_np.int64), -1, scheduler, seed, n, max_rounds
+        rho_ccw, sigma_ccw, total_ccw, rounds_ccw, skips_ccw, stuck_ccw = (
+            _np_warmup_direction(
+                _np.asarray(gov_ccw, dtype=_np.int64), -1, scheduler, seed, n,
+                max_rounds, faults=adapter_ccw, observer=observer,
+                instance_offset=instance_offset, watchdog=watchdog,
+                algorithm="nonoriented",
+            )
         )
         rho_cw_rows = rho_cw.tolist()
         rho_ccw_rows = rho_ccw.tolist()
@@ -1093,19 +1318,27 @@ def run_nonoriented_fleet(
         totals = (total_cw + total_ccw).tolist()
         rounds = rounds_cw + rounds_ccw
         skips = skips_cw + skips_ccw
+        unfinished = (stuck_cw | stuck_ccw).tolist()
     else:
         rho_cw_rows, rho_ccw_rows, totals = [], [], []
         sigma_cw_rows, sigma_ccw_rows = [], []
+        unfinished = []
         rounds = skips = 0
         for b in range(B):
-            rho_cw_b, sigma_cw_b, total_cw_b, rounds_a, skips_a = (
+            rho_cw_b, sigma_cw_b, total_cw_b, rounds_a, skips_a, stuck_a = (
                 _py_warmup_direction_one(
-                    gov_cw[b], +1, scheduler, seed, 0, max_rounds, b
+                    gov_cw[b], +1, scheduler, seed, 0, max_rounds, b,
+                    faults=adapter_cw, observer=observer,
+                    instance_offset=instance_offset, watchdog=watchdog,
+                    algorithm="nonoriented",
                 )
             )
-            rho_ccw_b, sigma_ccw_b, total_ccw_b, rounds_b, skips_b = (
+            rho_ccw_b, sigma_ccw_b, total_ccw_b, rounds_b, skips_b, stuck_b = (
                 _py_warmup_direction_one(
-                    gov_ccw[b], -1, scheduler, seed, n, max_rounds, b
+                    gov_ccw[b], -1, scheduler, seed, n, max_rounds, b,
+                    faults=adapter_ccw, observer=observer,
+                    instance_offset=instance_offset, watchdog=watchdog,
+                    algorithm="nonoriented",
                 )
             )
             rho_cw_rows.append(rho_cw_b)
@@ -1113,6 +1346,7 @@ def run_nonoriented_fleet(
             sigma_cw_rows.append(sigma_cw_b)
             sigma_ccw_rows.append(sigma_ccw_b)
             totals.append(total_cw_b + total_ccw_b)
+            unfinished.append(stuck_a or stuck_b)
             rounds = max(rounds, rounds_a + rounds_b)
             skips += skips_a + skips_b
     # Port-indexed view + verdicts (the kernel's stabilized_verdict).
@@ -1162,6 +1396,12 @@ def run_nonoriented_fleet(
         lap_skips=skips,
         sigma_cw=sigma_cw_rows,
         sigma_ccw=sigma_ccw_rows,
+        unfinished=unfinished,
+        fault_events=(
+            None
+            if adapters is None
+            else _merge_fault_events(adapter_cw.events, adapter_ccw.events)
+        ),
     )
 
 

@@ -1,6 +1,6 @@
 """Machinery shared by the unreduced and reduced schedule explorers.
 
-Three concerns live here so that :mod:`repro.verification.explorer` (the
+Two concerns live here so that :mod:`repro.verification.explorer` (the
 trusted reference search) and :mod:`repro.verification.reduced` (the
 partial-order-reduced search) stay byte-for-byte comparable:
 
@@ -17,26 +17,28 @@ partial-order-reduced search) stay byte-for-byte comparable:
   ``engine.network.pending_messages()``.  :class:`EngineView` provides
   exactly that surface for an explorer state, so the same hook objects
   certify invariants at every explored state.
-* **Fault emulation** — :class:`~repro.simulator.faults.FaultyChannel`
-  decides drops/duplications with a per-channel seeded RNG, one roll per
-  enqueue.  :func:`build_fault_profile` reproduces those roll streams as
-  a pure function of ``(channel_id, enqueue_index)`` so exploration can
-  branch over delivery schedules while keeping the fault pattern exactly
-  the one the live engine would inject.
+
+Fault emulation — historically a third concern here — moved to
+:mod:`repro.faults.profile`: :class:`~repro.faults.profile.ReplayProfile`
+replays a faulted network's per-send decisions as a pure function of
+``(channel_id, send_index)``, with no cached RNG streams.  ``FaultProfile``
+and :func:`build_fault_profile` remain importable from here as aliases.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Any, Optional, Sequence
+from typing import Any, Sequence
 
 from repro.core.schema import (  # noqa: F401  (re-exported, canonical home)
     freeze_value,
     node_fingerprint,
     node_state_dict,
 )
-from repro.simulator.faults import FaultyChannel
-from repro.simulator.network import Network
+from repro.faults.profile import (  # noqa: F401  (re-exported, canonical home)
+    FaultProfile,
+    ReplayProfile,
+    build_fault_profile,
+)
 
 
 class _NetworkFacade:
@@ -65,62 +67,3 @@ class EngineView:
 
     def __init__(self, nodes: Sequence[Any], pending: int) -> None:
         self.network = _NetworkFacade(nodes, pending)
-
-
-class FaultProfile:
-    """Deterministic replay of a network's per-channel fault rolls.
-
-    ``copies(channel_id, index)`` answers how many copies of the
-    ``index``-th message enqueued on ``channel_id`` actually enter the
-    queue: 0 (dropped), 1 (clean), or 2 (duplicated).  The underlying
-    roll streams are lazily extended and cached, so the answer is a pure
-    function of its arguments — exploration may replay any prefix in any
-    branch order and still observe the exact fault pattern of
-    :class:`~repro.simulator.faults.FaultyChannel`.
-    """
-
-    def __init__(self, network: Network) -> None:
-        self._plans = {}
-        self._rngs = {}
-        self._rolls: dict = {}
-        for channel in network.channels:
-            if isinstance(channel, FaultyChannel):
-                plan = channel._plan
-                self._plans[channel.channel_id] = plan
-                # Same stream construction as FaultyChannel.__init__.
-                self._rngs[channel.channel_id] = random.Random(
-                    (plan.seed << 16) ^ channel.channel_id
-                )
-                self._rolls[channel.channel_id] = []
-
-    def __bool__(self) -> bool:
-        return bool(self._plans)
-
-    def is_faulty(self, channel_id: int) -> bool:
-        return channel_id in self._plans
-
-    def copies(self, channel_id: int, index: int) -> int:
-        plan = self._plans.get(channel_id)
-        if plan is None:
-            return 1
-        rolls = self._rolls[channel_id]
-        rng = self._rngs[channel_id]
-        while len(rolls) <= index:
-            rolls.append(rng.random())
-        roll = rolls[index]
-        if roll < plan.drop_rate:
-            return 0
-        if roll < plan.drop_rate + plan.duplicate_rate:
-            return 2
-        return 1
-
-    # The profile is an immutable-by-contract cache shared by every
-    # explored state; deep-copying a state must not fork it.
-    def __deepcopy__(self, memo: dict) -> "FaultProfile":
-        return self
-
-
-def build_fault_profile(network: Network) -> Optional[FaultProfile]:
-    """A :class:`FaultProfile` for ``network``, or None when unfaulted."""
-    profile = FaultProfile(network)
-    return profile if profile else None

@@ -33,9 +33,16 @@ class TestFaultPlanValidation:
         with pytest.raises(ConfigurationError):
             FaultPlan(drop_rate=-0.1, duplicate_rate=0.1)
 
-    def test_plan_must_inject_something(self):
-        with pytest.raises(ConfigurationError):
-            FaultPlan()
+    def test_noop_plan_is_accepted(self):
+        # The all-zero plan is the explicit "no faults" value so sweeps and
+        # CLI call sites need not branch on None (rejection of a pointless
+        # plan is a CLI-level warning only).
+        plan = FaultPlan()
+        assert plan.is_noop
+        assert FaultPlan.none().is_noop
+        nodes, result, network = run_with_faults(WarmupNode, [2, 5, 3], plan)
+        assert total_faults(network) == (0, 0)
+        assert all(node.state is not None for node in nodes)
 
     def test_plan_is_reproducible(self):
         plan = FaultPlan(drop_rate=0.3, seed=5)

@@ -32,6 +32,13 @@ from repro.core.nonoriented import IdScheme, run_nonoriented
 from repro.core.terminating import run_terminating
 from repro.core.warmup import run_warmup
 from repro.exceptions import ConfigurationError
+from repro.faults import (
+    FaultBurst,
+    FaultModel,
+    FleetFault,
+    NodeCrash,
+    StateCorruption,
+)
 from repro.ids.sampling import GeometricIdSampler
 from repro.simulator.fleet import (
     HAVE_NUMPY,
@@ -262,6 +269,101 @@ class TestBackendBitIdentity:
     )
     def test_schedule_bit_is_a_bit(self, seed, instance, round_index, channel):
         assert schedule_bit(seed, instance, round_index, channel) in (0, 1)
+
+
+#: Fault models exercising every clause kind of the unified language
+#: (random rates + burst, deterministic drops, crash, crash-restart,
+#: state corruption) — the backends must stay bit-identical under all.
+FAULT_MODELS = [
+    FaultModel(drop_rate=0.08, seed=5),
+    FaultModel(duplicate_rate=0.08, spurious_rate=0.05, seed=7,
+               burst=FaultBurst(start=2, length=4)),
+    FaultModel(drops=(FleetFault(round_index=2, node=0),
+                      FleetFault(round_index=4, node=1, direction="ccw"))),
+    FaultModel(crashes=(NodeCrash(node=1, at_round=3),)),
+    FaultModel(crashes=(NodeCrash(node=0, at_round=2, restart_after=3),)),
+    FaultModel(corruptions=(StateCorruption(node=1, at_round=3,
+                                            field="rho_cw", value=2),)),
+]
+
+
+@needs_numpy
+class TestFaultedBackendBitIdentity:
+    """NumPy and pure-Python columns must agree *under faults* too —
+    including the end-state fields the recovery harness classifies on
+    (``unfinished``) and the per-kind fault-event counters."""
+
+    @pytest.mark.parametrize("model", FAULT_MODELS)
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_terminating(self, model, scheduler):
+        pool = [[3, 1, 4, 2], [2, 4, 1, 3], [4, 3, 2, 1]]
+        a = run_terminating_fleet(pool, backend="numpy",
+                                  scheduler=scheduler, fault=model)
+        b = run_terminating_fleet(pool, backend="python",
+                                  scheduler=scheduler, fault=model)
+        assert (
+            a.leaders, a.states, a.total_pulses, a.rho_cw, a.rho_ccw,
+            a.sigma_cw, a.sigma_ccw, a.unfinished, a.fault_events,
+        ) == (
+            b.leaders, b.states, b.total_pulses, b.rho_cw, b.rho_ccw,
+            b.sigma_cw, b.sigma_ccw, b.unfinished, b.fault_events,
+        )
+
+    @pytest.mark.parametrize("model", FAULT_MODELS)
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_nonoriented(self, model, scheduler):
+        pool = [[3, 1, 4, 2], [2, 4, 1, 3]]
+        flips = [[True, False, False, True], [False, True, True, False]]
+        a = run_nonoriented_fleet(pool, flip_lists=flips, backend="numpy",
+                                  scheduler=scheduler, faults=model)
+        b = run_nonoriented_fleet(pool, flip_lists=flips, backend="python",
+                                  scheduler=scheduler, faults=model)
+        assert (
+            a.leaders, a.states, a.total_pulses, a.rho_cw, a.rho_ccw,
+            a.unfinished, a.fault_events,
+        ) == (
+            b.leaders, b.states, b.total_pulses, b.rho_cw, b.rho_ccw,
+            b.unfinished, b.fault_events,
+        )
+
+    @pytest.mark.parametrize("model", FAULT_MODELS)
+    def test_warmup(self, model):
+        pool = [[3, 1, 4, 2], [2, 4, 1, 3]]
+        a = run_warmup_fleet(pool, backend="numpy", faults=model)
+        b = run_warmup_fleet(pool, backend="python", faults=model)
+        assert (a.leaders, a.states, a.total_pulses, a.rho_cw,
+                a.unfinished, a.fault_events) == (
+            b.leaders, b.states, b.total_pulses, b.rho_cw,
+            b.unfinished, b.fault_events)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_shard_replay_fidelity(self, backend):
+        # Fault rolls key on the *global* instance index: running row 1
+        # of a batch solo at instance_offset=1 must replay its exact
+        # fault pattern — this is what makes counterexamples portable.
+        model = FaultModel(drop_rate=0.1, duplicate_rate=0.05, seed=13)
+        pool = [[3, 1, 4, 2], [2, 4, 1, 3], [4, 3, 2, 1]]
+        batch = run_terminating_fleet(pool, backend=backend, fault=model)
+        solo = run_terminating_fleet([pool[1]], backend=backend,
+                                     fault=model, instance_offset=1)
+        assert (batch.leaders[1], batch.states[1], batch.total_pulses[1],
+                batch.rho_cw[1], batch.unfinished[1]) == (
+            solo.leaders[0], solo.states[0], solo.total_pulses[0],
+            solo.rho_cw[0], solo.unfinished[0])
+
+    def test_quiesced_rows_are_frozen_for_faults(self):
+        # A batch row that quiesces early must not keep absorbing fault
+        # rolls while slower rows finish: its outcome equals its solo run
+        # even when a late clause (round-5 restart) fires batch-wide.
+        model = FaultModel(crashes=(NodeCrash(node=0, at_round=2,
+                                              restart_after=3),))
+        fast, slow = [2, 1], [9, 5]  # fast quiesces before the restart
+        for backend in BACKENDS:
+            batch = run_warmup_fleet([fast, slow], backend=backend,
+                                     faults=model)
+            solo = run_warmup_fleet([fast], backend=backend, faults=model)
+            assert (batch.states[0], batch.rho_cw[0], batch.total_pulses[0]) \
+                == (solo.states[0], solo.rho_cw[0], solo.total_pulses[0])
 
 
 class TestFleetValidation:
