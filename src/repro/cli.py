@@ -23,6 +23,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.accel import BACKEND_CHOICES
 from repro.simulator.scheduler import Scheduler, all_standard_schedulers
 
 
@@ -293,9 +294,11 @@ def _cmd_verify_recovery(args: argparse.Namespace, model) -> int:
 
 
 def _cmd_verify_statistical(args: argparse.Namespace) -> int:
+    from repro.accel import maybe_warm_compiled
     from repro.simulator.fleet import FleetFault
     from repro.verification.statistical import run_statistical_check
 
+    maybe_warm_compiled(args.backend)
     model = _fault_model_from_args(args)
     if args.recovery:
         return _cmd_verify_recovery(args, model)
@@ -316,21 +319,26 @@ def _cmd_verify_statistical(args: argparse.Namespace) -> int:
 
             fault = replace(model, drops=model.drops + (drop,))
 
-    report = run_statistical_check(
-        algorithm=args.algorithm,
-        n=args.n,
-        id_max=args.id_max,
-        samples=args.samples,
-        seed=args.seed,
-        sched_seed=args.sched_seed,
-        scheduler=args.scheduler,
-        backend=args.backend,
-        block_size=args.block_size,
-        confidence=args.confidence,
-        fault=fault,
-        watchdog_rounds=args.watchdog,
-        processes=args.processes,
-    )
+    from repro.exceptions import ConfigurationError
+
+    try:
+        report = run_statistical_check(
+            algorithm=args.algorithm,
+            n=args.n,
+            id_max=args.id_max,
+            samples=args.samples,
+            seed=args.seed,
+            sched_seed=args.sched_seed,
+            scheduler=args.scheduler,
+            backend=args.backend,
+            block_size=args.block_size,
+            confidence=args.confidence,
+            fault=fault,
+            watchdog_rounds=args.watchdog,
+            processes=args.processes,
+        )
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
 
     print(f"algorithm            : {report.algorithm}")
     print(f"mode                 : statistical (sampled instances)")
@@ -565,22 +573,30 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.average_case import measure_oblivious_over_placements
     from repro.analysis.whp import measure_anonymous_success
+    from repro.exceptions import ConfigurationError
 
+    if args.fleet:
+        from repro.accel import maybe_warm_compiled
+
+        maybe_warm_compiled(args.backend)
     engine = "fleet" if args.fleet else ("batched" if args.workload == "placements" else "scalar")
     print(
         f"sweep: workload={args.workload} n={args.n} trials={args.trials} "
         f"seed={args.seed} engine={engine} backend={args.backend}"
     )
     if args.workload == "placements":
-        stats = measure_oblivious_over_placements(
-            args.n,
-            args.trials,
-            seed=args.seed,
-            processes=args.processes,
-            batched=not args.fleet,
-            fleet=args.fleet,
-            backend=args.backend,
-        )
+        try:
+            stats = measure_oblivious_over_placements(
+                args.n,
+                args.trials,
+                seed=args.seed,
+                processes=args.processes,
+                batched=not args.fleet,
+                fleet=args.fleet,
+                backend=args.backend,
+            )
+        except ConfigurationError as error:
+            raise SystemExit(str(error)) from None
         print(
             f"algorithm 2 pulses over {stats.trials} random placements of "
             f"1..{args.n}: mean={stats.mean:.1f} min={stats.minimum} "
@@ -593,15 +609,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             return 1
         print("OK: zero placement variance, every trial met the bound exactly")
         return 0
-    estimate = measure_anonymous_success(
-        args.n,
-        args.trials,
-        c=args.c,
-        seed=args.seed,
-        processes=args.processes,
-        fleet=args.fleet,
-        backend=args.backend,
-    )
+    try:
+        estimate = measure_anonymous_success(
+            args.n,
+            args.trials,
+            c=args.c,
+            seed=args.seed,
+            processes=args.processes,
+            fleet=args.fleet,
+            backend=args.backend,
+        )
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
     print(
         f"theorem 3 success rate at n={args.n}, c={args.c}: "
         f"{estimate.successes}/{estimate.trials} = {estimate.rate:.4f} "
@@ -625,9 +644,11 @@ def _parse_float_list(text: str) -> List[float]:
 
 
 def _cmd_faults_sweep(args: argparse.Namespace) -> int:
+    from repro.accel import maybe_warm_compiled
     from repro.analysis.degradation import measure_degradation
     from repro.exceptions import ConfigurationError
 
+    maybe_warm_compiled(args.backend)
     try:
         curve = measure_degradation(
             args.rates,
@@ -771,7 +792,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--scheduler", choices=["lockstep", "seeded"],
                         default="lockstep",
                         help="fleet delivery schedule (--statistical)")
-    verify.add_argument("--backend", choices=["auto", "numpy", "python"],
+    verify.add_argument("--backend", choices=list(BACKEND_CHOICES),
                         default="auto")
     verify.add_argument("--block-size", type=int, default=8192,
                         help="instances per fleet run (--statistical)")
@@ -864,9 +885,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--backend",
-        choices=("auto", "numpy", "python"),
+        choices=list(BACKEND_CHOICES),
         default="auto",
-        help="fleet backend (auto prefers numpy when installed)",
+        help="fleet backend (auto prefers compiled, then numpy)",
     )
     sweep.add_argument(
         "--min-rate",
@@ -906,7 +927,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seed of the counter-based fault streams")
     fsweep.add_argument("--scheduler", choices=["lockstep", "seeded"],
                         default="lockstep")
-    fsweep.add_argument("--backend", choices=["auto", "numpy", "python"],
+    fsweep.add_argument("--backend", choices=list(BACKEND_CHOICES),
                         default="auto")
     fsweep.add_argument("--block-size", type=int, default=256)
     fsweep.add_argument("--confidence", type=float, default=0.99)

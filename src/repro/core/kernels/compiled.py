@@ -1,0 +1,876 @@
+"""Numba-JIT fleet lowerings: machine-speed per-instance round loops.
+
+This is the compiled tier of the backend registry
+(:func:`repro.accel.resolve_backend`) and **the only module allowed to
+import numba** (CI greps for this).  It lowers the fleet engine's
+round/phase/skip loops (:mod:`repro.simulator.fleet`) plus the kernels'
+column steps into ``@njit(cache=True)`` functions:
+
+* :func:`warmup_fleet` — Algorithm 1's directional round loop (also both
+  halves of Algorithm 3), fusing the warmup kernel's ``step`` /
+  ``skip_margin`` / ``apply_laps`` with the lockstep lap-skip and the
+  seeded scheduler;
+* :func:`terminating_fleet` — Algorithm 2's phased loop, fusing the
+  terminating kernel's ``drain`` chunk semantics with the CW/CCW
+  lap-skips and the hop-skip fast-forward.
+
+The loops are *scalar per instance* rather than vectorized: each
+instance runs its pure-Python twin's exact control flow
+(``_py_warmup_direction_one`` / ``_py_terminating_one``), so
+bit-identity with the oracle holds by construction and the JIT pays no
+whole-fleet array traffic per round.  Every function body is also plain
+Python — with numba absent the same code runs interpreted, which is how
+the bit-identity battery exercises this module on JIT-free installs.
+
+Fault support: the counter-based fault hash (`roll_u64`) is
+reimplemented here in wraparound ``uint64`` arithmetic (cross-checked
+value-for-value by ``tests/test_compiled_kernels.py``), so rate-based
+channel faults (drop/duplicate/spurious, with bursts) run inside the
+JIT loop.  Deterministic clauses (pulse drops, crashes, corruptions)
+and per-round observers need Python callbacks mid-round — the fleet
+dispatch falls back to the NumPy columns for those (the documented
+fallback seam, docs/PERFORMANCE.md).
+
+First-call compilation costs ~seconds; :func:`warm_compiled` front-loads
+it (benches and the CLI call it once), and ``cache=True`` plus the
+pinned ``NUMBA_CACHE_DIR`` (:func:`repro.accel.pin_jit_cache`) persist
+the machine code across processes — sweep shards reuse the parent's
+cache instead of recompiling.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, TypeVar, cast
+
+from repro.accel import HAVE_NUMPY, np, pin_jit_cache, require_numpy
+from repro.exceptions import ConfigurationError, SimulationLimitExceeded
+from repro.faults.model import (
+    _KEY_CHANNEL,
+    _KEY_INSTANCE,
+    _KEY_PULSE,
+    _KEY_ROUND,
+    _MIX_A,
+    _MIX_B,
+    _TWO64,
+    KIND_DROP,
+    KIND_DUPLICATE,
+    KIND_SPURIOUS,
+    FaultModel,
+    mix64,
+    rate_threshold,
+)
+
+try:  # pragma: no cover - trivially one of the two branches per install
+    if not HAVE_NUMPY:  # the JIT tier builds on numpy arrays
+        raise ImportError("the numba tier requires numpy")
+    # Pin the on-disk cache location BEFORE numba is imported so every
+    # process (and forked sweep shard) shares one compiled cache.
+    pin_jit_cache()
+    import numba as _numba  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - exercised on jit-free installs
+    _numba = None
+
+#: True when the ``[jit]`` extra's numba is importable (and numpy too).
+HAVE_NUMBA: bool = _numba is not None
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def _jit(fn: _F) -> _F:
+    """``numba.njit(cache=True)`` when available, else the function
+    itself — the interpreted body is the same semantics (and is what the
+    JIT-free bit-identity tests execute)."""
+    if _numba is not None:
+        return cast("_F", _numba.njit(cache=True)(fn))
+    return fn
+
+
+# uint64 twins of the counter-hash constants (repro.faults.model).  With
+# numpy absent they stay plain ints: the loops below are then never
+# called (the wrappers require numpy), but the module must still import.
+_u64: Callable[[int], Any] = np.uint64 if HAVE_NUMPY else int
+_UKEY_INSTANCE = _u64(_KEY_INSTANCE)
+_UKEY_ROUND = _u64(_KEY_ROUND)
+_UKEY_CHANNEL = _u64(_KEY_CHANNEL)
+_UKEY_PULSE = _u64(_KEY_PULSE)
+_UMIX_A = _u64(_MIX_A)
+_UMIX_B = _u64(_MIX_B)
+_UKIND_DROP = _u64(KIND_DROP)
+_UKIND_DUPLICATE = _u64(KIND_DUPLICATE)
+_UKIND_SPURIOUS = _u64(KIND_SPURIOUS)
+_U0 = _u64(0)
+_U1 = _u64(1)
+_U32 = _u64(32)
+_U33 = _u64(33)
+
+#: Scalar margin sentinel, matching the pure-Python backend's
+#: ``_MARGIN_INF`` (1 << 62): larger than any reachable window sum.
+_MARGIN_BIG = 1 << 62
+
+
+@_jit
+def _roll(
+    seed_mixed: Any, kind: Any, instance: Any, round_index: Any,
+    channel: Any, pulse: Any,
+) -> Any:
+    """uint64 twin of :func:`repro.faults.model.roll_u64` (the seed is
+    pre-mixed once by the caller); wraparound arithmetic replaces the
+    reference's explicit ``& _MASK64``."""
+    key = (
+        seed_mixed
+        + kind
+        + instance * _UKEY_INSTANCE
+        + round_index * _UKEY_ROUND
+        + channel * _UKEY_CHANNEL
+        + pulse * _UKEY_PULSE
+    )
+    x = (key ^ (key >> _U33)) * _UMIX_A
+    x = (x ^ (x >> _U33)) * _UMIX_B
+    return x ^ (x >> _U33)
+
+
+@_jit
+def _sched_hit(seed_mixed: Any, instance: int, round_index: int, channel: int) -> bool:
+    """uint64 twin of :func:`repro.simulator.fleet.schedule_bit`."""
+    key = (
+        seed_mixed
+        + np.uint64(instance) * _UKEY_INSTANCE
+        + np.uint64(round_index) * _UKEY_ROUND
+        + np.uint64(channel) * _UKEY_CHANNEL
+    )
+    x = (key ^ (key >> _U33)) * _UMIX_A
+    x = (x ^ (x >> _U33)) * _UMIX_B
+    x = x ^ (x >> _U33)
+    return bool(((x >> _U32) & _U1) != _U0)
+
+
+@_jit
+def _apply_rates(
+    flight: Any, seed_mixed: Any, g_inst: int, ordinal: int, chan_base: int,
+    t_drop: Any, drop_all: bool, t_dup: Any, dup_all: bool,
+    t_spur: Any, spur_all: bool, events: Any,
+) -> None:
+    """Twin of :func:`repro.faults.fleet._apply_random_py` for one
+    direction's flight array (drop phase, then duplicate, then spurious
+    — same order, same roll coordinates, same event counts)."""
+    n = flight.shape[0]
+    ui = np.uint64(g_inst)
+    ur = np.uint64(ordinal)
+    if drop_all or t_drop > _U0:
+        for v in range(n):
+            uc = np.uint64(chan_base + v)
+            hits = 0
+            for j in range(flight[v]):
+                if drop_all or _roll(
+                    seed_mixed, _UKIND_DROP, ui, ur, uc, np.uint64(j)
+                ) < t_drop:
+                    hits += 1
+            if hits > 0:
+                flight[v] -= hits
+                events[0] += hits
+    if dup_all or t_dup > _U0:
+        for v in range(n):
+            if flight[v] > 0:
+                uc = np.uint64(chan_base + v)
+                if dup_all or _roll(
+                    seed_mixed, _UKIND_DUPLICATE, ui, ur, uc, _U0
+                ) < t_dup:
+                    flight[v] += 1
+                    events[1] += 1
+    if spur_all or t_spur > _U0:
+        for v in range(n):
+            uc = np.uint64(chan_base + v)
+            if spur_all or _roll(
+                seed_mixed, _UKIND_SPURIOUS, ui, ur, uc, _U0
+            ) < t_spur:
+                flight[v] += 1
+                events[2] += 1
+
+
+@_jit
+def _warmup_loop(
+    gov: Any, shift: int, lockstep: bool, sched_seed_mixed: Any,
+    chan_base: int, max_rounds: int, watchdog: int, allow_skips: bool,
+    has_rates: bool, fault_seed_mixed: Any, burst_start: int, burst_len: int,
+    t_drop: Any, drop_all: bool, t_dup: Any, dup_all: bool,
+    t_spur: Any, spur_all: bool, instance_offset: int,
+    rho: Any, sigma: Any, total: Any, stuck: Any,
+    rounds_out: Any, skips_out: Any, events: Any, err: Any,
+) -> None:
+    """Fused per-instance twin of ``fleet._py_warmup_direction_one`` over
+    a ``[B, n]`` block: warmup kernel step + lap-skip + seeded scheduler
+    + rate faults, one scalar loop per instance.  Fills the per-instance
+    ``rounds_out`` / ``skips_out`` diagnostics (so callers can aggregate
+    exactly like the per-instance python backend); on a round-limit
+    breach sets ``err[0]`` and returns early (the wrapper raises)."""
+    B, n = gov.shape
+    flight = np.empty(n, np.int64)
+    delivered = np.empty(n, np.int64)
+    for b in range(B):
+        for v in range(n):
+            flight[v] = 1  # kernel.init: one pulse in flight toward each
+        g_inst = instance_offset + b
+        rounds = 0
+        skips = 0
+        while True:
+            if has_rates:
+                ordinal = rounds + 1
+                if ordinal >= burst_start and (
+                    burst_len < 0 or ordinal < burst_start + burst_len
+                ):
+                    _apply_rates(
+                        flight, fault_seed_mixed, g_inst, ordinal, chan_base,
+                        t_drop, drop_all, t_dup, dup_all, t_spur, spur_all,
+                        events,
+                    )
+            k = 0
+            for v in range(n):
+                k += flight[v]
+            if k == 0:
+                break
+            if watchdog >= 0 and rounds >= watchdog:
+                stuck[b] = True
+                break
+            rounds += 1
+            if rounds > max_rounds:
+                err[0] = rounds
+                return
+            if lockstep:
+                mmin = _MARGIN_BIG
+                for v in range(n):
+                    if rho[b, v] < gov[b, v]:
+                        m = gov[b, v] - rho[b, v] - 1
+                        if m < mmin:
+                            mmin = m
+                if mmin >= _MARGIN_BIG:
+                    mmin = 0  # every node past threshold: only under faults
+                laps = mmin // k
+                if laps >= 1 and allow_skips:
+                    skips += 1
+                    add = laps * k
+                    for v in range(n):
+                        rho[b, v] += add
+                        sigma[b, v] += add
+                    total[b] += add * n
+                for v in range(n):
+                    delivered[v] = flight[v]
+                    flight[v] = 0
+            else:
+                dsum = 0
+                for v in range(n):
+                    if _sched_hit(sched_seed_mixed, b, rounds, chan_base + v):
+                        delivered[v] = flight[v]
+                    else:
+                        delivered[v] = 0
+                    dsum += delivered[v]
+                if dsum == 0:
+                    # Starved row: deliver everything (progress guarantee).
+                    for v in range(n):
+                        delivered[v] = flight[v]
+                        flight[v] = 0
+                else:
+                    for v in range(n):
+                        flight[v] -= delivered[v]
+            for v in range(n):
+                count = delivered[v]
+                if count == 0:
+                    continue
+                start = rho[b, v]
+                after = start + count
+                rho[b, v] = after
+                g = gov[b, v]
+                relays = count
+                if start < g and g <= after:
+                    relays -= 1  # the pulse landing exactly on the ID
+                if relays > 0:
+                    sigma[b, v] += relays
+                    w = v + shift
+                    if w >= n:
+                        w = 0
+                    elif w < 0:
+                        w = n - 1
+                    flight[w] += relays
+                    total[b] += relays
+        rounds_out[b] = rounds
+        skips_out[b] = skips
+
+
+@_jit
+def _drain_node(
+    v: int, ids_b: Any, rho_cw_b: Any, sigma_cw_b: Any, rho_ccw_b: Any,
+    sigma_ccw_b: Any, pend_cw: Any, pend_ccw: Any, sends_cw: Any,
+    sends_ccw: Any, term_sent_b: Any, state_code: Any,
+) -> int:
+    """Twin of the terminating kernel's ``drain`` (strict-lag) for node
+    ``v`` over per-instance arrays; ``state_code`` tracks the tentative
+    verdict (0 undecided / 1 leader / 2 non-leader).  Returns 1 when the
+    line-18 exit fires, else 0."""
+    node_id = ids_b[v]
+    while True:
+        progressed = False
+        # Lines 3-8: the CW instance, one maximal uniform chunk.
+        if pend_cw[v] > 0:
+            take = pend_cw[v]
+            if rho_cw_b[v] < node_id:
+                rem = node_id - rho_cw_b[v]
+                if rem < take:
+                    take = rem
+            pend_cw[v] -= take
+            start = rho_cw_b[v]
+            rho_cw_b[v] = start + take
+            if rho_cw_b[v] == node_id:
+                state_code[v] = 1
+            else:
+                state_code[v] = 2
+            relays = take
+            if start < node_id and node_id <= rho_cw_b[v]:
+                relays -= 1
+            if relays > 0:
+                sigma_cw_b[v] += relays
+                sends_cw[v] += relays
+            progressed = True
+        # Lines 9-13: the CCW instance, gated on rho_cw >= ID.
+        if rho_cw_b[v] >= node_id:
+            if sigma_ccw_b[v] == 0:
+                sigma_ccw_b[v] += 1
+                sends_ccw[v] += 1  # line 10: the CCW initial pulse
+            if pend_ccw[v] > 0:
+                take = pend_ccw[v]
+                if rho_ccw_b[v] < node_id:
+                    rem = node_id - rho_ccw_b[v]
+                    if rem < take:
+                        take = rem
+                if rho_ccw_b[v] <= rho_cw_b[v]:
+                    rem = rho_cw_b[v] + 1 - rho_ccw_b[v]
+                    if rem < take:
+                        take = rem
+                pend_ccw[v] -= take
+                start = rho_ccw_b[v]
+                rho_ccw_b[v] = start + take
+                if term_sent_b[v]:
+                    relays = 0
+                else:
+                    relays = take
+                    if start < node_id and node_id <= rho_ccw_b[v]:
+                        relays -= 1
+                if relays > 0:
+                    sigma_ccw_b[v] += relays
+                    sends_ccw[v] += relays
+                progressed = True
+        # Lines 14-15: the unique leader event emits the term pulse.
+        if (
+            not term_sent_b[v]
+            and rho_cw_b[v] == node_id
+            and rho_ccw_b[v] == node_id
+        ):
+            term_sent_b[v] = True
+            sigma_ccw_b[v] += 1
+            sends_ccw[v] += 1
+        # Line 18: exit on rho_ccw > rho_cw.
+        if rho_ccw_b[v] > rho_cw_b[v]:
+            return 1
+        if not progressed:
+            return 0
+
+
+@_jit
+def _terminating_loop(
+    ids: Any, lockstep: bool, sched_seed_mixed: Any, max_rounds: int,
+    watchdog: int, allow_skips: bool,
+    has_rates: bool, fault_seed_mixed: Any, burst_start: int, burst_len: int,
+    t_drop: Any, drop_all: bool, t_dup: Any, dup_all: bool,
+    t_spur: Any, spur_all: bool, instance_offset: int,
+    rho_cw: Any, sigma_cw: Any, rho_ccw: Any, sigma_ccw: Any,
+    term_sent: Any, terminated: Any, out_leader: Any, total: Any,
+    stuck: Any, ignored: Any, rounds_out: Any, skips_out: Any,
+    events: Any, err: Any,
+) -> None:
+    """Fused per-instance twin of ``fleet._py_terminating_one`` over a
+    ``[B, n]`` block: buffer-then-drain-once rounds, CW-then-CCW phases,
+    lap- and hop-skips, seeded scheduler, rate faults.  Per-instance
+    ``rounds_out`` / ``skips_out`` as in :func:`_warmup_loop`."""
+    B, n = ids.shape
+    cw_flight = np.empty(n, np.int64)
+    ccw_flight = np.empty(n, np.int64)
+    pend_cw = np.empty(n, np.int64)
+    pend_ccw = np.empty(n, np.int64)
+    sends_cw = np.empty(n, np.int64)
+    sends_ccw = np.empty(n, np.int64)
+    deliver_cw = np.empty(n, np.int64)
+    deliver_ccw = np.empty(n, np.int64)
+    margins = np.empty(n, np.int64)
+    gains = np.empty(n, np.int64)
+    trial = np.empty(n, np.int64)
+    buf = np.empty(n, np.int64)
+    state_code = np.empty(n, np.int64)
+    for b in range(B):
+        ids_b = ids[b]
+        rho_cw_b = rho_cw[b]
+        sigma_cw_b = sigma_cw[b]
+        rho_ccw_b = rho_ccw[b]
+        sigma_ccw_b = sigma_ccw[b]
+        term_sent_b = term_sent[b]
+        terminated_b = terminated[b]
+        out_leader_b = out_leader[b]
+        for v in range(n):
+            cw_flight[v] = 0
+            ccw_flight[v] = 0
+            pend_cw[v] = 0
+            pend_ccw[v] = 0
+            sends_cw[v] = 0
+            sends_ccw[v] = 0
+            state_code[v] = 0
+        # kernel.init per node: sigma_cw pre-set to 1 by the wrapper; one
+        # CW pulse buffered, then the (fresh-state no-op) drain — kept so
+        # the init path is the scalar kernel's, not an assumption.
+        for v in range(n):
+            sends_cw[v] += 1
+            _drain_node(
+                v, ids_b, rho_cw_b, sigma_cw_b, rho_ccw_b, sigma_ccw_b,
+                pend_cw, pend_ccw, sends_cw, sends_ccw, term_sent_b,
+                state_code,
+            )
+        for v in range(n):
+            if sends_cw[v] > 0:
+                w = v + 1
+                if w == n:
+                    w = 0
+                cw_flight[w] += sends_cw[v]
+                total[b] += sends_cw[v]
+                sends_cw[v] = 0
+            if sends_ccw[v] > 0:
+                w = v - 1
+                if w < 0:
+                    w = n - 1
+                ccw_flight[w] += sends_ccw[v]
+                total[b] += sends_ccw[v]
+                sends_ccw[v] = 0
+        g_inst = instance_offset + b
+        rounds = 0
+        skips = 0
+        while True:
+            if has_rates:
+                ordinal = rounds + 1
+                if ordinal >= burst_start and (
+                    burst_len < 0 or ordinal < burst_start + burst_len
+                ):
+                    _apply_rates(
+                        cw_flight, fault_seed_mixed, g_inst, ordinal, 0,
+                        t_drop, drop_all, t_dup, dup_all, t_spur, spur_all,
+                        events,
+                    )
+                    _apply_rates(
+                        ccw_flight, fault_seed_mixed, g_inst, ordinal, n,
+                        t_drop, drop_all, t_dup, dup_all, t_spur, spur_all,
+                        events,
+                    )
+            k_cw = 0
+            k_ccw = 0
+            for v in range(n):
+                k_cw += cw_flight[v]
+                k_ccw += ccw_flight[v]
+            if k_cw + k_ccw == 0:
+                break
+            if watchdog >= 0 and rounds >= watchdog:
+                stuck[b] = True
+                break
+            rounds += 1
+            if rounds > max_rounds:
+                err[0] = rounds
+                return
+            if lockstep:
+                skippable = allow_skips
+                if skippable:
+                    for v in range(n):
+                        if term_sent_b[v] or terminated_b[v]:
+                            skippable = False
+                            break
+                if skippable and k_cw > 0:
+                    # CW phase: warmup margin, then whole-lap + hop skips.
+                    mmin = _MARGIN_BIG
+                    for v in range(n):
+                        if rho_cw_b[v] < ids_b[v]:
+                            m = ids_b[v] - rho_cw_b[v] - 1
+                        else:
+                            m = _MARGIN_BIG
+                        margins[v] = m
+                        if m < mmin:
+                            mmin = m
+                    if has_rates and mmin >= _MARGIN_BIG:
+                        mmin = 0
+                    laps = mmin // k_cw
+                    if laps >= 1:
+                        skips += 1
+                        add = laps * k_cw
+                        for v in range(n):
+                            rho_cw_b[v] += add
+                            sigma_cw_b[v] += add
+                            state_code[v] = 2  # apply_cw_laps: Non-Leader
+                            margins[v] -= add
+                        total[b] += add * n
+                    hops = 0
+                    for v in range(n):
+                        gains[v] = 0
+                    while hops < n - 1:
+                        nxt = hops + 1
+                        ok = True
+                        for v in range(n):
+                            src = v - nxt + 1
+                            if src < 0:
+                                src += n
+                            g = gains[v] + cw_flight[src]
+                            if g > margins[v]:
+                                ok = False
+                                break
+                            trial[v] = g
+                        if not ok:
+                            break
+                        for v in range(n):
+                            gains[v] = trial[v]
+                        hops = nxt
+                    if hops > 0:
+                        skips += 1
+                        for v in range(n):
+                            src = v - hops
+                            if src < 0:
+                                src += n
+                            buf[v] = cw_flight[src]
+                        for v in range(n):
+                            cw_flight[v] = buf[v]
+                        for v in range(n):
+                            if gains[v] > 0:
+                                rho_cw_b[v] += gains[v]
+                                sigma_cw_b[v] += gains[v]
+                                state_code[v] = 2
+                                total[b] += gains[v]
+                elif skippable and k_ccw > 0:
+                    # CCW phase: the trigger/exit-aware margin.
+                    mmin = _MARGIN_BIG
+                    for v in range(n):
+                        if rho_ccw_b[v] < ids_b[v]:
+                            m = ids_b[v] - rho_ccw_b[v] - 1
+                            m2 = rho_cw_b[v] - rho_ccw_b[v]
+                            if m2 < m:
+                                m = m2
+                        else:
+                            m = rho_cw_b[v] - rho_ccw_b[v]
+                        margins[v] = m
+                        if m < mmin:
+                            mmin = m
+                    laps = mmin // k_ccw
+                    if laps >= 1:
+                        skips += 1
+                        add = laps * k_ccw
+                        for v in range(n):
+                            rho_ccw_b[v] += add
+                            sigma_ccw_b[v] += add
+                            margins[v] -= add
+                        total[b] += add * n
+                    hops = 0
+                    for v in range(n):
+                        gains[v] = 0
+                    while hops < n - 1:
+                        nxt = hops + 1
+                        ok = True
+                        for v in range(n):
+                            src = v + nxt - 1
+                            if src >= n:
+                                src -= n
+                            g = gains[v] + ccw_flight[src]
+                            if g > margins[v]:
+                                ok = False
+                                break
+                            trial[v] = g
+                        if not ok:
+                            break
+                        for v in range(n):
+                            gains[v] = trial[v]
+                        hops = nxt
+                    if hops > 0:
+                        skips += 1
+                        for v in range(n):
+                            src = v + hops
+                            if src >= n:
+                                src -= n
+                            buf[v] = ccw_flight[src]
+                        for v in range(n):
+                            ccw_flight[v] = buf[v]
+                        for v in range(n):
+                            if gains[v] > 0:
+                                rho_ccw_b[v] += gains[v]
+                                sigma_ccw_b[v] += gains[v]
+                                total[b] += gains[v]
+                for v in range(n):
+                    deliver_cw[v] = cw_flight[v]
+                    cw_flight[v] = 0
+                if k_cw > 0:  # CW phase: CCW pulses stall in their channels
+                    for v in range(n):
+                        deliver_ccw[v] = 0
+                else:
+                    for v in range(n):
+                        deliver_ccw[v] = ccw_flight[v]
+                        ccw_flight[v] = 0
+            else:
+                dsum = 0
+                for v in range(n):
+                    if _sched_hit(sched_seed_mixed, b, rounds, v):
+                        deliver_cw[v] = cw_flight[v]
+                    else:
+                        deliver_cw[v] = 0
+                    if _sched_hit(sched_seed_mixed, b, rounds, n + v):
+                        deliver_ccw[v] = ccw_flight[v]
+                    else:
+                        deliver_ccw[v] = 0
+                    dsum += deliver_cw[v] + deliver_ccw[v]
+                if dsum == 0:
+                    for v in range(n):
+                        deliver_cw[v] = cw_flight[v]
+                        cw_flight[v] = 0
+                        deliver_ccw[v] = ccw_flight[v]
+                        ccw_flight[v] = 0
+                else:
+                    for v in range(n):
+                        cw_flight[v] -= deliver_cw[v]
+                        ccw_flight[v] -= deliver_ccw[v]
+            # Buffer both directions, then drain once per node; deliveries
+            # to terminated nodes are ignored (the model: no reaction).
+            for v in range(n):
+                if terminated_b[v]:
+                    ignored[0] += deliver_cw[v] + deliver_ccw[v]
+                else:
+                    pend_cw[v] += deliver_cw[v]
+                    pend_ccw[v] += deliver_ccw[v]
+            for v in range(n):
+                if terminated_b[v]:
+                    continue
+                exited = _drain_node(
+                    v, ids_b, rho_cw_b, sigma_cw_b, rho_ccw_b, sigma_ccw_b,
+                    pend_cw, pend_ccw, sends_cw, sends_ccw, term_sent_b,
+                    state_code,
+                )
+                if exited == 1:
+                    terminated_b[v] = True
+                    out_leader_b[v] = state_code[v] == 1
+            for v in range(n):
+                if sends_cw[v] > 0:
+                    w = v + 1
+                    if w == n:
+                        w = 0
+                    cw_flight[w] += sends_cw[v]
+                    total[b] += sends_cw[v]
+                    sends_cw[v] = 0
+                if sends_ccw[v] > 0:
+                    w = v - 1
+                    if w < 0:
+                        w = n - 1
+                    ccw_flight[w] += sends_ccw[v]
+                    total[b] += sends_ccw[v]
+                    sends_ccw[v] = 0
+        for v in range(n):
+            if terminated_b[v]:
+                ignored[0] += pend_cw[v] + pend_ccw[v]
+        rounds_out[b] = rounds
+        skips_out[b] = skips
+
+
+# ---------------------------------------------------------------------------
+# Python wrappers: array setup, fault-model lowering, error surfacing.
+# ---------------------------------------------------------------------------
+
+_EVENT_NAMES = ("dropped", "duplicated", "injected")
+
+_NOTIFIED = False
+
+
+def _notice_once() -> None:
+    """One-line stderr notice on the first JIT entry per process (the
+    compile can take seconds; the on-disk cache amortizes it)."""
+    global _NOTIFIED
+    if _NOTIFIED or not HAVE_NUMBA:
+        return
+    _NOTIFIED = True
+    cache = os.environ.get("NUMBA_CACHE_DIR", "numba's default cache dir")
+    print(
+        f"repro: JIT-compiling fleet kernels (first call; cached in {cache})",
+        file=sys.stderr,
+    )
+
+
+def _fault_params(model: Optional[FaultModel]) -> Tuple[Any, ...]:
+    """Lower a rate-only :class:`FaultModel` to the JIT loops' scalar
+    parameters: ``(has_rates, seed_mixed, burst_start, burst_len,
+    t_drop, drop_all, t_dup, dup_all, t_spur, spur_all)``.  The 2**64
+    "certain" threshold (which cannot ride in a uint64) becomes the
+    ``*_all`` flag."""
+    if model is None:
+        return (False, _u64(0), 1, -1, _u64(0), False, _u64(0), False, _u64(0), False)
+    if model.drops or model.crashes or model.corruptions:
+        raise ConfigurationError(
+            "the compiled fleet backend supports rate-based channel faults "
+            "only; deterministic clauses run on the numpy/python backends"
+        )
+
+    def split(threshold: int) -> Tuple[Any, bool]:
+        if threshold >= _TWO64:
+            return _u64(0), True
+        return _u64(threshold), False
+
+    t_drop, drop_all = split(rate_threshold(model.drop_rate))
+    t_dup, dup_all = split(rate_threshold(model.duplicate_rate))
+    t_spur, spur_all = split(rate_threshold(model.spurious_rate))
+    burst_start, burst_len = 1, -1
+    if model.burst is not None:
+        burst_start = model.burst.start
+        burst_len = -1 if model.burst.length is None else model.burst.length
+    has_rates = model.has_channel_rates
+    return (
+        has_rates, _u64(mix64(model.seed)), burst_start, burst_len,
+        t_drop, drop_all, t_dup, dup_all, t_spur, spur_all,
+    )
+
+
+def _limit_error(max_rounds: int, rounds: int) -> SimulationLimitExceeded:
+    return SimulationLimitExceeded(
+        f"fleet exceeded {max_rounds} rounds before quiescence", steps=rounds
+    )
+
+
+def warmup_fleet(
+    id_lists: Sequence[Sequence[int]],
+    shift: int,
+    scheduler: str,
+    seed: int,
+    chan_base: int,
+    max_rounds: int,
+    model: Optional[FaultModel] = None,
+    instance_offset: int = 0,
+    watchdog: Optional[int] = None,
+) -> Tuple[Any, Any, Any, Any, Any, Any, Dict[str, int]]:
+    """Run a block of directional warmup (Algorithm 1 / 3-half) instances
+    through the JIT loop.
+
+    Returns ``(rho, sigma, total, rounds, lap_skips, stuck, events)``
+    where ``rounds`` and ``lap_skips`` are *per-instance* ``[B]`` arrays
+    (the caller aggregates them exactly like the per-instance python
+    backend) plus the fault-event counter dict.  ``chan_base`` keys both the seeded
+    schedule stream and the fault channel coordinates (0 for CW, ``n``
+    for the CCW half of Algorithm 3).
+    """
+    np_mod = require_numpy("the compiled fleet backend")
+    gov = np_mod.asarray(id_lists, dtype=np_mod.int64)
+    B, n = gov.shape
+    rho = np_mod.zeros((B, n), np_mod.int64)
+    sigma = np_mod.ones((B, n), np_mod.int64)
+    total = np_mod.full(B, n, np_mod.int64)
+    stuck = np_mod.zeros(B, bool)
+    rounds_out = np_mod.zeros(B, np_mod.int64)
+    skips_out = np_mod.zeros(B, np_mod.int64)
+    events = np_mod.zeros(3, np_mod.int64)
+    err = np_mod.zeros(1, np_mod.int64)
+    params = _fault_params(model)
+    _notice_once()
+    with np_mod.errstate(over="ignore"):  # interpreted fallback: uint64 wraps
+        _warmup_loop(
+            gov, shift, scheduler == "lockstep", _u64(mix64(seed)),
+            chan_base, max_rounds, -1 if watchdog is None else watchdog,
+            True, *params, instance_offset,
+            rho, sigma, total, stuck, rounds_out, skips_out, events, err,
+        )
+    if err[0]:
+        raise _limit_error(max_rounds, int(err[0]))
+    event_dict = dict(zip(_EVENT_NAMES, (int(x) for x in events)))
+    return rho, sigma, total, rounds_out, skips_out, stuck, event_dict
+
+
+def terminating_fleet(
+    id_lists: Sequence[Sequence[int]],
+    scheduler: str,
+    seed: int,
+    max_rounds: int,
+    model: Optional[FaultModel] = None,
+    instance_offset: int = 0,
+    watchdog: Optional[int] = None,
+) -> Tuple[Dict[str, Any], Any, Any, int, Any, Dict[str, int]]:
+    """Run a block of Algorithm 2 instances through the JIT loop.
+
+    Returns ``(columns, rounds, lap_skips, ignored, stuck, events)``
+    with per-instance ``[B]`` ``rounds`` / ``lap_skips`` arrays, and
+    where ``columns`` maps the terminating column names (``rho_cw`` ...
+    ``out_leader``, ``total``) to ``[B, n]`` / ``[B]`` arrays matching
+    ``fleet._np_terminating``'s outputs.
+    """
+    np_mod = require_numpy("the compiled fleet backend")
+    ids = np_mod.asarray(id_lists, dtype=np_mod.int64)
+    B, n = ids.shape
+    rho_cw = np_mod.zeros((B, n), np_mod.int64)
+    sigma_cw = np_mod.ones((B, n), np_mod.int64)  # line 1: init pulse sent
+    rho_ccw = np_mod.zeros((B, n), np_mod.int64)
+    sigma_ccw = np_mod.zeros((B, n), np_mod.int64)
+    term_sent = np_mod.zeros((B, n), bool)
+    terminated = np_mod.zeros((B, n), bool)
+    out_leader = np_mod.zeros((B, n), bool)
+    total = np_mod.zeros(B, np_mod.int64)
+    stuck = np_mod.zeros(B, bool)
+    ignored = np_mod.zeros(1, np_mod.int64)
+    rounds_out = np_mod.zeros(B, np_mod.int64)
+    skips_out = np_mod.zeros(B, np_mod.int64)
+    events = np_mod.zeros(3, np_mod.int64)
+    err = np_mod.zeros(1, np_mod.int64)
+    params = _fault_params(model)
+    _notice_once()
+    with np_mod.errstate(over="ignore"):
+        _terminating_loop(
+            ids, scheduler == "lockstep", _u64(mix64(seed)), max_rounds,
+            -1 if watchdog is None else watchdog, True, *params,
+            instance_offset,
+            rho_cw, sigma_cw, rho_ccw, sigma_ccw, term_sent, terminated,
+            out_leader, total, stuck, ignored, rounds_out, skips_out,
+            events, err,
+        )
+    if err[0]:
+        raise _limit_error(max_rounds, int(err[0]))
+    columns = {
+        "rho_cw": rho_cw,
+        "sigma_cw": sigma_cw,
+        "rho_ccw": rho_ccw,
+        "sigma_ccw": sigma_ccw,
+        "term_sent": term_sent,
+        "terminated": terminated,
+        "out_leader": out_leader,
+        "total": total,
+    }
+    event_dict = dict(zip(_EVENT_NAMES, (int(x) for x in events)))
+    return (
+        columns, rounds_out, skips_out, int(ignored[0]), stuck, event_dict
+    )
+
+
+_WARMED: Optional[float] = None
+
+
+def warm_compiled() -> float:
+    """Compile every JIT entry point on a tiny workload (idempotent).
+
+    Numba specializes per argument-type signature and every production
+    call uses the same signature as these probes, so one call per entry
+    point front-loads all compilation.  Returns the wall-clock seconds
+    the warm-up took (0.0 on repeat calls or when numba is absent).
+    """
+    global _WARMED
+    if not HAVE_NUMBA:
+        return 0.0
+    if _WARMED is not None:
+        return 0.0
+    t0 = time.perf_counter()
+    tiny = [[2, 1], [1, 2]]
+    model = FaultModel(drop_rate=0.25, spurious_rate=0.25, seed=1)
+    for scheduler in ("lockstep", "seeded"):
+        warmup_fleet(tiny, +1, scheduler, 0, 0, 10_000, watchdog=64)
+        terminating_fleet(tiny, scheduler, 0, 10_000, watchdog=64)
+    warmup_fleet(tiny, -1, "lockstep", 0, 2, 10_000, model=model, watchdog=64)
+    terminating_fleet(tiny, "lockstep", 0, 10_000, model=model, watchdog=64)
+    _WARMED = time.perf_counter() - t0
+    return _WARMED

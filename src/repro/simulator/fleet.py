@@ -57,12 +57,19 @@ update) and a :class:`FleetFault` that removes in-flight pulses at the
 start of a chosen round — a seed-reproducible "lost pulse" whose
 downstream invariant violations the checker must catch.
 
-Backends.  ``backend="numpy"`` runs the SoA kernels on NumPy arrays;
-``backend="python"`` runs the same per-instance round/phase/skip logic
-with scalar kernel states (instances are independent, so lockstep across
-the fleet and per-instance iteration produce identical trajectories);
-``backend="auto"`` picks NumPy when importable.  NumPy is an optional
-``[perf]`` extra — every result is defined by the pure-Python semantics.
+Backends.  ``backend="compiled"`` runs the numba-JIT per-instance loops
+of :mod:`repro.core.kernels.compiled`; ``backend="numpy"`` runs the SoA
+kernels on NumPy arrays; ``backend="python"`` runs the same per-instance
+round/phase/skip logic with scalar kernel states (instances are
+independent, so lockstep across the fleet and per-instance iteration
+produce identical trajectories); ``backend="auto"`` resolves through
+:func:`repro.accel.resolve_backend` (compiled → numpy → python,
+``REPRO_BACKEND`` overrides).  Runs the JIT loop cannot host — per-round
+observers, deterministic fault clauses — silently drop from compiled to
+the numpy columns (the fallback seam, docs/PERFORMANCE.md); the
+``backend`` field of the result records what actually ran.  NumPy and
+numba are optional extras (``[perf]`` / ``[jit]``) — every result is
+defined by the pure-Python semantics.
 """
 
 from __future__ import annotations
@@ -130,20 +137,12 @@ def _np_schedule_bits(seed_mixed: int, n_instances: int, round_index: int, chann
 
 
 def _resolve_backend(backend: str) -> str:
-    if backend == "auto":
-        return "numpy" if HAVE_NUMPY else "python"
-    if backend == "numpy":
-        if not HAVE_NUMPY:
-            raise ConfigurationError(
-                "backend='numpy' requested but numpy is not importable; "
-                "install the [perf] extra or use backend='auto'"
-            )
-        return "numpy"
-    if backend == "python":
-        return "python"
-    raise ConfigurationError(
-        f"unknown fleet backend {backend!r}; choose 'auto', 'numpy', or 'python'"
-    )
+    """Dispatch through the shared registry (:mod:`repro.accel`):
+    ``"auto"`` prefers compiled → numpy → python by availability, and the
+    ``REPRO_BACKEND`` environment variable can pin one tier."""
+    from repro.accel import resolve_backend
+
+    return resolve_backend(backend)
 
 
 def _check_scheduler(scheduler: str) -> None:
@@ -277,6 +276,62 @@ def _auto_watchdog(watchdog_rounds, faults, n):
     if watchdog_rounds is not None:
         return watchdog_rounds
     return 1024 + 128 * n if faults is not None else None
+
+
+def _compiled_downgrade(resolved, observer, adapter):
+    """The compiled tier's documented fallback seam.
+
+    Per-round observers and deterministic fault clauses (pulse drops,
+    crashes, corruptions) need Python callbacks *inside* the round loop,
+    which the JIT functions cannot host — those runs drop to the NumPy
+    columns (always importable when the compiled tier resolved, since
+    numba rides on numpy).  Rate-based channel faults stay compiled: the
+    counter hash is reimplemented in the JIT loop and cross-checked
+    value-for-value by the differential battery.
+    """
+    if resolved != "compiled":
+        return resolved
+    if observer is not None:
+        return "numpy"
+    if adapter is not None:
+        model = (adapter[0] if isinstance(adapter, tuple) else adapter).model
+        if model.drops or model.crashes or model.corruptions:
+            return "numpy"
+    return resolved
+
+
+def _merge_compiled_events(adapter, events) -> None:
+    """Fold the JIT loop's random-fault counters (dropped / duplicated /
+    injected) into the adapter's event dict."""
+    if adapter is None:
+        return
+    for key, value in events.items():
+        adapter.events[key] += value
+
+
+def _compiled_warmup_direction(
+    gov_lists, shift, scheduler, seed, chan_offset, max_rounds,
+    adapter, instance_offset, watchdog,
+):
+    """Run one directional warmup block on the JIT tier; list-of-rows
+    outputs matching the pure-Python aggregation shape."""
+    # Direct module import (not accel.load_compiled) so tests can force
+    # this path and exercise the loop bodies interpreted, without numba.
+    from repro.core.kernels import compiled as jit
+
+    model = adapter.model if adapter is not None else None
+    rho, sigma, total, rounds, skips, stuck, events = jit.warmup_fleet(
+        gov_lists, shift, scheduler, seed, chan_offset, max_rounds,
+        model=model, instance_offset=instance_offset, watchdog=watchdog,
+    )
+    _merge_compiled_events(adapter, events)
+    # rounds/skips come back per instance so callers can aggregate them
+    # exactly like the per-instance python backend (max / sum — and, for
+    # the nonoriented pairing, max over per-instance direction sums).
+    return (
+        rho.tolist(), sigma.tolist(), total.tolist(),
+        rounds.tolist(), skips.tolist(), stuck.tolist(),
+    )
 
 
 @dataclass
@@ -581,8 +636,9 @@ def run_warmup_fleet(
         id_lists: One clockwise ID assignment per instance; all instances
             must share the same ring size (shard ragged sweeps by ``n``).
             Duplicates are allowed (Lemma 16), as in :func:`run_warmup`.
-        backend: ``"auto"`` (NumPy when available), ``"numpy"``, or
-            ``"python"`` — identical results by construction.
+        backend: ``"auto"`` (compiled → numpy → python by availability),
+            ``"compiled"``, ``"numpy"``, or ``"python"`` — identical
+            results by construction.
         scheduler: ``"lockstep"`` (all-deliver rounds + lap-skip) or
             ``"seeded"`` (per-instance pseudo-random channel subsets).
         seed: Stream seed for the seeded scheduler.
@@ -603,7 +659,17 @@ def run_warmup_fleet(
     _, n = _check_fleet(id_lists, unique=False)
     adapter = _fault_adapters(faults, n, "warmup")
     watchdog = _auto_watchdog(watchdog_rounds, adapter, n)
-    if resolved == "numpy":
+    resolved = _compiled_downgrade(resolved, observer, adapter)
+    if resolved == "compiled":
+        rho_rows, sigma_rows, totals, round_list, skip_list, unfinished = (
+            _compiled_warmup_direction(
+                id_lists, +1, scheduler, seed, 0, max_rounds,
+                adapter, instance_offset, watchdog,
+            )
+        )
+        rounds = max(round_list)
+        skips = sum(skip_list)
+    elif resolved == "numpy":
         gov = _np.asarray(id_lists, dtype=_np.int64)
         rho, sigma, total, rounds, skips, stuck = _np_warmup_direction(
             gov, +1, scheduler, seed, 0, max_rounds,
@@ -1143,7 +1209,31 @@ def run_terminating_fleet(
     _, n = _check_fleet(id_lists, unique=True)
     adapter = _fault_adapters(fault, n, "terminating")
     watchdog = _auto_watchdog(watchdog_rounds, adapter, n)
-    if resolved == "numpy":
+    resolved = _compiled_downgrade(resolved, observer, adapter)
+    if resolved == "compiled":
+        from repro.core.kernels import compiled as jit
+
+        model = adapter.model if adapter is not None else None
+        cols, round_arr, skip_arr, ignored, stuck, events = (
+            jit.terminating_fleet(
+                list(id_lists), scheduler, seed, max_rounds,
+                model=model, instance_offset=instance_offset,
+                watchdog=watchdog,
+            )
+        )
+        rounds = int(round_arr.max())
+        skips = int(skip_arr.sum())
+        _merge_compiled_events(adapter, events)
+        rho_cw_rows = cols["rho_cw"].tolist()
+        rho_ccw_rows = cols["rho_ccw"].tolist()
+        sigma_cw_rows = cols["sigma_cw"].tolist()
+        sigma_ccw_rows = cols["sigma_ccw"].tolist()
+        leader_rows = cols["out_leader"].tolist()
+        term_rows = cols["terminated"].tolist()
+        term_sent_rows = cols["term_sent"].tolist()
+        totals = cols["total"].tolist()
+        unfinished = stuck.tolist()
+    elif resolved == "numpy":
         ids_arr = _np.asarray(id_lists, dtype=_np.int64)
         cols, total, rounds, skips, ignored, stuck = _np_terminating(
             ids_arr,
@@ -1294,7 +1384,28 @@ def run_nonoriented_fleet(
         [id_scheme.virtual_ids(ids[v])[1 - cw_ports[b][v]] for v in range(n)]
         for b, ids in enumerate(id_lists)
     ]
-    if resolved == "numpy":
+    resolved = _compiled_downgrade(resolved, observer, adapters)
+    if resolved == "compiled":
+        rho_cw_rows, sigma_cw_rows, totals_cw, rounds_cw, skips_cw, stuck_cw = (
+            _compiled_warmup_direction(
+                gov_cw, +1, scheduler, seed, 0, max_rounds,
+                adapter_cw, instance_offset, watchdog,
+            )
+        )
+        rho_ccw_rows, sigma_ccw_rows, totals_ccw, rounds_ccw, skips_ccw, stuck_ccw = (
+            _compiled_warmup_direction(
+                gov_ccw, -1, scheduler, seed, n, max_rounds,
+                adapter_ccw, instance_offset, watchdog,
+            )
+        )
+        totals = [a + b for a, b in zip(totals_cw, totals_ccw)]
+        # Per-instance pairing like the python backend: each instance's
+        # two directional runs are sequential, so its round count is the
+        # sum, and the fleet count is the max over instances.
+        rounds = max(a + b for a, b in zip(rounds_cw, rounds_ccw))
+        skips = sum(skips_cw) + sum(skips_ccw)
+        unfinished = [a or b for a, b in zip(stuck_cw, stuck_ccw)]
+    elif resolved == "numpy":
         rho_cw, sigma_cw, total_cw, rounds_cw, skips_cw, stuck_cw = (
             _np_warmup_direction(
                 _np.asarray(gov_cw, dtype=_np.int64), +1, scheduler, seed, 0,

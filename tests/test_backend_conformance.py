@@ -25,6 +25,7 @@ from repro.core.kernels import warmup as warmup_kernel
 from repro.core.nonoriented import IdScheme, run_nonoriented
 from repro.core.terminating import run_terminating
 from repro.core.warmup import run_warmup
+from repro.accel import jit_available
 from repro.simulator.fleet import (
     HAVE_NUMPY,
     run_nonoriented_fleet,
@@ -36,7 +37,14 @@ from repro.synchronous import KernelSyncNode, SyncEngine
 
 from strategies import flipped_rings, unique_id_lists
 
-FLEET_BACKENDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+# The compiled tier joins the matrix only when numba imports; without it
+# the tier's rows skip cleanly rather than fail (the interpreted loop
+# bodies are covered by tests/test_compiled_kernels.py regardless).
+FLEET_BACKENDS = (
+    ["python"]
+    + (["numpy"] if HAVE_NUMPY else [])
+    + (["compiled"] if jit_available() else [])
+)
 SCHEDULERS = ["lockstep", "seeded"]
 
 INSTANCES = [

@@ -1,0 +1,145 @@
+"""The whole surface must degrade gracefully with numba uninstalled.
+
+Numba is the ``[jit]`` extra — the top accelerator tier, never a
+requirement (:mod:`repro.core.kernels.compiled` is the single import
+site, guarded exactly like :mod:`repro.accel`'s numpy import).  This
+suite launches one subprocess with a shadow ``numba`` module (raising
+ImportError) first on ``PYTHONPATH`` and asserts:
+
+* the compiled module imports fine and reports ``HAVE_NUMBA = False``;
+* backend resolution skips the compiled tier (``auto`` lands on numpy
+  when available, python otherwise) and pinning ``compiled`` explicitly
+  raises a :class:`~repro.exceptions.ConfigurationError` naming the
+  ``[jit]`` extra;
+* ``warm_compiled`` is a quiet no-op;
+* the CLI surface — including ``--backend auto`` sweeps and statistical
+  verification — works end to end, and ``--backend compiled`` exits
+  with a clean one-line error instead of a traceback.
+
+Mirror of tests/test_numpy_free.py, one accelerator tier up.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+DRIVER = textwrap.dedent(
+    """
+    import sys
+
+    from repro.accel import (
+        HAVE_NUMPY,
+        jit_available,
+        maybe_warm_compiled,
+        resolve_backend,
+        warm_compiled,
+    )
+    from repro.core.kernels.compiled import HAVE_NUMBA
+    from repro.exceptions import ConfigurationError
+
+    assert not HAVE_NUMBA, "numba shadow failed; test is vacuous"
+    assert not jit_available()
+    assert resolve_backend("auto") == ("numpy" if HAVE_NUMPY else "python")
+    assert warm_compiled() == 0.0
+    maybe_warm_compiled("auto")  # must be silent and side-effect free
+    try:
+        resolve_backend("compiled")
+    except ConfigurationError as error:
+        assert "[jit]" in str(error), str(error)
+    else:
+        raise AssertionError("compiled backend resolved without numba")
+
+    from repro.cli import main
+
+    COMMANDS = [
+        ["elect", "--ids", "3,7,5,2"],
+        ["verify", "--ids", "3,1,2"],
+        ["verify", "--statistical", "--samples", "40", "--n", "5",
+         "--id-max", "40", "--block-size", "16"],
+        ["verify", "--statistical", "--samples", "16", "--n", "4",
+         "--id-max", "30", "--backend", "auto", "--scheduler", "seeded"],
+        ["sweep", "--workload", "whp", "--n", "4", "--trials", "8",
+         "--backend", "auto"],
+        ["sweep", "--workload", "placements", "--n", "5", "--trials", "8"],
+    ]
+
+    for argv in COMMANDS:
+        code = main(argv)
+        assert code == 0, f"{argv} exited {code}"
+        print("OK", " ".join(argv))
+
+    # Pinning the compiled backend must fail with a clean one-line error
+    # (SystemExit carrying the ConfigurationError message), no traceback.
+    try:
+        main([
+            "verify", "--statistical", "--samples", "16", "--n", "4",
+            "--id-max", "30", "--backend", "compiled",
+        ])
+    except SystemExit as stop:
+        assert "[jit]" in str(stop.code), stop.code
+        print("OK --backend compiled refused cleanly")
+    else:
+        raise AssertionError("--backend compiled succeeded without numba")
+    print("ALL-COMMANDS-PASSED")
+    """
+)
+
+
+def test_surface_without_numba(tmp_path):
+    (tmp_path / "numba.py").write_text(
+        'raise ImportError("numba disabled by tests/test_jit_free.py")\n'
+    )
+    env = dict(os.environ)
+    env.pop("REPRO_BACKEND", None)
+    env["PYTHONPATH"] = os.pathsep.join([str(tmp_path), str(REPO_SRC)])
+    proc = subprocess.run(
+        [sys.executable, "-c", DRIVER],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert "ALL-COMMANDS-PASSED" in proc.stdout
+
+
+def test_surface_without_numba_or_numpy(tmp_path):
+    # Both extras absent: the pure-Python floor carries everything.
+    (tmp_path / "numba.py").write_text('raise ImportError("no numba")\n')
+    (tmp_path / "numpy.py").write_text('raise ImportError("no numpy")\n')
+    env = dict(os.environ)
+    env.pop("REPRO_BACKEND", None)
+    env["PYTHONPATH"] = os.pathsep.join([str(tmp_path), str(REPO_SRC)])
+    probe = textwrap.dedent(
+        """
+        from repro.accel import HAVE_NUMPY, jit_available, resolve_backend
+        from repro.core.kernels.compiled import HAVE_NUMBA
+        assert not HAVE_NUMPY and not HAVE_NUMBA
+        assert not jit_available()
+        assert resolve_backend("auto") == "python"
+        from repro.cli import main
+        assert main(["elect", "--ids", "3,7,5,2"]) == 0
+        assert main(["verify", "--statistical", "--samples", "16",
+                     "--n", "4", "--id-max", "30"]) == 0
+        print("PURE-PYTHON-FLOOR-OK")
+        """
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", probe],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert "PURE-PYTHON-FLOOR-OK" in proc.stdout
