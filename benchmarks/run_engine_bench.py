@@ -316,6 +316,84 @@ def bench_slots(repeats: int = 5) -> Dict:
     }
 
 
+def bench_farm(quick: bool) -> Dict:
+    """Sweep-farm cache economics: cold vs warm campaign wall time.
+
+    Submits one recovery campaign into a throwaway farm root three ways:
+    *cold* (every shard computed), *warm* (every shard a cache hit —
+    an immediate re-submit), and *resume* (one shard deleted, as after
+    an interrupted run).  The warm collect must be byte-identical to the
+    cold collect, and the cache speedup (cold / warm wall time,
+    submit+collect) is the number the ``--min-cache-speedup`` gate
+    checks.
+    """
+    import shutil
+    import tempfile
+
+    from repro.farm.campaign import Campaign, recovery_params
+    from repro.farm.service import Farm
+    from repro.faults.model import FaultModel
+
+    # Heavy compute per payload byte (large n, low fault rate) so the
+    # warm run measures cache reads, not JSON parsing of failure logs.
+    if quick:
+        total, shard_size, n, id_max = 2000, 500, 12, 128
+    else:
+        total, shard_size, n, id_max = 10000, 1250, 12, 128
+    root = pathlib.Path(tempfile.mkdtemp(prefix="repro-farm-bench-"))
+    try:
+        farm = Farm(root)
+        campaign = Campaign(
+            "recovery",
+            total=total,
+            params=recovery_params(
+                n=n,
+                id_max=id_max,
+                seed=9,
+                faults=FaultModel(drop_rate=0.002, seed=9),
+            ),
+            shard_size=shard_size,
+        )
+        t0 = time.perf_counter()
+        cold_outcome = farm.submit(campaign)
+        cold_text = farm.collect_text(campaign.cid)
+        cold_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm_outcome = farm.submit(campaign)
+        warm_text = farm.collect_text(campaign.cid)
+        warm_seconds = time.perf_counter() - t0
+
+        first_key = campaign.jobs()[0].key
+        farm.store.delete(first_key)
+        t0 = time.perf_counter()
+        resume_outcome = farm.submit(campaign)
+        resume_seconds = time.perf_counter() - t0
+
+        shards = len(campaign.jobs())
+        return {
+            "workload": (
+                f"recovery campaign n={n} id_max={id_max} total={total} "
+                f"drop_rate=0.002 ({shards} shards of {shard_size})"
+            ),
+            "shards": shards,
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "cache_speedup": round(cold_seconds / warm_seconds, 3),
+            "cold_computed": cold_outcome.computed,
+            "warm_cache_hits": warm_outcome.hits,
+            "warm_hit_rate": warm_outcome.hit_rate,
+            "byte_identical_collect": cold_text == warm_text,
+            "resume_seconds": round(resume_seconds, 4),
+            "resume_recomputed": resume_outcome.computed,
+            "resume_overhead_vs_warm": round(
+                resume_seconds - warm_seconds + 1e-9, 4
+            ),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def _dist_version(name: str) -> Optional[str]:
     """Installed version of ``name``, or None when it is absent."""
     try:
@@ -374,6 +452,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="fail unless the compiled (JIT) fleet beats the numpy fleet "
         "by this factor; also fails when numba itself is missing",
+    )
+    parser.add_argument(
+        "--min-cache-speedup",
+        type=float,
+        default=None,
+        help="fail unless a warm sweep-farm campaign (all cache hits) "
+        "beats the cold run by this factor",
     )
     args = parser.parse_args(argv)
     processes = args.processes
@@ -438,6 +523,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         flush=True,
     )
 
+    print("farm workload: cold vs warm recovery campaign ...", flush=True)
+    farm_bench = bench_farm(args.quick)
+    print(
+        f"  farm cold {farm_bench['cold_seconds']}s | warm "
+        f"{farm_bench['warm_seconds']}s ({farm_bench['cache_speedup']}x) | "
+        f"resume {farm_bench['resume_seconds']}s "
+        f"(recomputed {farm_bench['resume_recomputed']} shard) | "
+        f"byte_identical={farm_bench['byte_identical_collect']}",
+        flush=True,
+    )
+
     sweep_cases = 40
     sweep = parallel_map(
         _differential_case, range(sweep_cases), processes=processes
@@ -464,6 +560,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": sweep_config,
         "compiled": compiled_bench,
         "slots_microbench": slots_bench,
+        "farm": farm_bench,
         "differential_sweep": {
             "cases": sweep_cases,
             "all_match": all(sweep),
@@ -480,6 +577,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             "compiled_speedup_vs_numpy": compiled_bench.get(
                 "compiled_speedup_vs_numpy"
             ),
+            "farm_cache_speedup": farm_bench["cache_speedup"],
+            "farm_collect_byte_identical": farm_bench[
+                "byte_identical_collect"
+            ],
         },
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -491,6 +592,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         or not compiled_bench.get("outcomes_match", True)
     ):
         print("DIFFERENTIAL MISMATCH — fast engines disagree with reference")
+        return 1
+    if not farm_bench["byte_identical_collect"]:
+        print("FARM MISMATCH — warm collect differs from cold collect")
+        return 1
+    if (
+        args.min_cache_speedup is not None
+        and farm_bench["cache_speedup"] < args.min_cache_speedup
+    ):
+        print(
+            f"SPEEDUP REGRESSION — warm farm campaign "
+            f"{farm_bench['cache_speedup']}x over cold below the required "
+            f"{args.min_cache_speedup}x"
+        )
         return 1
     if args.min_compiled_speedup is not None:
         achieved = compiled_bench.get("compiled_speedup_vs_numpy")

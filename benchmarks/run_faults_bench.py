@@ -53,8 +53,19 @@ SWEEP_FULL = {"samples": 400, "n": 6, "id_max": 64}
 SWEEP_QUICK = {"samples": 64, "n": 5, "id_max": 40}
 
 
-def bench_curve(kind: str, rates: List[float], quick: bool) -> Dict:
-    """One degradation curve: recovery probability over the rate grid."""
+def bench_curve(
+    kind: str,
+    rates: List[float],
+    quick: bool,
+    farm_root: Optional[pathlib.Path] = None,
+) -> Dict:
+    """One degradation curve: recovery probability over the rate grid.
+
+    With ``farm_root`` the sweep routes through the sweep farm
+    (:mod:`repro.farm`), so re-running the bench against a warm root
+    collects from cached shards instead of recomputing; the curve is
+    bit-identical either way.
+    """
     params = SWEEP_QUICK if quick else SWEEP_FULL
     t0 = time.perf_counter()
     curve = measure_degradation(
@@ -65,10 +76,13 @@ def bench_curve(kind: str, rates: List[float], quick: bool) -> Dict:
         id_max=params["id_max"],
         samples=params["samples"],
         fault_seed=7,
+        farm_root=farm_root,
     )
     seconds = time.perf_counter() - t0
     payload = curve.to_dict()
     payload["seconds"] = round(seconds, 4)
+    if farm_root is not None:
+        payload["farm_root"] = str(farm_root)
     return payload
 
 
@@ -127,6 +141,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=REPO_ROOT / "BENCH_faults.json",
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--farm",
+        type=pathlib.Path,
+        default=None,
+        metavar="ROOT",
+        help="route the degradation sweeps through the sweep farm at "
+        "ROOT (warm roots collect from cache; results are identical)",
+    )
     args = parser.parse_args(argv)
 
     drop_rates = DROP_RATES_QUICK if args.quick else DROP_RATES_FULL
@@ -139,7 +161,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ("spurious", noise_rates),
     ):
         print(f"sweeping {kind} over {rates} ...", flush=True)
-        curve = bench_curve(kind, rates, args.quick)
+        curve = bench_curve(kind, rates, args.quick, farm_root=args.farm)
         for point in curve["points"]:
             print(
                 f"  rate {point['rate']:<6} success "

@@ -17,7 +17,8 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.parallel import (
     ProcessCount,
@@ -135,6 +136,7 @@ def measure_oblivious_over_placements(
     batched: bool = False,
     fleet: bool = False,
     backend: str = "auto",
+    farm_root: Optional[Union[str, Path]] = None,
 ) -> PlacementStats:
     """The same sweep for Algorithm 2: the spread must be exactly zero.
 
@@ -144,7 +146,27 @@ def measure_oblivious_over_placements(
     (:mod:`repro.simulator.fleet`), sharding the fleet across worker
     processes — processes × SIMD rather than processes × scalar.  All
     paths produce identical statistics for identical seeds.
+
+    ``farm_root`` routes the sweep through the sweep farm rooted there
+    (:mod:`repro.farm`): cached placement shards are reused, new ones
+    are computed (always on the fleet path) and cached, and the stats
+    are aggregated from the store — identical to every direct path.
     """
+    if farm_root is not None:
+        from repro.farm.campaign import Campaign, placements_params
+        from repro.farm.service import Farm
+
+        farm = Farm(farm_root)
+        campaign = Campaign(
+            "placements", total=trials, params=placements_params(n=n, seed=seed)
+        )
+        outcome = farm.submit(campaign, backend=backend, processes=processes)
+        if not outcome.complete:
+            raise ConfigurationError(
+                f"farm submit left {len(outcome.failed)} shards failed "
+                f"for campaign {outcome.cid}: {outcome.failed[0][2]}"
+            )
+        return farm.collect_object(campaign.cid)
     placements = random_placements(n, trials, seed=seed)
     if fleet:
         shards = shard_evenly(placements, resolve_processes(processes))

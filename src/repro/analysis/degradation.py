@@ -23,7 +23,8 @@ contract, checked in as ``BENCH_faults.json``:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.parallel import ProcessCount
 from repro.exceptions import ConfigurationError
@@ -148,12 +149,19 @@ def measure_degradation(
     fault_seed: int = 0,
     watchdog_rounds: Optional[int] = None,
     processes: ProcessCount = 1,
+    farm_root: Optional[Union[str, Path]] = None,
 ) -> DegradationCurve:
     """Measure one degradation curve over the ``rates`` grid.
 
     Every grid point reruns the same ``samples`` sampled instances (same
     ``seed``) under :func:`model_for_rate` ``(kind, rate)``, so points
     differ only in fault severity — the curve isolates the fault knob.
+
+    With ``farm_root`` set the sweep routes through the sweep farm
+    (:mod:`repro.farm`): each (rate, shard-range) cell becomes a
+    content-addressed job, cached cells are reused (including cells a
+    standalone recovery campaign already computed), and the curve is
+    aggregated from the store — bit-identical to the direct path.
     """
     from repro.verification.statistical import run_recovery_check
 
@@ -164,6 +172,42 @@ def measure_degradation(
         raise ConfigurationError(
             f"sweep rates must be non-decreasing, got {ordered}"
         )
+    if farm_root is not None:
+        from repro.accel import resolve_backend
+        from repro.farm.campaign import Campaign, degradation_params
+        from repro.farm.service import Farm
+
+        farm = Farm(farm_root)
+        campaign = Campaign(
+            "degradation",
+            total=samples,
+            params=degradation_params(
+                kind=kind,
+                rates=tuple(ordered),
+                algorithm=algorithm,
+                n=n,
+                id_max=id_max,
+                seed=seed,
+                sched_seed=sched_seed,
+                scheduler=scheduler,
+                fault_seed=fault_seed,
+                watchdog_rounds=watchdog_rounds,
+            ),
+        )
+        outcome = farm.submit(
+            campaign, backend=backend, processes=processes, block_size=block_size
+        )
+        if not outcome.complete:
+            raise ConfigurationError(
+                f"farm submit left {len(outcome.failed)} shards failed "
+                f"for campaign {outcome.cid}: {outcome.failed[0][2]}"
+            )
+        curve = farm.collect_object(
+            campaign.cid,
+            confidence=confidence,
+            backend_label=resolve_backend(backend),
+        )
+        return curve
     points: List[DegradationPoint] = []
     resolved_backend = backend
     for rate in ordered:

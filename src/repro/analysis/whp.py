@@ -19,7 +19,8 @@ path exists for differential checking at small scale.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.parallel import (
     ProcessCount,
@@ -56,6 +57,7 @@ def measure_anonymous_success(
     backend: str = "auto",
     z: float = 2.576,
     interval: str = "wilson",
+    farm_root: Optional[Union[str, Path]] = None,
 ) -> BernoulliEstimate:
     """Estimate the Theorem 3 success probability over seeded attempts.
 
@@ -79,6 +81,11 @@ def measure_anonymous_success(
         interval: ``"wilson"`` (default) or ``"clopper-pearson"`` — the
             exact interval the statistical checker reports (its ~99%
             level is derived from ``z`` as the matching normal quantile).
+        farm_root: When set, route through the sweep farm rooted there
+            (:mod:`repro.farm`): shards already in its content-addressed
+            store are reused, new shards are computed and cached, and the
+            estimate is aggregated from the store — bit-identical to the
+            direct path (the per-seed flags are pure in ``seed + i``).
     """
     if interval not in ("wilson", "clopper-pearson"):
         raise ConfigurationError(
@@ -87,6 +94,21 @@ def measure_anonymous_success(
         )
     if trials < 1:
         raise ConfigurationError(f"need at least one trial, got {trials}")
+    if farm_root is not None:
+        from repro.farm.campaign import Campaign, whp_params
+        from repro.farm.service import Farm
+
+        farm = Farm(farm_root)
+        campaign = Campaign(
+            "whp", total=trials, params=whp_params(n=n, c=c, seed=seed)
+        )
+        outcome = farm.submit(campaign, backend=backend, processes=processes)
+        if not outcome.complete:
+            raise ConfigurationError(
+                f"farm submit left {len(outcome.failed)} shards failed "
+                f"for campaign {outcome.cid}: {outcome.failed[0][2]}"
+            )
+        return farm.collect_object(campaign.cid, z=z, interval=interval)
     seeds = range(seed, seed + trials)
     if not fleet:
         from repro.core.anonymous import run_anonymous

@@ -594,6 +594,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 batched=not args.fleet,
                 fleet=args.fleet,
                 backend=args.backend,
+                farm_root=args.farm,
             )
         except ConfigurationError as error:
             raise SystemExit(str(error)) from None
@@ -618,6 +619,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             processes=args.processes,
             fleet=args.fleet,
             backend=args.backend,
+            farm_root=args.farm,
         )
     except ConfigurationError as error:
         raise SystemExit(str(error)) from None
@@ -665,6 +667,7 @@ def _cmd_faults_sweep(args: argparse.Namespace) -> int:
             confidence=args.confidence,
             fault_seed=args.fault_seed,
             processes=args.processes,
+            farm_root=args.farm,
         )
     except ConfigurationError as error:
         raise SystemExit(str(error)) from None
@@ -703,6 +706,146 @@ def _cmd_faults_sweep(args: argparse.Namespace) -> int:
         print(f"curve written        : {args.json}")
     print("OK (graceful degradation)" if ok else "FAILED")
     return 0 if ok else 1
+
+
+def _farm_campaign_from_args(args: argparse.Namespace):
+    """Build the Campaign an `repro farm submit` invocation describes."""
+    from repro.farm.campaign import (
+        Campaign,
+        degradation_params,
+        placements_params,
+        recovery_params,
+        whp_params,
+    )
+    from repro.faults.model import FaultModel
+
+    if args.workload == "recovery":
+        params = recovery_params(
+            algorithm=args.algorithm,
+            n=args.n,
+            id_max=args.id_max,
+            seed=args.seed,
+            sched_seed=args.sched_seed,
+            scheduler=args.scheduler,
+            faults=FaultModel(
+                drop_rate=args.drop_rate,
+                duplicate_rate=args.duplicate_rate,
+                spurious_rate=args.spurious_rate,
+                seed=args.fault_seed,
+            ),
+        )
+    elif args.workload == "degradation":
+        params = degradation_params(
+            kind=args.kind,
+            rates=tuple(args.rates),
+            algorithm=args.algorithm,
+            n=args.n,
+            id_max=args.id_max,
+            seed=args.seed,
+            sched_seed=args.sched_seed,
+            scheduler=args.scheduler,
+            fault_seed=args.fault_seed,
+        )
+    elif args.workload == "whp":
+        params = whp_params(n=args.n, c=args.c, seed=args.seed)
+    else:
+        params = placements_params(n=args.n, seed=args.seed)
+    return Campaign(
+        args.workload,
+        total=args.total,
+        params=params,
+        shard_size=args.shard_size,
+    )
+
+
+def _cmd_farm_submit(args: argparse.Namespace) -> int:
+    from repro.accel import maybe_warm_compiled
+    from repro.exceptions import ConfigurationError
+    from repro.farm.service import Farm
+
+    maybe_warm_compiled(args.backend)
+    try:
+        campaign = _farm_campaign_from_args(args)
+        outcome = Farm(args.root).submit(
+            campaign,
+            backend=args.backend,
+            processes=args.processes,
+            block_size=args.block_size,
+        )
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
+    print(
+        f"farm submit: campaign={outcome.cid} workload={args.workload} "
+        f"total={args.total} shards={outcome.jobs}"
+    )
+    print(
+        f"cache hits={outcome.hits} computed={outcome.computed} "
+        f"failed={len(outcome.failed)} hit_rate={outcome.hit_rate:.4f}"
+    )
+    for index, _key, message in outcome.failed[:5]:
+        print(f"  shard {index} failed: {message}")
+    if outcome.failed:
+        print("FAIL: some shards failed; submit again to retry them")
+        return 1
+    if args.min_hit_rate is not None and outcome.hit_rate < args.min_hit_rate:
+        print(
+            f"FAIL: cache hit rate {outcome.hit_rate:.4f} below the "
+            f"required {args.min_hit_rate}"
+        )
+        return 1
+    print("OK: campaign complete" if outcome.complete else "incomplete")
+    return 0
+
+
+def _cmd_farm_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exceptions import ConfigurationError
+    from repro.farm.service import Farm
+
+    try:
+        report = Farm(args.root).status(args.campaign)
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
+    print(json.dumps(report, indent=2, sort_keys=True))
+    incomplete = [
+        cid
+        for cid, summary in report["campaigns"].items()
+        if not summary["complete"]
+    ]
+    return 0 if not incomplete else 1
+
+
+def _cmd_farm_collect(args: argparse.Namespace) -> int:
+    from repro.exceptions import ConfigurationError
+    from repro.farm.service import Farm
+
+    try:
+        text = Farm(args.root).collect_text(
+            args.campaign,
+            confidence=args.confidence,
+            z=args.z,
+            interval=args.interval,
+        )
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
+    if args.out is not None:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+    print(text, end="")
+    return 0
+
+
+def _cmd_farm_gc(args: argparse.Namespace) -> int:
+    from repro.farm.service import Farm
+
+    counters = Farm(args.root).gc()
+    print(
+        f"farm gc: orphaned_entries={counters['orphaned_entries']} "
+        f"demoted_running={counters['demoted_running']} "
+        f"tmp_files={counters['tmp_files']}"
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -895,6 +1038,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="whp only: fail unless the Wilson interval admits this rate",
     )
+    sweep.add_argument(
+        "--farm",
+        default=None,
+        metavar="ROOT",
+        help="route through the sweep farm rooted at ROOT (cached shards "
+        "are reused; new shards are cached for later campaigns)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     faults = sub.add_parser(
@@ -939,7 +1089,118 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes (int or 'auto')",
     )
+    fsweep.add_argument(
+        "--farm",
+        default=None,
+        metavar="ROOT",
+        help="route through the sweep farm rooted at ROOT (cached shards "
+        "are reused; new shards are cached for later campaigns)",
+    )
     fsweep.set_defaults(func=_cmd_faults_sweep)
+
+    farm = sub.add_parser(
+        "farm",
+        help="persistent sweep farm: resumable campaigns with a "
+        "content-addressed result cache",
+    )
+    farm_sub = farm.add_subparsers(dest="farm_command", required=True)
+
+    fsubmit = farm_sub.add_parser(
+        "submit",
+        help="run (or resume) a campaign; kill and re-run freely — "
+        "completed shards are never recomputed",
+    )
+    fsubmit.add_argument("--root", required=True, help="farm root directory")
+    fsubmit.add_argument(
+        "--workload",
+        choices=("recovery", "degradation", "whp", "placements"),
+        default="recovery",
+    )
+    fsubmit.add_argument("--total", type=int, default=1000,
+                         help="instances per grid point")
+    fsubmit.add_argument("--shard-size", type=int, default=250,
+                         help="instances per resumable shard")
+    fsubmit.add_argument("--n", type=int, default=6)
+    fsubmit.add_argument("--id-max", type=int, default=64,
+                         help="recovery/degradation: ID universe bound")
+    fsubmit.add_argument("--seed", type=int, default=0)
+    fsubmit.add_argument("--sched-seed", type=int, default=0)
+    fsubmit.add_argument("--scheduler", choices=["lockstep", "seeded"],
+                         default="lockstep")
+    fsubmit.add_argument("--algorithm",
+                         choices=["terminating", "nonoriented"],
+                         default="nonoriented")
+    fsubmit.add_argument("--c", type=float, default=2.0,
+                         help="whp: sampler exponent")
+    fsubmit.add_argument("--kind", choices=("drop", "duplicate", "spurious"),
+                         default="drop",
+                         help="degradation: fault kind to sweep")
+    fsubmit.add_argument("--rates", type=_parse_float_list,
+                         default=[0.0, 0.005, 0.01, 0.02, 0.05],
+                         help="degradation: non-decreasing rate grid")
+    fsubmit.add_argument("--drop-rate", type=float, default=0.0,
+                         help="recovery: per-pulse drop probability")
+    fsubmit.add_argument("--duplicate-rate", type=float, default=0.0,
+                         help="recovery: per-pulse duplication probability")
+    fsubmit.add_argument("--spurious-rate", type=float, default=0.0,
+                         help="recovery: per-slot spurious-pulse probability")
+    fsubmit.add_argument("--fault-seed", type=int, default=0,
+                         help="seed of the counter-based fault streams")
+    fsubmit.add_argument("--backend", choices=list(BACKEND_CHOICES),
+                         default="auto")
+    fsubmit.add_argument("--block-size", type=int, default=256)
+    fsubmit.add_argument(
+        "--processes",
+        type=lambda text: text if text == "auto" else int(text),
+        default=None,
+        help="worker processes (int or 'auto')",
+    )
+    fsubmit.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=None,
+        help="fail unless at least this fraction of shards came from "
+        "the cache (1.0 gates an immediate re-submit on all-hits)",
+    )
+    fsubmit.set_defaults(func=_cmd_farm_submit)
+
+    fstatus = farm_sub.add_parser(
+        "status", help="shard-state summary per campaign"
+    )
+    fstatus.add_argument("--root", required=True, help="farm root directory")
+    fstatus.add_argument(
+        "--campaign",
+        default=None,
+        help="campaign id (or 'last'); default: every campaign",
+    )
+    fstatus.set_defaults(func=_cmd_farm_status)
+
+    fcollect = farm_sub.add_parser(
+        "collect",
+        help="aggregate a complete campaign's cached shards into its "
+        "stats object (canonical JSON on stdout)",
+    )
+    fcollect.add_argument("--root", required=True, help="farm root directory")
+    fcollect.add_argument("--campaign", default="last",
+                          help="campaign id (default: 'last')")
+    fcollect.add_argument("--confidence", type=float, default=0.99,
+                          help="recovery/degradation: CP interval level")
+    fcollect.add_argument("--z", type=float, default=2.576,
+                          help="whp: normal quantile for the interval")
+    fcollect.add_argument("--interval",
+                          choices=["wilson", "clopper-pearson"],
+                          default="wilson", help="whp: interval method")
+    fcollect.add_argument("--out", default=None, metavar="PATH",
+                          help="also write the canonical JSON to PATH")
+    fcollect.set_defaults(func=_cmd_farm_collect)
+
+    fgc = farm_sub.add_parser(
+        "gc",
+        help="reap crash leftovers: compact the ledger (orphaned "
+        "campaigns, dead-pid running shards) and sweep temp files",
+    )
+    fgc.add_argument("--root", required=True, help="farm root directory")
+    fgc.set_defaults(func=_cmd_farm_gc)
 
     return parser
 

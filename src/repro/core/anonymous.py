@@ -90,13 +90,20 @@ def run_anonymous(
         n: Ring size (the nodes do not know it).
         c: Confidence parameter; failure probability is ``O(n**-c)``.
         seed: Seed for both ID sampling and (if ``flips`` is None) the
-            adversarial port flips, making attempts reproducible.
+            adversarial port flips, making attempts reproducible.  With
+            ``seed=None`` the attempt draws its seed from the
+            :data:`~repro.determinism.STREAM_ANONYMOUS` counter stream
+            (deterministic per call, per process) — never ``os.urandom``.
         flips: Optional explicit port flips; random when None.
         scheme: Virtual-ID scheme handed to Algorithm 3.
         scheduler: Asynchronous adversary; defaults to global FIFO.
         max_steps: Engine safety bound — generous, as sampled IDs can be
             polynomially large in ``n``.
     """
+    if seed is None:
+        from repro.determinism import STREAM_ANONYMOUS, counter_seed
+
+        seed = counter_seed(STREAM_ANONYMOUS)
     rng = random.Random(seed)
     sampler = GeometricIdSampler(c=c)
     sampled = sampler.sample_many(n, rng)
@@ -174,6 +181,10 @@ def run_prop19(
     """Sample IDs (Algorithm 4), run the Prop-19 variant of Algorithm 3."""
     if n < 1:
         raise ConfigurationError(f"need at least one node, got n={n}")
+    if seed is None:
+        from repro.determinism import STREAM_ANONYMOUS, counter_seed
+
+        seed = counter_seed(STREAM_ANONYMOUS)
     rng = random.Random(seed)
     sampler = GeometricIdSampler(c=c)
     sampled = sampler.sample_many(n, rng)

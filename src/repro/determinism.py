@@ -1,0 +1,62 @@
+"""Counter-based default seeding: no silent entropy escape hatches.
+
+PR 5 made every *explicit* random decision in the repo a pure function
+of counter coordinates (:func:`repro.faults.model.roll_u64`), which is
+what lets a farm shard, a replay, or a differential re-run reproduce a
+result bit-for-bit.  A handful of library entry points, however, kept
+``random.Random()`` / ``random.Random(None)`` fallbacks when the caller
+omitted a seed — and an unseeded :class:`random.Random` seeds itself
+from ``os.urandom``, which is exactly the non-replayable entropy the
+counter scheme exists to eliminate.
+
+This module is the single replacement for those fallbacks: a default
+seed is drawn from a *counter stream* — ``mix64(stream_key + call#)`` —
+so the k-th default-seeded call in any process, on any machine, sees the
+same stream.  That makes "I forgot to pass a seed" reproducible instead
+of silently non-deterministic: two fresh processes running the same code
+path get identical results, and a sweep-farm shard that accidentally
+relies on a default still caches and replays correctly.
+
+Callers that *want* per-call variety must now thread an explicit seed or
+RNG — which is the paper-trail the sweep farm's content-addressed cache
+keys require anyway.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator
+
+from repro.faults.model import mix64
+
+#: Disjoint stream keys (arbitrary odd 64-bit constants, same family as
+#: the fault-roll keys) so each default-seeded entry point draws from an
+#: independent counter stream.
+STREAM_RING_FLIPS = 0x5851F42D4C957F2D
+STREAM_ID_SAMPLING = 0x14057B7EF767814F
+STREAM_ANONYMOUS = 0xB504F333F9DE6485
+
+_counters: dict = {}
+
+
+def counter_seed(stream_key: int) -> int:
+    """The next seed of ``stream_key``'s counter stream (process-stable).
+
+    Call ``k`` (0-based, per stream, per process) returns
+    ``mix64(stream_key + k)`` — a pure function of the pair, so any
+    fresh process replays the identical sequence.
+    """
+    counter: Iterator[int] = _counters.setdefault(stream_key, itertools.count())
+    return mix64(stream_key + next(counter))
+
+
+def counter_rng(stream_key: int) -> random.Random:
+    """A :class:`random.Random` seeded from ``stream_key``'s counter
+    stream — the deterministic replacement for ``random.Random()``."""
+    return random.Random(counter_seed(stream_key))
+
+
+def reset_streams() -> None:
+    """Rewind every counter stream (test isolation helper)."""
+    _counters.clear()

@@ -1,0 +1,279 @@
+"""Campaign specs: what a submitted sweep *is*, sharded into jobs.
+
+A :class:`Campaign` is the declarative description of one sweep — a
+workload name, workload parameters, a total instance count, and a shard
+size.  Sharding is by *fixed-size contiguous index ranges* (not
+:func:`~repro.analysis.parallel.shard_evenly`'s balanced split): range
+boundaries then depend only on ``shard_size``, never on the total, so
+enlarging a campaign from 1M to 2M instances re-derives the identical
+keys for the first 1M and only computes the new tail.  (The counter
+-based instance streams from PR 5 make every index range independently
+computable, which is what makes fixed ranges correct.)
+
+Workloads:
+
+* ``recovery`` — the statistical recovery harness over sampled
+  instances (one fault model); the building block of degradation
+  curves.
+* ``degradation`` — a composite: a full degradation *curve* (fault kind
+  × rate grid).  Its jobs resolve to plain ``recovery`` jobs with the
+  per-rate fault model, so a degradation campaign and a standalone
+  recovery campaign at the same grid point share cache entries.
+* ``whp`` — the Theorem 3 with-high-probability experiment (per-seed
+  success flags through the anonymous fleet pipeline).
+* ``placements`` — the Theorem 1 zero-variance experiment (pulse totals
+  over random ID placements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.farm.keys import (
+    campaign_id,
+    canonical_fault_model,
+    shard_key,
+)
+from repro.faults.model import FaultModel
+
+#: Workload names a campaign may carry.
+WORKLOADS = ("recovery", "degradation", "whp", "placements")
+
+#: Default instances per shard when the submitter names none.
+DEFAULT_SHARD_SIZE = 250
+
+
+@dataclass(frozen=True)
+class Job:
+    """One resumable unit of work: a workload over ``[start, stop)``.
+
+    ``workload``/``params`` are the *resolved* per-job coordinates (a
+    degradation campaign's jobs carry workload ``"recovery"`` with the
+    grid point's fault model), so :attr:`key` is shared with any other
+    campaign that covers the same semantic point and range.
+    """
+
+    index: int
+    workload: str
+    params: Mapping[str, Any]
+    start: int
+    stop: int
+
+    @property
+    def key(self) -> str:
+        return shard_key(self.workload, self.params, self.start, self.stop)
+
+
+def shard_ranges(total: int, shard_size: int) -> List[Tuple[int, int]]:
+    """Fixed-size contiguous ``[start, stop)`` ranges covering ``total``."""
+    if total < 1:
+        raise ConfigurationError(f"campaign needs >= 1 instance, got {total}")
+    if shard_size < 1:
+        raise ConfigurationError(
+            f"shard_size must be >= 1, got {shard_size}"
+        )
+    return [
+        (start, min(start + shard_size, total))
+        for start in range(0, total, shard_size)
+    ]
+
+
+def _require(params: Mapping[str, Any], workload: str, *names: str) -> None:
+    missing = [name for name in names if name not in params]
+    unknown = [name for name in params if name not in names]
+    if missing or unknown:
+        raise ConfigurationError(
+            f"{workload} campaign params: missing {missing or 'none'}, "
+            f"unknown {unknown or 'none'}; expected exactly {list(names)}"
+        )
+
+
+def recovery_params(
+    algorithm: str = "nonoriented",
+    n: int = 6,
+    id_max: int = 64,
+    seed: int = 0,
+    sched_seed: int = 0,
+    scheduler: str = "lockstep",
+    faults: Optional[FaultModel] = None,
+    watchdog_rounds: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Canonical ``recovery`` workload params from rich arguments."""
+    return {
+        "algorithm": algorithm,
+        "n": n,
+        "id_max": id_max,
+        "seed": seed,
+        "sched_seed": sched_seed,
+        "scheduler": scheduler,
+        "faults": canonical_fault_model(faults),
+        "watchdog_rounds": watchdog_rounds,
+    }
+
+
+def degradation_params(
+    kind: str = "drop",
+    rates: Tuple[float, ...] = (0.0,),
+    algorithm: str = "nonoriented",
+    n: int = 6,
+    id_max: int = 64,
+    seed: int = 0,
+    sched_seed: int = 0,
+    scheduler: str = "lockstep",
+    fault_seed: int = 0,
+    watchdog_rounds: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Canonical ``degradation`` (composite curve) campaign params."""
+    ordered = list(rates)
+    if not ordered:
+        raise ConfigurationError("degradation campaign needs >= 1 rate")
+    if ordered != sorted(ordered):
+        raise ConfigurationError(
+            f"degradation rates must be non-decreasing, got {ordered}"
+        )
+    return {
+        "kind": kind,
+        "rates": ordered,
+        "algorithm": algorithm,
+        "n": n,
+        "id_max": id_max,
+        "seed": seed,
+        "sched_seed": sched_seed,
+        "scheduler": scheduler,
+        "fault_seed": fault_seed,
+        "watchdog_rounds": watchdog_rounds,
+    }
+
+
+def whp_params(n: int = 16, c: float = 2.0, seed: int = 0) -> Dict[str, Any]:
+    """Canonical ``whp`` workload params."""
+    return {"n": n, "c": c, "seed": seed}
+
+
+def placements_params(n: int = 16, seed: int = 0) -> Dict[str, Any]:
+    """Canonical ``placements`` workload params."""
+    return {"n": n, "seed": seed}
+
+
+_PARAM_FIELDS = {
+    "recovery": (
+        "algorithm",
+        "n",
+        "id_max",
+        "seed",
+        "sched_seed",
+        "scheduler",
+        "faults",
+        "watchdog_rounds",
+    ),
+    "degradation": (
+        "kind",
+        "rates",
+        "algorithm",
+        "n",
+        "id_max",
+        "seed",
+        "sched_seed",
+        "scheduler",
+        "fault_seed",
+        "watchdog_rounds",
+    ),
+    "whp": ("n", "c", "seed"),
+    "placements": ("n", "seed"),
+}
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One declarative sweep: workload + params + shard grid."""
+
+    workload: str
+    total: int
+    params: Mapping[str, Any] = field(default_factory=dict)
+    shard_size: int = DEFAULT_SHARD_SIZE
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r}; choose from {WORKLOADS}"
+            )
+        _require(self.params, self.workload, *_PARAM_FIELDS[self.workload])
+        shard_ranges(self.total, self.shard_size)  # validates both
+
+    def spec(self) -> Dict[str, Any]:
+        """The canonical campaign spec dict (hashed into :attr:`cid`)."""
+        return {
+            "workload": self.workload,
+            "total": self.total,
+            "shard_size": self.shard_size,
+            "params": dict(self.params),
+        }
+
+    @property
+    def cid(self) -> str:
+        """The campaign's identity (spec digest prefix)."""
+        return campaign_id(self.spec())
+
+    def grid(self) -> List[Mapping[str, Any]]:
+        """The resolved per-grid-point job params, in grid order.
+
+        Single-point workloads have a one-element grid; a degradation
+        campaign has one ``recovery`` param set per rate.
+        """
+        if self.workload != "degradation":
+            return [self.params]
+        from repro.analysis.degradation import model_for_rate
+
+        out: List[Mapping[str, Any]] = []
+        for rate in self.params["rates"]:
+            out.append(
+                recovery_params(
+                    algorithm=self.params["algorithm"],
+                    n=self.params["n"],
+                    id_max=self.params["id_max"],
+                    seed=self.params["seed"],
+                    sched_seed=self.params["sched_seed"],
+                    scheduler=self.params["scheduler"],
+                    faults=model_for_rate(
+                        self.params["kind"], rate, self.params["fault_seed"]
+                    ),
+                    watchdog_rounds=self.params["watchdog_rounds"],
+                )
+            )
+        return out
+
+    @property
+    def job_workload(self) -> str:
+        """The workload each *job* runs (degradation jobs are recovery)."""
+        return "recovery" if self.workload == "degradation" else self.workload
+
+    def jobs(self) -> List[Job]:
+        """Every job of this campaign, grid-major then range order."""
+        ranges = shard_ranges(self.total, self.shard_size)
+        out: List[Job] = []
+        index = 0
+        for point in self.grid():
+            for start, stop in ranges:
+                out.append(
+                    Job(
+                        index=index,
+                        workload=self.job_workload,
+                        params=point,
+                        start=start,
+                        stop=stop,
+                    )
+                )
+                index += 1
+        return out
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "Campaign":
+        """Rebuild a campaign from a stored spec dict."""
+        return cls(
+            workload=spec["workload"],
+            total=spec["total"],
+            params=spec["params"],
+            shard_size=spec["shard_size"],
+        )

@@ -1,0 +1,213 @@
+"""File-backed job ledger: shard states across process restarts.
+
+The ledger is a single append-only JSON-lines file (``ledger.jsonl`` at
+the farm root) guarded by an advisory ``fcntl`` lock — no external
+services, no daemons.  Each line is one event::
+
+    {"type": "campaign", "id": "<cid>", "workload": ..., "total": ...}
+    {"type": "shard", "campaign": "<cid>", "key": "<object key>",
+     "index": 3, "start": 750, "stop": 1000,
+     "state": "pending|running|done|failed", "pid": 12345, "ts": ...}
+
+State is *replayed*, not stored: the current state of a shard is its
+last record, so writers only ever append (atomic at the line level) and
+a reader reconstructs the world by scanning.  Three crash behaviours
+fall out:
+
+* a writer killed mid-append leaves at most one truncated final line,
+  which replay skips (and the next compaction drops);
+* a worker killed mid-shard leaves a ``running`` record whose ``pid``
+  is dead — :func:`Ledger.stale_running` detects this and resubmission
+  treats the shard as pending again;
+* ``ts`` (wall clock) appears *only* here, as operational metadata —
+  it never participates in cache keys or result payloads, so ledger
+  timestamps cannot perturb bit-identical collection.
+
+``compact`` (used by ``farm gc``) rewrites the file atomically keeping
+one final record per entity, dropping entries for campaigns whose spec
+no longer exists, and demoting dead-pid ``running`` records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+try:  # pragma: no cover - POSIX in every supported environment
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback (no locking)
+    fcntl = None  # type: ignore[assignment]
+
+#: Shard lifecycle states, in submission order.
+SHARD_STATES = ("pending", "running", "done", "failed")
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for an advisory-lock peer."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    return True
+
+
+class Ledger:
+    """The JSONL ledger at ``<root>/ledger.jsonl``."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.path = self.root / "ledger.jsonl"
+        self._lock_path = self.root / "ledger.lock"
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Hold the advisory exclusive lock (no-op where unsupported)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        with open(self._lock_path, "a") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one event line under the lock (fsync'd)."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._locked():
+            with open(self.path, "a") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def record_campaign(self, spec: Dict[str, Any]) -> None:
+        self.append({"type": "campaign", "ts": time.time(), **spec})
+
+    def record_shard(
+        self,
+        campaign: str,
+        key: str,
+        index: int,
+        start: int,
+        stop: int,
+        state: str,
+        note: Optional[str] = None,
+    ) -> None:
+        if state not in SHARD_STATES:
+            raise ValueError(f"unknown shard state {state!r}")
+        record = {
+            "type": "shard",
+            "campaign": campaign,
+            "key": key,
+            "index": index,
+            "start": start,
+            "stop": stop,
+            "state": state,
+            "pid": os.getpid(),
+            "ts": time.time(),
+        }
+        if note is not None:
+            record["note"] = note
+        self.append(record)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Every parseable event, in append order (truncated tail skipped)."""
+        out: List[Dict[str, Any]] = []
+        try:
+            with open(self.path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        # A writer died mid-append; the partial line is
+                        # not data.  (Only ever the final line, but any
+                        # unparseable line is equally not data.)
+                        continue
+                    if isinstance(record, dict):
+                        out.append(record)
+        except FileNotFoundError:
+            pass
+        return out
+
+    def replay(self) -> Dict[str, Dict[Tuple[str, str], Dict[str, Any]]]:
+        """Current state: last record per campaign and per (campaign, key)."""
+        campaigns: Dict[str, Dict[str, Any]] = {}
+        shards: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        for record in self.records():
+            if record.get("type") == "campaign" and "id" in record:
+                campaigns[record["id"]] = record
+            elif record.get("type") == "shard":
+                shards[(record.get("campaign", ""), record.get("key", ""))] = record
+        return {"campaigns": campaigns, "shards": shards}  # type: ignore[return-value]
+
+    def shard_states(self, campaign: str) -> Dict[str, Dict[str, Any]]:
+        """Last record per shard key of one campaign."""
+        return {
+            key: record
+            for (cid, key), record in self.replay()["shards"].items()
+            if cid == campaign
+        }
+
+    def stale_running(self) -> List[Dict[str, Any]]:
+        """``running`` records whose recorded pid is no longer alive."""
+        return [
+            record
+            for record in self.replay()["shards"].values()
+            if record.get("state") == "running"
+            and not pid_alive(int(record.get("pid", -1)))
+        ]
+
+    def compact(self, live_campaigns: Optional[set] = None) -> Dict[str, int]:
+        """Rewrite the ledger to its replayed state, atomically.
+
+        Keeps one final record per campaign and per shard; drops every
+        entry of campaigns outside ``live_campaigns`` (when given) —
+        those are the *orphaned* entries ``farm gc`` reaps — and demotes
+        dead-pid ``running`` shards back to ``pending``.  Returns reap
+        counters.
+        """
+        with self._locked():
+            state = self.replay()
+            orphaned = 0
+            demoted = 0
+            lines: List[str] = []
+            for cid, record in sorted(state["campaigns"].items()):
+                if live_campaigns is not None and cid not in live_campaigns:
+                    orphaned += 1
+                    continue
+                lines.append(
+                    json.dumps(record, sort_keys=True, separators=(",", ":"))
+                )
+            for (cid, _key), record in sorted(state["shards"].items()):
+                if live_campaigns is not None and cid not in live_campaigns:
+                    orphaned += 1
+                    continue
+                if record.get("state") == "running" and not pid_alive(
+                    int(record.get("pid", -1))
+                ):
+                    record = {**record, "state": "pending", "note": "gc: dead pid"}
+                    demoted += 1
+                lines.append(
+                    json.dumps(record, sort_keys=True, separators=(",", ":"))
+                )
+            tmp = self.path.with_suffix(".jsonl.tmp")
+            with open(tmp, "w") as handle:
+                for line in lines:
+                    handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        return {"orphaned_entries": orphaned, "demoted_running": demoted}

@@ -1,0 +1,130 @@
+"""Content-addressed, checksummed, atomically-written result store.
+
+One shard result = one file at ``objects/<key[:2]>/<key>.json`` under
+the farm root, where ``key`` is the shard's content address
+(:func:`repro.farm.keys.shard_key`).  The file wraps the payload with
+its own SHA-256 checksum::
+
+    {"key": "<64 hex>", "sha256": "<64 hex of canonical payload>",
+     "payload": {...}}
+
+Two failure modes drive the design:
+
+* **Crash mid-write** (the resumable-jobs contract): results are
+  written to a temporary file in the same directory and ``os.replace``d
+  into place, so a SIGKILL at any instant leaves either the complete
+  previous state or the complete new state — never a half-written
+  object.  Leftover temporaries are swept by ``farm gc``.
+* **Corruption at rest** (truncated disk, bit rot, a stray editor):
+  :meth:`ResultStore.get` re-hashes the payload and verifies both the
+  checksum and that the content actually lives at its address; any
+  mismatch quarantines the file (it is unlinked) and reports a miss, so
+  a corrupt shard is *recomputed*, never silently aggregated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from repro.farm.keys import canonical_json, digest
+
+#: Temporary-file prefix; gc sweeps strays left by killed writers.
+TMP_PREFIX = ".tmp-"
+
+
+class ResultStore:
+    """The on-disk content-addressed store under ``<root>/objects``."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+
+    def _path(self, key: str) -> Path:
+        return self.objects / key[:2] / f"{key}.json"
+
+    def put(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Atomically write ``payload`` at its content address."""
+        body = {"key": key, "sha256": digest(payload), "payload": payload}
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f"{TMP_PREFIX}{os.getpid()}-{key}.json"
+        with open(tmp, "w") as handle:
+            handle.write(canonical_json(body))
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return path
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The verified payload at ``key``, or None (missing/corrupt).
+
+        A file that fails to parse, whose checksum does not match its
+        payload, or whose recorded key disagrees with its address is
+        unlinked and treated as a miss — the caller recomputes.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                body = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        if (
+            not isinstance(body, dict)
+            or body.get("key") != key
+            or "payload" not in body
+            or body.get("sha256") != digest(body["payload"])
+        ):
+            self._quarantine(path)
+            return None
+        return body["payload"]
+
+    def has(self, key: str) -> bool:
+        """True when a *verified* result exists at ``key``."""
+        return self.get(key) is not None
+
+    def delete(self, key: str) -> bool:
+        """Remove the object at ``key``; True when something was removed."""
+        try:
+            self._path(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def keys(self) -> Iterator[str]:
+        """Every key with an object file on disk (unverified)."""
+        if not self.objects.is_dir():
+            return
+        for bucket in sorted(self.objects.iterdir()):
+            if not bucket.is_dir():
+                continue
+            for path in sorted(bucket.glob("*.json")):
+                if not path.name.startswith(TMP_PREFIX):
+                    yield path.stem
+
+    def sweep_tmp(self) -> int:
+        """Delete stray temporary files from killed writers; the count."""
+        removed = 0
+        if not self.objects.is_dir():
+            return 0
+        for path in self.objects.glob(f"*/{TMP_PREFIX}*"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - raced or unwritable
+                pass
+        return removed
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Unlink a failed-verification object so it gets recomputed."""
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - raced or unwritable
+            pass

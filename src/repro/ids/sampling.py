@@ -78,9 +78,18 @@ class GeometricIdSampler:
 def sample_ids(
     n: int, c: float = 2.0, rng: Optional[random.Random] = None
 ) -> List[int]:
-    """Convenience wrapper: IDs for ``n`` anonymous nodes at confidence ``c``."""
+    """Convenience wrapper: IDs for ``n`` anonymous nodes at confidence ``c``.
+
+    With ``rng=None`` the sampler draws from the
+    :data:`~repro.determinism.STREAM_ID_SAMPLING` counter stream
+    (deterministic per call, per process) rather than ``os.urandom``.
+    """
     sampler = GeometricIdSampler(c=c)
-    return sampler.sample_many(n, rng if rng is not None else random.Random())
+    if rng is None:
+        from repro.determinism import STREAM_ID_SAMPLING, counter_rng
+
+        rng = counter_rng(STREAM_ID_SAMPLING)
+    return sampler.sample_many(n, rng)
 
 
 def max_is_unique(ids: Sequence[int]) -> bool:

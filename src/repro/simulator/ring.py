@@ -136,11 +136,16 @@ def build_nonoriented_ring(
         flips: Optional explicit flip bits; ``flips[v]`` True swaps node
             ``v``'s ports so ``Port_0`` leads clockwise.
         rng: Source of randomness for flips when ``flips`` is None;
-            defaults to a fresh unseeded :class:`random.Random`.
+            defaults to the :data:`~repro.determinism.STREAM_RING_FLIPS`
+            counter stream (deterministic per call, per process — never
+            ``os.urandom``).
         defective: Erase message content (the content-oblivious model).
     """
     if flips is None:
-        rng = rng if rng is not None else random.Random()
+        if rng is None:
+            from repro.determinism import STREAM_RING_FLIPS, counter_rng
+
+            rng = counter_rng(STREAM_RING_FLIPS)
         flips = [rng.random() < 0.5 for _ in nodes]
     return _build_ring(nodes, flips, defective)
 

@@ -832,6 +832,53 @@ def _recovery_worker(
     return counts, non_recovered, events
 
 
+def run_recovery_shard(
+    algorithm: str,
+    n: int,
+    id_max: int,
+    indices: List[int],
+    seed: int = 0,
+    sched_seed: int = 0,
+    scheduler: str = "lockstep",
+    backend: str = "auto",
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    faults: Optional[FaultModel] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    watchdog_rounds: Optional[int] = None,
+) -> Tuple[Dict[str, int], List[Tuple[int, str, str]], Dict[str, int]]:
+    """Public shard seam: classify exactly the given global ``indices``.
+
+    This is the unit of work the sweep farm caches: a pure function of
+    the semantics coordinates (everything here except ``backend`` and
+    ``block_size``, which are bit-identical execution knobs).  Any
+    partition of ``range(samples)`` into shards sums to the same counts
+    and the same sorted ``non_recovered`` list that
+    :func:`run_recovery_check` computes in one pass, because every
+    instance's IDs, flips, and fault rolls are counter-derived from
+    ``(seed, index)`` alone.
+    """
+    if faults is None:
+        faults = FaultModel.none()
+    if isinstance(faults, FleetFault):
+        faults = FaultModel(drops=(faults,))
+    return _recovery_worker(
+        (
+            algorithm,
+            n,
+            id_max,
+            list(indices),
+            seed,
+            sched_seed,
+            scheduler,
+            backend,
+            block_size,
+            faults,
+            max_rounds,
+            watchdog_rounds,
+        )
+    )
+
+
 def _first_violation(
     algorithm: str,
     ids: List[int],

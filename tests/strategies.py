@@ -88,3 +88,54 @@ def flipped_rings(
     ids = draw(unique_id_lists(min_size, max_size, max_id))
     flips = draw(flip_patterns(len(ids)))
     return ids, flips
+
+
+@st.composite
+def farm_campaigns(draw):
+    """Sweep-farm campaigns over the full workload/parameter space.
+
+    Used by the cache-key property tests: two drawn campaigns whose
+    semantic coordinates differ must never share shard keys, while the
+    same campaign spelled through differently-ordered dicts must.  The
+    campaigns are *specs only* — nothing here is ever executed, so the
+    sizes can range freely.
+    """
+    from repro.farm.campaign import (
+        Campaign,
+        placements_params,
+        recovery_params,
+        whp_params,
+    )
+    from repro.faults.model import FaultModel
+
+    workload = draw(st.sampled_from(["recovery", "whp", "placements"]))
+    total = draw(st.integers(min_value=1, max_value=100_000))
+    shard_size = draw(st.integers(min_value=1, max_value=1000))
+    if workload == "recovery":
+        params = recovery_params(
+            algorithm=draw(st.sampled_from(["terminating", "nonoriented"])),
+            n=draw(st.integers(min_value=2, max_value=12)),
+            id_max=draw(st.integers(min_value=8, max_value=256)),
+            seed=draw(st.integers(min_value=0, max_value=7)),
+            sched_seed=draw(st.integers(min_value=0, max_value=3)),
+            scheduler=draw(st.sampled_from(["lockstep", "seeded"])),
+            faults=FaultModel(
+                drop_rate=draw(st.sampled_from([0.0, 0.01, 0.05])),
+                duplicate_rate=draw(st.sampled_from([0.0, 0.02])),
+                seed=draw(st.integers(min_value=0, max_value=3)),
+            ),
+        )
+    elif workload == "whp":
+        params = whp_params(
+            n=draw(st.integers(min_value=2, max_value=64)),
+            c=draw(st.sampled_from([1.0, 2.0, 3.0])),
+            seed=draw(st.integers(min_value=0, max_value=7)),
+        )
+    else:
+        params = placements_params(
+            n=draw(st.integers(min_value=2, max_value=64)),
+            seed=draw(st.integers(min_value=0, max_value=7)),
+        )
+    return Campaign(
+        workload, total=total, params=params, shard_size=shard_size
+    )

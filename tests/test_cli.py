@@ -148,3 +148,125 @@ class TestParsing:
     def test_bad_int_list(self):
         with pytest.raises(SystemExit):
             main(["elect", "--ids", "3,x,5"])
+
+
+class TestFarm:
+    def _submit_args(self, root, *extra):
+        return (
+            "farm", "submit", "--root", str(root),
+            "--workload", "placements", "--n", "5",
+            "--total", "40", "--shard-size", "10", *extra,
+        )
+
+    def test_submit_status_collect_gc_round_trip(self, capsys, tmp_path):
+        code, out = run_cli(capsys, *self._submit_args(tmp_path))
+        assert code == 0
+        assert "OK: campaign complete" in out
+        assert "cache hits=0 computed=4" in out
+
+        code, out = run_cli(
+            capsys, "farm", "status", "--root", str(tmp_path)
+        )
+        assert code == 0
+        assert '"complete": true' in out
+        assert '"done": 4' in out
+
+        code, first = run_cli(
+            capsys, "farm", "collect", "--root", str(tmp_path)
+        )
+        assert code == 0
+        assert first.startswith('{"campaign":')
+        assert '"zero_spread":true' in first
+
+        # Warm re-submit: every shard is a cache hit, collect identical.
+        code, out = run_cli(
+            capsys, *self._submit_args(tmp_path, "--min-hit-rate", "1.0")
+        )
+        assert code == 0
+        assert "cache hits=4 computed=0" in out
+        code, second = run_cli(
+            capsys, "farm", "collect", "--root", str(tmp_path)
+        )
+        assert code == 0
+        assert second == first
+
+        out_file = tmp_path / "collect.json"
+        code, _ = run_cli(
+            capsys, "farm", "collect", "--root", str(tmp_path),
+            "--out", str(out_file),
+        )
+        assert code == 0
+        assert out_file.read_text() == first
+
+        code, out = run_cli(capsys, "farm", "gc", "--root", str(tmp_path))
+        assert code == 0
+        assert "farm gc: orphaned_entries=" in out
+
+    def test_min_hit_rate_gate_fails_cold_submit(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, *self._submit_args(tmp_path, "--min-hit-rate", "1.0")
+        )
+        assert code == 1
+        assert "FAIL: cache hit rate 0.0000" in out
+
+    def test_injected_failure_then_resume(self, capsys, tmp_path, monkeypatch):
+        from repro.farm.service import INJECT_FAIL_ENV
+
+        monkeypatch.setenv(INJECT_FAIL_ENV, "0")
+        code, out = run_cli(capsys, *self._submit_args(tmp_path))
+        assert code == 1
+        assert "shard 0 failed: injected failure" in out
+        assert "FAIL: some shards failed" in out
+
+        code, out = run_cli(
+            capsys, "farm", "status", "--root", str(tmp_path)
+        )
+        assert code == 1  # incomplete campaigns exit nonzero
+        assert '"failed": 1' in out
+
+        monkeypatch.delenv(INJECT_FAIL_ENV)
+        code, out = run_cli(capsys, *self._submit_args(tmp_path))
+        assert code == 0
+        assert "cache hits=3 computed=1" in out
+        assert "OK: campaign complete" in out
+
+    def test_unknown_campaign_exits_with_message(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["farm", "collect", "--root", str(tmp_path),
+                 "--campaign", "last"]
+            )
+
+    def test_sweep_routes_through_farm(self, capsys, tmp_path):
+        direct_args = (
+            "sweep", "--workload", "placements", "--n", "5",
+            "--trials", "30", "--seed", "3",
+        )
+        code, direct = run_cli(capsys, *direct_args)
+        assert code == 0
+        code, farmed = run_cli(
+            capsys, *direct_args, "--farm", str(tmp_path)
+        )
+        assert code == 0
+        assert farmed == direct  # same stats, same OK line
+        code, warm = run_cli(
+            capsys, *direct_args, "--farm", str(tmp_path)
+        )
+        assert code == 0
+        assert warm == direct
+        # The sweep left reusable shards behind.
+        assert (tmp_path / "objects").is_dir()
+
+    def test_faults_sweep_routes_through_farm(self, capsys, tmp_path):
+        args = (
+            "faults", "sweep", "--kind", "drop", "--rates", "0,0.05",
+            "--n", "5", "--id-max", "40", "--samples", "24",
+        )
+        code, direct = run_cli(capsys, *args)
+        assert code == 0
+        code, farmed = run_cli(capsys, *args, "--farm", str(tmp_path))
+        assert code == 0
+        # Point-for-point identical curve through the cache.
+        assert [
+            line for line in farmed.splitlines() if "rate" in line
+        ] == [line for line in direct.splitlines() if "rate" in line]

@@ -3,17 +3,35 @@
 ``resolve_processes`` guards every ``processes=`` argument in the
 analysis layer, and ``RandomScheduler``'s seeding is what makes
 randomized sweeps reproducible across runs and machines; both contracts
-are cheap to pin and expensive to rediscover.
+are cheap to pin and expensive to rediscover.  The counter-stream
+battery pins the fix for the last silent entropy escape hatches: entry
+points whose ``seed=None`` default used to reach ``os.urandom`` via an
+unseeded ``random.Random()`` now draw from :mod:`repro.determinism`'s
+counter streams, so two fresh processes replay identical defaults —
+the property the sweep farm's content-addressed cache leans on.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
 
 import pytest
 
 from repro.analysis.parallel import resolve_processes
 from repro.core.terminating import run_terminating
+from repro.determinism import (
+    STREAM_ANONYMOUS,
+    STREAM_ID_SAMPLING,
+    STREAM_RING_FLIPS,
+    counter_rng,
+    counter_seed,
+    reset_streams,
+)
 from repro.exceptions import ConfigurationError
 from repro.simulator.scheduler import RandomScheduler
 from repro.verification import node_fingerprint
@@ -89,3 +107,103 @@ class TestRandomSchedulerReproducibility:
         assert {out.total_pulses for out in outcomes} == {
             len(ids) * (2 * max(ids) + 1)
         }
+
+
+#: Exercises every formerly urandom-seeded default in one fresh process:
+#: ring port flips, Algorithm 4 ID sampling, and the anonymous pipeline.
+_DEFAULT_SEED_PROBE = textwrap.dedent(
+    """
+    import json
+
+    from repro.core.anonymous import run_anonymous, run_prop19
+    from repro.ids.sampling import sample_ids
+    from repro.simulator.node import Node
+    from repro.simulator.ring import build_nonoriented_ring
+
+
+    class _Probe(Node):
+        def on_init(self, api):
+            pass
+
+        def on_message(self, api, port, content):
+            pass
+
+
+    out = {
+        "flips": [
+            list(build_nonoriented_ring([_Probe() for _ in range(16)]).flips)
+            for _ in range(3)
+        ],
+        "ids": [sample_ids(8) for _ in range(3)],
+        "anon": [run_anonymous(4).sampled_ids for _ in range(2)],
+        "prop19": run_prop19(4).output_ids,
+    }
+    print(json.dumps(out, sort_keys=True))
+    """
+)
+
+
+class TestCounterStreamDefaults:
+    """Default-seeded entry points replay bit-for-bit across processes."""
+
+    def _probe(self) -> str:
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        result = subprocess.run(
+            [sys.executable, "-c", _DEFAULT_SEED_PROBE],
+            env={**os.environ, "PYTHONPATH": src},
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return result.stdout
+
+    def test_fresh_processes_replay_identical_defaults(self):
+        # Two cold interpreters, no seeds anywhere: byte-identical
+        # draws.  Before the counter streams this failed with
+        # probability ~1 (os.urandom via random.Random()).
+        first = self._probe()
+        second = self._probe()
+        assert first == second
+        probe = json.loads(first)
+        # ... and the per-process streams actually advance: consecutive
+        # default draws differ rather than repeating one value.
+        assert probe["flips"][0] != probe["flips"][1]
+        assert probe["ids"][0] != probe["ids"][1]
+
+    def test_counter_seed_is_pure_in_stream_and_call_index(self):
+        reset_streams()
+        try:
+            first = [counter_seed(STREAM_RING_FLIPS) for _ in range(5)]
+            reset_streams()
+            replay = [counter_seed(STREAM_RING_FLIPS) for _ in range(5)]
+            assert first == replay
+            assert len(set(first)) == 5  # the stream advances per call
+        finally:
+            reset_streams()
+
+    def test_streams_are_disjoint(self):
+        reset_streams()
+        try:
+            draws = {
+                stream: counter_seed(stream)
+                for stream in (
+                    STREAM_RING_FLIPS,
+                    STREAM_ID_SAMPLING,
+                    STREAM_ANONYMOUS,
+                )
+            }
+            assert len(set(draws.values())) == 3
+        finally:
+            reset_streams()
+
+    def test_counter_rng_matches_counter_seed(self):
+        import random
+
+        reset_streams()
+        try:
+            expected_seed = counter_seed(STREAM_ID_SAMPLING)
+            reset_streams()
+            rng = counter_rng(STREAM_ID_SAMPLING)
+            assert rng.random() == random.Random(expected_seed).random()
+        finally:
+            reset_streams()
