@@ -443,11 +443,33 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if hooks:
         print(f"invariant hooks      : {[hook.__name__ for hook in hooks]}")
 
-    reduce_first = args.reduction == "por"
+    reduction = args.reduction
+    if reduction == "por":  # deprecated PR 2 spelling
+        print("note: --reduction por is deprecated; using 'ample'")
+        reduction = "ample"
+    if fault_plan is not None and reduction in ("symmetry", "full"):
+        # Per-channel fault profiles break the ring automorphisms, so the
+        # symmetry layer would be unsound; drop to the strongest sound mode.
+        downgraded = "sleep" if reduction == "full" else "ample"
+        print(
+            f"note: --reduction {reduction} is unsound under faults; "
+            f"downgrading to '{downgraded}'"
+        )
+        reduction = downgraded
+    reduce_first = reduction != "none"
+    include_duals = args.algorithm == "nonoriented"
+    spill_threshold = (
+        args.spill_threshold_mb * 2**20 if args.spill_threshold_mb else None
+    )
     try:
         if reduce_first:
             result = explore_reduced(
-                factory, max_states=args.max_states, invariant_hooks=hooks
+                factory,
+                max_states=args.max_states,
+                invariant_hooks=hooks,
+                reduction=reduction,
+                include_duals=include_duals,
+                spill_threshold=spill_threshold,
             )
         else:
             result = explore_all_schedules(
@@ -460,7 +482,16 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(f"BUDGET EXCEEDED      : {limit}")
         return 1
 
-    mode = "reduced (POR + counting states)" if reduce_first else "unreduced"
+    if reduce_first:
+        layer_names = {
+            "ample": "ample sets + counting states",
+            "sleep": "ample + sleep sets",
+            "symmetry": "ample + ring-symmetry canonicalization",
+            "full": "ample + sleep sets + ring-symmetry canonicalization",
+        }
+        mode = f"reduced ({layer_names[reduction]})"
+    else:
+        mode = "unreduced"
     print(f"exploration          : {mode}")
     print(f"states explored      : {result.states_explored}")
     print(f"transitions examined : {result.transitions}")
@@ -469,6 +500,20 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             f"branch reduction     : {result.branch_reduction:.2f}x "
             f"(ample at {result.ample_states} states, full expansion at "
             f"{result.full_expansion_states})"
+        )
+        if reduction in ("sleep", "full"):
+            print(f"sleep-set skips      : {result.sleep_skipped}")
+        if reduction in ("symmetry", "full"):
+            dual_note = " incl. orientation-duals" if result.include_duals else ""
+            print(
+                f"orbit factor         : {result.orbit_factor}x "
+                f"({result.instances_certified} instances certified per "
+                f"run{dual_note})"
+            )
+            print(f"invariant spot checks: {result.spot_checks}")
+        spill_note = " (spilled to disk)" if result.spilled else ""
+        print(
+            f"peak visited bytes   : {result.visited_bytes}{spill_note}"
         )
     print(f"terminal states      : {len(result.terminal_node_fingerprints)}")
     print(f"confluent            : {result.confluent}")
@@ -495,17 +540,25 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(f"unreduced reference  : BUDGET EXCEEDED ({limit})")
             print(
                 "state reduction      : >= "
-                f"{args.max_states / result.states_explored:.1f}x "
-                "(reference search did not finish)"
+                f"{result.state_reduction_vs(args.max_states):.1f}x "
+                "(reference search did not finish; orbit-adjusted)"
             )
         else:
-            agree = set(reference.terminal_node_fingerprints) == set(
-                result.terminal_node_fingerprints
-            ) and reference.confluent == result.confluent
+            # With symmetry, terminal representatives are a subset of the
+            # unreduced terminals (one per orbit — equal when IDs are
+            # unique); without it the sets must match exactly.
+            reduced_terminals = set(result.terminal_node_fingerprints)
+            reference_terminals = set(reference.terminal_node_fingerprints)
+            if reduction in ("symmetry", "full"):
+                agree = reduced_terminals <= reference_terminals
+            else:
+                agree = reduced_terminals == reference_terminals
+            agree = agree and reference.confluent == result.confluent
             print(f"unreduced reference  : {reference.states_explored} states")
             print(
                 "state reduction      : "
-                f"{reference.states_explored / result.states_explored:.1f}x"
+                f"{result.state_reduction_vs(reference.states_explored):.1f}x"
+                " (orbit-adjusted)"
             )
             print(f"terminal agreement   : {agree}")
             ok = ok and agree
@@ -907,9 +960,19 @@ def build_parser() -> argparse.ArgumentParser:
                         default="terminating")
     verify.add_argument("--flips", type=_parse_bool_list, default=None,
                         help="port flips for nonoriented, e.g. 1,0,1")
-    verify.add_argument("--reduction", choices=["por", "none"], default="por",
-                        help="por: partial-order-reduced search (default); "
-                             "none: branch on every channel at every state")
+    verify.add_argument("--reduction",
+                        choices=["full", "symmetry", "sleep", "ample", "none",
+                                 "por"],
+                        default="full",
+                        help="reduction stack: full = ample + sleep sets + "
+                             "ring-symmetry canonicalization (default); "
+                             "symmetry = ample + symmetry; sleep = ample + "
+                             "sleep sets; ample = persistent sets only; "
+                             "none: branch on every channel at every state "
+                             "(por is a deprecated alias of ample)")
+    verify.add_argument("--spill-threshold-mb", type=int, default=0,
+                        help="spill the visited set to disk above this many "
+                             "MiB (0 = keep in memory)")
     verify.add_argument("--compare-unreduced", action="store_true",
                         help="also run the unreduced reference search and "
                              "report the state-reduction factor + agreement")

@@ -35,6 +35,7 @@ still re-exports them).
 from __future__ import annotations
 
 import enum
+import struct
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Tuple
 
@@ -58,6 +59,88 @@ def freeze_value(value: Any) -> Any:
     # Shared immutable strategy objects (e.g. a CircuitProgram) are
     # identified by type: per-node mutable state must live on the node.
     return type(value).__qualname__
+
+
+# -- canonical byte form -----------------------------------------------------
+#
+# The schedule explorers key their visited sets on fingerprints; at frontier
+# budgets the nested-tuple form dominates memory (tens of small objects per
+# state).  ``pack_frozen`` lowers any value in :func:`freeze_value`'s output
+# domain to a compact, *injective*, self-delimiting byte string: equal frozen
+# values pack identically and distinct ones differ (each component is
+# type-tagged and length-prefixed, so concatenations of packed values stay
+# injective too).  Packed forms are also totally ordered as bytes regardless
+# of the mix of payload types, which is what lets the symmetry reduction take
+# a ``min()`` over group images of heterogeneous node states.
+
+_TAG_NONE = b"\x00"
+_TAG_FALSE = b"\x01"
+_TAG_TRUE = b"\x02"
+_TAG_INT = b"\x03"
+_TAG_FLOAT = b"\x04"
+_TAG_STR = b"\x05"
+_TAG_BYTES = b"\x06"
+_TAG_TUPLE = b"\x07"
+_TAG_FROZENSET = b"\x08"
+_TAG_ENUM = b"\x09"
+
+
+def _uvarint(value: int) -> bytes:
+    """Unsigned LEB128 — the length/count prefix used throughout."""
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def pack_frozen(value: Any) -> bytes:
+    """Canonical byte encoding of a :func:`freeze_value`-domain value.
+
+    Injective: ``pack_frozen(a) == pack_frozen(b)`` iff ``a == b`` (with
+    ``bool`` distinguished from ``int`` and ``0.0`` from ``0``, which is
+    stricter than tuple equality and therefore still sound for visited-set
+    membership).  Raises ``TypeError`` for values outside the frozen
+    domain — pass the result of :func:`freeze_value`, not raw state.
+    """
+    if value is None:
+        return _TAG_NONE
+    if isinstance(value, bool):
+        return _TAG_TRUE if value else _TAG_FALSE
+    if isinstance(value, enum.Enum):
+        name = f"{type(value).__qualname__}.{value.name}".encode()
+        return _TAG_ENUM + _uvarint(len(name)) + name
+    if isinstance(value, int):
+        # Zigzag so negatives stay compact: 0,-1,1,-2,... -> 0,1,2,3,...
+        zig = value << 1 if value >= 0 else ((-value) << 1) - 1
+        return _TAG_INT + _uvarint(zig)
+    if isinstance(value, float):
+        return _TAG_FLOAT + struct.pack(">d", value)
+    if isinstance(value, str):
+        raw = value.encode()
+        return _TAG_STR + _uvarint(len(raw)) + raw
+    if isinstance(value, bytes):
+        return _TAG_BYTES + _uvarint(len(value)) + value
+    if isinstance(value, tuple):
+        parts = [pack_frozen(item) for item in value]
+        return _TAG_TUPLE + _uvarint(len(parts)) + b"".join(parts)
+    if isinstance(value, frozenset):
+        # Sort by packed form: element order must not matter, and packed
+        # bytes compare totally even across payload types.
+        parts = sorted(pack_frozen(item) for item in value)
+        return _TAG_FROZENSET + _uvarint(len(parts)) + b"".join(parts)
+    raise TypeError(
+        f"pack_frozen expects a freeze_value() result, got {type(value).__name__}"
+    )
+
+
+def packed_fingerprint(value: Any) -> bytes:
+    """:func:`freeze_value` then :func:`pack_frozen` in one step."""
+    return pack_frozen(freeze_value(value))
 
 
 def node_state_dict(node: Any) -> Dict[str, Any]:

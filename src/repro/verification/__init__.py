@@ -31,10 +31,13 @@ certification (e.g. Theorem 1's :math:`n(2\\cdot\\mathsf{ID}_{max}+1)`).
 from repro.verification.common import (
     EngineView,
     FaultProfile,
+    VisitedStore,
     build_fault_profile,
     freeze_value,
     node_fingerprint,
     node_state_dict,
+    pack_frozen,
+    packed_fingerprint,
 )
 from repro.verification.explorer import (
     ExplorationLimitExceeded,
@@ -42,20 +45,28 @@ from repro.verification.explorer import (
     explore_all_schedules,
 )
 from repro.verification.reduced import (
+    REDUCTION_MODES,
     ReducedExplorationResult,
     explore_reduced,
 )
+from repro.verification.symmetry import GroupElement, RingSymmetry
 
 __all__ = [
     "EngineView",
     "ExplorationLimitExceeded",
     "ExplorationResult",
     "FaultProfile",
+    "GroupElement",
+    "REDUCTION_MODES",
     "ReducedExplorationResult",
+    "RingSymmetry",
+    "VisitedStore",
     "build_fault_profile",
     "explore_all_schedules",
     "explore_reduced",
     "freeze_value",
     "node_fingerprint",
     "node_state_dict",
+    "pack_frozen",
+    "packed_fingerprint",
 ]

@@ -27,12 +27,17 @@ and :func:`build_fault_profile` remain importable from here as aliases.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+import os
+import sqlite3
+import tempfile
+from typing import Any, Callable, FrozenSet, Iterable, Optional, Sequence
 
 from repro.core.schema import (  # noqa: F401  (re-exported, canonical home)
     freeze_value,
     node_fingerprint,
     node_state_dict,
+    pack_frozen,
+    packed_fingerprint,
 )
 from repro.faults.profile import (  # noqa: F401  (re-exported, canonical home)
     FaultProfile,
@@ -67,3 +72,210 @@ class EngineView:
 
     def __init__(self, nodes: Sequence[Any], pending: int) -> None:
         self.network = _NetworkFacade(nodes, pending)
+
+
+def run_state_checks(
+    nodes: Sequence[Any],
+    pending: int,
+    invariant: Optional[Callable[[Sequence[Any]], None]],
+    invariant_hooks: Sequence[Callable[[Any], None]],
+) -> None:
+    """Evaluate a user invariant + engine-style hooks at one explored state.
+
+    The shared check both explorers perform at every newly visited state:
+    the positional ``invariant`` callback receives the raw node list; each
+    hook receives an :class:`EngineView` of the state.  Either aborts the
+    exploration by raising (``AssertionError`` /
+    :class:`~repro.core.invariants.InvariantViolation`).
+    """
+    if invariant is not None:
+        invariant(nodes)
+    if invariant_hooks:
+        view = EngineView(nodes, pending)
+        for hook in invariant_hooks:
+            hook(view)
+
+
+# ---------------------------------------------------------------------------
+# Compact, optionally disk-spilled visited sets.
+# ---------------------------------------------------------------------------
+
+#: Rough per-entry bookkeeping cost of a Python dict/set slot holding a
+#: small ``bytes`` key (pointer + hash + allocator overhead).  Only used
+#: for the spill heuristic and the reported telemetry; it does not need
+#: to be exact, just monotone in the real footprint.
+_ENTRY_OVERHEAD = 96
+
+
+def _encode_labels(labels: Iterable[int]) -> bytes:
+    """Sorted LEB128 stream — the on-disk form of a transition-label set."""
+    out = bytearray()
+    for label in sorted(labels):
+        while True:
+            byte = label & 0x7F
+            label >>= 7
+            if label:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def _decode_labels(blob: bytes) -> FrozenSet[int]:
+    labels = []
+    value = shift = 0
+    for byte in blob:
+        value |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            shift += 7
+        else:
+            labels.append(value)
+            value = shift = 0
+    return frozenset(labels)
+
+
+class VisitedStore:
+    """A visited set keyed on packed byte fingerprints, spillable to disk.
+
+    Two shapes, picked at construction:
+
+    * membership only (``track_payload=False``) — :meth:`add` returns
+      whether the key was new;
+    * key → label-set payload (``track_payload=True``) — the sleep-set
+      search stores, per visited state, the stored sleep set the state
+      was last (re-)explored with (:meth:`get_payload` /
+      :meth:`set_payload`).
+
+    The store starts as an in-memory ``set``/``dict``.  When
+    ``spill_threshold`` (bytes) is given and the estimated footprint
+    exceeds it, all entries migrate into a stdlib ``sqlite3`` database
+    under ``spill_dir`` (a private temp dir by default) and subsequent
+    operations hit the database — bounding resident memory at frontier
+    budgets at the price of per-op latency.  ``peak_bytes`` always
+    reports the estimated *logical* footprint (what the in-memory form
+    would have cost), which is the capacity-planning number the bench
+    records.
+    """
+
+    def __init__(
+        self,
+        track_payload: bool = False,
+        spill_dir: Optional[str] = None,
+        spill_threshold: Optional[int] = None,
+    ) -> None:
+        self.track_payload = track_payload
+        self.spill_threshold = spill_threshold
+        self._spill_dir = spill_dir
+        self._mem_set: Optional[set] = None if track_payload else set()
+        self._mem_map: Optional[dict] = {} if track_payload else None
+        self._approx_bytes = 0
+        self.peak_bytes = 0
+        self.spilled = False
+        self._count = 0
+        self._conn: Optional[sqlite3.Connection] = None
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- membership mode ---------------------------------------------------
+
+    def add(self, key: bytes) -> bool:
+        """Insert ``key``; True iff it was not present before."""
+        if self._conn is not None:
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO visited (k) VALUES (?)", (key,)
+            )
+            if cursor.rowcount == 0:
+                return False
+        else:
+            if key in self._mem_set:
+                return False
+            self._mem_set.add(key)
+        self._count += 1
+        self._grow(len(key) + _ENTRY_OVERHEAD)
+        return True
+
+    # -- payload mode ------------------------------------------------------
+
+    def get_payload(self, key: bytes) -> Optional[FrozenSet[int]]:
+        """The stored label set, or None when ``key`` was never visited."""
+        if self._conn is not None:
+            row = self._conn.execute(
+                "SELECT p FROM visited WHERE k = ?", (key,)
+            ).fetchone()
+            return None if row is None else _decode_labels(row[0])
+        return self._mem_map.get(key)
+
+    def set_payload(self, key: bytes, labels: FrozenSet[int]) -> None:
+        """Insert or overwrite ``key``'s label set."""
+        if self._conn is not None:
+            cursor = self._conn.execute(
+                "UPDATE visited SET p = ? WHERE k = ?",
+                (_encode_labels(labels), key),
+            )
+            if cursor.rowcount == 0:
+                self._conn.execute(
+                    "INSERT INTO visited (k, p) VALUES (?, ?)",
+                    (key, _encode_labels(labels)),
+                )
+                self._count += 1
+                self._grow(len(key) + _ENTRY_OVERHEAD + 8 * len(labels))
+            return
+        if key not in self._mem_map:
+            self._count += 1
+            self._grow(len(key) + _ENTRY_OVERHEAD + 8 * len(labels))
+        self._mem_map[key] = frozenset(labels)
+
+    # -- spill plumbing ----------------------------------------------------
+
+    def _grow(self, nbytes: int) -> None:
+        self._approx_bytes += nbytes
+        if self._approx_bytes > self.peak_bytes:
+            self.peak_bytes = self._approx_bytes
+        if (
+            self._conn is None
+            and self.spill_threshold is not None
+            and self._approx_bytes > self.spill_threshold
+        ):
+            self._spill()
+
+    def _spill(self) -> None:
+        directory = self._spill_dir
+        if directory is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-visited-")
+            directory = self._tmpdir.name
+        path = os.path.join(directory, "visited.sqlite")
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("PRAGMA journal_mode = OFF")
+        self._conn.execute("PRAGMA synchronous = OFF")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS visited (k BLOB PRIMARY KEY, p BLOB)"
+        )
+        if self.track_payload:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO visited (k, p) VALUES (?, ?)",
+                (
+                    (key, _encode_labels(labels))
+                    for key, labels in self._mem_map.items()
+                ),
+            )
+            self._mem_map = {}
+        else:
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO visited (k) VALUES (?)",
+                ((key,) for key in self._mem_set),
+            )
+            self._mem_set = set()
+        self._conn.commit()
+        self.spilled = True
+
+    def close(self) -> None:
+        """Release the database and its temp directory (idempotent)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None

@@ -43,10 +43,7 @@ from repro.exceptions import ProtocolViolation, ReproError
 from repro.simulator.network import Network
 from repro.simulator.node import NodeAPI, check_port
 from repro.core.schema import freeze_value, node_fingerprint
-from repro.verification.common import EngineView, build_fault_profile
-
-# Backwards-compatible alias: the freezing helper began life here.
-_freeze = freeze_value
+from repro.verification.common import build_fault_profile, run_state_checks
 
 #: An engine-style invariant hook, evaluated at every explored state via
 #: an :class:`~repro.verification.common.EngineView` adapter.
@@ -240,12 +237,9 @@ def explore_all_schedules(
     root.init_all()
 
     def check(state: _SimState) -> None:
-        if invariant is not None:
-            invariant(state.nodes)
-        if invariant_hooks:
-            view = EngineView(state.nodes, state.pending_messages())
-            for hook in invariant_hooks:
-                hook(view)
+        run_state_checks(
+            state.nodes, state.pending_messages(), invariant, invariant_hooks
+        )
 
     check(root)
 

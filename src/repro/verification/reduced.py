@@ -1,64 +1,104 @@
-"""Partial-order-reduced model checking of the schedule space.
+"""Partial-order-reduced + symmetry-reduced model checking of the
+schedule space.
 
 The unreduced explorer (:mod:`repro.verification.explorer`) expands one
 successor per non-empty channel at every state, which makes the visited
 state count explode combinatorially: schedules that differ only in the
 order of *commuting* deliveries drag the search through every
-intermediate state of every interleaving.  This module exploits the two
-structural facts the content-oblivious model hands us:
+intermediate state of every interleaving.  This module stacks three
+reductions the content-oblivious model admits, selectable via the
+``reduction`` argument (``"ample"``, ``"sleep"``, ``"symmetry"``,
+``"full"`` = sleep + symmetry):
 
-1. **Counting states.**  A fully defective channel carries contentless
-   pulses, so its queue is fully described by its pulse *count* (the same
-   observation behind the engine's counting-mode channels in
-   :mod:`repro.simulator.channel`).  Explored states store an ``int`` per
-   defective channel instead of a queue object, which makes state
-   copying, hashing, and memoization cheap.  Send sequence numbers are
-   bookkeeping the model cannot observe and are excluded from
-   fingerprints.
+1. **Counting states** (all modes).  A fully defective channel carries
+   contentless pulses, so its queue is fully described by its pulse
+   *count*.  State fingerprints are additionally lowered to compact
+   packed bytes (:func:`repro.core.schema.pack_frozen`), and the visited
+   set can spill to disk (:class:`~repro.verification.common.VisitedStore`)
+   so frontier budgets fit in memory.
 
-2. **Partial-order reduction.**  Delivering the head of channel ``c``
-   mutates only: ``c``'s queue (a pop), the receiver's local state, and
-   the tails of the receiver's outgoing channels (appends).  Two enabled
-   deliveries into *distinct* nodes therefore commute — executing them in
-   either order reaches the identical global state — while successive
-   deliveries from one FIFO channel are a fixed sequence.  At each state
-   the search tries to expand only a *persistent set*: the enabled
-   deliveries into one receiver ``v``, valid whenever no other node could
-   feed one of ``v``'s currently-empty in-channels before ``v`` acts
-   (checked by :func:`_reach`, a sound reachability over-approximation,
-   plus the statically declared
-   :attr:`~repro.simulator.node.Node.SILENT_SEND_PORTS`).  When no
-   receiver qualifies, the state is expanded in full — the reduction
-   degrades, never lies.
+2. **Persistent/ample sets** (all modes).  Delivering the head of
+   channel ``c`` mutates only ``c``'s queue (a pop), the receiver's
+   local state, and the tails of the receiver's outgoing channels
+   (appends); deliveries into distinct nodes commute.  At each state the
+   search expands only the enabled deliveries into one receiver when
+   that set is provably persistent (:func:`_persistent`); otherwise it
+   expands in full.  The reduction degrades, never lies.
+
+3. **Sleep sets** (``sleep``/``full``).  The ample computation prunes per
+   *state*; sleep sets prune per *path*: after expanding commuting
+   siblings ``t_1 .. t_k`` from a state, the successor via ``t_i``
+   inherits a sleep set containing the earlier independent siblings, so
+   the search stops re-executing the other orders of the same
+   Mazurkiewicz trace.  This is the classical state-matching variant
+   (Godefroid): the visited store remembers, per state, the sleep set it
+   was last explored with; re-reaching a state with a sleep set that is
+   not a superset re-explores it with the intersection.  Sleep sets
+   mostly cut *transitions* — each executed transition is a deep copy,
+   so they cut exactly the dominant cost.
+
+4. **Symmetry** (``symmetry``/``full``).  Visited-set keys are
+   canonicalized under the ring's automorphism group
+   (:class:`~repro.verification.symmetry.RingSymmetry`): rotations, plus
+   orientation-duals when ``include_duals`` is set.  One exploration
+   then certifies the whole *orbit of instances* — all ``n`` rotations
+   (``2n`` with duals) of the ID-and-flip assignment — reported as
+   ``orbit_factor``/``instances_certified``.  With duplicate IDs the
+   group also merges genuinely distinct states of the one instance.
+   Sleep/stored-sleep labels are translated through the canonicalizing
+   group element so both reductions compose.  Unsound under fault
+   profiles (drops are per-channel, breaking the symmetry), so that
+   combination is rejected with
+   :class:`~repro.exceptions.ConfigurationError`.
 
 What the reduction preserves (``docs/VERIFICATION.md`` has the proofs):
 
-* every terminal (quiescent) state of the full schedule space, hence the
-  confluence verdict, elected leader, and exact per-terminal message
-  counts;
+* every terminal (quiescent) state of the full schedule space — up to
+  the group action in symmetry modes, which is exact (orbit factor
+  aside) whenever IDs are unique — hence the confluence verdict,
+  elected leader, and exact per-terminal message counts;
 * the existence of quiescent-termination violations (their *count* may
   shrink: fewer redundant interleavings witness the same violation);
 * invariant hooks are evaluated at every **visited** state — a subset of
-  all reachable states.  For an all-states invariant certificate, run
-  the unreduced explorer.
+  all reachable states.  In symmetry modes each hook battery is
+  additionally re-run under one non-identity group element per visited
+  representative (``spot_checks``), certifying the lemmas at states of
+  the *other* orbit instances too.  For an all-states invariant
+  certificate, run the unreduced explorer.
 
 The differential battery in ``tests/test_verification_differential.py``
-holds both explorers and the live engine (per-pulse and batched) to
-identical terminal verdicts.
+and the four-way matrix in ``tests/test_reduction_matrix.py`` hold every
+mode and the live engine to identical terminal verdicts.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.exceptions import ProtocolViolation
+from repro.exceptions import ConfigurationError, ProtocolViolation
 from repro.simulator.network import Network
 from repro.simulator.node import NodeAPI, check_port
-from repro.core.schema import freeze_value, node_fingerprint
-from repro.verification.common import EngineView, build_fault_profile
+from repro.core.schema import (
+    freeze_value,
+    node_fingerprint,
+    node_state_dict,
+    pack_frozen,
+)
+from repro.verification.common import (
+    EngineView,
+    VisitedStore,
+    build_fault_profile,
+    run_state_checks,
+)
 from repro.verification.explorer import ExplorationLimitExceeded, StateHook
+from repro.verification.symmetry import RingSymmetry
+
+#: Recognized ``reduction`` arguments, weakest to strongest.
+REDUCTION_MODES = ("ample", "sleep", "symmetry", "full")
+
+_EMPTY: FrozenSet[int] = frozenset()
 
 
 class _Static:
@@ -76,6 +116,7 @@ class _Static:
         "in_channels",
         "out_channels",
         "out_channel",
+        "content_out",
         "fault_profile",
     )
 
@@ -101,6 +142,16 @@ class _Static:
             self.in_channels[channel.dst_node].append(channel.channel_id)
             self.out_channels[channel.src_node].append(channel.channel_id)
         self.out_channel = dict(network.out_channel)
+        # Content-carrying out-channels per node: two deliveries into
+        # distinct receivers still fail to commute if both receivers can
+        # append to the same *content* queue (append order is observable
+        # there; on counting queues it is not).
+        self.content_out: List[FrozenSet[int]] = [
+            frozenset(
+                cid for cid in self.out_channels[v] if not self.contentless[cid]
+            )
+            for v in range(self.n_nodes)
+        ]
         self.fault_profile = build_fault_profile(network)
 
 
@@ -141,16 +192,26 @@ class _RState:
     def enabled(self) -> List[int]:
         return [cid for cid in range(len(self.queues)) if self.qlen(cid)]
 
-    def fingerprint(self, static: _Static) -> Tuple:
-        queues = tuple(
-            queue
-            if isinstance(queue, int)
-            else tuple(freeze_value(item) for item in queue)
+    def packed_components(self) -> Tuple[List[bytes], List[bytes]]:
+        """Per-node and per-channel packed byte components of this state.
+
+        Each component is self-delimiting and the counts are fixed per
+        exploration, so any concatenation of them is injective — the raw
+        material for both the plain visited key and the symmetry-canonical
+        key (which permutes the components before joining).
+        """
+        node_packed = [
+            pack_frozen(freeze_value(node_state_dict(node))) for node in self.nodes
+        ]
+        queue_packed = [
+            pack_frozen(
+                queue
+                if isinstance(queue, int)
+                else tuple(freeze_value(item) for item in queue)
+            )
             for queue in self.queues
-        )
-        if self.fault_idx is not None:
-            return (node_fingerprint(self.nodes), queues, tuple(self.fault_idx))
-        return (node_fingerprint(self.nodes), queues)
+        ]
+        return node_packed, queue_packed
 
 
 class _ReducedAPI(NodeAPI):
@@ -212,6 +273,23 @@ def _deliver(static: _Static, state: _RState, channel_id: int) -> bool:
         content,
     )
     return False
+
+
+def _independent(static: _Static, a: int, b: int) -> bool:
+    """Do deliveries ``a`` and ``b`` commute from every state enabling both?
+
+    Distinct receivers suffice on counting queues: each delivery pops its
+    own channel, mutates only its own receiver, and *appends* to the
+    receiver's out-channels — and on a counting queue (or under a fault
+    profile, whose per-send copies sum identically in either order) the
+    append order is unobservable.  If both receivers can append into the
+    same content-carrying queue, order becomes observable and the pair is
+    conservatively declared dependent.
+    """
+    ra, rb = static.dst_node[a], static.dst_node[b]
+    if ra == rb:
+        return False
+    return not (static.content_out[ra] & static.content_out[rb])
 
 
 def _reach(static: _Static, state: _RState, frozen: int) -> Set[int]:
@@ -296,8 +374,10 @@ class ReducedExplorationResult:
     """Certificate produced by one reduced exploration.
 
     Attributes:
-        states_explored: Distinct states visited by the reduced search.
-        transitions: Deliveries executed (reduced-graph edges examined).
+        states_explored: Distinct states visited by the reduced search
+            (distinct *canonical* states in symmetry modes).
+        transitions: Deliveries executed (reduced-graph edges examined;
+            sleep-mode revisits may re-execute an edge).
         enabled_transitions: Sum over expanded states of enabled
             deliveries — what the unreduced search would have branched
             on; ``transitions / enabled_transitions`` quantifies the
@@ -307,7 +387,8 @@ class ReducedExplorationResult:
         full_expansion_states: States where no receiver's delivery set
             was provably persistent and all branches were taken.
         terminal_node_fingerprints: Distinct quiescent end states (node
-            component only; all queues are empty at quiescence).
+            component only; all queues are empty at quiescence).  In
+            symmetry modes: one representative per terminal orbit.
         terminal_outputs: Per-node outputs of each distinct terminal
             state (parallel to ``terminal_node_fingerprints``).
         terminal_total_sent: Messages sent on the way into each distinct
@@ -317,6 +398,23 @@ class ReducedExplorationResult:
             zero in the full space; a positive count may undercount the
             full space's redundant witnesses.
         max_in_flight: Largest in-flight pulse total over visited states.
+        reduction: The reduction mode this certificate was produced
+            under (``"ample"``, ``"sleep"``, ``"symmetry"``, ``"full"``).
+        include_duals: Whether orientation-duals were in the symmetry
+            group.
+        sleep_skipped: Ample-set transitions skipped because they were
+            asleep (covered by a commuting sibling order).
+        orbit_factor: Distinct group images of the initial state — the
+            number of instances this run certifies (1 without symmetry).
+        instances_certified: Alias of ``orbit_factor`` in spirit: how
+            many concrete (ID, flip) assignments the certificate covers.
+        spot_checks: Invariant-battery evaluations performed on a
+            non-identity group image of a visited representative.
+        visited_bytes: Peak estimated footprint of the visited store.
+        spilled: Whether the visited store spilled to disk.
+        canonical_terminal_fingerprints: Canonical packed form of each
+            distinct terminal state (symmetry modes only) — the orbit-
+            level terminal certificate.
     """
 
     states_explored: int
@@ -329,6 +427,15 @@ class ReducedExplorationResult:
     terminal_total_sent: List[int]
     quiescence_violations: int
     max_in_flight: int
+    reduction: str = "ample"
+    include_duals: bool = False
+    sleep_skipped: int = 0
+    orbit_factor: int = 1
+    instances_certified: int = 1
+    spot_checks: int = 0
+    visited_bytes: int = 0
+    spilled: bool = False
+    canonical_terminal_fingerprints: List[bytes] = field(default_factory=list)
 
     @property
     def confluent(self) -> bool:
@@ -342,16 +449,55 @@ class ReducedExplorationResult:
             return 1.0
         return self.enabled_transitions / self.transitions
 
+    def state_reduction_vs(self, unreduced_states: int) -> float:
+        """Certified-work reduction against an unreduced state count.
+
+        Counts orbit breadth: one run certifies ``orbit_factor``
+        instances, each of which would cost ``unreduced_states``
+        unreduced states to certify individually.
+        """
+        if not self.states_explored:
+            return float(self.orbit_factor)
+        return self.orbit_factor * unreduced_states / self.states_explored
+
+    def summary(self) -> Dict[str, Any]:
+        """The telemetry dict the CLI and the bench both report."""
+        return {
+            "reduction": self.reduction,
+            "include_duals": self.include_duals,
+            "states": self.states_explored,
+            "transitions": self.transitions,
+            "enabled_transitions": self.enabled_transitions,
+            "branch_reduction": round(self.branch_reduction, 3),
+            "ample_states": self.ample_states,
+            "full_expansion_states": self.full_expansion_states,
+            "sleep_skipped": self.sleep_skipped,
+            "orbit_factor": self.orbit_factor,
+            "instances_certified": self.instances_certified,
+            "spot_checks": self.spot_checks,
+            "terminal_states": len(self.terminal_node_fingerprints),
+            "confluent": self.confluent,
+            "quiescence_violations": self.quiescence_violations,
+            "max_in_flight": self.max_in_flight,
+            "visited_bytes": self.visited_bytes,
+            "spilled": self.spilled,
+        }
+
 
 def explore_reduced(
     network_factory: Callable[[], Network],
     invariant: Optional[Callable[[Sequence[Any]], None]] = None,
     max_states: int = 2_000_000,
     invariant_hooks: Sequence[StateHook] = (),
+    *,
+    reduction: str = "ample",
+    include_duals: bool = False,
+    spill_dir: Optional[str] = None,
+    spill_threshold: Optional[int] = None,
 ) -> ReducedExplorationResult:
-    """Explore the schedule space under partial-order reduction.
+    """Explore the schedule space under the selected reduction stack.
 
-    Same calling convention as
+    Same positional calling convention as
     :func:`~repro.verification.explorer.explore_all_schedules`; the
     result certifies the identical terminal-state facts while visiting a
     fraction of the states (reduction telemetry included).
@@ -359,93 +505,229 @@ def explore_reduced(
     Args:
         network_factory: Builds a *fresh* network (fresh node objects).
         invariant: Optional callback receiving the node list at every
-            visited state; raise ``AssertionError`` to abort.
+            visited state; raise ``AssertionError`` to abort.  Evaluated
+            at representatives only (it may be instance-specific, e.g.
+            name concrete IDs), never spot-checked under the group.
         max_states: Budget on distinct visited states before raising
             :class:`~repro.verification.explorer.ExplorationLimitExceeded`.
         invariant_hooks: Engine-style hooks (e.g.
             :data:`repro.core.invariants.ALGORITHM2_HOOKS`) evaluated at
             every visited state via an
-            :class:`~repro.verification.common.EngineView`.
+            :class:`~repro.verification.common.EngineView` — and, in
+            symmetry modes, additionally at one non-identity group image
+            per visited state (the ``spot_checks`` counter).
+        reduction: One of :data:`REDUCTION_MODES`.  ``"ample"`` is the
+            persistent-set search; ``"sleep"`` stacks sleep sets on it;
+            ``"symmetry"`` canonicalizes visited keys under the ring
+            automorphisms; ``"full"`` stacks all three.
+        include_duals: Add orientation-duals (reflections) to the
+            symmetry group.  Sound for the non-oriented setting; leave
+            False for chirality-asymmetric oriented algorithms.
+        spill_dir: Directory for the disk-spilled visited set (a private
+            temp dir by default).
+        spill_threshold: Estimated visited-set bytes above which the
+            store spills to disk; None (default) never spills.
 
     Returns:
         A :class:`ReducedExplorationResult`.
     """
+    if reduction not in REDUCTION_MODES:
+        raise ConfigurationError(
+            f"unknown reduction {reduction!r}; expected one of {REDUCTION_MODES}"
+        )
+    use_sleep = reduction in ("sleep", "full")
+    use_sym = reduction in ("symmetry", "full")
+
     network = network_factory()
     static = _Static(network)
+    sym: Optional[RingSymmetry] = None
+    if use_sym:
+        if static.fault_profile is not None:
+            raise ConfigurationError(
+                "symmetry reduction is unsound under a fault profile "
+                "(drops/duplicates are per-channel and break the ring "
+                "automorphisms); use reduction='sleep' for faulted networks"
+            )
+        sym = RingSymmetry.from_network(network, include_duals=include_duals)
+
     root = _RState(network, static)
     for index, node in enumerate(root.nodes):
         node.on_init(_ReducedAPI(static, root, index))
 
+    def state_key(state: _RState) -> Tuple[bytes, int, bool]:
+        """Visited key, canonicalizing element index, label ambiguity.
+
+        The ambiguity flag is True when the state has a nontrivial
+        stabilizer (duplicate-ID instances only): canonical channel
+        labels are then ill-defined and the sleep layer must not rely
+        on them.
+        """
+        node_packed, queue_packed = state.packed_components()
+        if sym is not None:
+            return sym.canonical(node_packed, queue_packed)
+        key = b"".join(node_packed) + b"".join(queue_packed)
+        if state.fault_idx is not None:
+            key += pack_frozen(tuple(state.fault_idx))
+        return key, 0, False
+
+    spot_element = 1 if (sym is not None and sym.order > 1) else None
+    spot_checks = 0
+
     def check(state: _RState) -> None:
-        if invariant is not None:
-            invariant(state.nodes)
-        if invariant_hooks:
-            view = EngineView(state.nodes, state.pending_messages())
+        nonlocal spot_checks
+        pending = state.pending_messages()
+        run_state_checks(state.nodes, pending, invariant, invariant_hooks)
+        if spot_element is not None and invariant_hooks:
+            # Satellite certificate: the hook battery also holds at the
+            # image of this representative inside another orbit instance.
+            view = EngineView(sym.permute_nodes(spot_element, state.nodes), pending)
             for hook in invariant_hooks:
                 hook(view)
+            spot_checks += 1
 
-    check(root)
-
-    seen: Set[Tuple] = {root.fingerprint(static)}
-    terminal_node_fps: List[Tuple] = []
-    terminal_outputs: List[Tuple] = []
-    terminal_total_sent: List[int] = []
-    transitions = 0
-    enabled_transitions = 0
-    ample_states = 0
-    full_expansions = 0
-    violations = 0
-    max_in_flight = root.pending_messages()
-
-    stack: List[_RState] = [root]
-    while stack:
-        state = stack.pop()
-        enabled = state.enabled()
-        if not enabled:
-            fp = node_fingerprint(state.nodes)
-            if fp not in terminal_node_fps:
-                terminal_node_fps.append(fp)
-                terminal_outputs.append(
-                    tuple(
-                        freeze_value(getattr(node, "output", None))
-                        for node in state.nodes
-                    )
-                )
-                terminal_total_sent.append(state.total_sent)
-            continue
-        ample = _ample(static, state, enabled)
-        enabled_transitions += len(enabled)
-        if len(ample) < len(enabled):
-            ample_states += 1
-        else:
-            full_expansions += 1
-        for channel_id in ample:
-            successor = state.clone()
-            transitions += 1
-            if _deliver(static, successor, channel_id):
-                violations += 1
-            fp = successor.fingerprint(static)
-            if fp in seen:
-                continue
-            seen.add(fp)
-            if len(seen) > max_states:
-                raise ExplorationLimitExceeded(
-                    f"more than {max_states} reachable states; "
-                    "shrink the instance or raise max_states"
-                )
-            check(successor)
-            max_in_flight = max(max_in_flight, successor.pending_messages())
-            stack.append(successor)
-
-    return ReducedExplorationResult(
-        states_explored=len(seen),
-        transitions=transitions,
-        enabled_transitions=enabled_transitions,
-        ample_states=ample_states,
-        full_expansion_states=full_expansions,
-        terminal_node_fingerprints=terminal_node_fps,
-        terminal_outputs=terminal_outputs,
-        terminal_total_sent=terminal_total_sent,
-        quiescence_violations=violations,
-        max_in_flight=max_in_flight,
+    store = VisitedStore(
+        track_payload=use_sleep,
+        spill_dir=spill_dir,
+        spill_threshold=spill_threshold,
     )
+    try:
+        root_key, root_elem, _root_ambiguous = state_key(root)
+        if use_sleep:
+            store.set_payload(root_key, _EMPTY)
+        else:
+            store.add(root_key)
+        check(root)
+
+        orbit_factor = 1
+        if sym is not None:
+            orbit_factor = sym.orbit_factor(*root.packed_components())
+
+        terminal_node_fps: List[Tuple] = []
+        terminal_outputs: List[Tuple] = []
+        terminal_total_sent: List[int] = []
+        canonical_terminals: List[bytes] = []
+        transitions = 0
+        enabled_transitions = 0
+        ample_states = 0
+        full_expansions = 0
+        violations = 0
+        sleep_skipped = 0
+        max_in_flight = root.pending_messages()
+
+        # Stack entries: (state, sleep set in this representative's actual
+        # channel labels, canonicalizing element of the state's key, fresh).
+        # ``fresh`` is True exactly once per distinct key (its first push),
+        # so per-state statistics are counted exactly once.
+        stack: List[Tuple[_RState, FrozenSet[int], int, bool]] = [
+            (root, _EMPTY, root_elem, True)
+        ]
+        while stack:
+            state, sleep, elem, fresh = stack.pop()
+            enabled = state.enabled()
+            if not enabled:
+                fp = node_fingerprint(state.nodes)
+                if fp not in terminal_node_fps:
+                    terminal_node_fps.append(fp)
+                    terminal_outputs.append(
+                        tuple(
+                            freeze_value(getattr(node, "output", None))
+                            for node in state.nodes
+                        )
+                    )
+                    terminal_total_sent.append(state.total_sent)
+                    if sym is not None:
+                        canonical_terminals.append(state_key(state)[0])
+                continue
+            ample = _ample(static, state, enabled)
+            if fresh:
+                enabled_transitions += len(enabled)
+                if len(ample) < len(enabled):
+                    ample_states += 1
+                else:
+                    full_expansions += 1
+            taken: List[int] = []
+            for channel_id in ample:
+                if channel_id in sleep:
+                    sleep_skipped += 1
+                    continue
+                successor = state.clone()
+                transitions += 1
+                if _deliver(static, successor, channel_id):
+                    violations += 1
+                if use_sleep:
+                    child_sleep = frozenset(
+                        x
+                        for x in sleep.union(taken)
+                        if _independent(static, x, channel_id)
+                    )
+                    taken.append(channel_id)
+                else:
+                    child_sleep = _EMPTY
+                key, child_elem, ambiguous = state_key(successor)
+                if use_sleep:
+                    if ambiguous:
+                        # Nontrivial stabilizer: canonical channel labels
+                        # are ill-defined, so take no sleep credit here
+                        # and record full coverage — always sound.
+                        child_sleep = _EMPTY
+                        stored_sleep = _EMPTY
+                    elif sym is not None:
+                        stored_sleep = frozenset(
+                            sym.to_canonical_channel(child_elem, cid)
+                            for cid in child_sleep
+                        )
+                    else:
+                        stored_sleep = child_sleep
+                    previous = store.get_payload(key)
+                    if previous is None:
+                        store.set_payload(key, stored_sleep)
+                    elif previous <= stored_sleep:
+                        continue  # already explored at least this much
+                    else:
+                        # Reached with a strictly smaller sleep set:
+                        # re-explore with the intersection (classical
+                        # state-matching sleep sets).
+                        merged = previous & stored_sleep
+                        store.set_payload(key, merged)
+                        if sym is not None:
+                            merged = frozenset(
+                                sym.elements[child_elem].chan_src[label]
+                                for label in merged
+                            )
+                        stack.append((successor, merged, child_elem, False))
+                        continue
+                else:
+                    if not store.add(key):
+                        continue
+                if len(store) > max_states:
+                    raise ExplorationLimitExceeded(
+                        f"more than {max_states} reachable states; "
+                        "shrink the instance or raise max_states"
+                    )
+                check(successor)
+                max_in_flight = max(max_in_flight, successor.pending_messages())
+                stack.append((successor, child_sleep, child_elem, True))
+
+        return ReducedExplorationResult(
+            states_explored=len(store),
+            transitions=transitions,
+            enabled_transitions=enabled_transitions,
+            ample_states=ample_states,
+            full_expansion_states=full_expansions,
+            terminal_node_fingerprints=terminal_node_fps,
+            terminal_outputs=terminal_outputs,
+            terminal_total_sent=terminal_total_sent,
+            quiescence_violations=violations,
+            max_in_flight=max_in_flight,
+            reduction=reduction,
+            include_duals=bool(sym is not None and include_duals),
+            sleep_skipped=sleep_skipped,
+            orbit_factor=orbit_factor,
+            instances_certified=orbit_factor,
+            spot_checks=spot_checks,
+            visited_bytes=store.peak_bytes,
+            spilled=store.spilled,
+            canonical_terminal_fingerprints=canonical_terminals,
+        )
+    finally:
+        store.close()

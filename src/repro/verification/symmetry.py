@@ -1,0 +1,314 @@
+"""Ring-symmetry reduction: canonicalize explorer states under the ring's
+automorphism group.
+
+Leader election on a ring is maximally symmetric: rotating the clockwise
+node numbering, and (for the non-oriented setting) reflecting the walk
+direction, are isomorphisms of the *model* — they permute nodes, edges,
+and port-flip bits but leave every transition kernel's behaviour alone,
+because a node's reaction depends only on its own local state and the
+local port a pulse arrives at, never on its global position.  Formally,
+for every group element :math:`g` and every enabled delivery :math:`t`,
+
+.. math::  g(\\mathrm{deliver}_t(s)) = \\mathrm{deliver}_{g(t)}(g(s)),
+
+so :math:`g` maps reachable states of instance :math:`I` to reachable
+states of instance :math:`g(I)` (the rotated/reflected ID-and-flip
+assignment) and terminal states to terminal states.  One exploration of a
+representative therefore certifies the **whole orbit of instances** —
+all :math:`n` rotations, and with orientation-duals all :math:`2n`
+dihedral images — at the cost of one.
+
+:class:`RingSymmetry` holds the group concretely: per element, a
+node-source permutation, a channel-source permutation, and the image of
+the static per-node port-flip bits.  The canonical form of a state is
+the lexicographic minimum, over group elements, of the packed byte
+serialization (``flip image ‖ permuted node fingerprints ‖ permuted
+queue states``); packed bytes (:func:`repro.core.schema.pack_frozen`)
+compare totally even when node states mix ``None``/enums/ints, which
+raw tuples do not.  The flip bits are part of the serialization so two
+orbit instances with identical counters but different wirings can never
+collide.
+
+Within a single instance with **unique IDs** the stabilizer is trivial
+(every non-identity image carries a different ID arrangement), so
+canonicalization merges no intra-instance states — the reduction factor
+is exactly the orbit size, realized as certificate breadth.  With
+duplicate IDs (Algorithm 1 allows them, Lemma 16) the stabilizer is the
+rotation subgroup fixing the ID-and-flip pattern and genuinely distinct
+reachable states merge.
+
+Soundness boundary: a per-channel fault profile breaks the symmetry
+(channel :math:`c` and :math:`g(c)` see different drop patterns), so
+:func:`RingSymmetry.from_network` refuses faulted networks.  The
+structural requirements — builder-convention channel numbering, fully
+defective channels — are validated, never assumed; an unrecognized
+topology raises :class:`~repro.exceptions.ConfigurationError` rather
+than silently unsound reduction.  See ``docs/VERIFICATION.md`` for the
+full argument and for how the sleep-set layer composes with this one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.schema import pack_frozen
+from repro.exceptions import ConfigurationError
+from repro.simulator.network import Network
+from repro.simulator.node import PORT_ONE, PORT_ZERO
+
+
+@dataclass(frozen=True)
+class GroupElement:
+    """One ring automorphism, in source-index form.
+
+    The element maps a state ``s`` to its image ``s'`` with
+    ``s'.node[j] = s.node[node_src[j]]`` and
+    ``s'.queue[c] = s.queue[chan_src[c]]``; ``flip_image[j]`` is the
+    image instance's port-flip bit at position ``j``.
+    """
+
+    name: str
+    node_src: Tuple[int, ...]
+    chan_src: Tuple[int, ...]
+    flip_image: Tuple[bool, ...]
+
+
+def _ring_flips(network: Network) -> Tuple[bool, ...]:
+    """Recover per-node flip bits, validating the ring builder convention.
+
+    The builders in :mod:`repro.simulator.ring` emit, for edge ``e``
+    joining positions ``e`` and ``e+1 (mod n)``, the CW channel ``2e``
+    (``e -> e+1``) followed by the CCW channel ``2e+1`` (``e+1 -> e``),
+    with endpoints on each node's CW/CCW ports as determined by its flip
+    bit.  Anything else is not a ring this module knows the automorphisms
+    of.
+    """
+    n = len(network.nodes)
+    channels = network.channels
+    if n < 1 or len(channels) != 2 * n:
+        raise ConfigurationError(
+            f"symmetry reduction needs a ring ({2 * n} channels for "
+            f"{n} nodes); got {len(channels)} channels"
+        )
+    flips: List[bool] = [False] * n
+    for e in range(n):
+        j = (e + 1) % n
+        cw, ccw = channels[2 * e], channels[2 * e + 1]
+        if not (cw.defective and ccw.defective):
+            raise ConfigurationError(
+                "symmetry reduction supports fully defective (content-"
+                "oblivious) rings only"
+            )
+        ok = (
+            cw.src_node == e
+            and cw.dst_node == j
+            and ccw.src_node == j
+            and ccw.dst_node == e
+            and cw.src_port == ccw.dst_port
+            and cw.dst_port == ccw.src_port
+        )
+        if not ok:
+            raise ConfigurationError(
+                f"channels {2 * e},{2 * e + 1} do not follow the ring "
+                "builder convention; symmetry reduction is unavailable"
+            )
+        flips[e] = cw.src_port == PORT_ZERO
+    # Cross-check: the CW channel into node j must land on j's CCW port.
+    for e in range(n):
+        j = (e + 1) % n
+        expected_dst = PORT_ONE if flips[j] else PORT_ZERO
+        if channels[2 * e].dst_port != expected_dst:
+            raise ConfigurationError(
+                "inconsistent port wiring; symmetry reduction is unavailable"
+            )
+    return tuple(flips)
+
+
+def _rotation(n: int, flips: Sequence[bool], k: int) -> GroupElement:
+    """Rotation by ``k``: position ``j`` of the image holds original ``j+k``."""
+    node_src = tuple((j + k) % n for j in range(n))
+    chan_src: List[int] = []
+    for e in range(n):
+        src_edge = (e + k) % n
+        chan_src.extend((2 * src_edge, 2 * src_edge + 1))
+    flip_image = tuple(flips[(j + k) % n] for j in range(n))
+    return GroupElement(
+        name=f"rot{k}",
+        node_src=node_src,
+        chan_src=tuple(chan_src),
+        flip_image=flip_image,
+    )
+
+
+def _reflection(n: int, flips: Sequence[bool]) -> GroupElement:
+    """The orientation-dual: traverse the same physical ring backwards.
+
+    Position ``j`` of the image holds original ``n-1-j`` with its flip
+    bit negated; edge ``e`` of the image is original edge ``n-2-e`` with
+    its CW and CCW directions swapped (exactly the transformation the
+    metamorphic orientation-flip duality test pins on live runs).
+    """
+    node_src = tuple((n - 1 - j) % n for j in range(n))
+    chan_src: List[int] = []
+    for e in range(n):
+        src_edge = (n - 2 - e) % n
+        chan_src.extend((2 * src_edge + 1, 2 * src_edge))
+    flip_image = tuple(not flips[(n - 1 - j) % n] for j in range(n))
+    return GroupElement(
+        name="refl",
+        node_src=node_src,
+        chan_src=tuple(chan_src),
+        flip_image=flip_image,
+    )
+
+
+class RingSymmetry:
+    """The concrete automorphism group of one ring instance.
+
+    Args:
+        network: A ring network following the builder convention.
+        include_duals: Add the orientation-dual coset (reflections),
+            doubling the group to the full dihedral action.  Sound for
+            algorithms whose instances carry explicit flip bits
+            (Algorithm 3); chirality-asymmetric oriented algorithms
+            (Algorithm 2 prioritizes CW) should keep rotations only,
+            since their reflected instances are not oriented rings.
+    """
+
+    def __init__(self, network: Network, include_duals: bool = False) -> None:
+        self.n = len(network.nodes)
+        self.flips = _ring_flips(network)
+        self.include_duals = include_duals
+        elements = [_rotation(self.n, self.flips, k) for k in range(self.n)]
+        if include_duals:
+            refl = _reflection(self.n, self.flips)
+            for k in range(self.n):
+                rot = elements[k]
+                # rot_k ∘ refl: reflect, then rotate the reflected ring.
+                node_src = tuple(
+                    refl.node_src[rot.node_src[j]] for j in range(self.n)
+                )
+                chan_src = tuple(
+                    refl.chan_src[rot.chan_src[c]] for c in range(2 * self.n)
+                )
+                flip_image = tuple(
+                    refl.flip_image[rot.node_src[j]] for j in range(self.n)
+                )
+                elements.append(
+                    GroupElement(
+                        name=f"refl∘rot{k}",
+                        node_src=node_src,
+                        chan_src=chan_src,
+                        flip_image=flip_image,
+                    )
+                )
+        self.elements: Tuple[GroupElement, ...] = tuple(elements)
+        # Static per-element prefix: the image instance's flip bits.  Two
+        # group images with identical counters but different wirings must
+        # not collide, so the wiring is part of every serialized form.
+        self._flip_prefix = tuple(
+            pack_frozen(element.flip_image) for element in self.elements
+        )
+        # chan_to_canonical[i][cid] = the channel label ``cid`` gets in
+        # element ``i``'s image — the inverse of ``chan_src``, used to
+        # translate sleep/explored sets into canonical coordinates.
+        inv: List[Tuple[int, ...]] = []
+        for element in self.elements:
+            mapping = [0] * len(element.chan_src)
+            for target, source in enumerate(element.chan_src):
+                mapping[source] = target
+            inv.append(tuple(mapping))
+        self._chan_to_canonical = tuple(inv)
+
+    @classmethod
+    def from_network(
+        cls, network: Network, include_duals: bool = False
+    ) -> "RingSymmetry":
+        """Build the group, validating ring structure (see module doc)."""
+        return cls(network, include_duals=include_duals)
+
+    @property
+    def order(self) -> int:
+        """Number of group elements (``n`` or ``2n``)."""
+        return len(self.elements)
+
+    # -- serialization under the group ------------------------------------
+
+    def serialize(
+        self,
+        element_index: int,
+        node_packed: Sequence[bytes],
+        queue_packed: Sequence[bytes],
+    ) -> bytes:
+        """The packed byte form of one group image of a state.
+
+        ``node_packed[v]`` / ``queue_packed[c]`` are the pre-packed
+        (:func:`~repro.core.schema.pack_frozen`) per-node and per-channel
+        components of the *actual* state; the element permutes them.
+        Every component is self-delimiting, so the concatenation is
+        injective for a fixed ``(n, channel count)``.
+        """
+        element = self.elements[element_index]
+        return (
+            self._flip_prefix[element_index]
+            + b"".join(node_packed[src] for src in element.node_src)
+            + b"".join(queue_packed[src] for src in element.chan_src)
+        )
+
+    def canonical(
+        self,
+        node_packed: Sequence[bytes],
+        queue_packed: Sequence[bytes],
+    ) -> Tuple[bytes, int, bool]:
+        """Minimal serialized group image, the element achieving it, and
+        whether that element is ambiguous.
+
+        Ambiguity (two elements producing the same minimal bytes) means
+        the state has a nontrivial stabilizer — possible only with
+        duplicate IDs — and then canonical *channel labels* are only
+        defined up to the stabilizer.  Callers that store per-channel
+        data in canonical coordinates (the sleep-set layer) must treat
+        ambiguous states conservatively.
+        """
+        best = self.serialize(0, node_packed, queue_packed)
+        best_index = 0
+        ambiguous = False
+        for index in range(1, len(self.elements)):
+            candidate = self.serialize(index, node_packed, queue_packed)
+            if candidate < best:
+                best, best_index, ambiguous = candidate, index, False
+            elif candidate == best:
+                ambiguous = True
+        return best, best_index, ambiguous
+
+    def orbit_factor(
+        self,
+        node_packed: Sequence[bytes],
+        queue_packed: Sequence[bytes],
+    ) -> int:
+        """Distinct group images of a state — at the (deterministic) root
+        state this counts the distinct *instances* the exploration
+        certifies (group order divided by the instance's stabilizer)."""
+        return len(
+            {
+                self.serialize(index, node_packed, queue_packed)
+                for index in range(len(self.elements))
+            }
+        )
+
+    # -- coordinate translation -------------------------------------------
+
+    def to_canonical_channel(self, element_index: int, channel_id: int) -> int:
+        """The label ``channel_id`` carries inside element ``i``'s image."""
+        return self._chan_to_canonical[element_index][channel_id]
+
+    def permute_nodes(self, element_index: int, nodes: Sequence) -> List:
+        """The image's node list (a reordering of the same node objects).
+
+        Used by the invariant spot-check: hooks evaluated on this list
+        certify the invariant at one non-identity group image of the
+        visited representative.
+        """
+        element = self.elements[element_index]
+        return [nodes[src] for src in element.node_src]

@@ -1,0 +1,222 @@
+"""Properties of the ring-symmetry canonicalization layer.
+
+The symmetry reduction is sound only if canonicalization is a true orbit
+invariant: every instance in a dihedral orbit must canonicalize its root
+state to the same bytes, the canonicalizing element must be a fixed
+point of serialization, and channel-label translation must round-trip.
+These are exactly the metamorphic properties PR 2 pinned on *live* runs
+(rotation/relabeling/orientation-flip duality), lifted to the explorer's
+state encoding and checked with the shared strategies.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from strategies import flipped_rings, rotated_rings, relabeled_rings
+
+from repro.core.nonoriented import NonOrientedNode
+from repro.core.terminating import TerminatingNode
+from repro.core.warmup import WarmupNode
+from repro.exceptions import ConfigurationError
+from repro.simulator.ring import build_nonoriented_ring, build_oriented_ring
+from repro.verification import RingSymmetry, explore_reduced
+from repro.verification.reduced import _RState, _Static
+
+
+def _root_components(network):
+    """The packed per-node/per-channel components of a fresh root state."""
+    static = _Static(network)
+    root = _RState(network, static)
+    from repro.verification.reduced import _ReducedAPI
+
+    for index, node in enumerate(root.nodes):
+        node.on_init(_ReducedAPI(static, root, index))
+    return root.packed_components()
+
+
+def _oriented_network(node_cls, ids):
+    return build_oriented_ring([node_cls(i) for i in ids]).network
+
+
+def _nonoriented_network(ids, flips):
+    return build_nonoriented_ring(
+        [NonOrientedNode(i) for i in ids], flips=flips
+    ).network
+
+
+# -- group structure ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5])
+def test_group_order(n):
+    ids = list(range(1, n + 1))
+    network = _oriented_network(WarmupNode, ids)
+    assert RingSymmetry.from_network(network).order == n
+    network = _oriented_network(WarmupNode, ids)
+    assert RingSymmetry.from_network(network, include_duals=True).order == 2 * n
+
+
+@pytest.mark.parametrize("include_duals", [False, True])
+def test_channel_translation_roundtrips(include_duals):
+    network = _nonoriented_network([3, 1, 4, 2], [True, False, False, True])
+    sym = RingSymmetry.from_network(network, include_duals=include_duals)
+    for index, element in enumerate(sym.elements):
+        for cid in range(2 * sym.n):
+            # to_canonical_channel is the inverse of chan_src, both ways.
+            assert element.chan_src[sym.to_canonical_channel(index, cid)] == cid
+            assert sym.to_canonical_channel(index, element.chan_src[cid]) == cid
+
+
+@pytest.mark.parametrize("include_duals", [False, True])
+def test_elements_are_permutations(include_duals):
+    network = _nonoriented_network([2, 5, 1], [False, True, False])
+    sym = RingSymmetry.from_network(network, include_duals=include_duals)
+    for element in sym.elements:
+        assert sorted(element.node_src) == list(range(sym.n))
+        assert sorted(element.chan_src) == list(range(2 * sym.n))
+        assert len(element.flip_image) == sym.n
+
+
+# -- structural validation ----------------------------------------------------
+
+
+def test_content_carrying_ring_is_rejected():
+    network = build_oriented_ring(
+        [WarmupNode(i) for i in (1, 2, 3)], defective=False
+    ).network
+    with pytest.raises(ConfigurationError, match="defective"):
+        RingSymmetry.from_network(network)
+
+
+def test_non_ring_channel_layout_is_rejected():
+    network = _oriented_network(WarmupNode, [1, 2, 3])
+    # Sabotage the builder convention: swap two channels' identities.
+    network.channels[0], network.channels[1] = (
+        network.channels[1],
+        network.channels[0],
+    )
+    with pytest.raises(ConfigurationError, match="ring"):
+        RingSymmetry.from_network(network)
+
+
+# -- canonicalization properties ----------------------------------------------
+
+
+@given(rotated_rings(min_size=2, max_size=5, max_id=8))
+def test_canonical_root_is_rotation_invariant(case):
+    """Rotating the clockwise ID list must not change the canonical root."""
+    ids, k = case
+    rotated = ids[k:] + ids[:k]
+    sym_a = RingSymmetry.from_network(_oriented_network(TerminatingNode, ids))
+    sym_b = RingSymmetry.from_network(
+        _oriented_network(TerminatingNode, rotated)
+    )
+    key_a = sym_a.canonical(*_root_components(_oriented_network(TerminatingNode, ids)))
+    key_b = sym_b.canonical(
+        *_root_components(_oriented_network(TerminatingNode, rotated))
+    )
+    assert key_a[0] == key_b[0]
+    # Unique IDs: trivial stabilizer, so the canonical element is unambiguous
+    # and the orbit factor is the full group order.
+    assert not key_a[2] and not key_b[2]
+    assert (
+        sym_a.orbit_factor(
+            *_root_components(_oriented_network(TerminatingNode, ids))
+        )
+        == len(ids)
+    )
+
+
+@given(flipped_rings(min_size=2, max_size=4, max_id=8))
+def test_canonical_root_is_orientation_dual_invariant(case):
+    """A non-oriented ring and its orientation-dual share a canonical root.
+
+    The dual instance (the reflection the metamorphic duality test pins on
+    live runs) reverses the clockwise ID order and negates the reversed
+    flip bits; with duals in the group both instances are one orbit.
+    """
+    ids, flips = case
+    dual_ids = list(reversed(ids))
+    dual_flips = [not f for f in reversed(flips)]
+    net_a = _nonoriented_network(ids, flips)
+    net_b = _nonoriented_network(dual_ids, dual_flips)
+    sym_a = RingSymmetry.from_network(net_a, include_duals=True)
+    sym_b = RingSymmetry.from_network(net_b, include_duals=True)
+    key_a = sym_a.canonical(*_root_components(_nonoriented_network(ids, flips)))
+    key_b = sym_b.canonical(
+        *_root_components(_nonoriented_network(dual_ids, dual_flips))
+    )
+    assert key_a[0] == key_b[0]
+
+
+@given(rotated_rings(min_size=2, max_size=4, max_id=6))
+def test_canonicalization_is_idempotent_and_a_fixed_point(case):
+    """canonical() is deterministic and its element serializes to itself."""
+    ids, _ = case
+    network = _oriented_network(WarmupNode, ids)
+    sym = RingSymmetry.from_network(network)
+    components = _root_components(_oriented_network(WarmupNode, ids))
+    best, index, ambiguous = sym.canonical(*components)
+    assert sym.canonical(*components) == (best, index, ambiguous)
+    assert sym.serialize(index, *components) == best
+    # The canonical bytes are minimal over every group image.
+    for other in range(sym.order):
+        assert best <= sym.serialize(other, *components)
+
+
+@given(relabeled_rings(min_size=2, max_size=3, max_id=5))
+def test_full_reduction_verdicts_are_relabeling_invariant(case):
+    """Order-preserving relabeling preserves every certificate verdict.
+
+    Relabeling changes the canonical bytes (IDs are state), so the
+    invariance lives one level up: the full-reduction certificate —
+    confluence, violations, orbit factor, terminal count — must match.
+    """
+    ids, relabeled = case
+
+    def factory(assignment):
+        return lambda: _oriented_network(WarmupNode, assignment)
+
+    a = explore_reduced(factory(ids), reduction="full")
+    b = explore_reduced(factory(relabeled), reduction="full")
+    assert a.confluent == b.confluent
+    assert a.quiescence_violations == b.quiescence_violations
+    assert a.orbit_factor == b.orbit_factor
+    assert len(a.terminal_node_fingerprints) == len(b.terminal_node_fingerprints)
+
+
+# -- orbit factors and stabilizers --------------------------------------------
+
+
+def test_orbit_factor_counts_stabilizer():
+    # [2,2]: rotation-invariant instance, orbit factor 1.
+    sym = RingSymmetry.from_network(_oriented_network(WarmupNode, [2, 2]))
+    assert sym.orbit_factor(*_root_components(_oriented_network(WarmupNode, [2, 2]))) == 1
+    # [1,2,1,2]: stabilizer of order 2 inside 4 rotations → orbit factor 2.
+    sym = RingSymmetry.from_network(_oriented_network(WarmupNode, [1, 2, 1, 2]))
+    assert (
+        sym.orbit_factor(
+            *_root_components(_oriented_network(WarmupNode, [1, 2, 1, 2]))
+        )
+        == 2
+    )
+
+
+def test_stabilized_root_is_ambiguous():
+    network = _oriented_network(WarmupNode, [1, 2, 1, 2])
+    sym = RingSymmetry.from_network(network)
+    _, _, ambiguous = sym.canonical(
+        *_root_components(_oriented_network(WarmupNode, [1, 2, 1, 2]))
+    )
+    assert ambiguous
+
+
+def test_permute_nodes_reorders_same_objects():
+    network = _oriented_network(WarmupNode, [3, 1, 2])
+    sym = RingSymmetry.from_network(network)
+    nodes = list(network.nodes)
+    image = sym.permute_nodes(1, nodes)
+    assert sorted(id(node) for node in image) == sorted(id(node) for node in nodes)
+    assert [node.node_id for node in image] == [1, 2, 3]
