@@ -38,6 +38,69 @@ def _parse_bool_list(text: str) -> List[bool]:
     return [bool(value) for value in _parse_int_list(text)]
 
 
+def _parse_topology(spec: str):
+    """Build the graph named by a ``--topology`` spec.
+
+    Grammar (names come from :data:`repro.graphs.samples.SAMPLE_TOPOLOGIES`)::
+
+        theta[:A,B,C]      theta graph, path interior counts A,B,C
+        nested[:DEPTH[,CYCLE]]   nested-ears ladder
+        random:SEED[,TARGET]     random ear composition
+        ring:N             the cycle C_N
+        bridge             two triangles joined by a bridge (refusal demo)
+        edges:A-B,C-D,...  explicit edge list (n = max vertex + 1)
+    """
+    from repro.exceptions import ConfigurationError
+    from repro.graphs.connectivity import Graph
+    from repro.graphs.samples import (
+        bridge_graph,
+        nested_ears,
+        random_ear_composition,
+        theta_graph,
+    )
+
+    name, _, params = spec.partition(":")
+    values = _parse_int_list(params) if params and name != "edges" else []
+    try:
+        if name == "theta":
+            return theta_graph(*values) if values else theta_graph()
+        if name == "nested":
+            return nested_ears(*values) if values else nested_ears()
+        if name == "random":
+            if not values:
+                raise SystemExit("--topology random needs a seed: random:SEED[,TARGET]")
+            return random_ear_composition(*values)
+        if name == "ring":
+            if len(values) != 1:
+                raise SystemExit("--topology ring needs a size: ring:N")
+            return Graph.ring(values[0])
+        if name == "bridge":
+            return bridge_graph()
+        if name == "edges":
+            try:
+                pairs = [
+                    tuple(int(part) for part in chunk.split("-"))
+                    for chunk in params.split(",")
+                    if chunk
+                ]
+            except ValueError:
+                raise SystemExit(
+                    f"--topology edges expects A-B,C-D,... pairs, got {params!r}"
+                )
+            if not pairs or any(len(pair) != 2 for pair in pairs):
+                raise SystemExit(
+                    f"--topology edges expects A-B,C-D,... pairs, got {params!r}"
+                )
+            n = max(max(pair) for pair in pairs) + 1
+            return Graph.from_edges(n, pairs)
+    except ConfigurationError as error:
+        raise SystemExit(f"--topology {spec}: {error}") from None
+    raise SystemExit(
+        f"unknown topology {name!r}; choose from theta, nested, random, "
+        "ring, bridge, edges"
+    )
+
+
 def _scheduler(name: Optional[str]) -> Optional[Scheduler]:
     if name is None:
         return None
@@ -49,6 +112,39 @@ def _scheduler(name: Optional[str]) -> Optional[Scheduler]:
     return registry[name]
 
 
+def _cmd_elect_topology(args: argparse.Namespace) -> int:
+    from repro.core.ear_election import elect_leader_ear
+    from repro.core.kernels.ear import build_routing
+    from repro.exceptions import BridgeWitnessError
+
+    graph = _parse_topology(args.topology)
+    ids = args.ids if args.ids is not None else list(range(1, graph.n + 1))
+    try:
+        report = elect_leader_ear(graph, ids, scheduler=_scheduler(args.scheduler))
+    except BridgeWitnessError as refusal:
+        print(f"setting      : ear (2-edge-connected election)")
+        print(f"topology     : {args.topology} (n={graph.n}, "
+              f"{len(graph.edges)} edges)")
+        print(f"REFUSED      : {refusal}")
+        if refusal.bridge is not None:
+            print(f"witness      : bridge edge {refusal.bridge}")
+        return 1
+    routing = build_routing(graph)
+    print(f"setting      : ear (2-edge-connected election)")
+    print(f"topology     : {args.topology} (n={graph.n}, "
+          f"{len(graph.edges)} edges)")
+    print(f"virtual ring : L={routing.length} stride C={routing.stride}")
+    print(f"leader       : {report.leader}")
+    print(f"states       : {[state.value for state in report.states]}")
+    print(f"pulses       : {report.total_pulses}")
+    exact = (
+        "exact match" if report.total_pulses == report.claimed_bound
+        else "MISMATCH"
+    )
+    print(f"bound L*IDmax*C : {report.claimed_bound}  ({exact})")
+    return 0 if report.succeeded else 1
+
+
 def _cmd_elect(args: argparse.Namespace) -> int:
     from repro.core.election import (
         elect_leader_anonymous,
@@ -56,6 +152,8 @@ def _cmd_elect(args: argparse.Namespace) -> int:
         elect_leader_oriented,
     )
 
+    if args.topology is not None:
+        return _cmd_elect_topology(args)
     if args.setting == "oriented":
         report = elect_leader_oriented(args.ids, scheduler=_scheduler(args.scheduler))
     elif args.setting == "nonoriented":
@@ -293,11 +391,62 @@ def _cmd_verify_recovery(args: argparse.Namespace, model) -> int:
     return 0 if ok else 1
 
 
+def _cmd_verify_topology_statistical(args: argparse.Namespace) -> int:
+    from repro.exceptions import BridgeWitnessError, ConfigurationError
+    from repro.verification.statistical import run_topology_check
+
+    graph = _parse_topology(args.topology)
+    print(f"mode                 : statistical topology battery (ear election)")
+    print(f"topology             : {args.topology} (n={graph.n}, "
+          f"{len(graph.edges)} edges)")
+    try:
+        report = run_topology_check(
+            graph,
+            id_max=args.id_max,
+            samples=args.samples,
+            seed=args.seed,
+            sched_seed=args.sched_seed,
+            scheduler=args.scheduler,
+            backend=args.backend,
+            block_size=args.block_size,
+            confidence=args.confidence,
+        )
+    except BridgeWitnessError as refusal:
+        print(f"REFUSED              : {refusal}")
+        if refusal.bridge is not None:
+            print(f"witness              : bridge edge {refusal.bridge}")
+        return 1
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
+    print(f"virtual ring         : L={report.walk_length} stride C={report.stride}")
+    print(f"id max               : {report.id_max}")
+    print(f"samples              : {report.samples}")
+    print(f"backend / scheduler  : {report.backend} / {report.scheduler}")
+    print(f"seeds (ids, sched)   : {report.seed}, {report.sched_seed}")
+    print(f"contract violations  : {report.violations}")
+    print(
+        f"pass rate            : {report.pass_rate:.6f} "
+        f"({int(report.confidence * 100)}% CP interval "
+        f"[{report.rate_low:.6f}, {report.rate_high:.6f}])"
+    )
+    for ce in report.counterexamples:
+        print(f"counterexample       : instance {ce.instance}: {ce.message}")
+        reproduced = ce.replay()
+        print(
+            f"  replay reproduces  : "
+            f"{'yes' if reproduced is not None else 'NO'}"
+        )
+    print("PASSED (sampled topology battery)" if report.clean else "FAILED")
+    return 0 if report.clean else 1
+
+
 def _cmd_verify_statistical(args: argparse.Namespace) -> int:
     from repro.accel import maybe_warm_compiled
     from repro.simulator.fleet import FleetFault
     from repro.verification.statistical import run_statistical_check
 
+    if args.topology is not None:
+        return _cmd_verify_topology_statistical(args)
     maybe_warm_compiled(args.backend)
     model = _fault_model_from_args(args)
     if args.recovery:
@@ -383,8 +532,10 @@ def _cmd_verify_statistical(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     if args.statistical:
         return _cmd_verify_statistical(args)
-    if args.ids is None:
-        raise SystemExit("verify: --ids is required unless --statistical")
+    if args.ids is None and args.topology is None:
+        raise SystemExit(
+            "verify: --ids is required unless --statistical or --topology"
+        )
 
     from repro.core.invariants import InvariantViolation, hooks_for
     from repro.core.nonoriented import NonOrientedNode
@@ -397,6 +548,32 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         explore_all_schedules,
         explore_reduced,
     )
+
+    graph = None
+    ear_routing = None
+    if args.topology is not None:
+        from repro.core.kernels.ear import build_routing
+        from repro.exceptions import BridgeWitnessError
+        from repro.graphs.connectivity import require_two_edge_connected
+
+        graph = _parse_topology(args.topology)
+        try:
+            require_two_edge_connected(graph)
+        except BridgeWitnessError as refusal:
+            print(f"topology             : {args.topology} (n={graph.n}, "
+                  f"{len(graph.edges)} edges)")
+            print(f"REFUSED              : {refusal}")
+            if refusal.bridge is not None:
+                print(f"witness              : bridge edge {refusal.bridge}")
+            return 1
+        ear_routing = build_routing(graph)
+        if args.ids is None:
+            args.ids = list(range(1, graph.n + 1))
+        if len(args.ids) != graph.n:
+            raise SystemExit(
+                f"--topology {args.topology} has {graph.n} vertices but "
+                f"--ids lists {len(args.ids)}"
+            )
 
     ids = args.ids
     fault_plan = None
@@ -416,7 +593,20 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         )
 
     def factory():
-        if args.algorithm == "nonoriented":
+        if graph is not None:
+            from repro.core.ear_election import EarElectionNode
+            from repro.core.kernels.ear import virtual_ids
+
+            vids = virtual_ids(ids, ear_routing)
+            nodes = []
+            for vertex in range(graph.n):
+                out_ports, in_route = ear_routing.node_tables(vertex)
+                node_vids = tuple(
+                    vids[p] for p in ear_routing.occurrences[vertex]
+                )
+                nodes.append(EarElectionNode(node_vids, out_ports, in_route))
+            network = ear_routing.topology.wire(nodes)
+        elif args.algorithm == "nonoriented":
             flips = args.flips if args.flips is not None else [False] * len(ids)
             if len(flips) != len(ids):
                 raise SystemExit("--flips must match --ids in length")
@@ -432,8 +622,21 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             apply_fault_plan(network, fault_plan)
         return network
 
-    hooks = hooks_for(args.algorithm) if args.invariants else ()
-    print(f"algorithm            : {args.algorithm}")
+    if graph is not None and args.invariants:
+        print(
+            "note: the positional invariant hooks are ring-lemma forms; "
+            "--topology runs check the contract via terminal states only"
+        )
+    hooks = (
+        hooks_for(args.algorithm) if args.invariants and graph is None else ()
+    )
+    if graph is not None:
+        print(f"algorithm            : ear (2-edge-connected election)")
+        print(f"topology             : {args.topology} (n={graph.n}, "
+              f"{len(graph.edges)} edges; virtual ring "
+              f"L={ear_routing.length}, stride C={ear_routing.stride})")
+    else:
+        print(f"algorithm            : {args.algorithm}")
     print(f"ids                  : {ids}")
     if fault_plan is not None:
         print(
@@ -447,6 +650,17 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if reduction == "por":  # deprecated PR 2 spelling
         print("note: --reduction por is deprecated; using 'ample'")
         reduction = "ample"
+    if graph is not None and reduction in ("symmetry", "full"):
+        # The ring-symmetry layer validates the ring builder convention
+        # (it would raise ConfigurationError on these networks): general
+        # topologies use the sorted-adjacency convention and need their
+        # own automorphism groups.  Downgrade to the strongest sound mode.
+        downgraded = "sleep" if reduction == "full" else "ample"
+        print(
+            f"note: --reduction {reduction} assumes the ring builder "
+            f"convention; downgrading to '{downgraded}' off-ring"
+        )
+        reduction = downgraded
     if fault_plan is not None and reduction in ("symmetry", "full"):
         # Per-channel fault profiles break the ring automorphisms, so the
         # symmetry layer would be unsound; drop to the strongest sound mode.
@@ -457,7 +671,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         )
         reduction = downgraded
     reduce_first = reduction != "none"
-    include_duals = args.algorithm == "nonoriented"
+    include_duals = args.algorithm == "nonoriented" and graph is None
     spill_threshold = (
         args.spill_threshold_mb * 2**20 if args.spill_threshold_mb else None
     )
@@ -523,7 +737,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     ok = result.confluent and result.quiescence_violations == 0
 
     if fault_plan is None:
-        label, expected = _expected_pulse_bound(args.algorithm, ids)
+        if graph is not None:
+            from repro.core.kernels.ear import pulse_bound
+
+            label, expected = ("L*IDmax*C (virtual Cor 13)",
+                               pulse_bound(ids, ear_routing))
+        else:
+            label, expected = _expected_pulse_bound(args.algorithm, ids)
         certified = bool(result.terminal_total_sent) and all(
             sent == expected for sent in result.terminal_total_sent
         )
@@ -801,6 +1021,16 @@ def _farm_campaign_from_args(args: argparse.Namespace):
         )
     elif args.workload == "whp":
         params = whp_params(n=args.n, c=args.c, seed=args.seed)
+    elif args.workload == "ear":
+        from repro.farm.campaign import ear_params
+
+        params = ear_params(
+            _parse_topology(args.topology or "theta"),
+            id_max=args.id_max,
+            seed=args.seed,
+            sched_seed=args.sched_seed,
+            scheduler=args.scheduler,
+        )
     else:
         params = placements_params(n=args.n, seed=args.seed)
     return Campaign(
@@ -920,6 +1150,13 @@ def build_parser() -> argparse.ArgumentParser:
     elect.add_argument("--seed", type=int, default=None)
     elect.add_argument("--scheduler", default=None,
                        help="global_fifo|lifo|random|round_robin|lag_ccw|lag_cw|longest_run")
+    elect.add_argument("--topology", default=None, metavar="SPEC",
+                       help="run the 2-edge-connected ear election on SPEC "
+                            "instead of a ring: theta[:A,B,C], "
+                            "nested[:DEPTH[,CYCLE]], random:SEED[,TARGET], "
+                            "ring:N, bridge, or edges:A-B,C-D,...; --ids "
+                            "are per-vertex (default 1..n); graphs with a "
+                            "bridge are refused with the bridge as witness")
     elect.set_defaults(func=_cmd_elect)
 
     compute = sub.add_parser("compute", help="content-oblivious computation (Cor 5)")
@@ -970,6 +1207,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "sleep sets; ample = persistent sets only; "
                              "none: branch on every channel at every state "
                              "(por is a deprecated alias of ample)")
+    verify.add_argument("--topology", default=None, metavar="SPEC",
+                        help="verify the ear election on a 2-edge-connected "
+                             "graph (same SPEC grammar as elect --topology): "
+                             "exhaustive over all schedules by default, or "
+                             "the sampled contract battery with "
+                             "--statistical; bridge graphs are refused with "
+                             "the bridge edge as witness")
     verify.add_argument("--spill-threshold-mb", type=int, default=0,
                         help="spill the visited set to disk above this many "
                              "MiB (0 = keep in memory)")
@@ -1176,8 +1420,13 @@ def build_parser() -> argparse.ArgumentParser:
     fsubmit.add_argument("--root", required=True, help="farm root directory")
     fsubmit.add_argument(
         "--workload",
-        choices=("recovery", "degradation", "whp", "placements"),
+        choices=("recovery", "degradation", "whp", "placements", "ear"),
         default="recovery",
+    )
+    fsubmit.add_argument(
+        "--topology", default=None, metavar="SPEC",
+        help="ear workload: the 2-edge-connected graph to sweep "
+             "(same SPEC grammar as elect --topology; default theta)",
     )
     fsubmit.add_argument("--total", type=int, default=1000,
                          help="instances per grid point")
@@ -1272,7 +1521,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "elect" and args.setting != "anonymous" and args.ids is None:
+    if (
+        args.command == "elect"
+        and args.setting != "anonymous"
+        and args.topology is None
+        and args.ids is None
+    ):
         parser.error("--ids is required for oriented/nonoriented elections")
     return args.func(args)
 

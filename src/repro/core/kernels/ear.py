@@ -1,0 +1,178 @@
+"""Ear-walk election kernel: Algorithm 1 lifted to 2-edge-connected graphs.
+
+The Chang–Chen–Zhou line (arXiv:2507.08348) extends content-oblivious
+election beyond rings.  The structural device is the closed **ear walk**
+(:mod:`repro.graphs.walks`): a walk covering every vertex that uses each
+directed edge at most once.  The walk defines an *oriented virtual ring*
+of length ``L = len(walk)``; because every physical directed channel
+carries at most one virtual ring edge, a pulse's arrival port identifies
+its virtual position with no content at all — the whole point of the
+construction in the fully defective model.
+
+Each physical vertex ``v`` hosts one virtual node per walk occurrence.
+This module owns the two pure ingredients:
+
+* :func:`build_routing` — the static routing tables mapping virtual ring
+  edges onto physical ports (arrival port -> hosted occurrence, hosted
+  occurrence -> send port), derived from
+  :func:`repro.topology.graph_topology`'s port numbering so the engine,
+  the fleet, and the explorers all agree byte-for-byte.
+* :func:`virtual_ids` — the per-occurrence governing thresholds
+  ``vid(v, k) = ID_v * C - k`` (``C`` = the walk's maximum occurrence
+  count, ``k`` the occurrence index in walk order).  The vids are
+  pairwise distinct whenever the physical IDs are, every vid is
+  positive, and the *maximum* vid is occurrence 0 of the maximum-ID
+  vertex — so running the warm-up kernel on the virtual ring elects a
+  unique virtual node hosted at the unique physical argmax.  On a ring
+  (``C == 1``) the vids collapse to the IDs themselves: the ear kernel
+  *is* Algorithm 1, not a variant of it.
+
+The per-occurrence transition is deliberately not re-implemented:
+:func:`step_occurrence` delegates to :func:`repro.core.kernels.warmup.step`,
+keeping one copy of the absorb/relay arithmetic (chunk-exact, so the
+batched engine and the fleet see identical semantics).
+
+Exact bound: the virtual ring obeys Corollary 13 verbatim — total pulses
+``L * VIDmax = L * IDmax * C``, and at quiescence every occurrence has
+``rho = sigma = VIDmax``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.common import CW_ARRIVAL_PORT, LeaderState
+from repro.core.kernels import warmup
+from repro.core.schema import CONFIG, Field, StateSchema
+from repro.graphs.connectivity import Graph
+from repro.graphs.walks import ear_walk, walk_occurrences
+from repro.topology import Topology, graph_topology
+
+NAME = "ear"
+
+SCHEMA = StateSchema(
+    name=NAME,
+    fields=(
+        Field("vids", "int_list", CONFIG, "virtual ID per hosted occurrence"),
+        Field("out_ports", "int_list", CONFIG, "send port per hosted occurrence"),
+        Field("in_route", "int_pairs", CONFIG, "arrival port -> occurrence index"),
+        Field("rho", "int_list", doc="pulses processed per occurrence"),
+        Field("sigma", "int_list", doc="pulses sent per occurrence"),
+        Field("states", "enum_list", doc="per-occurrence warm-up verdicts"),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class EarRouting:
+    """Static routing of a graph's virtual ring onto physical ports.
+
+    Attributes:
+        topology: The physical :class:`~repro.topology.Topology`
+            (``graph_topology`` port numbering — sorted-adjacency).
+        walk: The ear walk; virtual node ``j`` lives at ``walk[j]``.
+        occurrences: Per vertex, its walk positions in walk order;
+            ``occurrences[v][k]`` is the position of occurrence ``k``.
+        stride: ``C`` — the maximum occurrence count over all vertices.
+        in_ports: Per walk position ``j``, the physical arrival port at
+            ``walk[j]`` of the virtual edge ``j-1 -> j``.
+        out_ports: Per walk position ``j``, the physical send port at
+            ``walk[j]`` of the virtual edge ``j -> j+1``.
+    """
+
+    topology: Topology
+    walk: Tuple[int, ...]
+    occurrences: Tuple[Tuple[int, ...], ...]
+    stride: int
+    in_ports: Tuple[int, ...]
+    out_ports: Tuple[int, ...]
+
+    @property
+    def length(self) -> int:
+        """``L`` — the virtual ring size."""
+        return len(self.walk)
+
+    def node_tables(self, vertex: int) -> Tuple[Tuple[int, ...], Dict[int, int]]:
+        """One vertex's routing: (send port per occurrence, arrival
+        port -> occurrence index).  Well-defined because the walk uses
+        each directed edge — hence each arrival port — at most once."""
+        positions = self.occurrences[vertex]
+        out = tuple(self.out_ports[j] for j in positions)
+        route = {self.in_ports[j]: k for k, j in enumerate(positions)}
+        return out, route
+
+
+def build_routing(graph: Graph) -> EarRouting:
+    """Derive the routing tables of ``graph``'s ear walk.
+
+    Deterministic in the graph alone: the walk comes from
+    :func:`~repro.graphs.walks.ear_walk` and the port numbers from
+    :func:`~repro.topology.graph_topology`, both canonical.
+
+    Raises:
+        ConfigurationError: If the graph is not 2-edge-connected
+            (inherited from the ear decomposition).
+    """
+    walk = tuple(ear_walk(graph))
+    topology = graph_topology(graph)
+    toward: Dict[Tuple[int, int], int] = {}
+    for spec in topology.channels:
+        toward[(spec.src_node, spec.dst_node)] = spec.src_port
+    length = len(walk)
+    in_ports = tuple(
+        toward[(walk[j], walk[j - 1])] for j in range(length)
+    )
+    out_ports = tuple(
+        toward[(walk[j], walk[(j + 1) % length])] for j in range(length)
+    )
+    occurrences = tuple(
+        tuple(positions) for positions in walk_occurrences(walk, graph.n)
+    )
+    stride = max(len(positions) for positions in occurrences)
+    return EarRouting(
+        topology=topology,
+        walk=walk,
+        occurrences=occurrences,
+        stride=stride,
+        in_ports=in_ports,
+        out_ports=out_ports,
+    )
+
+
+def virtual_ids(ids: Sequence[int], routing: EarRouting) -> List[int]:
+    """Per-walk-position governing thresholds, in virtual ring order.
+
+    ``vid(v, k) = ids[v] * C - k`` with ``C = routing.stride``.  Distinct
+    physical IDs give distinct vids (``C*(id_a - id_b) = k_a - k_b``
+    forces ``id_a == id_b`` since ``|k_a - k_b| < C``), every vid is
+    positive, and the global maximum is occurrence 0 of the argmax
+    vertex.  On rings ``C == 1`` and the vids equal the IDs.
+    """
+    vids = [0] * routing.length
+    for vertex, positions in enumerate(routing.occurrences):
+        for k, position in enumerate(positions):
+            vids[position] = ids[vertex] * routing.stride - k
+    return vids
+
+
+def step_occurrence(
+    vid: int, rho: int, count: int
+) -> Tuple[int, int, LeaderState]:
+    """Advance one hosted occurrence by a run of ``count`` pulses.
+
+    Returns ``(rho_after, relays, state)``.  Pure delegation to the
+    warm-up kernel — the ear kernel has no transition arithmetic of its
+    own; an occurrence is exactly one Algorithm 1 node of the virtual
+    ring.
+    """
+    state = warmup.make_state(vid)
+    state.rho_cw = rho
+    state, emissions, _ = warmup.step(state, CW_ARRIVAL_PORT, count)
+    relays = emissions[0][1] if emissions else 0
+    return state.rho_cw, relays, state.state
+
+
+def pulse_bound(ids: Sequence[int], routing: EarRouting) -> int:
+    """Corollary 13 on the virtual ring: ``L * VIDmax = L * IDmax * C``."""
+    return routing.length * max(ids) * routing.stride

@@ -69,7 +69,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.exceptions import ConfigurationError, ProtocolViolation
 from repro.simulator.engine import Engine, RunResult
 from repro.simulator.node import Node, NodeAPI, PORT_ONE, PORT_ZERO
-from repro.simulator.ring import build_oriented_ring
+from repro.topology import oriented_ring
 from repro.simulator.scheduler import Scheduler
 
 #: Data ticks travel clockwise: sent from Port_1, arriving at Port_0.
@@ -327,10 +327,11 @@ def run_circuit_transport(
         _run_solo(nodes[0])
         return TransportOutcome(nodes=nodes, run=None)
     # Ring order follows the input order; the census assigns positions
-    # relative to the leader, so no rotation is needed.
-    topology = build_oriented_ring(nodes)
+    # relative to the leader, so no rotation is needed.  The wiring
+    # routes through the shared topology layer, like every builder.
+    network = oriented_ring(n).wire(nodes)
     result = Engine(
-        topology.network,
+        network,
         scheduler=scheduler,
         max_steps=max_steps,
         strict_quiescence=strict_quiescence,

@@ -52,5 +52,20 @@ class QuiescentTerminationViolation(ProtocolViolation):
     """
 
 
+class BridgeWitnessError(ConfigurationError):
+    """A topology below the 2-edge-connectivity frontier was refused.
+
+    Content-oblivious computation is impossible on graphs with a bridge
+    (Censor-Hillel et al.; the Beyond-2EC impossibility line): the
+    adversary can starve one side of the bridge of all information.  The
+    exception carries the offending edge as a machine-readable witness —
+    ``None`` when the graph is outright disconnected.
+    """
+
+    def __init__(self, message: str, bridge: "tuple[int, int] | None" = None) -> None:
+        super().__init__(message)
+        self.bridge = bridge
+
+
 class DecodingError(ReproError):
     """The defective-network transport failed to decode a pulse stream."""

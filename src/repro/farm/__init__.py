@@ -21,6 +21,7 @@ from repro.farm.campaign import (
     Campaign,
     Job,
     degradation_params,
+    ear_params,
     placements_params,
     recovery_params,
     shard_ranges,
@@ -60,6 +61,7 @@ __all__ = [
     "canonical_fault_model",
     "canonical_json",
     "degradation_params",
+    "ear_params",
     "digest",
     "fault_model_from_canonical",
     "placements_params",

@@ -39,7 +39,7 @@ from repro.farm.keys import (
 from repro.faults.model import FaultModel
 
 #: Workload names a campaign may carry.
-WORKLOADS = ("recovery", "degradation", "whp", "placements")
+WORKLOADS = ("recovery", "degradation", "whp", "placements", "ear")
 
 #: Default instances per shard when the submitter names none.
 DEFAULT_SHARD_SIZE = 250
@@ -157,6 +157,34 @@ def placements_params(n: int = 16, seed: int = 0) -> Dict[str, Any]:
     return {"n": n, "seed": seed}
 
 
+def ear_params(
+    graph: Any,
+    id_max: int = 64,
+    seed: int = 0,
+    sched_seed: int = 0,
+    scheduler: str = "lockstep",
+) -> Dict[str, Any]:
+    """Canonical ``ear`` workload params from a 2-edge-connected graph.
+
+    The topology enters the key as its canonical descriptor
+    (:meth:`repro.topology.Topology.canonical_descriptor`), so two
+    spellings of the same graph — edge lists in different orders, pairs
+    in either orientation — always derive the same campaign and shard
+    keys.  The non-None ``"topology"`` entry is also what makes
+    :func:`repro.farm.keys.shard_key` fold in
+    :data:`~repro.farm.keys.TOPOLOGY_SEMANTICS_VERSION`.
+    """
+    from repro.topology import graph_topology
+
+    return {
+        "topology": graph_topology(graph).canonical_descriptor(),
+        "id_max": id_max,
+        "seed": seed,
+        "sched_seed": sched_seed,
+        "scheduler": scheduler,
+    }
+
+
 _PARAM_FIELDS = {
     "recovery": (
         "algorithm",
@@ -182,6 +210,7 @@ _PARAM_FIELDS = {
     ),
     "whp": ("n", "c", "seed"),
     "placements": ("n", "seed"),
+    "ear": ("topology", "id_max", "seed", "sched_seed", "scheduler"),
 }
 
 

@@ -62,6 +62,19 @@ from repro.faults.model import FaultModel
 #: backend-independent.
 SEMANTICS_VERSION = 1
 
+#: Version of the *topology-workload* execution semantics.
+#:
+#: Workloads that run on an explicit topology (an ear-election sweep —
+#: any params carrying a non-None ``"topology"`` descriptor) fold this
+#: second version into their keys, so topology-layer semantic changes
+#: (the ear-walk construction, the virtual-ID scheme, the port
+#: convention of :func:`repro.topology.graph_topology`) can invalidate
+#: exactly the topology shards.  Ring workloads never see it: their key
+#: payloads are byte-for-byte what they were before the topology layer
+#: existed, which is what keeps every pre-existing farm cache warm —
+#: pinned by the key-stability test battery.
+TOPOLOGY_SEMANTICS_VERSION = 1
+
 
 def canonical_json(obj: Any) -> str:
     """Serialize ``obj`` to its canonical JSON form (stable across dict
@@ -190,15 +203,18 @@ def shard_key(workload: str, params: Mapping[str, Any], start: int, stop: int) -
         raise ConfigurationError(
             f"shard range must satisfy 0 <= start < stop, got [{start}, {stop})"
         )
-    return digest(
-        {
-            "semantics": SEMANTICS_VERSION,
-            "workload": workload,
-            "params": dict(params),
-            "start": start,
-            "stop": stop,
-        }
-    )
+    payload = {
+        "semantics": SEMANTICS_VERSION,
+        "workload": workload,
+        "params": dict(params),
+        "start": start,
+        "stop": stop,
+    }
+    if params.get("topology") is not None:
+        # Only topology workloads carry the second version coordinate;
+        # ring payloads stay byte-identical to the pre-topology farm.
+        payload["topology_semantics"] = TOPOLOGY_SEMANTICS_VERSION
+    return digest(payload)
 
 
 def campaign_id(spec: Mapping[str, Any]) -> str:

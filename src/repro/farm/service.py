@@ -38,6 +38,7 @@ from repro.farm.ledger import Ledger, pid_alive
 from repro.farm.store import ResultStore
 from repro.farm.workloads import (
     DEFAULT_JOB_BLOCK_SIZE,
+    aggregate_ear,
     aggregate_placements,
     aggregate_recovery,
     aggregate_whp,
@@ -383,6 +384,10 @@ class Farm:
             return aggregate_placements(
                 payloads, campaign.params["n"], campaign.total
             )
+        if campaign.workload == "ear":
+            return aggregate_ear(
+                payloads, campaign.total, confidence=confidence
+            )
         # pragma: no cover - Campaign.__post_init__ forbids this
         raise ConfigurationError(
             f"no collector for workload {campaign.workload!r}"
@@ -411,7 +416,7 @@ class Farm:
             interval=interval,
             backend_label=backend_label,
         )
-        if campaign.workload == "recovery":
+        if campaign.workload in ("recovery", "ear"):
             result: Any = obj
         elif campaign.workload == "degradation":
             result = obj.to_dict()

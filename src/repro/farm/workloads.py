@@ -112,10 +112,47 @@ def run_placements_shard(
     return {"totals": list(result.total_pulses)}
 
 
+def run_ear_shard(
+    params: Mapping[str, Any],
+    start: int,
+    stop: int,
+    backend: str = "auto",
+    block_size: int = DEFAULT_JOB_BLOCK_SIZE,
+) -> Dict[str, Any]:
+    """Ear-election contract checks over sample indices ``[start, stop)``.
+
+    ``params["topology"]`` is the canonical topology descriptor
+    (:meth:`repro.topology.Topology.canonical_descriptor`) naming the
+    2-edge-connected graph; instance ``i`` draws the same counter-based
+    ID stream as the foreground topology battery, so shards compose
+    bit-identically with it.
+    """
+    from repro.verification.statistical import run_topology_shard
+
+    topology = params["topology"]
+    failures = run_topology_shard(
+        n=topology["n"],
+        edges=[tuple(edge) for edge in topology["edges"]],
+        id_max=params["id_max"],
+        start=start,
+        stop=stop,
+        seed=params["seed"],
+        sched_seed=params["sched_seed"],
+        scheduler=params["scheduler"],
+        backend=backend,
+        block_size=block_size,
+    )
+    return {
+        "samples": stop - start,
+        "violations": [[int(index), str(message)] for index, message in failures],
+    }
+
+
 _RUNNERS = {
     "recovery": run_recovery_shard,
     "whp": run_whp_shard,
     "placements": run_placements_shard,
+    "ear": run_ear_shard,
 }
 
 
@@ -248,6 +285,46 @@ def aggregate_placements(
             f"campaign expects {trials}"
         )
     return _stats_from_counts(n, totals)
+
+
+def aggregate_ear(
+    payloads: List[Mapping[str, Any]],
+    samples: int,
+    confidence: float = 0.99,
+) -> Dict[str, Any]:
+    """Fold ear shard payloads into one contract summary.
+
+    The same numbers :func:`run_topology_check` reports for the same
+    ``samples``: the violation list (index order) and the exact
+    Clopper–Pearson interval on the clean count.
+    """
+    from repro.analysis.stats import clopper_pearson_interval
+
+    checked = 0
+    violations: List[Tuple[int, str]] = []
+    for payload in payloads:
+        checked += int(payload["samples"])
+        violations.extend(
+            (int(index), str(message))
+            for index, message in payload["violations"]
+        )
+    if checked != samples:
+        raise ConfigurationError(
+            f"aggregation mismatch: shards checked {checked} "
+            f"instances, campaign expects {samples}"
+        )
+    violations.sort(key=lambda pair: pair[0])
+    low, high = clopper_pearson_interval(
+        samples - len(violations), samples, confidence=confidence
+    )
+    return {
+        "samples": samples,
+        "violations": len(violations),
+        "rate_low": low,
+        "rate_high": high,
+        "failures": [list(pair) for pair in violations],
+        "clean": not violations,
+    }
 
 
 def degradation_curve_from_points(

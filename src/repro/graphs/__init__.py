@@ -23,21 +23,41 @@ This subpackage provides those structural tools from scratch:
 
 from repro.graphs.connectivity import (
     Graph,
+    MultiGraph,
     chain_decomposition,
     find_bridges,
     is_connected,
     is_ring,
     is_two_edge_connected,
+    require_two_edge_connected,
 )
 from repro.graphs.ears import ear_decomposition, verify_ear_decomposition
+from repro.graphs.samples import (
+    SAMPLE_TOPOLOGIES,
+    bridge_graph,
+    nested_ears,
+    random_ear_composition,
+    theta_graph,
+)
+from repro.graphs.walks import ear_walk, verify_ear_walk, walk_occurrences
 
 __all__ = [
     "Graph",
+    "MultiGraph",
+    "SAMPLE_TOPOLOGIES",
+    "bridge_graph",
     "chain_decomposition",
+    "ear_decomposition",
+    "ear_walk",
     "find_bridges",
     "is_connected",
     "is_ring",
     "is_two_edge_connected",
-    "ear_decomposition",
+    "nested_ears",
+    "random_ear_composition",
+    "require_two_edge_connected",
+    "theta_graph",
     "verify_ear_decomposition",
+    "verify_ear_walk",
+    "walk_occurrences",
 ]

@@ -16,11 +16,20 @@ The chains double as an (open) ear decomposition skeleton — see
 :mod:`repro.graphs.ears` — which is the object the CCGS compiler [8]
 builds its content-oblivious simulation on.
 
-Graphs are simple and undirected: ``Graph(n, edges)`` with vertices
-``0..n-1`` and unordered edge pairs.  (The ring *multigraph* on two
-vertices is handled specially where relevant: the simulator's 2-node
-ring uses parallel channels, which as a multigraph is 2-edge-connected;
-as a *simple* graph K2 is a single bridge.)
+Graphs come in two flavors.  :class:`Graph` is simple and undirected:
+``Graph(n, edges)`` with vertices ``0..n-1`` and unordered edge pairs.
+:class:`MultiGraph` additionally admits parallel edges and self-loops —
+the simulator's 2-node ring *is* the 2-cycle multigraph (two parallel
+channels), which is 2-edge-connected even though K2 as a simple graph is
+a single bridge.
+
+Verdict functions (:func:`find_bridges`, :func:`is_two_edge_connected`,
+:func:`is_connected`) accept either flavor and are total: parallel edges
+are never bridges, self-loops are never bridges (and do not affect any
+other edge's verdict), and disconnected inputs yield per-component
+bridges / a False connectivity verdict instead of an exception.  Only
+:func:`chain_decomposition` keeps its connected-simple-graph
+precondition — the decomposition itself is defined per component.
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import BridgeWitnessError, ConfigurationError
 
 Edge = Tuple[int, int]
 
@@ -82,11 +91,67 @@ class Graph:
         return sum(1 for edge in self.edges if vertex in edge)
 
 
-def is_connected(graph: Graph) -> bool:
+@dataclass(frozen=True)
+class MultiGraph:
+    """An undirected multigraph: parallel edges and self-loops allowed.
+
+    ``edges`` is a sorted tuple of normalized pairs *with multiplicity* —
+    the tuple order is the canonical edge numbering (used by topology
+    descriptors), and repeated pairs are distinct physical edges.
+    """
+
+    n: int
+    edges: Tuple[Edge, ...]
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Sequence[Edge]) -> "MultiGraph":
+        """Build a multigraph, validating only vertex ranges."""
+        if n < 1:
+            raise ConfigurationError(f"need at least one vertex, got n={n}")
+        normalized: List[Edge] = []
+        for edge in edges:
+            a, b = edge
+            if not (0 <= a < n and 0 <= b < n):
+                raise ConfigurationError(f"edge {edge} out of range for n={n}")
+            normalized.append(_norm(edge))
+        return cls(n=n, edges=tuple(sorted(normalized)))
+
+    @classmethod
+    def ring(cls, n: int) -> "MultiGraph":
+        """The cycle on ``n`` vertices, including the simulator's
+        degenerate rings: ``n == 2`` is two parallel edges, ``n == 1`` a
+        single self-loop."""
+        if n < 1:
+            raise ConfigurationError(f"a ring needs n >= 1, got {n}")
+        if n == 1:
+            return cls.from_edges(1, [(0, 0)])
+        if n == 2:
+            return cls.from_edges(2, [(0, 1), (0, 1)])
+        return cls.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+    def degree(self, vertex: int) -> int:
+        """Degree with multiplicity; a self-loop contributes 2."""
+        return sum(
+            (a == vertex) + (b == vertex) for a, b in self.edges
+        )
+
+
+def _edge_list(graph: "Graph | MultiGraph") -> List[Edge]:
+    """Physical edge list of either graph flavor, deterministically ordered."""
+    if isinstance(graph, MultiGraph):
+        return list(graph.edges)
+    return sorted(graph.edges)
+
+
+def is_connected(graph: "Graph | MultiGraph") -> bool:
     """Is the graph connected?  (Trivially true for n == 1.)"""
     if graph.n == 1:
         return True
-    adj = graph.adjacency()
+    adj: List[List[int]] = [[] for _ in range(graph.n)]
+    for a, b in _edge_list(graph):
+        if a != b:
+            adj[a].append(b)
+            adj[b].append(a)
     seen = {0}
     stack = [0]
     while stack:
@@ -158,30 +223,107 @@ def chain_decomposition(graph: Graph) -> List[List[int]]:
     return chains
 
 
-def find_bridges(graph: Graph) -> Set[Edge]:
-    """Edges whose removal disconnects the graph.
+def _bridge_indices(n: int, edge_list: Sequence[Edge]) -> Set[int]:
+    """Indices of the bridge edges of an arbitrary multigraph.
 
-    Via Schmidt's characterization: the bridges of a connected graph are
-    exactly the edges contained in no chain.
+    Iterative Tarjan lowpoint search over edge *ids* (not vertex pairs),
+    which is what makes parallel edges correct: the DFS refuses to
+    re-walk only the one physical edge it entered on, so the second copy
+    of a parallel pair acts as a back edge and protects both copies.
+    Self-loops join no DFS tree and are never bridges; disconnected
+    inputs are handled by restarting from every unvisited root.
     """
-    chains = chain_decomposition(graph)
-    covered: Set[Edge] = set()
-    for chain in chains:
-        for a, b in zip(chain, chain[1:]):
-            covered.add(_norm((a, b)))
-    return {edge for edge in graph.edges if edge not in covered}
+    adj: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    for eid, (a, b) in enumerate(edge_list):
+        if a == b:
+            continue
+        adj[a].append((b, eid))
+        adj[b].append((a, eid))
+    disc = [-1] * n
+    low = [0] * n
+    timer = 0
+    bridges: Set[int] = set()
+    for root in range(n):
+        if disc[root] != -1:
+            continue
+        disc[root] = low[root] = timer
+        timer += 1
+        stack = [(root, -1, iter(adj[root]))]
+        while stack:
+            vertex, entry_eid, neighbors = stack[-1]
+            advanced = False
+            for neighbor, eid in neighbors:
+                if eid == entry_eid:
+                    continue
+                if disc[neighbor] == -1:
+                    disc[neighbor] = low[neighbor] = timer
+                    timer += 1
+                    stack.append((neighbor, eid, iter(adj[neighbor])))
+                    advanced = True
+                    break
+                low[vertex] = min(low[vertex], disc[neighbor])
+            if not advanced:
+                stack.pop()
+                if stack:
+                    parent = stack[-1][0]
+                    low[parent] = min(low[parent], low[vertex])
+                    if low[vertex] > disc[parent]:
+                        bridges.add(entry_eid)
+    return bridges
 
 
-def is_two_edge_connected(graph: Graph) -> bool:
+def find_bridges(graph: "Graph | MultiGraph") -> Set[Edge]:
+    """Edges whose removal disconnects their component.
+
+    Total over both graph flavors: parallel edges and self-loops are
+    never bridges, and disconnected inputs yield the union of each
+    component's bridges.  On connected simple graphs this agrees with
+    Schmidt's characterization (the bridges are exactly the edges in no
+    chain of :func:`chain_decomposition`) — pinned by a differential
+    test.
+    """
+    edge_list = _edge_list(graph)
+    return {edge_list[eid] for eid in _bridge_indices(graph.n, edge_list)}
+
+
+def is_two_edge_connected(graph: "Graph | MultiGraph") -> bool:
     """The computability frontier of fully defective networks [8].
 
-    A graph is 2-edge-connected iff it is connected, has at least two
-    vertices... and no bridges.  (We treat the single vertex as
-    trivially 2-edge-connected, matching the paper's n=1 ring.)
+    A graph is 2-edge-connected iff it is connected and has no bridges.
+    (We treat the single vertex as trivially 2-edge-connected, matching
+    the paper's n=1 ring.)  Accepts multigraphs: the simulator's 2-node
+    ring — two parallel edges — correctly verdicts True.
     """
     if graph.n == 1:
         return True
     return is_connected(graph) and not find_bridges(graph)
+
+
+def require_two_edge_connected(graph: "Graph | MultiGraph") -> None:
+    """Refuse graphs below the computability frontier, with a witness.
+
+    Raises :class:`~repro.exceptions.BridgeWitnessError` naming the
+    smallest bridge edge (the machine-readable impossibility witness) or
+    reporting disconnection.  The witness is what ``repro verify
+    --topology`` and ``repro elect --topology`` surface to the user.
+    """
+    if graph.n == 1:
+        return
+    if not is_connected(graph):
+        raise BridgeWitnessError(
+            "graph is disconnected: content-oblivious election needs a "
+            "2-edge-connected topology",
+            bridge=None,
+        )
+    bridges = find_bridges(graph)
+    if bridges:
+        witness = min(bridges)
+        raise BridgeWitnessError(
+            f"graph has a bridge: edge {witness} — content-oblivious "
+            "computation is impossible below 2-edge-connectivity "
+            "(impossibility witness)",
+            bridge=witness,
+        )
 
 
 def is_ring(graph: Graph) -> bool:

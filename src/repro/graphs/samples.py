@@ -1,0 +1,129 @@
+"""Named 2-edge-connected sample topologies (and one bridge witness).
+
+The CLI (``repro elect --topology theta``), the statistical battery, and
+the CI smoke job all draw from this catalog, so the constructions are
+deterministic: :func:`random_ear_composition` samples from the
+counter-based stream discipline (:mod:`repro.determinism`), never
+``os.urandom``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.connectivity import Graph
+
+
+def theta_graph(a: int = 1, b: int = 2, c: int = 3) -> Graph:
+    """The theta graph: two hubs joined by three internally disjoint paths.
+
+    ``a``, ``b``, ``c`` are the interior vertex counts of the paths; at
+    most one may be zero (two direct hub-hub paths would be parallel
+    edges, outside the simple-graph domain).  The smallest
+    2-edge-connected non-ring graph family — every vertex has degree 2
+    except the two degree-3 hubs.
+    """
+    if min(a, b, c) < 0 or sorted((a, b, c))[1] == 0:
+        raise ConfigurationError(
+            "theta graph needs interior counts >= 0 with at most one zero, "
+            f"got {(a, b, c)}"
+        )
+    edges: List[Tuple[int, int]] = []
+    next_vertex = 2  # vertices 0 and 1 are the hubs
+    for interior in (a, b, c):
+        previous = 0
+        for _ in range(interior):
+            edges.append((previous, next_vertex))
+            previous = next_vertex
+            next_vertex += 1
+        edges.append((previous, 1))
+    return Graph.from_edges(next_vertex, edges)
+
+
+def nested_ears(depth: int = 2, cycle: int = 4) -> Graph:
+    """A cycle with ``depth`` ears, each anchored on the previous ear.
+
+    Ear ``k`` runs from a vertex of ear ``k-1`` (the initial cycle for
+    ``k = 1``) through two fresh interior vertices back to another
+    vertex of ear ``k-1`` — a ladder of nested 2-connected layers.
+    """
+    if cycle < 3 or depth < 0:
+        raise ConfigurationError(
+            f"nested_ears needs cycle >= 3 and depth >= 0, got {(depth, cycle)}"
+        )
+    edges: List[Tuple[int, int]] = [(i, (i + 1) % cycle) for i in range(cycle)]
+    anchor_a, anchor_b = 0, cycle // 2
+    next_vertex = cycle
+    for _ in range(depth):
+        first, second = next_vertex, next_vertex + 1
+        edges.extend([(anchor_a, first), (first, second), (second, anchor_b)])
+        anchor_a, anchor_b = first, second
+        next_vertex += 2
+    return Graph.from_edges(next_vertex, edges)
+
+
+def random_ear_composition(
+    seed: int, target: int = 8, rng: "random.Random | None" = None
+) -> Graph:
+    """A random 2-edge-connected graph grown ear by ear.
+
+    Starts from a random cycle (3–5 vertices) and adds random ears —
+    fresh interior paths between existing vertices, or direct chords —
+    until at least ``target`` vertices exist.  Construction-correct:
+    every step preserves 2-edge-connectivity (Whitney/Robbins), so no
+    rejection sampling is needed.
+    """
+    if target < 3:
+        raise ConfigurationError(f"random_ear_composition needs target >= 3, got {target}")
+    if rng is None:
+        rng = random.Random(seed)
+    n = rng.randint(3, min(5, target))
+    edges = {(i, (i + 1) % n) for i in range(n)}
+
+    def norm(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    edges = {norm(a, b) for a, b in edges}
+    while n < target:
+        interior = rng.randint(0 if n > 3 else 1, 3)
+        head = rng.randrange(n)
+        tail = rng.randrange(n)
+        if interior == 0:
+            # A chord: only legal between distinct, non-adjacent vertices.
+            if head == tail or norm(head, tail) in edges:
+                continue
+            edges.add(norm(head, tail))
+            continue
+        if head == tail and interior < 2:
+            # A one-interior cycle ear would be a parallel edge.
+            continue
+        previous = head
+        for fresh in range(n, n + interior):
+            edges.add(norm(previous, fresh))
+            previous = fresh
+        edges.add(norm(previous, tail))
+        n += interior
+    return Graph.from_edges(n, sorted(edges))
+
+
+def bridge_graph() -> Graph:
+    """Two triangles joined by one edge — the canonical bridge witness.
+
+    The joining edge ``(2, 3)`` is a bridge, so content-oblivious
+    election is impossible here (Censor-Hillel et al. [8]; the
+    Beyond-2EC impossibility line): ``repro verify --topology`` must
+    refuse this graph and emit ``(2, 3)`` as the witness.
+    """
+    return Graph.from_edges(
+        6, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]
+    )
+
+
+#: CLI-facing catalog: name -> zero-argument constructor.
+SAMPLE_TOPOLOGIES = {
+    "theta": theta_graph,
+    "nested": nested_ears,
+    "bridge": bridge_graph,
+}

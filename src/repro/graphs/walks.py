@@ -1,0 +1,98 @@
+"""Closed ear walks: the virtual ring inside a 2-edge-connected graph.
+
+The general-graph election (Chang–Chen–Zhou line, arXiv:2507.08348)
+needs a way to run the paper's ring algorithms on a graph that is not a
+ring.  The structural device is a **closed walk** derived from an ear
+decomposition:
+
+* traverse the initial cycle forward;
+* at the first visit of each ear's near endpoint, detour along the ear
+  to its far endpoint and back (ears that are themselves cycles are
+  traversed forward only);
+* continue the interrupted traversal.
+
+The resulting walk (a) visits every vertex, and (b) uses every
+*directed* edge at most once — cycle arcs appear forward only, path-ear
+arcs once in each direction.  Property (b) is what makes the walk usable
+with contentless pulses: each physical directed channel carries at most
+one virtual ring edge, so a pulse's arrival port identifies its position
+on the virtual ring unambiguously, with no content needed to
+demultiplex.  The walk therefore defines an **oriented virtual ring** of
+length ``len(walk)`` whose virtual node ``j`` lives at physical vertex
+``walk[j]`` and whose CW edge ``j -> j+1`` rides the physical channel
+``walk[j] -> walk[j+1]``.
+
+:func:`verify_ear_walk` independently checks both properties, so tests
+do not have to trust the construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.graphs.connectivity import Graph
+from repro.graphs.ears import ear_decomposition
+
+
+def ear_walk(graph: Graph) -> List[int]:
+    """A closed walk covering all vertices, each directed edge used <= once.
+
+    Returns the walk as a vertex list ``w`` of length ``L``; the walk
+    steps are ``w[j] -> w[(j+1) % L]``.  Deterministic: built from
+    :func:`~repro.graphs.ears.ear_decomposition` with detours inserted
+    at each ear's first-visited endpoint.
+
+    Raises:
+        ConfigurationError: If the graph is not 2-edge-connected
+            (inherited from the ear decomposition — Whitney/Robbins).
+    """
+    ears = ear_decomposition(graph)
+    cycle = ears[0]
+    walk: List[int] = list(cycle[:-1])  # drop the repeated closing vertex
+    for ear in ears[1:]:
+        head, tail = ear[0], ear[-1]
+        if head == tail:
+            # Cycle ear: forward traversal alone returns to the anchor
+            # (ear[1:] ends with the anchor itself).
+            detour = list(ear[1:])
+        else:
+            # Path ear: out to the far endpoint and straight back to the
+            # anchor, so the interrupted traversal resumes from it.
+            detour = list(ear[1:]) + list(ear[-2::-1])
+        anchor = walk.index(head)
+        walk[anchor + 1 : anchor + 1] = detour
+    return walk
+
+
+def verify_ear_walk(graph: Graph, walk: Sequence[int]) -> None:
+    """Check the walk's defining properties, raising ``AssertionError``:
+
+    1. every step is an edge of the graph;
+    2. no directed edge is used twice;
+    3. every vertex is visited.
+    """
+    assert walk, "walk is empty"
+    length = len(walk)
+    arcs: Set[Tuple[int, int]] = set()
+    for j, vertex in enumerate(walk):
+        successor = walk[(j + 1) % length]
+        edge = (vertex, successor) if vertex <= successor else (successor, vertex)
+        assert edge in graph.edges, f"walk step {vertex}->{successor} is not an edge"
+        arc = (vertex, successor)
+        assert arc not in arcs, f"directed edge {arc} used twice"
+        arcs.add(arc)
+    assert set(walk) == set(range(graph.n)), (
+        f"vertices not covered: missing {set(range(graph.n)) - set(walk)}"
+    )
+
+
+def walk_occurrences(walk: Sequence[int], n: int) -> List[List[int]]:
+    """Per-vertex walk positions, in walk order.
+
+    ``walk_occurrences(walk, n)[v]`` lists the virtual ring positions
+    hosted by physical vertex ``v`` (every vertex has at least one).
+    """
+    occurrences: List[List[int]] = [[] for _ in range(n)]
+    for position, vertex in enumerate(walk):
+        occurrences[vertex].append(position)
+    return occurrences

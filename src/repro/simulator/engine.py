@@ -98,10 +98,12 @@ class _EngineNodeAPI(NodeAPI):
         self._node_index = node_index
 
     def send(self, port: int, content: Any = None) -> None:
-        self._engine._do_send(self._node_index, check_port(port), content)
+        num_ports = self._engine._num_ports[self._node_index]
+        self._engine._do_send(self._node_index, check_port(port, num_ports), content)
 
     def send_many(self, port: int, count: int) -> None:
-        self._engine._do_send_many(self._node_index, check_port(port), count)
+        num_ports = self._engine._num_ports[self._node_index]
+        self._engine._do_send_many(self._node_index, check_port(port, num_ports), count)
 
     def terminate(self, output: Any = None) -> None:
         self._engine._do_terminate(self._node_index, output)
@@ -170,6 +172,16 @@ class Engine:
         self._in_channels: List[List[Channel]] = [[] for _ in network.nodes]
         for channel in network.channels:
             self._in_channels[channel.dst_node].append(channel)
+        # Per-node port counts for send-path validation: rings keep their
+        # two ports; variable-degree topologies extend to the highest
+        # wired port.  (Minimum 2 so ring error messages stay stable.)
+        self._num_ports: List[int] = [2] * len(network.nodes)
+        for (node, port) in network.out_channel:
+            if port + 1 > self._num_ports[node]:
+                self._num_ports[node] = port + 1
+        for channel in network.channels:
+            if channel.dst_port + 1 > self._num_ports[channel.dst_node]:
+                self._num_ports[channel.dst_node] = channel.dst_port + 1
         # Channels with in-flight messages, maintained incrementally as a
         # channel-id-sorted list (plus a membership set): gives schedulers
         # the same deterministic candidate order as the previous

@@ -1588,3 +1588,129 @@ def run_anonymous_fleet(
         max_unique=[max_is_unique(ids) for ids in sampled_lists],
         election=election,
     )
+
+
+@dataclass
+class EarFleetResult:
+    """A fleet of ear-walk elections: virtual-ring rows plus the physical view.
+
+    The fleet simulates the graph's *oriented virtual ring* (one warm-up
+    row of length ``L`` per instance — the ear kernel is Algorithm 1 over
+    virtual IDs, so the whole compiled/numpy/python tier applies
+    unchanged).  The physical view is reconstructed through the routing:
+    per-vertex verdicts, and per-*port* pulse counters laid out in the
+    topology's CSR port-offset table (``port_offsets[v] + p`` indexes
+    vertex ``v``'s port ``p``).
+    """
+
+    routing: Any  # repro.core.kernels.ear.EarRouting
+    virtual: FleetResult
+    leaders: List[Optional[int]]
+    port_rho: List[List[int]]
+    port_sigma: List[List[int]]
+
+    @property
+    def size(self) -> int:
+        return self.virtual.size
+
+    @property
+    def expected_leaders(self) -> List[int]:
+        """Physical argmax vertex per instance (the contract's winner)."""
+        return [
+            max(range(len(ids)), key=lambda v: ids[v])
+            for ids in self.physical_ids
+        ]
+
+    @property
+    def physical_ids(self) -> List[List[int]]:
+        """Recover each instance's per-vertex IDs from occurrence-0 vids."""
+        stride = self.routing.stride
+        firsts = [positions[0] for positions in self.routing.occurrences]
+        # Occurrence 0 of vertex v carries vid = ID_v * stride exactly.
+        return [[vids[j] // stride for j in firsts] for vids in self.virtual.ids]
+
+
+def run_ear_fleet(
+    graph: Any,
+    id_lists: Sequence[Sequence[int]],
+    backend: str = "auto",
+    scheduler: str = "lockstep",
+    seed: int = 0,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    faults: Optional[FaultModel] = None,
+    observer: Optional[FleetObserver] = None,
+    instance_offset: int = 0,
+    watchdog_rounds: Optional[int] = None,
+) -> EarFleetResult:
+    """Run a fleet of ear-walk elections on one 2-edge-connected graph.
+
+    All instances share the graph (hence the walk and the routing); each
+    row supplies its own per-vertex IDs.  Refuses bridge-containing
+    graphs with the bridge edge as witness, exactly like the engine path.
+
+    Delegation is the whole implementation: the ear kernel *is* the
+    warm-up kernel over virtual IDs, so this wires
+    :func:`repro.core.kernels.ear.virtual_ids` rows into
+    :func:`run_warmup_fleet` and folds the virtual outcome back through
+    the routing (physical leaders, CSR per-port counters).
+    """
+    from repro.core.common import validate_positive_ids, validate_unique_ids
+    from repro.core.kernels import ear as ear_kernel
+    from repro.graphs.connectivity import require_two_edge_connected
+
+    if not id_lists:
+        raise ConfigurationError("need at least one instance")
+    for ids in id_lists:
+        validate_positive_ids(ids)
+        validate_unique_ids(ids)
+        if len(ids) != graph.n:
+            raise ConfigurationError(
+                f"graph has {graph.n} vertices but {len(ids)} IDs were given"
+            )
+    require_two_edge_connected(graph)
+    routing = ear_kernel.build_routing(graph)
+    vid_lists = [ear_kernel.virtual_ids(ids, routing) for ids in id_lists]
+    virtual = run_warmup_fleet(
+        vid_lists,
+        backend=backend,
+        scheduler=scheduler,
+        seed=seed,
+        max_rounds=max_rounds,
+        faults=faults,
+        observer=observer,
+        instance_offset=instance_offset,
+        watchdog_rounds=watchdog_rounds,
+    )
+    walk = routing.walk
+    topology = routing.topology
+    leaders: List[Optional[int]] = []
+    for virtual_leaders in virtual.leaders:
+        vertices = sorted({walk[j] for j in virtual_leaders})
+        leaders.append(vertices[0] if len(vertices) == 1 else None)
+    total_ports = topology.total_ports
+    port_rho: List[List[int]] = []
+    port_sigma: List[List[int]] = []
+    in_slots = [
+        topology.port_slot(walk[j], routing.in_ports[j])
+        for j in range(routing.length)
+    ]
+    out_slots = [
+        topology.port_slot(walk[j], routing.out_ports[j])
+        for j in range(routing.length)
+    ]
+    sigma_rows = virtual.sigma_cw or [[0] * routing.length] * virtual.size
+    for b in range(virtual.size):
+        rho_row = [0] * total_ports
+        sigma_row = [0] * total_ports
+        for j in range(routing.length):
+            rho_row[in_slots[j]] += virtual.rho_cw[b][j]
+            sigma_row[out_slots[j]] += sigma_rows[b][j]
+        port_rho.append(rho_row)
+        port_sigma.append(sigma_row)
+    return EarFleetResult(
+        routing=routing,
+        virtual=virtual,
+        leaders=leaders,
+        port_rho=port_rho,
+        port_sigma=port_sigma,
+    )

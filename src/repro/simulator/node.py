@@ -40,7 +40,11 @@ class NodeAPI(abc.ABC):
 
     @abc.abstractmethod
     def send(self, port: int, content: Any = None) -> None:
-        """Send one message out of local ``port`` (0 or 1).
+        """Send one message out of local ``port``.
+
+        Ring nodes have ports 0 and 1; general-topology nodes (degree
+        ``d``) have ports ``0..d-1`` per the
+        :mod:`repro.topology` port convention.
 
         On defective channels the content is erased in transit, so
         content-oblivious algorithms always call ``send(port)`` with no
@@ -140,8 +144,18 @@ class Node(abc.ABC):
         self.output = output
 
 
-def check_port(port: int) -> int:
-    """Validate a port label, returning it for fluent use."""
-    if port not in VALID_PORTS:
-        raise ProtocolViolation(f"invalid port {port!r}; must be 0 or 1")
+def check_port(port: int, num_ports: int = 2) -> int:
+    """Validate a port label, returning it for fluent use.
+
+    ``num_ports`` defaults to the ring's two ports; variable-degree
+    runtimes (the general-topology engine paths) pass the receiver's
+    actual port count.
+    """
+    if num_ports == 2:
+        if port not in VALID_PORTS:
+            raise ProtocolViolation(f"invalid port {port!r}; must be 0 or 1")
+    elif not (isinstance(port, int) and 0 <= port < num_ports):
+        raise ProtocolViolation(
+            f"invalid port {port!r}; node has ports 0..{num_ports - 1}"
+        )
     return port

@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.exceptions import ConfigurationError
 from repro.simulator.network import Network
 from repro.simulator.node import Node, PORT_ONE, PORT_ZERO
+from repro.topology import Topology, ring_convention
 
 
 @dataclass(frozen=True)
@@ -73,42 +74,31 @@ class RingTopology:
         """Index of the counterclockwise neighbor."""
         return (node - 1) % self.n
 
+    @property
+    def topology(self) -> Topology:
+        """The abstract :class:`~repro.topology.Topology` of this ring."""
+        return ring_convention(self.flips)
+
 
 def _build_ring(
     nodes: Sequence[Node],
     flips: Sequence[bool],
     defective: bool,
 ) -> RingTopology:
-    """Wire ``2n`` directed channels realizing the (possibly flipped) ring."""
+    """Wire ``2n`` directed channels realizing the (possibly flipped) ring.
+
+    The channel table (CW channel ``2i``, CCW channel ``2i+1`` per ring
+    edge) comes from :func:`repro.topology.ring_convention` — the single
+    wiring seam — so its byte-identity pins cover every ring built here.
+    """
     n = len(nodes)
-    if n < 1:
-        raise ConfigurationError("a ring needs at least one node")
     if len(flips) != n:
         raise ConfigurationError(
             f"got {len(flips)} flips for {n} nodes; need exactly one each"
         )
-    network = Network(nodes=list(nodes))
-    flips_t = tuple(bool(f) for f in flips)
-
-    def cw_port(v: int) -> int:
-        return PORT_ZERO if flips_t[v] else PORT_ONE
-
-    def ccw_port(v: int) -> int:
-        return PORT_ONE if flips_t[v] else PORT_ZERO
-
-    for i in range(n):
-        j = (i + 1) % n
-        # CW channel along edge (i, j): sent from i's CW port, arrives at
-        # j's CCW port (CW pulses arrive at CCW ports).
-        network.add_channel(
-            src=(i, cw_port(i)), dst=(j, ccw_port(j)), defective=defective
-        )
-        # CCW channel along the same edge, in the opposite direction.
-        network.add_channel(
-            src=(j, ccw_port(j)), dst=(i, cw_port(i)), defective=defective
-        )
-    network.validate()
-    return RingTopology(network=network, flips=flips_t, defective=defective)
+    topology = ring_convention(flips)
+    network = topology.wire(nodes, defective=defective)
+    return RingTopology(network=network, flips=topology.flips, defective=defective)
 
 
 def build_oriented_ring(

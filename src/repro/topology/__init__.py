@@ -1,0 +1,40 @@
+"""First-class topologies: the one place channel wiring happens.
+
+Every layer of the reproduction used to hardwire the ring builder
+convention; this package lifts that assumption into data.  A
+:class:`Topology` is a pure description — node count, directed channel
+table, orientation metadata — and :meth:`Topology.wire` is the **only**
+channel-wiring loop in the source tree (a CI grep gate enforces it).
+The ring builders in :mod:`repro.simulator.ring` and the general-graph
+election in :mod:`repro.core.ear_election` are both thin clients.
+
+Byte-identity contract.  :func:`ring_convention` reproduces the historic
+ring builders' channel numbering *exactly* — for ring edge ``i`` joining
+positions ``i`` and ``i+1 (mod n)``, channel ``2i`` is the CW channel
+``i -> i+1`` and channel ``2i+1`` the CCW channel back, with endpoints on
+each node's CW/CCW ports as determined by its flip bit.  Every existing
+fingerprint, packed visited key, and farm cache key depends on that
+ordering, so it is pinned by tests (``tests/test_topology.py``) and must
+never change.
+
+General graphs get the deterministic :func:`graph_topology` convention:
+node ``v``'s ports enumerate its sorted neighbor list, and edge ``k`` of
+the sorted edge list yields channels ``2k`` (``a -> b``) and ``2k+1``
+(``b -> a``).
+"""
+
+from repro.topology.core import (
+    ChannelSpec,
+    Topology,
+    graph_topology,
+    oriented_ring,
+    ring_convention,
+)
+
+__all__ = [
+    "ChannelSpec",
+    "Topology",
+    "graph_topology",
+    "oriented_ring",
+    "ring_convention",
+]

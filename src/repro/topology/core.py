@@ -1,0 +1,236 @@
+"""The :class:`Topology` abstraction and its builders.
+
+A topology is immutable data: it can be hashed into farm cache keys,
+compared for the ring byte-identity pins, and wired into a fresh
+:class:`~repro.simulator.network.Network` any number of times.  See the
+package docstring for the two numbering conventions (ring and general
+graph) and why they are load-bearing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.simulator.network import Network
+from repro.simulator.node import Node, PORT_ONE, PORT_ZERO
+
+#: ``Topology.kind`` values.  The two ring kinds promise the historic
+#: channel numbering; ``general`` promises the sorted-adjacency one.
+RING_KINDS = ("oriented-ring", "nonoriented-ring")
+GENERAL_KIND = "general"
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """One directed channel: ``(src_node, src_port) -> (dst_node, dst_port)``.
+
+    The channel id is the spec's position in ``Topology.channels`` — the
+    table order *is* the numbering, which is why builders construct the
+    tuple in one deterministic pass.
+    """
+
+    src_node: int
+    src_port: int
+    dst_node: int
+    dst_port: int
+
+    @property
+    def src(self) -> Tuple[int, int]:
+        return (self.src_node, self.src_port)
+
+    @property
+    def dst(self) -> Tuple[int, int]:
+        return (self.dst_node, self.dst_port)
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Ports per node, directed channel table, orientation metadata.
+
+    Attributes:
+        n: Number of nodes.
+        channels: The directed channel table; position = channel id.
+        kind: ``"oriented-ring"``, ``"nonoriented-ring"``, or
+            ``"general"``.
+        flips: Ring kinds only — per-node port-flip bits (the adversarial
+            orientation input).  None for general topologies.
+        edges: General kind only — the sorted undirected edge list the
+            table was derived from.  None for rings.
+    """
+
+    n: int
+    channels: Tuple[ChannelSpec, ...]
+    kind: str
+    flips: Optional[Tuple[bool, ...]] = None
+    edges: Optional[Tuple[Tuple[int, int], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in RING_KINDS + (GENERAL_KIND,):
+            raise ConfigurationError(f"unknown topology kind {self.kind!r}")
+        if self.n < 1:
+            raise ConfigurationError("a topology needs at least one node")
+
+    # -- structure queries --------------------------------------------------
+
+    @property
+    def is_ring(self) -> bool:
+        """Does this topology promise the ring channel-numbering convention?"""
+        return self.kind in RING_KINDS
+
+    @cached_property
+    def port_counts(self) -> Tuple[int, ...]:
+        """Ports per node (max referenced port + 1; rings are all 2)."""
+        highest = [-1] * self.n
+        for spec in self.channels:
+            highest[spec.src_node] = max(highest[spec.src_node], spec.src_port)
+            highest[spec.dst_node] = max(highest[spec.dst_node], spec.dst_port)
+        return tuple(h + 1 for h in highest)
+
+    @cached_property
+    def port_offsets(self) -> Tuple[int, ...]:
+        """CSR-style prefix offsets over :attr:`port_counts`.
+
+        ``port_offsets[v] + p`` is the flat slot of ``(v, p)`` in any
+        variable-degree column of length ``port_offsets[n]`` — the layout
+        the fleet engine's per-port readouts use off-ring.
+        """
+        offsets = [0] * (self.n + 1)
+        for v, count in enumerate(self.port_counts):
+            offsets[v + 1] = offsets[v] + count
+        return tuple(offsets)
+
+    @property
+    def total_ports(self) -> int:
+        """Length of a flat per-port column (CSR total)."""
+        return self.port_offsets[self.n]
+
+    def num_ports(self, node: int) -> int:
+        """Number of ports of ``node``."""
+        return self.port_counts[node]
+
+    def port_slot(self, node: int, port: int) -> int:
+        """Flat CSR slot of ``(node, port)``."""
+        if not 0 <= port < self.port_counts[node]:
+            raise ConfigurationError(
+                f"node {node} has {self.port_counts[node]} ports, no port {port}"
+            )
+        return self.port_offsets[node] + port
+
+    # -- wiring -------------------------------------------------------------
+
+    def wire(self, nodes: Sequence[Node], defective: bool = True) -> Network:
+        """Instantiate the channel table as a live network.
+
+        This is the only channel-wiring loop in the package (grep-gated
+        in CI): every builder and every runtime goes through it, so the
+        table order — hence every channel id — is decided exactly once.
+        """
+        if len(nodes) != self.n:
+            raise ConfigurationError(
+                f"topology has {self.n} nodes, got {len(nodes)} node objects"
+            )
+        network = Network(nodes=list(nodes))
+        for spec in self.channels:
+            network.add_channel(src=spec.src, dst=spec.dst, defective=defective)
+        network.validate()
+        return network
+
+    # -- identity -----------------------------------------------------------
+
+    def canonical_descriptor(self) -> Dict[str, Any]:
+        """A canonical-JSON-safe identity for farm cache keys.
+
+        Rings canonicalize to ``(kind, n, flips)``; general topologies to
+        ``(kind, n, edges)``.  The channel table is derived data under
+        the conventions above, so it stays out of the descriptor — two
+        spellings of the same topology must hash alike.
+        """
+        body: Dict[str, Any] = {"kind": self.kind, "n": self.n}
+        if self.is_ring:
+            body["flips"] = [bool(f) for f in self.flips or ()]
+        else:
+            body["edges"] = [[a, b] for a, b in (self.edges or ())]
+        return body
+
+
+# ---------------------------------------------------------------------------
+# Builders.
+# ---------------------------------------------------------------------------
+
+
+def ring_convention(flips: Sequence[bool]) -> Topology:
+    """The historic ring channel table for the given per-node flips.
+
+    For each ring edge ``i -- i+1 (mod n)``: channel ``2i`` is the CW
+    channel (sent from ``i``'s CW port, arriving at ``i+1``'s CCW port),
+    channel ``2i+1`` the CCW channel back.  Node ``v``'s CW port is
+    ``Port_1`` unless ``flips[v]`` — byte-identical to the pre-topology
+    builders, pinned by ``tests/test_topology.py``.
+    """
+    n = len(flips)
+    if n < 1:
+        raise ConfigurationError("a ring needs at least one node")
+    flips_t = tuple(bool(f) for f in flips)
+
+    def cw_port(v: int) -> int:
+        return PORT_ZERO if flips_t[v] else PORT_ONE
+
+    def ccw_port(v: int) -> int:
+        return PORT_ONE if flips_t[v] else PORT_ZERO
+
+    specs: List[ChannelSpec] = []
+    for i in range(n):
+        j = (i + 1) % n
+        specs.append(ChannelSpec(i, cw_port(i), j, ccw_port(j)))
+        specs.append(ChannelSpec(j, ccw_port(j), i, cw_port(i)))
+    kind = "oriented-ring" if not any(flips_t) else "nonoriented-ring"
+    return Topology(n=n, channels=tuple(specs), kind=kind, flips=flips_t)
+
+
+def oriented_ring(n: int) -> Topology:
+    """The oriented ring on ``n`` nodes (every ``Port_1`` clockwise)."""
+    return ring_convention([False] * n)
+
+
+def graph_topology(graph: Any) -> Topology:
+    """Deterministic channel table for a simple undirected graph.
+
+    Port convention: node ``v``'s port towards neighbor ``u`` is ``u``'s
+    index in ``v``'s sorted neighbor list (so every node of degree ``d``
+    uses ports ``0..d-1``).  Channel convention: edge ``k`` of the sorted
+    edge list yields channel ``2k`` (``a -> b``, ``a < b``) and channel
+    ``2k+1`` (``b -> a``).
+
+    Accepts any object with ``n`` and an ``edges`` collection of vertex
+    pairs (:class:`repro.graphs.connectivity.Graph` in practice; the
+    import is kept out of this module so the topology layer stays below
+    the graphs layer).
+    """
+    n = int(graph.n)
+    edges = sorted(
+        (a, b) if a <= b else (b, a) for a, b in graph.edges
+    )
+    if len(set(edges)) != len(edges):
+        raise ConfigurationError("graph_topology needs a simple graph")
+    for a, b in edges:
+        if a == b:
+            raise ConfigurationError(f"self-loop ({a},{b}) cannot be wired")
+        if not (0 <= a < n and 0 <= b < n):
+            raise ConfigurationError(f"edge ({a},{b}) out of range for n={n}")
+    neighbors: List[List[int]] = [[] for _ in range(n)]
+    for a, b in edges:
+        neighbors[a].append(b)
+        neighbors[b].append(a)
+    port_of = [
+        {u: p for p, u in enumerate(sorted(adj))} for adj in neighbors
+    ]
+    specs: List[ChannelSpec] = []
+    for a, b in edges:
+        specs.append(ChannelSpec(a, port_of[a][b], b, port_of[b][a]))
+        specs.append(ChannelSpec(b, port_of[b][a], a, port_of[a][b]))
+    return Topology(
+        n=n, channels=tuple(specs), kind=GENERAL_KIND, edges=tuple(edges)
+    )

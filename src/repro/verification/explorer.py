@@ -64,7 +64,8 @@ class _ExplorerAPI(NodeAPI):
         self._node_index = node_index
 
     def send(self, port: int, content: Any = None) -> None:
-        self._state.send(self._node_index, check_port(port), content)
+        num_ports = self._state.num_ports[self._node_index]
+        self._state.send(self._node_index, check_port(port, num_ports), content)
 
     def terminate(self, output: Any = None) -> None:
         self._state.terminate(self._node_index, output)
@@ -80,6 +81,7 @@ class _SimState:
         "channel_src_defective",
         "total_sent",
         "out_channel",
+        "num_ports",
         "fault_profile",
         "fault_idx",
     )
@@ -90,6 +92,15 @@ class _SimState:
         self.channel_dst = [channel.dst for channel in network.channels]
         self.channel_src_defective = [channel.defective for channel in network.channels]
         self.out_channel = dict(network.out_channel)
+        # Per-node port counts (>= 2 so ring diagnostics stay stable);
+        # shared by all deep-copied states via the list's per-copy clone.
+        self.num_ports = [2] * len(network.nodes)
+        for (node, port) in self.out_channel:
+            self.num_ports[node] = max(self.num_ports[node], port + 1)
+        for channel in network.channels:
+            self.num_ports[channel.dst_node] = max(
+                self.num_ports[channel.dst_node], channel.dst_port + 1
+            )
         self.total_sent = 0
         # Faulty networks: replay FaultyChannel's drop/duplicate decisions
         # per (channel, enqueue index); the profile is shared (its

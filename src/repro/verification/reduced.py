@@ -116,6 +116,7 @@ class _Static:
         "in_channels",
         "out_channels",
         "out_channel",
+        "num_ports",
         "content_out",
         "fault_profile",
     )
@@ -142,6 +143,15 @@ class _Static:
             self.in_channels[channel.dst_node].append(channel.channel_id)
             self.out_channels[channel.src_node].append(channel.channel_id)
         self.out_channel = dict(network.out_channel)
+        # Per-node port counts for send-path validation (>= 2 keeps ring
+        # diagnostics stable; general topologies extend per degree).
+        self.num_ports = [2] * self.n_nodes
+        for (node, port) in self.out_channel:
+            self.num_ports[node] = max(self.num_ports[node], port + 1)
+        for channel in channels:
+            self.num_ports[channel.dst_node] = max(
+                self.num_ports[channel.dst_node], channel.dst_port + 1
+            )
         # Content-carrying out-channels per node: two deliveries into
         # distinct receivers still fail to commute if both receivers can
         # append to the same *content* queue (append order is observable
@@ -231,7 +241,7 @@ class _ReducedAPI(NodeAPI):
             raise ProtocolViolation(
                 f"node {sender} attempted to send after terminating"
             )
-        if check_port(port) in node.SILENT_SEND_PORTS:
+        if check_port(port, static.num_ports[sender]) in node.SILENT_SEND_PORTS:
             raise ProtocolViolation(
                 f"node {sender} sent on port {port}, which its class "
                 f"{type(node).__qualname__} declares silent (SILENT_SEND_PORTS)"

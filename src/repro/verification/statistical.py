@@ -67,7 +67,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.parallel import (
     ProcessCount,
@@ -1062,5 +1062,290 @@ def run_recovery_check(
         watchdog_rounds=watchdog_rounds,
         faults=faults,
         fault_events=events,
+        counterexamples=counterexamples,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Topology battery — the 2-edge-connected election's statistical contract.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopologyCounterexample:
+    """One replayable violation of the ear-election contract.
+
+    Self-contained: carries the graph's edge list alongside the sampled
+    IDs, so :meth:`replay` can rebuild the exact instance from scratch
+    in a fresh process.
+    """
+
+    instance: int
+    ids: Tuple[int, ...]
+    message: str
+    n: int
+    edges: Tuple[Tuple[int, int], ...]
+    seed: int
+    sched_seed: int
+    scheduler: str
+    backend: str
+
+    def replay(self) -> Optional[str]:
+        """Re-run exactly this instance; the violation message, or None."""
+        from repro.graphs.connectivity import Graph
+
+        graph = Graph.from_edges(self.n, list(self.edges))
+        failures = _topology_failures(
+            graph,
+            [list(self.ids)],
+            offset=self.instance,
+            scheduler=self.scheduler,
+            backend=self.backend,
+            sched_seed=self.sched_seed,
+            max_rounds=DEFAULT_MAX_ROUNDS,
+        )
+        for index, message in failures:
+            if index == self.instance:
+                return message
+        return None
+
+
+@dataclass
+class TopologyReport:
+    """Outcome of one topology-battery run (mirrors StatisticalReport)."""
+
+    n: int
+    edges: int
+    walk_length: int
+    stride: int
+    id_max: int
+    samples: int
+    violations: int
+    confidence: float
+    rate_low: float
+    rate_high: float
+    backend: str
+    scheduler: str
+    seed: int
+    sched_seed: int
+    counterexamples: List[TopologyCounterexample] = field(default_factory=list)
+
+    @property
+    def pass_rate(self) -> float:
+        return (self.samples - self.violations) / self.samples
+
+    @property
+    def clean(self) -> bool:
+        return self.violations == 0
+
+
+def _topology_failures(
+    graph: Any,
+    id_lists: List[List[int]],
+    offset: int,
+    scheduler: str,
+    backend: str,
+    sched_seed: int,
+    max_rounds: int,
+) -> List[Tuple[int, str]]:
+    """Run one ear-fleet block and collect per-instance contract failures.
+
+    Checks, per instance: the warm-up column battery at every round of
+    the virtual ring (the ear kernel *is* Algorithm 1 over virtual IDs,
+    so the Lemma 6 / Corollary 14 / conservation column forms apply
+    verbatim), then the end state — a unique physical leader at the
+    argmax vertex, every virtual counter settled at ``VIDmax``, and the
+    exact ``L * IDmax * C`` pulse count.
+    """
+    from repro.simulator.fleet import run_ear_fleet
+
+    failures: List[Tuple[int, str]] = []
+    try:
+        result = run_ear_fleet(
+            graph,
+            id_lists,
+            backend=backend,
+            scheduler=scheduler,
+            seed=sched_seed,
+            max_rounds=max_rounds,
+            observer=_observer_for("warmup"),
+            instance_offset=offset,
+        )
+    except InvariantViolation as violation:
+        # A column invariant indicts the whole block; localize by
+        # bisection exactly like the ring checker.
+        if len(id_lists) == 1:
+            return [(offset, f"column invariant: {violation}")]
+        half = len(id_lists) // 2
+        failures.extend(
+            _topology_failures(
+                graph, id_lists[:half], offset, scheduler, backend,
+                sched_seed, max_rounds,
+            )
+        )
+        failures.extend(
+            _topology_failures(
+                graph, id_lists[half:], offset + half, scheduler, backend,
+                sched_seed, max_rounds,
+            )
+        )
+        return failures
+
+    routing = result.routing
+    vid_max_rows = [max(vids) for vids in result.virtual.ids]
+    for b, ids in enumerate(id_lists):
+        index = offset + b
+        expected = max(range(len(ids)), key=lambda v: ids[v])
+        problems: List[str] = []
+        if result.leaders[b] != expected:
+            problems.append(
+                f"leader {result.leaders[b]} != argmax vertex {expected}"
+            )
+        vid_max = vid_max_rows[b]
+        if any(rho != vid_max for rho in result.virtual.rho_cw[b]):
+            problems.append(
+                f"virtual counters not settled at VIDmax={vid_max}"
+            )
+        expected_pulses = routing.length * max(ids) * routing.stride
+        if result.virtual.total_pulses[b] != expected_pulses:
+            problems.append(
+                f"total pulses {result.virtual.total_pulses[b]} != "
+                f"L*IDmax*C = {expected_pulses}"
+            )
+        if problems:
+            failures.append((index, "; ".join(problems)))
+    return failures
+
+
+def run_topology_shard(
+    n: int,
+    edges: Sequence[Tuple[int, int]],
+    id_max: int,
+    start: int,
+    stop: int,
+    seed: int = 0,
+    sched_seed: int = 0,
+    scheduler: str = "lockstep",
+    backend: str = "auto",
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> List[Tuple[int, str]]:
+    """Ear-election contract failures over global indices ``[start, stop)``.
+
+    The sweep farm's shard primitive for the ``ear`` workload: a pure
+    function of ``(topology, id_max, seed, sched_seed, scheduler)`` and
+    the index range — instance ``i`` always draws
+    ``ids_for_instance(seed, i, n, id_max)`` regardless of sharding, so
+    any partition of ``[0, total)`` reproduces the uninterrupted sweep.
+    Returns the (index, message) failures in index order; an empty list
+    is a clean shard.
+    """
+    from repro.graphs.connectivity import Graph, require_two_edge_connected
+
+    graph = Graph.from_edges(n, [tuple(edge) for edge in edges])
+    require_two_edge_connected(graph)
+    failures: List[Tuple[int, str]] = []
+    for block_start in range(start, stop, block_size):
+        block_stop = min(block_start + block_size, stop)
+        id_lists = [
+            ids_for_instance(seed, index, n, id_max)
+            for index in range(block_start, block_stop)
+        ]
+        failures.extend(
+            _topology_failures(
+                graph, id_lists, block_start, scheduler, backend,
+                sched_seed, DEFAULT_MAX_ROUNDS,
+            )
+        )
+    failures.sort(key=lambda pair: pair[0])
+    return failures
+
+
+def run_topology_check(
+    graph: Any,
+    id_max: int = 1000,
+    samples: int = 200,
+    seed: int = 0,
+    sched_seed: int = 0,
+    scheduler: str = "lockstep",
+    backend: str = "auto",
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    confidence: float = 0.99,
+    max_counterexamples: int = 5,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> TopologyReport:
+    """Statistically check the ear election's contract on one graph.
+
+    Refuses graphs below the 2-edge-connectivity frontier with the
+    bridge edge as witness (via the fleet's shared refusal path), then
+    samples ID assignments — :func:`ids_for_instance`, the same
+    counter-derived stream as the ring checker — and verifies the
+    invariant battery plus the unique-leader / settled-counters /
+    exact-pulse-count end state per instance.
+    """
+    if samples < 1:
+        raise ConfigurationError(f"need at least one sample, got {samples}")
+    if id_max < graph.n:
+        raise ConfigurationError(
+            f"id_max={id_max} cannot host {graph.n} distinct IDs"
+        )
+    if block_size < 1:
+        raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
+
+    from repro.core.kernels import ear as ear_kernel
+    from repro.graphs.connectivity import require_two_edge_connected
+
+    require_two_edge_connected(graph)
+    routing = ear_kernel.build_routing(graph)
+
+    failures: List[Tuple[int, str]] = []
+    for start in range(0, samples, block_size):
+        stop = min(start + block_size, samples)
+        id_lists = [
+            ids_for_instance(seed, index, graph.n, id_max)
+            for index in range(start, stop)
+        ]
+        failures.extend(
+            _topology_failures(
+                graph, id_lists, start, scheduler, backend, sched_seed,
+                max_rounds,
+            )
+        )
+    failures.sort(key=lambda pair: pair[0])
+
+    resolved_backend = _resolved_backend(backend)
+    edges = tuple(sorted(graph.edges))
+    counterexamples = [
+        TopologyCounterexample(
+            instance=index,
+            ids=tuple(ids_for_instance(seed, index, graph.n, id_max)),
+            message=message,
+            n=graph.n,
+            edges=edges,
+            seed=seed,
+            sched_seed=sched_seed,
+            scheduler=scheduler,
+            backend=resolved_backend,
+        )
+        for index, message in failures[:max_counterexamples]
+    ]
+    violations = len(failures)
+    low, high = clopper_pearson_interval(
+        samples - violations, samples, confidence=confidence
+    )
+    return TopologyReport(
+        n=graph.n,
+        edges=len(edges),
+        walk_length=routing.length,
+        stride=routing.stride,
+        id_max=id_max,
+        samples=samples,
+        violations=violations,
+        confidence=confidence,
+        rate_low=low,
+        rate_high=high,
+        backend=resolved_backend,
+        scheduler=scheduler,
+        seed=seed,
+        sched_seed=sched_seed,
         counterexamples=counterexamples,
     )

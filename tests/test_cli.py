@@ -270,3 +270,84 @@ class TestFarm:
         assert [
             line for line in farmed.splitlines() if "rate" in line
         ] == [line for line in direct.splitlines() if "rate" in line]
+
+
+class TestTopology:
+    """The --topology surface: ear election, refusal, verification."""
+
+    def test_elect_theta(self, capsys):
+        code, out = run_cli(capsys, "elect", "--topology", "theta")
+        assert code == 0
+        assert "ear (2-edge-connected election)" in out
+        assert "leader       : 7" in out
+        assert "exact match" in out
+
+    def test_elect_bridge_refused_with_witness(self, capsys):
+        code, out = run_cli(capsys, "elect", "--topology", "bridge")
+        assert code == 1
+        assert "REFUSED" in out
+        assert "bridge edge (2, 3)" in out
+
+    def test_elect_explicit_edges(self, capsys):
+        code, out = run_cli(
+            capsys, "elect", "--topology", "edges:0-1,1-2,2-3,3-0,0-2",
+            "--ids", "5,2,9,4",
+        )
+        assert code == 0
+        assert "leader       : 2" in out
+
+    def test_elect_ring_spec(self, capsys):
+        code, out = run_cli(capsys, "elect", "--topology", "ring:5")
+        assert code == 0
+        assert "stride C=1" in out
+
+    def test_bad_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["elect", "--topology", "dodecahedron"])
+        # A parseable-but-bridged spec is a refusal, not a parse error.
+        code, out = run_cli(capsys, "elect", "--topology", "edges:0-1")
+        assert code == 1
+        assert "REFUSED" in out
+
+    def test_verify_exhaustive_with_downgrade(self, capsys):
+        code, out = run_cli(
+            capsys, "verify", "--topology", "theta:0,1,1",
+            "--ids", "2,4,1,3", "--reduction", "full",
+        )
+        assert code == 0
+        assert "downgrading to 'sleep' off-ring" in out
+        assert "CERTIFIED (all schedules)" in out
+        assert "L*IDmax*C" in out
+
+    def test_verify_bridge_refused(self, capsys):
+        code, out = run_cli(capsys, "verify", "--topology", "bridge")
+        assert code == 1
+        assert "witness" in out
+
+    def test_verify_statistical_topology(self, capsys):
+        code, out = run_cli(
+            capsys, "verify", "--statistical", "--topology", "theta:0,1,2",
+            "--samples", "12", "--id-max", "64",
+        )
+        assert code == 0
+        assert "PASSED (sampled topology battery)" in out
+
+    def test_farm_submit_ear_workload(self, capsys, tmp_path):
+        root = str(tmp_path / "farm")
+        code, out = run_cli(
+            capsys, "farm", "submit", "--root", root, "--workload", "ear",
+            "--topology", "theta:0,1,2", "--total", "12",
+            "--shard-size", "6", "--backend", "python",
+        )
+        assert code == 0
+        assert "workload=ear" in out
+        code, out = run_cli(
+            capsys, "farm", "submit", "--root", root, "--workload", "ear",
+            "--topology", "theta:0,1,2", "--total", "12",
+            "--shard-size", "6", "--backend", "python",
+            "--min-hit-rate", "1.0",
+        )
+        assert code == 0
+        code, out = run_cli(capsys, "farm", "collect", "--root", root)
+        assert code == 0
+        assert '"clean":true' in out

@@ -729,3 +729,100 @@ class TestSigkillResumeBattery:
         assert resumed.complete
         assert resumed.hits >= 2
         assert farm.collect_text(campaign.cid) == expected
+
+
+class TestEarWorkload:
+    """The topology-sweep workload: ear election over a graph descriptor.
+
+    Two contracts: (1) ear campaigns run, resume from the warm cache,
+    and collect the same summary the foreground topology battery would;
+    (2) ring workload keys never move — the topology_semantics
+    coordinate enters only params carrying a topology descriptor.
+    """
+
+    def _campaign(self, total=24, shard_size=8):
+        from repro.farm.campaign import ear_params
+        from repro.graphs.samples import theta_graph
+
+        return Campaign(
+            "ear",
+            total=total,
+            params=ear_params(theta_graph(0, 1, 2), id_max=64),
+            shard_size=shard_size,
+        )
+
+    def test_submit_collect_and_warm_cache(self, tmp_path):
+        farm = Farm(tmp_path)
+        cold = farm.submit(self._campaign(), backend="python")
+        assert cold.complete and cold.hits == 0 and cold.computed == 3
+        warm = farm.submit(self._campaign(), backend="python")
+        assert warm.complete and warm.hits == 3 and warm.computed == 0
+        collected = farm.collect(cold.cid)
+        assert collected["workload"] == "ear"
+        result = collected["result"]
+        assert result["clean"] and result["violations"] == 0
+        assert result["samples"] == 24
+
+    def test_collect_matches_foreground_battery(self, tmp_path):
+        from repro.graphs.samples import theta_graph
+        from repro.verification.statistical import run_topology_check
+
+        farm = Farm(tmp_path)
+        outcome = farm.submit(self._campaign(), backend="python")
+        result = farm.collect(outcome.cid)["result"]
+        report = run_topology_check(
+            theta_graph(0, 1, 2), id_max=64, samples=24, backend="python"
+        )
+        assert result["violations"] == report.violations
+        assert result["rate_low"] == report.rate_low
+        assert result["rate_high"] == report.rate_high
+
+    def test_ear_params_canonical_across_edge_spellings(self):
+        from repro.farm.campaign import ear_params
+        from repro.graphs import Graph
+        from repro.graphs.samples import theta_graph
+
+        graph = theta_graph()
+        respelled = Graph.from_edges(
+            graph.n, [(b, a) for a, b in sorted(graph.edges, reverse=True)]
+        )
+        assert ear_params(graph) == ear_params(respelled)
+        assert (
+            shard_key("ear", ear_params(graph), 0, 10)
+            == shard_key("ear", ear_params(respelled), 0, 10)
+        )
+
+    def test_ear_keys_carry_topology_semantics(self):
+        from repro.farm.campaign import ear_params
+        from repro.farm.keys import (
+            SEMANTICS_VERSION,
+            TOPOLOGY_SEMANTICS_VERSION,
+            digest,
+        )
+        from repro.graphs.samples import theta_graph
+
+        params = ear_params(theta_graph())
+        assert params["topology"] is not None
+        expected = digest(
+            {
+                "semantics": SEMANTICS_VERSION,
+                "workload": "ear",
+                "params": dict(params),
+                "start": 0,
+                "stop": 10,
+                "topology_semantics": TOPOLOGY_SEMANTICS_VERSION,
+            }
+        )
+        assert shard_key("ear", params, 0, 10) == expected
+
+    def test_ring_workload_params_have_no_topology(self):
+        """Every ring workload's param set stays topology-free, so its
+        keys can never pick up the topology_semantics coordinate."""
+        from repro.farm.campaign import (
+            placements_params,
+            recovery_params,
+            whp_params,
+        )
+
+        for params in (recovery_params(), whp_params(), placements_params()):
+            assert "topology" not in params

@@ -11,15 +11,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import BridgeWitnessError, ConfigurationError
 from repro.graphs import (
     Graph,
+    MultiGraph,
     chain_decomposition,
     ear_decomposition,
     find_bridges,
     is_connected,
     is_ring,
     is_two_edge_connected,
+    require_two_edge_connected,
     verify_ear_decomposition,
 )
 
@@ -214,3 +216,101 @@ class TestPaperConnection:
         assert is_ring(graph)
         assert is_two_edge_connected(graph)
         assert find_bridges(graph) == set()
+
+
+class TestMultiGraphEdgeCases:
+    """Totality regressions: multigraphs, self-loops, disconnection.
+
+    The original bridge finder assumed connected simple graphs; these
+    pin the extended contract — parallel edges are never bridges,
+    self-loops are never bridges and perturb nothing, disconnected
+    inputs yield per-component verdicts instead of exceptions.
+    """
+
+    def test_parallel_edges_are_not_bridges(self):
+        # K2 as a simple graph is one bridge; doubled it is 2EC.
+        single = MultiGraph.from_edges(2, [(0, 1)])
+        doubled = MultiGraph.from_edges(2, [(0, 1), (0, 1)])
+        assert find_bridges(single) == {(0, 1)}
+        assert find_bridges(doubled) == set()
+        assert is_two_edge_connected(doubled)
+
+    def test_two_node_ring_is_two_edge_connected(self):
+        # The simulator's 2-ring *is* the doubled-edge multigraph.
+        assert is_two_edge_connected(MultiGraph.ring(2))
+        assert is_two_edge_connected(MultiGraph.ring(1))
+
+    def test_parallel_copy_protects_a_path_edge(self):
+        # Path 0-1-2 with the 1-2 edge doubled: only 0-1 is a bridge.
+        graph = MultiGraph.from_edges(3, [(0, 1), (1, 2), (1, 2)])
+        assert find_bridges(graph) == {(0, 1)}
+
+    def test_self_loops_are_never_bridges(self):
+        looped = MultiGraph.from_edges(3, [(0, 1), (1, 2), (1, 1)])
+        assert find_bridges(looped) == {(0, 1), (1, 2)}
+        ring_plus_loop = MultiGraph.from_edges(
+            3, [(0, 1), (1, 2), (2, 0), (0, 0)]
+        )
+        assert find_bridges(ring_plus_loop) == set()
+        assert is_two_edge_connected(ring_plus_loop)
+
+    def test_disconnected_inputs_are_total(self):
+        # Two components: a triangle and a path; only the path edge is
+        # a bridge, and no exception is raised.
+        graph = MultiGraph.from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 4)])
+        assert not is_connected(graph)
+        assert find_bridges(graph) == {(3, 4)}
+        assert not is_two_edge_connected(graph)
+
+    def test_disconnected_simple_graph_total(self):
+        graph = Graph.from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+        assert not is_connected(graph)
+        assert find_bridges(graph) == set()  # both components bridge-free
+        assert not is_two_edge_connected(graph)  # but not connected
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_multigraph_bridges_match_networkx(self, data):
+        """Differential oracle: collapse parallel edges and self-loops
+        the way networkx's bridge finder expects, and compare."""
+        n = data.draw(st.integers(min_value=2, max_value=8))
+        edge_count = data.draw(st.integers(min_value=1, max_value=14))
+        edges = [
+            (
+                data.draw(st.integers(min_value=0, max_value=n - 1)),
+                data.draw(st.integers(min_value=0, max_value=n - 1)),
+            )
+            for _ in range(edge_count)
+        ]
+        graph = MultiGraph.from_edges(n, edges)
+        oracle = nx.MultiGraph()
+        oracle.add_nodes_from(range(n))
+        oracle.add_edges_from(edges)
+        expected = {
+            tuple(sorted(edge)) for edge in nx.bridges(oracle)
+        }
+        assert find_bridges(graph) == expected
+
+
+class TestRequireTwoEdgeConnected:
+    def test_accepts_two_edge_connected(self):
+        require_two_edge_connected(Graph.ring(5))  # no raise
+        require_two_edge_connected(MultiGraph.ring(2))
+
+    def test_bridge_witness_is_the_smallest_bridge(self):
+        # Path 0-1-2: bridges {(0,1), (1,2)}; witness must be (0, 1).
+        graph = Graph.from_edges(3, [(0, 1), (1, 2)])
+        with pytest.raises(BridgeWitnessError) as excinfo:
+            require_two_edge_connected(graph)
+        assert excinfo.value.bridge == (0, 1)
+        assert "impossibility witness" in str(excinfo.value)
+
+    def test_disconnected_witness_is_none(self):
+        graph = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(BridgeWitnessError) as excinfo:
+            require_two_edge_connected(graph)
+        assert excinfo.value.bridge is None
+
+    def test_witness_error_is_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            require_two_edge_connected(Graph.from_edges(2, [(0, 1)]))
