@@ -18,7 +18,10 @@ robustness contract recorded in ``docs/ROBUSTNESS.md``:
 A second section exercises the recovery classifier end to end: a node
 crash is injected mid-run, every sampled run must land in exactly one
 of the three classes, and the first counterexample must replay from its
-seeds alone.
+seeds alone.  A third section runs the adversarial worst-plan search
+(:mod:`repro.adversary`) against an equal-evaluation-budget random
+baseline and records both, so the bench tracks how much damage a
+budgeted *correlated* adversary does beyond independent noise.
 
 Results land in a machine-readable ``BENCH_faults.json`` at the repo
 root::
@@ -48,6 +51,10 @@ DROP_RATES_QUICK = [0.0, 0.01, 0.05]
 #: them, so the curves degrade much more slowly — probe further out.
 NOISE_RATES_FULL = [0.0, 0.01, 0.05, 0.1]
 NOISE_RATES_QUICK = [0.0, 0.05]
+#: Per-(node, round) crash probabilities: a crash silences a whole node,
+#: so the curve collapses far faster than the per-send channel kinds.
+CRASH_RATES_FULL = [0.0, 0.005, 0.01, 0.02]
+CRASH_RATES_QUICK = [0.0, 0.02]
 
 SWEEP_FULL = {"samples": 400, "n": 6, "id_max": 64}
 SWEEP_QUICK = {"samples": 64, "n": 5, "id_max": 40}
@@ -130,6 +137,82 @@ def bench_recovery_self_test(quick: bool) -> Dict:
     }
 
 
+#: Adversarial worst-plan search coordinates.  The quick row pins the
+#: CI smoke configuration (seeds included): cross-entropy over a tight
+#: crash-restart/burst space where the 0-recovered floor is sparse, so
+#: the found plan is information, not a trivial tie.
+ADVERSARY_QUICK = {
+    "budget": 3, "n": 6, "id_max": 48, "samples": 48,
+    "iterations": 3, "population": 8,
+}
+ADVERSARY_FULL = {
+    "budget": 4, "n": 6, "id_max": 64, "samples": 96,
+    "iterations": 4, "population": 10,
+}
+
+
+def bench_worst_plan(
+    quick: bool, farm_root: Optional[pathlib.Path] = None
+) -> Dict:
+    """Adversarial search: the worst budgeted correlated-fault plan.
+
+    Runs the cross-entropy optimizer over the smoke plan space and an
+    equal-evaluation-budget random baseline, and records both — the
+    found plan is seed-replayable via ``repro faults replay`` from the
+    equivalent CLI artifact.
+    """
+    from repro.adversary import (
+        EvalSettings,
+        PlanSpace,
+        random_baseline,
+        search_worst_plan,
+    )
+
+    params = ADVERSARY_QUICK if quick else ADVERSARY_FULL
+    space = PlanSpace(
+        n=params["n"],
+        budget=params["budget"],
+        restarts=(1, 2),
+        drop_rates=(0.25,),
+        max_drops=1,
+        max_burst=1,
+    )
+    settings = EvalSettings(
+        n=params["n"], id_max=params["id_max"], samples=params["samples"]
+    )
+    t0 = time.perf_counter()
+    result = search_worst_plan(
+        space,
+        settings,
+        strategy="cross-entropy",
+        iterations=params["iterations"],
+        population=params["population"],
+        search_seed=1,
+        farm_root=farm_root,
+    )
+    baseline = random_baseline(
+        space,
+        settings,
+        count=result.evaluations,
+        search_seed=101,
+        farm_root=farm_root,
+    )
+    seconds = time.perf_counter() - t0
+    return {
+        **params,
+        "strategy": result.strategy,
+        "search_seed": result.search_seed,
+        "baseline_seed": 101,
+        "evaluations": result.evaluations,
+        "worst": result.best.to_dict(),
+        "baseline_best": baseline.to_dict(),
+        "search_beats_or_ties_baseline": (
+            result.best.rate_high <= baseline.rate_high
+        ),
+        "seconds": round(seconds, 4),
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -153,12 +236,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     drop_rates = DROP_RATES_QUICK if args.quick else DROP_RATES_FULL
     noise_rates = NOISE_RATES_QUICK if args.quick else NOISE_RATES_FULL
+    crash_rates = CRASH_RATES_QUICK if args.quick else CRASH_RATES_FULL
 
     curves = {}
     for kind, rates in (
         ("drop", drop_rates),
         ("duplicate", noise_rates),
         ("spurious", noise_rates),
+        ("crash", crash_rates),
     ):
         print(f"sweeping {kind} over {rates} ...", flush=True)
         curve = bench_curve(kind, rates, args.quick, farm_root=args.farm)
@@ -182,6 +267,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         flush=True,
     )
 
+    print("adversarial worst-plan search ...", flush=True)
+    worst_plan = bench_worst_plan(args.quick, farm_root=args.farm)
+    print(
+        f"  worst plan CP high {worst_plan['worst']['rate_high']:.4f} vs "
+        f"baseline {worst_plan['baseline_best']['rate_high']:.4f} "
+        f"({worst_plan['evaluations']} evaluations each)",
+        flush=True,
+    )
+
     curves_ok = all(
         curve["clean_at_zero"] and curve["monotone_within_bands"]
         for curve in curves.values()
@@ -201,6 +295,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(unified fault model over the fleet)",
         "curves": curves,
         "recovery_self_test": self_test,
+        "worst_plan": worst_plan,
         "summary": {
             "clean_at_zero": {
                 kind: curve["clean_at_zero"] for kind, curve in curves.items()
@@ -211,6 +306,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             },
             "all_curves_degrade_gracefully": curves_ok,
             "crash_runs_classified_and_replayable": self_test_ok,
+            "worst_plan_beats_or_ties_random": worst_plan[
+                "search_beats_or_ties_baseline"
+            ],
         },
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")

@@ -1,0 +1,67 @@
+"""Adversarial fault-plan search: find the worst budgeted fault plan.
+
+The degradation sweeps measure *average-case* noise — independent
+per-send coin flips.  A content-oblivious adversary is nastier: it
+correlates faults (a crash plus a timed burst of drops at one anchor,
+triggered by a counter threshold it can observe without reading
+content).  This package searches that space:
+
+* :mod:`repro.adversary.plans` — the discrete, budgeted plan grid over
+  correlated :class:`~repro.faults.model.FaultGroup` clauses;
+* :mod:`repro.adversary.search` — cross-entropy and epsilon-greedy
+  optimizers minimizing the Clopper–Pearson upper bound of the
+  recovery rate (measured by the farm-cacheable recovery shard seam);
+* :mod:`repro.adversary.artifact` — the seed-replayable JSON artifact
+  ``repro faults search`` emits and ``repro faults replay`` verifies
+  bit-identically.
+
+Everything is counter-seeded and pure in its coordinates: the same
+search seed walks the same candidates, and a saved worst plan replays
+to identical classification counts on every backend.
+"""
+
+from repro.adversary.artifact import (
+    ARTIFACT_VERSION,
+    ReplayOutcome,
+    artifact_dict,
+    load_artifact,
+    replay_artifact,
+    save_artifact,
+)
+from repro.adversary.plans import (
+    CRASH_COST,
+    TRIGGER_KINDS,
+    AdversaryPlan,
+    PlanSpace,
+    plan_from_canonical,
+)
+from repro.adversary.search import (
+    STRATEGIES,
+    EvalSettings,
+    PlanEvaluation,
+    SearchResult,
+    evaluate_plan,
+    random_baseline,
+    search_worst_plan,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "CRASH_COST",
+    "STRATEGIES",
+    "TRIGGER_KINDS",
+    "AdversaryPlan",
+    "EvalSettings",
+    "PlanEvaluation",
+    "PlanSpace",
+    "ReplayOutcome",
+    "SearchResult",
+    "artifact_dict",
+    "evaluate_plan",
+    "load_artifact",
+    "plan_from_canonical",
+    "random_baseline",
+    "replay_artifact",
+    "save_artifact",
+    "search_worst_plan",
+]

@@ -1,0 +1,156 @@
+"""Seed-replayable artifacts: a found worst plan, frozen to JSON.
+
+An artifact is the durable output of one adversarial search: the worst
+plan found, the evaluation coordinates it was measured under, the
+measured recovery statistics, and the search provenance (strategy,
+seeds, budget, optional random baseline).  Everything in it is either a
+semantics coordinate or a count, so ``repro faults replay`` can rebuild
+the plan, rerun the exact evaluation from a fresh process, and demand
+**bit-identical** classification counts — the same replayability
+contract the farm's content-addressed shards live by.
+
+The file format is canonical JSON (sorted keys, minimal separators)
+with a trailing newline, so byte-identical artifacts mean identical
+searches — the CI smoke job diffs two independent replays byte for
+byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.adversary.plans import plan_from_canonical
+from repro.adversary.search import (
+    EvalSettings,
+    PlanEvaluation,
+    SearchResult,
+    evaluate_plan,
+)
+from repro.exceptions import ConfigurationError
+from repro.farm.keys import canonical_json
+
+#: Artifact schema version (bump on incompatible layout changes).
+ARTIFACT_VERSION = 1
+
+
+def artifact_dict(
+    result: SearchResult,
+    settings: EvalSettings,
+    baseline: Optional[PlanEvaluation] = None,
+    baseline_count: int = 0,
+) -> Dict[str, Any]:
+    """Assemble the artifact payload from a finished search."""
+    payload: Dict[str, Any] = {
+        "version": ARTIFACT_VERSION,
+        "kind": "adversary-plan",
+        "search": {
+            "strategy": result.strategy,
+            "budget": result.budget,
+            "search_seed": result.search_seed,
+            "iterations": result.iterations,
+            "evaluations": result.evaluations,
+        },
+        "evaluation": settings.to_dict(),
+        "worst_plan": result.best.to_dict(),
+    }
+    if baseline is not None:
+        payload["baseline"] = {
+            "count": baseline_count,
+            "best": baseline.to_dict(),
+        }
+    return payload
+
+
+def save_artifact(path: Union[str, Path], payload: Mapping[str, Any]) -> Path:
+    """Write an artifact as canonical JSON (+ newline) and return its path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(canonical_json(dict(payload)) + "\n")
+    return target
+
+
+def load_artifact(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and structurally validate one artifact file."""
+    target = Path(path)
+    try:
+        payload = json.loads(target.read_text())
+    except FileNotFoundError:
+        raise ConfigurationError(f"no artifact at {target}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"artifact {target} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(payload, dict) or payload.get("kind") != "adversary-plan":
+        raise ConfigurationError(
+            f"artifact {target} is not an adversary-plan artifact"
+        )
+    if payload.get("version") != ARTIFACT_VERSION:
+        raise ConfigurationError(
+            f"artifact {target} has version {payload.get('version')!r}; "
+            f"this build reads version {ARTIFACT_VERSION}"
+        )
+    for key in ("evaluation", "worst_plan"):
+        if key not in payload:
+            raise ConfigurationError(f"artifact {target} is missing {key!r}")
+    return payload
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """A fresh re-evaluation of an artifact's plan vs its recorded stats."""
+
+    matches: bool
+    expected: Dict[str, int]
+    observed: Dict[str, int]
+    evaluation: PlanEvaluation
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "matches": self.matches,
+            "expected": dict(self.expected),
+            "observed": dict(self.observed),
+            "rate_low": self.evaluation.rate_low,
+            "rate_high": self.evaluation.rate_high,
+        }
+
+
+def replay_artifact(
+    payload: Mapping[str, Any],
+    backend: str = "auto",
+    farm_root: Optional[Union[str, Path]] = None,
+) -> ReplayOutcome:
+    """Re-run an artifact's evaluation and compare counts exactly.
+
+    The plan, the evaluation coordinates, and the fault rolls are all
+    pure functions of what the artifact records, so the observed
+    recovered / wrong-stable / stuck split (and fault-event counts)
+    must equal the recorded ones on any backend, in any process, at any
+    shard layout.  A mismatch means semantic drift — the same signal a
+    farm cache-key mismatch would give.
+    """
+    plan = plan_from_canonical(payload["worst_plan"]["plan"])
+    settings = EvalSettings.from_dict(payload["evaluation"], backend=backend)
+    evaluation = evaluate_plan(plan, settings, farm_root=farm_root)
+    keys = ("samples", "recovered", "wrong_stable", "stuck")
+    expected = {key: int(payload["worst_plan"][key]) for key in keys}
+    expected_events = {
+        key: int(value)
+        for key, value in payload["worst_plan"].get("fault_events", {}).items()
+    }
+    observed = {
+        "samples": evaluation.samples,
+        "recovered": evaluation.recovered,
+        "wrong_stable": evaluation.wrong_stable,
+        "stuck": evaluation.stuck,
+    }
+    observed_events = {k: int(v) for k, v in evaluation.fault_events.items()}
+    matches = observed == expected and observed_events == expected_events
+    return ReplayOutcome(
+        matches=matches,
+        expected={**expected, **expected_events},
+        observed={**observed, **observed_events},
+        evaluation=evaluation,
+    )

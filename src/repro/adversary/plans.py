@@ -1,0 +1,359 @@
+"""The discrete adversarial plan space over correlated fault groups.
+
+A fault *plan* is the search-facing spelling of one correlated
+:class:`~repro.faults.model.FaultGroup`: an anchor position, one
+trigger (absolute round or a rho/sigma threshold crossing), and a
+budgeted allocation of member clauses — a crash(-restart), relative
+pulse drops, and a drop-rate burst window re-anchored to the fire
+round.  Plans are deliberately *discrete and small*: the optimizer in
+:mod:`repro.adversary.search` walks a finite grid, so every coordinate
+here is a choice from an explicit tuple, and every plan canonicalizes
+to a JSON dict that round-trips bit-identically through artifacts and
+farm campaign params.
+
+Budget accounting (the per-plan constraint the search respects)::
+
+    cost = 2 * crash + len(drops) + burst_length
+
+A crash costs 2 (it silences a node for good, or until a paid-for
+restart); each deterministic drop and each burst round costs 1.  The
+zero-budget plan is the trivial plan — a no-op model — which the
+search CLI emits unconditionally at ``--budget 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.faults.model import FaultBurst, FaultGroup, FaultModel, GroupDrop
+
+#: Trigger spellings a plan may carry: an absolute fire round, or the
+#: first round the anchor's rho/sigma counter reaches the value.
+TRIGGER_KINDS = ("round", "rho", "sigma")
+
+#: Cost of a crash member in budget units (drops and burst rounds cost 1).
+CRASH_COST = 2
+
+
+@dataclass(frozen=True)
+class AdversaryPlan:
+    """One budgeted correlated-fault plan (a single fault group).
+
+    Attributes:
+        anchor: Ring position the group is bound to.
+        trigger_kind: ``"round"`` (absolute) or ``"rho"``/``"sigma"``
+            (threshold crossing on the anchor's counter).
+        trigger_value: The fire round (1-based) or the threshold.
+        crash: Whether the anchor crashes at the fire round.
+        restart_after: Rounds until the crashed anchor reboots
+            (None = permanent; requires ``crash``).
+        drops: Relative :class:`~repro.faults.model.GroupDrop` clauses.
+        burst_length: Rounds of the drop-rate burst window starting at
+            the fire round (0 = no burst).
+        drop_rate: Per-send drop probability inside the burst window.
+        fault_seed: Seed of the model's counter-based roll streams.
+    """
+
+    anchor: int = 0
+    trigger_kind: str = "round"
+    trigger_value: int = 1
+    crash: bool = False
+    restart_after: Optional[int] = None
+    drops: Tuple[GroupDrop, ...] = ()
+    burst_length: int = 0
+    drop_rate: float = 0.0
+    fault_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.anchor < 0:
+            raise ConfigurationError(
+                f"plan anchor must be >= 0, got {self.anchor}"
+            )
+        if self.trigger_kind not in TRIGGER_KINDS:
+            raise ConfigurationError(
+                f"plan trigger_kind must be one of {list(TRIGGER_KINDS)}, "
+                f"got {self.trigger_kind!r}"
+            )
+        if self.trigger_value < 1:
+            raise ConfigurationError(
+                f"plan trigger_value must be >= 1, got {self.trigger_value}"
+            )
+        if self.burst_length < 0:
+            raise ConfigurationError(
+                f"plan burst_length must be >= 0, got {self.burst_length}"
+            )
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise ConfigurationError(
+                f"plan drop_rate must be in [0, 1], got {self.drop_rate}"
+            )
+        if self.burst_length > 0 and self.drop_rate <= 0.0:
+            raise ConfigurationError(
+                "a burst window without a drop_rate injects nothing; "
+                "set drop_rate > 0 or burst_length = 0"
+            )
+        if self.restart_after is not None and not self.crash:
+            raise ConfigurationError(
+                "restart_after without crash=True: nothing to restart"
+            )
+        object.__setattr__(self, "drops", tuple(self.drops))
+        # Canonicalize inert coordinates so semantically-equal plans are
+        # dict-equal (the farm cache-key injectivity tests pin this):
+        # a plan with no members degenerates to the trivial plan.
+        if self.burst_length == 0:
+            object.__setattr__(self, "drop_rate", 0.0)
+        if self.is_trivial:
+            object.__setattr__(self, "anchor", 0)
+            object.__setattr__(self, "trigger_kind", "round")
+            object.__setattr__(self, "trigger_value", 1)
+            object.__setattr__(self, "restart_after", None)
+
+    @classmethod
+    def trivial(cls, fault_seed: int = 0) -> "AdversaryPlan":
+        """The zero-cost plan (compiles to the no-op fault model)."""
+        return cls(fault_seed=fault_seed)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the plan has no member clauses at all."""
+        return not (self.crash or self.drops or self.burst_length)
+
+    @property
+    def cost(self) -> int:
+        """Budget units this plan spends (see module docstring)."""
+        return (
+            (CRASH_COST if self.crash else 0)
+            + len(self.drops)
+            + self.burst_length
+        )
+
+    def to_model(self) -> FaultModel:
+        """Compile the plan onto the unified fault language.
+
+        The trivial plan compiles to the no-op model (not an empty
+        group — :class:`~repro.faults.model.FaultGroup` requires at
+        least one member clause).
+        """
+        if self.is_trivial:
+            return FaultModel(seed=self.fault_seed)
+        absolute = self.trigger_kind == "round"
+        group = FaultGroup(
+            anchor=self.anchor,
+            at_round=self.trigger_value if absolute else None,
+            trigger_field=None if absolute else self.trigger_kind,
+            trigger_threshold=None if absolute else self.trigger_value,
+            crash=self.crash,
+            restart_after=self.restart_after,
+            drops=self.drops,
+            burst=(
+                FaultBurst(start=1, length=self.burst_length)
+                if self.burst_length
+                else None
+            ),
+        )
+        return FaultModel(
+            drop_rate=self.drop_rate if self.burst_length else 0.0,
+            seed=self.fault_seed,
+            groups=(group,),
+        )
+
+    def to_canonical(self) -> Dict[str, Any]:
+        """The plan as a canonical, JSON-stable dict (artifact/farm form)."""
+        return {
+            "anchor": self.anchor,
+            "trigger_kind": self.trigger_kind,
+            "trigger_value": self.trigger_value,
+            "crash": self.crash,
+            "restart_after": self.restart_after,
+            "drops": [
+                {
+                    "offset": drop.offset,
+                    "node_offset": drop.node_offset,
+                    "direction": drop.direction,
+                    "count": drop.count,
+                }
+                for drop in self.drops
+            ],
+            "burst_length": self.burst_length,
+            "drop_rate": self.drop_rate,
+            "fault_seed": self.fault_seed,
+        }
+
+
+def plan_from_canonical(data: Mapping[str, Any]) -> AdversaryPlan:
+    """Inverse of :meth:`AdversaryPlan.to_canonical`."""
+    return AdversaryPlan(
+        anchor=data["anchor"],
+        trigger_kind=data["trigger_kind"],
+        trigger_value=data["trigger_value"],
+        crash=data["crash"],
+        restart_after=data["restart_after"],
+        drops=tuple(GroupDrop(**drop) for drop in data["drops"]),
+        burst_length=data["burst_length"],
+        drop_rate=data["drop_rate"],
+        fault_seed=data["fault_seed"],
+    )
+
+
+@dataclass(frozen=True)
+class PlanSpace:
+    """The finite coordinate grid plans are drawn from.
+
+    Every coordinate is an explicit tuple of choices, so the space is
+    enumerable, the cross-entropy strategy can maintain one categorical
+    distribution per coordinate, and two searches with the same seed
+    walk identical candidate sequences on every platform.
+    """
+
+    n: int
+    budget: int
+    rounds: Tuple[int, ...] = (1, 2, 3, 4, 6, 8, 12, 16)
+    thresholds: Tuple[int, ...] = (1, 2, 3)
+    offsets: Tuple[int, ...] = (0, 1, 2, 3)
+    restarts: Tuple[Optional[int], ...] = (None, 1, 2, 4)
+    drop_rates: Tuple[float, ...] = (0.5, 1.0)
+    max_drops: int = 4
+    max_burst: int = 6
+    fault_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError(
+                f"plan space needs a ring of >= 2 nodes, got n={self.n}"
+            )
+        if self.budget < 0:
+            raise ConfigurationError(
+                f"plan budget must be >= 0, got {self.budget}"
+            )
+        for name in ("rounds", "thresholds", "offsets", "drop_rates"):
+            if not getattr(self, name):
+                raise ConfigurationError(f"plan space {name} cannot be empty")
+        for rate in self.drop_rates:
+            if not 0.0 < rate <= 1.0:
+                raise ConfigurationError(
+                    f"plan space drop_rates must be in (0, 1], got {rate}"
+                )
+
+    # -- coordinate choice lists (shared by sampling and cross-entropy) --
+
+    def triggers(self) -> List[Tuple[str, int]]:
+        """Every (kind, value) trigger the space admits, in grid order."""
+        out: List[Tuple[str, int]] = [("round", r) for r in self.rounds]
+        for kind in ("rho", "sigma"):
+            out.extend((kind, t) for t in self.thresholds)
+        return out
+
+    def coordinates(self) -> Dict[str, List[Any]]:
+        """Named categorical choice lists for the distribution-based
+        strategies.  Budget projection happens after drawing (see
+        :meth:`assemble`), so the lists themselves are unconstrained."""
+        return {
+            "anchor": list(range(self.n)),
+            "trigger": self.triggers(),
+            "crash": [False, True],
+            "restart": list(self.restarts),
+            "n_drops": list(range(self.max_drops + 1)),
+            "drop_offset": list(self.offsets),
+            "drop_node_offset": list(range(self.n)),
+            "drop_direction": ["cw", "ccw"],
+            "burst_length": list(range(self.max_burst + 1)),
+            "drop_rate": list(self.drop_rates),
+        }
+
+    def assemble(self, draw: Mapping[str, Any], drop_coords: List[Tuple[int, int, str]]) -> AdversaryPlan:
+        """Build a plan from raw coordinate draws, projected into budget.
+
+        Projection order spends the budget on the crash first, then
+        drops, then burst rounds — deterministic, so equal draws always
+        assemble the same plan.
+        """
+        remaining = self.budget
+        crash = bool(draw["crash"]) and remaining >= CRASH_COST
+        if crash:
+            remaining -= CRASH_COST
+        drops = tuple(
+            GroupDrop(offset=offset, node_offset=node_offset, direction=direction)
+            for offset, node_offset, direction in drop_coords[
+                : min(len(drop_coords), remaining)
+            ]
+        )
+        remaining -= len(drops)
+        burst_length = min(int(draw["burst_length"]), remaining)
+        kind, value = draw["trigger"]
+        if burst_length == 0 and not crash and not drops:
+            return AdversaryPlan.trivial(self.fault_seed)
+        return AdversaryPlan(
+            anchor=draw["anchor"],
+            trigger_kind=kind,
+            trigger_value=value,
+            crash=crash,
+            restart_after=draw["restart"] if crash else None,
+            drops=drops,
+            burst_length=burst_length,
+            drop_rate=draw["drop_rate"] if burst_length else 0.0,
+            fault_seed=self.fault_seed,
+        )
+
+    def sample(self, rng: Any) -> AdversaryPlan:
+        """One uniform random plan inside the budget (``rng`` is a
+        seeded :class:`random.Random`)."""
+        if self.budget == 0:
+            return AdversaryPlan.trivial(self.fault_seed)
+        coords = self.coordinates()
+        draw = {
+            name: rng.choice(choices)
+            for name, choices in coords.items()
+            if name not in ("drop_offset", "drop_node_offset", "drop_direction")
+        }
+        drop_coords = [
+            (
+                rng.choice(coords["drop_offset"]),
+                rng.choice(coords["drop_node_offset"]),
+                rng.choice(coords["drop_direction"]),
+            )
+            for _ in range(draw["n_drops"])
+        ]
+        return self.assemble(draw, drop_coords)
+
+    def mutate(self, plan: AdversaryPlan, rng: Any) -> AdversaryPlan:
+        """Resample one coordinate of ``plan`` (the epsilon-greedy
+        exploitation move).  Falls back to a fresh sample when the plan
+        is trivial — there is nothing local to perturb."""
+        if self.budget == 0 or plan.is_trivial:
+            return self.sample(rng)
+        coords = self.coordinates()
+        draw: Dict[str, Any] = {
+            "anchor": plan.anchor,
+            "trigger": (plan.trigger_kind, plan.trigger_value),
+            "crash": plan.crash,
+            "restart": plan.restart_after,
+            "burst_length": plan.burst_length,
+            "drop_rate": plan.drop_rate if plan.burst_length else rng.choice(coords["drop_rate"]),
+        }
+        drop_coords = [
+            (drop.offset, drop.node_offset, drop.direction)
+            for drop in plan.drops
+        ]
+        which = rng.choice(
+            ["anchor", "trigger", "crash", "restart", "burst_length", "drops"]
+        )
+        if which == "drops":
+            slot = rng.randrange(len(drop_coords) + 1)
+            fresh = (
+                rng.choice(coords["drop_offset"]),
+                rng.choice(coords["drop_node_offset"]),
+                rng.choice(coords["drop_direction"]),
+            )
+            if slot < len(drop_coords):
+                drop_coords[slot] = fresh
+            else:
+                drop_coords.append(fresh)
+        elif which == "crash":
+            draw["crash"] = not draw["crash"]
+        elif which == "restart":
+            draw["restart"] = rng.choice(coords["restart"])
+            draw["crash"] = True
+        else:
+            draw[which] = rng.choice(coords[which])
+        return self.assemble(draw, drop_coords)

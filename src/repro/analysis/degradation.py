@@ -116,7 +116,10 @@ class DegradationCurve:
 
 
 #: Fault kinds the sweep knows how to scale by a single rate knob.
-SWEEP_KINDS = ("drop", "duplicate", "spurious")
+#: ``crash`` is node- rather than channel-scoped: each (instance, node)
+#: rolls one counter-based fail-stop decision (see
+#: ``FaultModel.crash_rate``), so the curve covers node failures too.
+SWEEP_KINDS = ("drop", "duplicate", "spurious", "crash")
 
 
 def model_for_rate(kind: str, rate: float, seed: int) -> FaultModel:
@@ -130,6 +133,8 @@ def model_for_rate(kind: str, rate: float, seed: int) -> FaultModel:
         return replace(base, drop_rate=rate)
     if kind == "duplicate":
         return replace(base, duplicate_rate=rate)
+    if kind == "crash":
+        return replace(base, crash_rate=rate)
     return replace(base, spurious_rate=rate)
 
 

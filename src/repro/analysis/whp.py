@@ -37,6 +37,21 @@ from repro.analysis.stats import (
 from repro.exceptions import ConfigurationError
 
 
+def whp_target(n: int, c: float) -> float:
+    """Lemma 18's success-probability floor :math:`1 - n^{-c}`.
+
+    The w.h.p. experiments and the statistical checker's anonymous
+    predicate both test observed success counts against this target
+    (via :meth:`~repro.analysis.stats.BernoulliEstimate.consistent_with_at_least`
+    or the Clopper–Pearson upper bound).
+    """
+    if n < 2:
+        raise ConfigurationError(f"need a ring of at least 2 nodes, got n={n}")
+    if c <= 0:
+        raise ConfigurationError(f"sampler exponent c must be > 0, got {c}")
+    return 1.0 - float(n) ** (-c)
+
+
 def _anonymous_fleet_successes(
     job: "Tuple[int, Sequence[int], float, str]",
 ) -> List[bool]:

@@ -440,6 +440,61 @@ def _cmd_verify_topology_statistical(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_verify_anonymous(args: argparse.Namespace) -> int:
+    """The Lemma 18 w.h.p. predicate over the anonymous pipeline."""
+    from repro.exceptions import ConfigurationError
+    from repro.verification.statistical import run_anonymous_whp_check
+
+    try:
+        report = run_anonymous_whp_check(
+            n=args.n,
+            c=args.c,
+            trials=args.samples,
+            seed=args.seed,
+            backend=args.backend,
+            confidence=args.confidence,
+            processes=args.processes if args.processes is not None else 1,
+        )
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
+    print(f"algorithm            : anonymous (Algorithm 4 -> Algorithm 3)")
+    print(f"mode                 : Lemma 18 w.h.p. predicate")
+    print(f"ring size n          : {report.n}")
+    print(f"sampler exponent c   : {report.c}")
+    print(f"attempts             : {report.trials} (seeds {report.seed}.."
+          f"{report.seed + report.trials - 1})")
+    print(f"backend              : {report.backend}")
+    print(
+        f"success rate         : {report.successes}/{report.trials} = "
+        f"{report.success_rate:.6f} ({int(report.confidence * 100)}% CP "
+        f"interval [{report.rate_low:.6f}, {report.rate_high:.6f}])"
+    )
+    print(f"lemma 18 target      : 1 - n^-c = {report.target:.6f}")
+    print(
+        f"one-sided test       : CP upper bound "
+        f"{report.rate_high:.6f} "
+        f"{'>=' if report.holds else '<'} target (holds: "
+        f"{'yes' if report.holds else 'NO'})"
+    )
+    all_reproduce = True
+    for ce in report.counterexamples:
+        print(f"counterexample       : {ce.message}")
+        print(
+            f"  replay             : repro verify --statistical "
+            f"--algorithm anonymous --n {ce.n} --c {ce.c} --samples 1 "
+            f"--seed {ce.attempt_seed} --backend {ce.backend}"
+        )
+        reproduced = ce.replay()
+        print(
+            f"  replay reproduces  : "
+            f"{'yes' if reproduced is not None else 'NO'}"
+        )
+        all_reproduce = all_reproduce and reproduced is not None
+    ok = report.holds and all_reproduce
+    print("PASSED (Lemma 18 w.h.p. predicate)" if ok else "FAILED")
+    return 0 if ok else 1
+
+
 def _cmd_verify_statistical(args: argparse.Namespace) -> int:
     from repro.accel import maybe_warm_compiled
     from repro.simulator.fleet import FleetFault
@@ -448,6 +503,8 @@ def _cmd_verify_statistical(args: argparse.Namespace) -> int:
     if args.topology is not None:
         return _cmd_verify_topology_statistical(args)
     maybe_warm_compiled(args.backend)
+    if args.algorithm == "anonymous":
+        return _cmd_verify_anonymous(args)
     model = _fault_model_from_args(args)
     if args.recovery:
         return _cmd_verify_recovery(args, model)
@@ -532,6 +589,11 @@ def _cmd_verify_statistical(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     if args.statistical:
         return _cmd_verify_statistical(args)
+    if args.algorithm == "anonymous":
+        raise SystemExit(
+            "verify: --algorithm anonymous is the sampled Lemma 18 "
+            "predicate; it requires --statistical"
+        )
     if args.ids is None and args.topology is None:
         raise SystemExit(
             "verify: --ids is required unless --statistical or --topology"
@@ -902,6 +964,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"(wilson 99% [{estimate.low:.4f}, {estimate.high:.4f}])"
     )
     floor = args.min_rate
+    if args.lemma18:
+        from repro.analysis.whp import whp_target
+
+        target = whp_target(args.n, args.c)
+        print(f"lemma 18 target      : 1 - n^-c = {target:.6f}")
+        floor = target if floor is None else max(floor, target)
     if floor is not None and not estimate.consistent_with_at_least(floor):
         print(f"FAIL: interval excludes the required floor {floor}")
         return 1
@@ -981,6 +1049,214 @@ def _cmd_faults_sweep(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _parse_restart_list(text: str) -> List[Optional[int]]:
+    """Comma list of restart delays; ``none`` means a permanent crash."""
+    out: List[Optional[int]] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part.lower() == "none":
+            out.append(None)
+        else:
+            try:
+                out.append(int(part))
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"expected comma-separated ints or 'none', got {text!r}"
+                ) from None
+    return out
+
+
+def _cmd_faults_search(args: argparse.Namespace) -> int:
+    from repro.accel import maybe_warm_compiled
+    from repro.adversary import (
+        EvalSettings,
+        PlanSpace,
+        artifact_dict,
+        random_baseline,
+        save_artifact,
+        search_worst_plan,
+    )
+    from repro.exceptions import ConfigurationError
+    from repro.farm.keys import canonical_json
+
+    maybe_warm_compiled(args.backend)
+    try:
+        space = PlanSpace(
+            n=args.n,
+            budget=args.budget,
+            rounds=tuple(args.rounds),
+            thresholds=tuple(args.thresholds),
+            offsets=tuple(args.offsets),
+            restarts=tuple(args.restarts),
+            drop_rates=tuple(args.drop_rates),
+            max_drops=args.max_drops,
+            max_burst=args.max_burst,
+            fault_seed=args.fault_seed,
+        )
+        settings = EvalSettings(
+            algorithm=args.algorithm,
+            n=args.n,
+            id_max=args.id_max,
+            samples=args.samples,
+            seed=args.seed,
+            sched_seed=args.sched_seed,
+            scheduler=args.scheduler,
+            backend=args.backend,
+            block_size=args.block_size,
+            confidence=args.confidence,
+            watchdog_rounds=args.watchdog,
+        )
+        result = search_worst_plan(
+            space,
+            settings,
+            strategy=args.strategy,
+            iterations=args.iterations,
+            population=args.population,
+            elite_frac=args.elite_frac,
+            epsilon=args.epsilon,
+            search_seed=args.search_seed,
+            farm_root=args.farm,
+        )
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
+    best = result.best
+    print(
+        f"adversary search     : strategy={result.strategy} "
+        f"budget={result.budget} iterations={result.iterations} "
+        f"evaluations={result.evaluations} seed={result.search_seed}"
+    )
+    print(
+        f"evaluation point     : algorithm={settings.algorithm} "
+        f"n={settings.n} id_max={settings.id_max} "
+        f"samples={settings.samples}"
+    )
+    if args.budget == 0:
+        print(
+            "budget 0             : only the trivial (no-op) plan is "
+            "admissible — nothing to search"
+        )
+    print(f"worst plan           : {canonical_json(best.plan.to_canonical())}")
+    print(f"  cost               : {best.plan.cost} of budget {args.budget}")
+    print(
+        f"  recovery           : {best.recovered}/{best.samples} = "
+        f"{best.success_rate:.4f} ({int(settings.confidence * 100)}% CP "
+        f"[{best.rate_low:.4f}, {best.rate_high:.4f}])"
+    )
+    baseline = None
+    baseline_count = 0
+    if args.baseline is not None or args.require_beats_baseline:
+        spec = args.baseline if args.baseline is not None else "equal"
+        if spec == "equal":
+            baseline_count = result.evaluations
+        else:
+            try:
+                baseline_count = int(spec)
+            except ValueError:
+                raise SystemExit(
+                    f"--baseline takes an int or 'equal', got {spec!r}"
+                ) from None
+        try:
+            baseline = random_baseline(
+                space,
+                settings,
+                count=baseline_count,
+                search_seed=args.baseline_seed,
+                farm_root=args.farm,
+            )
+        except ConfigurationError as error:
+            raise SystemExit(str(error)) from None
+        print(
+            f"random baseline      : best of {baseline_count} plans "
+            f"(seed {args.baseline_seed}): {baseline.recovered}/"
+            f"{baseline.samples} CP high {baseline.rate_high:.4f}"
+        )
+    payload = artifact_dict(
+        result, settings, baseline=baseline, baseline_count=baseline_count
+    )
+    if args.out is not None:
+        path = save_artifact(args.out, payload)
+        print(f"artifact written     : {path}")
+    if args.require_beats_baseline:
+        assert baseline is not None
+        if not best.rate_high < baseline.rate_high:
+            print(
+                f"FAIL: search CP upper bound {best.rate_high:.4f} does not "
+                f"strictly beat the equal-budget random baseline "
+                f"{baseline.rate_high:.4f}"
+            )
+            return 1
+        print(
+            f"search beats baseline: {best.rate_high:.4f} < "
+            f"{baseline.rate_high:.4f} (strict, CP upper bounds)"
+        )
+    print("OK")
+    return 0
+
+
+def _cmd_faults_replay(args: argparse.Namespace) -> int:
+    from repro.accel import maybe_warm_compiled
+    from repro.adversary import load_artifact, replay_artifact
+    from repro.exceptions import ConfigurationError
+    from repro.farm.keys import canonical_json
+
+    maybe_warm_compiled(args.backend)
+    try:
+        payload = load_artifact(args.artifact)
+        outcome = replay_artifact(
+            payload, backend=args.backend, farm_root=args.farm
+        )
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
+    recorded = payload["worst_plan"]
+    print(f"artifact             : {args.artifact}")
+    print(f"plan                 : {canonical_json(recorded['plan'])}")
+    print(
+        f"recorded             : {recorded['recovered']}/"
+        f"{recorded['samples']} recovered "
+        f"(wrong_stable={recorded['wrong_stable']}, "
+        f"stuck={recorded['stuck']})"
+    )
+    ev = outcome.evaluation
+    print(
+        f"replayed             : {ev.recovered}/{ev.samples} recovered "
+        f"(wrong_stable={ev.wrong_stable}, stuck={ev.stuck})"
+    )
+    if not outcome.matches:
+        drift = {
+            key: (outcome.expected.get(key), outcome.observed.get(key))
+            for key in sorted(set(outcome.expected) | set(outcome.observed))
+            if outcome.expected.get(key) != outcome.observed.get(key)
+        }
+        print(f"FAIL: replay drifted on {drift}")
+        return 1
+    print("OK: replay bit-identical (classification and fault-event counts)")
+    return 0
+
+
+def _load_plan_spec(path: Optional[str]):
+    """A canonical plan dict from a search artifact or a raw plan JSON."""
+    import json
+
+    if path is None:
+        raise SystemExit(
+            "farm submit --workload adversary needs --plan PATH "
+            "(a `repro faults search` artifact, or a bare canonical "
+            "plan JSON file)"
+        )
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise SystemExit(f"no plan file at {path}") from None
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"plan file {path} is not valid JSON: {error}") from None
+    if isinstance(payload, dict) and "worst_plan" in payload:
+        return payload["worst_plan"]["plan"]
+    return payload
+
+
 def _farm_campaign_from_args(args: argparse.Namespace):
     """Build the Campaign an `repro farm submit` invocation describes."""
     from repro.farm.campaign import (
@@ -1018,6 +1294,18 @@ def _farm_campaign_from_args(args: argparse.Namespace):
             sched_seed=args.sched_seed,
             scheduler=args.scheduler,
             fault_seed=args.fault_seed,
+        )
+    elif args.workload == "adversary":
+        from repro.farm.campaign import adversary_params
+
+        params = adversary_params(
+            plan=_load_plan_spec(args.plan),
+            algorithm=args.algorithm,
+            n=args.n,
+            id_max=args.id_max,
+            seed=args.seed,
+            sched_seed=args.sched_seed,
+            scheduler=args.scheduler,
         )
     elif args.workload == "whp":
         params = whp_params(n=args.n, c=args.c, seed=args.seed)
@@ -1193,8 +1481,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="clockwise unique IDs (required unless "
                              "--statistical)")
     verify.add_argument("--algorithm",
-                        choices=["warmup", "terminating", "nonoriented"],
-                        default="terminating")
+                        choices=["warmup", "terminating", "nonoriented",
+                                 "anonymous"],
+                        default="terminating",
+                        help="anonymous (with --statistical) checks the "
+                             "Lemma 18 w.h.p. predicate over seeded "
+                             "Algorithm 4 -> Algorithm 3 attempts")
+    verify.add_argument("--c", type=float, default=2.0,
+                        help="sampler exponent for --algorithm anonymous "
+                             "(the 1 - n^-c floor)")
     verify.add_argument("--flips", type=_parse_bool_list, default=None,
                         help="port flips for nonoriented, e.g. 1,0,1")
     verify.add_argument("--reduction",
@@ -1346,6 +1641,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="whp only: fail unless the Wilson interval admits this rate",
     )
     sweep.add_argument(
+        "--lemma18",
+        action="store_true",
+        help="whp only: gate on Lemma 18's 1 - n^-c floor (the --min-rate "
+        "is derived from --n and --c instead of being hand-picked)",
+    )
+    sweep.add_argument(
         "--farm",
         default=None,
         metavar="ROOT",
@@ -1363,9 +1664,11 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="success-probability-vs-fault-rate degradation curve",
     )
-    fsweep.add_argument("--kind", choices=("drop", "duplicate", "spurious"),
+    fsweep.add_argument("--kind",
+                        choices=("drop", "duplicate", "spurious", "crash"),
                         default="drop",
-                        help="which per-pulse fault rate to sweep")
+                        help="which fault rate to sweep (crash: per-node "
+                             "fail-stop probability)")
     fsweep.add_argument("--rates", type=_parse_float_list,
                         default=[0.0, 0.005, 0.01, 0.02, 0.05],
                         help="non-decreasing fault-rate grid, e.g. "
@@ -1405,6 +1708,112 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fsweep.set_defaults(func=_cmd_faults_sweep)
 
+    fsearch = faults_sub.add_parser(
+        "search",
+        help="adversarial search: the budgeted correlated fault plan "
+             "that minimizes the recovery rate (CP upper bound)",
+    )
+    fsearch.add_argument("--budget", type=int, default=3,
+                         help="plan budget: 2*crash + drops + burst rounds "
+                              "(0 exits cleanly with the trivial plan)")
+    fsearch.add_argument("--strategy",
+                         choices=("cross-entropy", "epsilon-greedy"),
+                         default="cross-entropy")
+    fsearch.add_argument("--iterations", type=int, default=8,
+                         help="optimizer iterations (cross-entropy "
+                              "generations or bandit steps)")
+    fsearch.add_argument("--population", type=int, default=12,
+                         help="cross-entropy: candidates per generation")
+    fsearch.add_argument("--elite-frac", type=float, default=0.25,
+                         help="cross-entropy: elite fraction refit per "
+                              "generation")
+    fsearch.add_argument("--epsilon", type=float, default=0.3,
+                         help="epsilon-greedy: exploration probability")
+    fsearch.add_argument("--search-seed", type=int, default=0,
+                         help="seed of the candidate stream (same seed "
+                              "walks the same candidates)")
+    fsearch.add_argument("--algorithm",
+                         choices=["terminating", "nonoriented"],
+                         default="nonoriented")
+    fsearch.add_argument("--n", type=int, default=6)
+    fsearch.add_argument("--id-max", type=int, default=64)
+    fsearch.add_argument("--samples", type=int, default=64,
+                         help="sampled instances per candidate evaluation")
+    fsearch.add_argument("--seed", type=int, default=0,
+                         help="ID/flip sampling seed")
+    fsearch.add_argument("--sched-seed", type=int, default=0)
+    fsearch.add_argument("--fault-seed", type=int, default=0,
+                         help="seed of the counter-based fault streams")
+    fsearch.add_argument("--scheduler", choices=["lockstep", "seeded"],
+                         default="lockstep")
+    fsearch.add_argument("--backend", choices=list(BACKEND_CHOICES),
+                         default="auto")
+    fsearch.add_argument("--block-size", type=int, default=256)
+    fsearch.add_argument("--confidence", type=float, default=0.99)
+    fsearch.add_argument("--watchdog", type=int, default=None,
+                         help="stuck-run watchdog rounds (default: "
+                              "automatic)")
+    fsearch.add_argument("--rounds", type=_parse_int_list,
+                         default=[1, 2, 3, 4, 6, 8, 12, 16],
+                         help="absolute trigger-round choices")
+    fsearch.add_argument("--thresholds", type=_parse_int_list,
+                         default=[1, 2, 3],
+                         help="rho/sigma threshold-trigger choices")
+    fsearch.add_argument("--offsets", type=_parse_int_list,
+                         default=[0, 1, 2, 3],
+                         help="drop-offset choices (rounds after the fire "
+                              "round)")
+    fsearch.add_argument("--restarts", type=_parse_restart_list,
+                         default=[None, 1, 2, 4],
+                         help="crash restart-delay choices; 'none' = "
+                              "permanent crash (e.g. none,1,2)")
+    fsearch.add_argument("--drop-rates", type=_parse_float_list,
+                         default=[0.5, 1.0],
+                         help="burst-window drop-rate choices")
+    fsearch.add_argument("--max-drops", type=int, default=4,
+                         help="most deterministic drops one plan may carry")
+    fsearch.add_argument("--max-burst", type=int, default=6,
+                         help="longest burst window one plan may carry")
+    fsearch.add_argument("--baseline", default=None, metavar="N|equal",
+                         help="also evaluate the best of N uniform random "
+                              "plans ('equal': N = the search's evaluation "
+                              "count)")
+    fsearch.add_argument("--baseline-seed", type=int, default=101,
+                         help="seed of the baseline's candidate stream")
+    fsearch.add_argument("--require-beats-baseline", action="store_true",
+                         help="exit 1 unless the found plan's CP upper "
+                              "bound is strictly below the baseline's "
+                              "(implies --baseline equal when no "
+                              "--baseline is given)")
+    fsearch.add_argument("--out", default=None, metavar="PATH",
+                         help="write the seed-replayable plan artifact "
+                              "(canonical JSON) to PATH")
+    fsearch.add_argument(
+        "--farm",
+        default=None,
+        metavar="ROOT",
+        help="route candidate evaluations through the sweep farm rooted "
+        "at ROOT (revisited plans and overlapping recovery campaigns "
+        "hit the cache)",
+    )
+    fsearch.set_defaults(func=_cmd_faults_search)
+
+    freplay = faults_sub.add_parser(
+        "replay",
+        help="re-run a `faults search` artifact and demand bit-identical "
+             "classification counts",
+    )
+    freplay.add_argument("artifact", help="path to the plan artifact JSON")
+    freplay.add_argument("--backend", choices=list(BACKEND_CHOICES),
+                         default="auto")
+    freplay.add_argument(
+        "--farm",
+        default=None,
+        metavar="ROOT",
+        help="evaluate through the sweep farm rooted at ROOT",
+    )
+    freplay.set_defaults(func=_cmd_faults_replay)
+
     farm = sub.add_parser(
         "farm",
         help="persistent sweep farm: resumable campaigns with a "
@@ -1420,8 +1829,14 @@ def build_parser() -> argparse.ArgumentParser:
     fsubmit.add_argument("--root", required=True, help="farm root directory")
     fsubmit.add_argument(
         "--workload",
-        choices=("recovery", "degradation", "whp", "placements", "ear"),
+        choices=("recovery", "degradation", "whp", "placements", "ear",
+                 "adversary"),
         default="recovery",
+    )
+    fsubmit.add_argument(
+        "--plan", default=None, metavar="PATH",
+        help="adversary workload: a `repro faults search` artifact (its "
+             "worst plan is evaluated) or a bare canonical plan JSON file",
     )
     fsubmit.add_argument(
         "--topology", default=None, metavar="SPEC",
@@ -1444,7 +1859,8 @@ def build_parser() -> argparse.ArgumentParser:
                          default="nonoriented")
     fsubmit.add_argument("--c", type=float, default=2.0,
                          help="whp: sampler exponent")
-    fsubmit.add_argument("--kind", choices=("drop", "duplicate", "spurious"),
+    fsubmit.add_argument("--kind",
+                         choices=("drop", "duplicate", "spurious", "crash"),
                          default="drop",
                          help="degradation: fault kind to sweep")
     fsubmit.add_argument("--rates", type=_parse_float_list,

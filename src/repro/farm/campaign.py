@@ -23,6 +23,12 @@ Workloads:
   success flags through the anonymous fleet pipeline).
 * ``placements`` — the Theorem 1 zero-variance experiment (pulse totals
   over random ID placements).
+* ``adversary`` — one adversarial fault plan
+  (:class:`repro.adversary.plans.AdversaryPlan` in canonical-dict form)
+  evaluated over sampled instances.  Like degradation, its jobs resolve
+  to plain ``recovery`` jobs carrying the plan's compiled fault model,
+  so a search that revisits a plan — or any recovery campaign at the
+  same point — shares cache entries.
 """
 
 from __future__ import annotations
@@ -39,7 +45,7 @@ from repro.farm.keys import (
 from repro.faults.model import FaultModel
 
 #: Workload names a campaign may carry.
-WORKLOADS = ("recovery", "degradation", "whp", "placements", "ear")
+WORKLOADS = ("recovery", "degradation", "whp", "placements", "ear", "adversary")
 
 #: Default instances per shard when the submitter names none.
 DEFAULT_SHARD_SIZE = 250
@@ -147,6 +153,37 @@ def degradation_params(
     }
 
 
+def adversary_params(
+    plan: Mapping[str, Any],
+    algorithm: str = "nonoriented",
+    n: int = 6,
+    id_max: int = 64,
+    seed: int = 0,
+    sched_seed: int = 0,
+    scheduler: str = "lockstep",
+    watchdog_rounds: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Canonical ``adversary`` campaign params from a canonical plan dict.
+
+    The plan is validated by round-tripping through
+    :class:`~repro.adversary.plans.AdversaryPlan`, so two spellings of
+    the same plan (e.g. a burst-less plan with a stray drop_rate)
+    always canonicalize — and hence key — alike.
+    """
+    from repro.adversary.plans import plan_from_canonical
+
+    return {
+        "plan": plan_from_canonical(plan).to_canonical(),
+        "algorithm": algorithm,
+        "n": n,
+        "id_max": id_max,
+        "seed": seed,
+        "sched_seed": sched_seed,
+        "scheduler": scheduler,
+        "watchdog_rounds": watchdog_rounds,
+    }
+
+
 def whp_params(n: int = 16, c: float = 2.0, seed: int = 0) -> Dict[str, Any]:
     """Canonical ``whp`` workload params."""
     return {"n": n, "c": c, "seed": seed}
@@ -211,6 +248,16 @@ _PARAM_FIELDS = {
     "whp": ("n", "c", "seed"),
     "placements": ("n", "seed"),
     "ear": ("topology", "id_max", "seed", "sched_seed", "scheduler"),
+    "adversary": (
+        "plan",
+        "algorithm",
+        "n",
+        "id_max",
+        "seed",
+        "sched_seed",
+        "scheduler",
+        "watchdog_rounds",
+    ),
 }
 
 
@@ -251,6 +298,21 @@ class Campaign:
         Single-point workloads have a one-element grid; a degradation
         campaign has one ``recovery`` param set per rate.
         """
+        if self.workload == "adversary":
+            from repro.adversary.plans import plan_from_canonical
+
+            return [
+                recovery_params(
+                    algorithm=self.params["algorithm"],
+                    n=self.params["n"],
+                    id_max=self.params["id_max"],
+                    seed=self.params["seed"],
+                    sched_seed=self.params["sched_seed"],
+                    scheduler=self.params["scheduler"],
+                    faults=plan_from_canonical(self.params["plan"]).to_model(),
+                    watchdog_rounds=self.params["watchdog_rounds"],
+                )
+            ]
         if self.workload != "degradation":
             return [self.params]
         from repro.analysis.degradation import model_for_rate
@@ -275,8 +337,11 @@ class Campaign:
 
     @property
     def job_workload(self) -> str:
-        """The workload each *job* runs (degradation jobs are recovery)."""
-        return "recovery" if self.workload == "degradation" else self.workload
+        """The workload each *job* runs (degradation and adversary jobs
+        resolve to recovery — that is the cache-sharing seam)."""
+        if self.workload in ("degradation", "adversary"):
+            return "recovery"
+        return self.workload
 
     def jobs(self) -> List[Job]:
         """Every job of this campaign, grid-major then range order."""

@@ -118,7 +118,7 @@ def canonical_fault_model(model: Optional[FaultModel]) -> Optional[Dict]:
     """
     if model is None:
         return None
-    return {
+    canonical = {
         "drop_rate": model.drop_rate,
         "duplicate_rate": model.duplicate_rate,
         "spurious_rate": model.spurious_rate,
@@ -158,6 +158,43 @@ def canonical_fault_model(model: Optional[FaultModel]) -> Optional[Dict]:
             for corruption in model.corruptions
         ],
     }
+    # The adversarial clauses entered the model after the farm shipped;
+    # emitting them only when present keeps every pre-existing cached
+    # payload byte-identical (no SEMANTICS_VERSION bump needed — the
+    # key-stability battery pins this).
+    if model.crash_rate:
+        canonical["crash_rate"] = model.crash_rate
+    if model.groups:
+        canonical["groups"] = [
+            {
+                "anchor": group.anchor,
+                "at_round": group.at_round,
+                "trigger_field": group.trigger_field,
+                "trigger_threshold": group.trigger_threshold,
+                "crash": group.crash,
+                "restart_after": group.restart_after,
+                "drops": [
+                    {
+                        "offset": drop.offset,
+                        "node_offset": drop.node_offset,
+                        "direction": drop.direction,
+                        "count": drop.count,
+                    }
+                    for drop in group.drops
+                ],
+                "burst": (
+                    None
+                    if group.burst is None
+                    else {
+                        "start": group.burst.start,
+                        "length": group.burst.length,
+                    }
+                ),
+                "instance": group.instance,
+            }
+            for group in model.groups
+        ]
+    return canonical
 
 
 def fault_model_from_canonical(data: Optional[Mapping[str, Any]]) -> Optional[FaultModel]:
@@ -168,26 +205,43 @@ def fault_model_from_canonical(data: Optional[Mapping[str, Any]]) -> Optional[Fa
         return None
     from repro.faults.model import (
         FaultBurst,
+        FaultGroup,
+        GroupDrop,
         NodeCrash,
         PulseDrop,
         StateCorruption,
     )
 
-    burst = data.get("burst")
+    def _burst(burst: Any) -> Optional[FaultBurst]:
+        if burst is None:
+            return None
+        return FaultBurst(start=burst["start"], length=burst["length"])
+
     return FaultModel(
         drop_rate=data["drop_rate"],
         duplicate_rate=data["duplicate_rate"],
         spurious_rate=data["spurious_rate"],
         seed=data["seed"],
-        burst=(
-            None
-            if burst is None
-            else FaultBurst(start=burst["start"], length=burst["length"])
-        ),
+        burst=_burst(data.get("burst")),
         drops=tuple(PulseDrop(**drop) for drop in data["drops"]),
         crashes=tuple(NodeCrash(**crash) for crash in data["crashes"]),
         corruptions=tuple(
             StateCorruption(**corruption) for corruption in data["corruptions"]
+        ),
+        crash_rate=data.get("crash_rate", 0.0),
+        groups=tuple(
+            FaultGroup(
+                anchor=group["anchor"],
+                at_round=group["at_round"],
+                trigger_field=group["trigger_field"],
+                trigger_threshold=group["trigger_threshold"],
+                crash=group["crash"],
+                restart_after=group["restart_after"],
+                drops=tuple(GroupDrop(**drop) for drop in group["drops"]),
+                burst=_burst(group["burst"]),
+                instance=group["instance"],
+            )
+            for group in data.get("groups", ())
         ),
     )
 

@@ -353,7 +353,7 @@ class Farm:
         """
         campaign = self.load_campaign(cid)
         payloads = self._payloads(campaign)
-        if campaign.workload == "recovery":
+        if campaign.workload in ("recovery", "adversary"):
             return aggregate_recovery(
                 payloads, campaign.total, confidence=confidence
             )
@@ -416,7 +416,7 @@ class Farm:
             interval=interval,
             backend_label=backend_label,
         )
-        if campaign.workload in ("recovery", "ear"):
+        if campaign.workload in ("recovery", "ear", "adversary"):
             result: Any = obj
         elif campaign.workload == "degradation":
             result = obj.to_dict()

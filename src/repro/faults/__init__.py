@@ -2,8 +2,10 @@
 
 :class:`FaultModel` states *what the adversary may do* — per-pulse
 drop/duplicate rates, spurious injection, bounded bursts, node
-crash(-restart), transient state corruption — once, against the kernel
-``SCHEMA``\\ s.  Each backend gets a thin compiler:
+crash(-restart), transient state corruption, probabilistic fail-stop
+(``crash_rate``), and correlated :class:`FaultGroup` clauses (crash +
+drops + burst bound to one anchor and one trigger) — once, against the
+kernel ``SCHEMA``\\ s.  Each backend gets a thin compiler:
 
 * event-driven + batched engines → :class:`FaultyChannel`
   (:func:`apply_fault_model`);
@@ -34,9 +36,12 @@ from repro.faults.fleet import (
     merge_events,
 )
 from repro.faults.model import (
+    GROUP_TRIGGER_FIELDS,
     FaultBurst,
+    FaultGroup,
     FaultModel,
     FleetFault,
+    GroupDrop,
     NodeCrash,
     PulseDrop,
     StateCorruption,
@@ -54,12 +59,15 @@ from repro.faults.profile import (
 __all__ = [
     "FAULT_SPURIOUS_BIT",
     "FAULT_TWIN_BIT",
+    "GROUP_TRIGGER_FIELDS",
     "DirectionFaults",
     "FaultBurst",
+    "FaultGroup",
     "FaultModel",
     "FaultProfile",
     "FaultyChannel",
     "FleetFault",
+    "GroupDrop",
     "NodeCrash",
     "PulseDrop",
     "ReplayProfile",

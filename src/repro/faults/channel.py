@@ -50,6 +50,17 @@ class FaultyChannel(Channel):
             dst=base.dst,
             defective=base.defective,
         )
+        # Defense in depth for direct construction (apply_fault_model
+        # rejects these too): round-indexed clauses — pulse drops, node
+        # crashes, corruptions, correlated groups, crash_rate — have no
+        # event-channel lowering; silently ignoring them would make the
+        # engine disagree with the fleet on the same model.
+        if model.fleet_only_clauses:
+            raise ConfigurationError(
+                f"fault clauses {'/'.join(model.fleet_only_clauses)} only "
+                "compile onto the fleet engine; FaultyChannel supports the "
+                "random drop/duplicate/spurious rates"
+            )
         self.model = model
         self.dropped = 0
         self.duplicated = 0
@@ -82,8 +93,9 @@ def apply_fault_model(network: Network, model: FaultModel) -> Network:
 
     Must be called before the engine run starts (queues must be empty).
     Returns the same network for chaining.  Fleet-only clauses (pulse
-    drops by round, crashes, corruptions) have no event-channel lowering
-    and are rejected — run those through the fleet engine.
+    drops by round, crashes, corruptions, correlated groups, crash_rate)
+    have no event-channel lowering and are rejected — run those through
+    the fleet engine.
     """
     if model.fleet_only_clauses:
         raise ConfigurationError(

@@ -31,7 +31,11 @@ and a lap-skip compresses laps **within** one round, so skipping changes
 no fault decision.  Node crashes are the exception — a skip would relay
 pulses through a node that must absorb nothing — so a model with crash
 clauses disables the skip fast-paths (correctness over throughput; the
-recovery harness caps rounds with a watchdog anyway).
+recovery harness caps rounds with a watchdog anyway).  Correlated
+:class:`~repro.faults.model.FaultGroup` clauses and the probabilistic
+``crash_rate`` knob disable skips for the same reason, plus one more: a
+threshold-crossing trigger must *visit* the crossing round, which a
+closed-form lap jump would skip straight past.
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ from repro.faults.model import (
     _MIX_A,
     _MIX_B,
     _TWO64,
+    KIND_CRASH,
     KIND_DROP,
     KIND_DUPLICATE,
     KIND_SPURIOUS,
@@ -128,6 +133,40 @@ def _np_under(np_mod: Any, rolls: Any, threshold: int) -> Any:
     return rolls < np_mod.uint64(threshold)
 
 
+def _np_group_sel(
+    np_mod: Any, group: Any, live: Any, instance_offset: int, B: int
+) -> Any:
+    """Row mask a group may touch: live rows, or the one targeted row."""
+    if group.instance is None:
+        return live
+    sel = np_mod.zeros(B, bool)
+    row = group.instance - instance_offset
+    if 0 <= row < B:
+        sel[row] = live[row]
+    return sel
+
+
+def _np_rate_mask(
+    np_mod: Any, model: FaultModel, instance_offset: int, B: int, n: int
+) -> Any:
+    """The ``crash_rate`` dead-node mask (bool ``[B, n]``): one roll per
+    (global instance, node) — channel base 0 in every adapter, so both
+    directional runs agree which nodes are dead."""
+    rolls = _np_rolls(
+        np_mod, model.seed, KIND_CRASH, 0, 0, instance_offset, B, 0, n
+    )
+    return _np_under(np_mod, rolls, rate_threshold(model.crash_rate))
+
+
+def _py_rate_mask(model: FaultModel, instance: int, n: int) -> List[bool]:
+    """Scalar twin of :func:`_np_rate_mask` for one global instance."""
+    threshold = rate_threshold(model.crash_rate)
+    return [
+        roll_u64(model.seed, KIND_CRASH, instance, 0, v, 0) < threshold
+        for v in range(n)
+    ]
+
+
 def _apply_random_np(
     np_mod: Any,
     model: FaultModel,
@@ -137,6 +176,7 @@ def _apply_random_np(
     instance_offset: int,
     chan_base: int,
     live: Any,
+    window: Any = None,
 ) -> None:
     """Random drop/dup/spurious over one direction's flight (in place).
 
@@ -144,11 +184,22 @@ def _apply_random_np(
     quiesced are frozen — the pure-Python twin's per-instance loop has
     exited by then, so the batch must stop rolling faults for them too
     (fault streams must not depend on batch composition).
+
+    ``window`` (bool ``[B]`` or None) is the group-burst gate: when the
+    model carries group bursts, the rates fire only in rows whose burst
+    window is active *this* round (replacing the model-level
+    ``covers`` gate, which per-row fire rounds make meaningless).
     """
-    if not model.covers(round_index):
-        return
+    if window is None:
+        if not model.covers(round_index):
+            return
+        active = live
+    else:
+        active = live & window
+        if not active.any():
+            return
     B, n = flight.shape
-    rows = live[:, None]
+    rows = active[:, None]
     t_drop = rate_threshold(model.drop_rate)
     t_dup = rate_threshold(model.duplicate_rate)
     t_spur = rate_threshold(model.spurious_rate)
@@ -189,9 +240,15 @@ def _apply_random_py(
     flight: List[int],
     instance: int,
     chan_base: int,
+    window: Any = None,
 ) -> None:
-    """Scalar twin of :func:`_apply_random_np` for one instance."""
-    if not model.covers(round_index):
+    """Scalar twin of :func:`_apply_random_np` for one instance;
+    ``window`` is the scalar group-burst gate (bool, or None for the
+    model-level ``covers`` gate)."""
+    if window is None:
+        if not model.covers(round_index):
+            return
+    elif not window:
         return
     n = len(flight)
     t_drop = rate_threshold(model.drop_rate)
@@ -273,10 +330,248 @@ class DirectionFaults:
         self.corruptions = tuple(
             c for c in model.corruptions if c.field in self._owned
         )
+        self.groups = model.groups
+        for group in model.groups:
+            _check_node(group.anchor, n, "group anchor")
+        #: Per-group fire rounds: lazily-allocated int64 ``[B]`` (0 =
+        #: unfired) on the NumPy path, {global instance: fire} dicts on
+        #: the scalar path.  Fire rounds are pure functions of each
+        #: instance's own trajectory, so any shard layout agrees.
+        self._group_fire_np: Optional[List[Any]] = None
+        self._group_fire_py: List[Dict[int, int]] = [{} for _ in model.groups]
+        self._rate_mask_np: Any = None
+        self._rate_mask_py: Dict[int, List[bool]] = {}
         #: Lap/hop skips relay pulses through every node, which a crashed
         #: node must not do — crash models run skip-free (see module doc).
-        self.allow_skips = not model.crashes
+        #: Groups and crash_rate also need every round visited: threshold
+        #: triggers must observe the crossing round itself.
+        self.allow_skips = not (model.crashes or model.groups or model.crash_rate)
         self.events = _fresh_events()
+
+    # -- correlated-group lowering (np side) -----------------------------
+
+    def _np_groups_begin(
+        self,
+        np_mod: Any,
+        round_index: int,
+        rho: Any,
+        sigma: Any,
+        live: Any,
+        instance_offset: int,
+        B: int,
+    ) -> Any:
+        """Advance per-row trigger state; returns the burst-window row
+        mask (bool ``[B]``) when the model carries group bursts, else
+        None.  Trigger fields are read *before* any clause mutates the
+        columns this round (same position in the scalar twin)."""
+        if not self.groups:
+            return None
+        if self._group_fire_np is None:
+            self._group_fire_np = [
+                np_mod.zeros(B, np_mod.int64) for _ in self.groups
+            ]
+        window = np_mod.zeros(B, bool) if self.model.has_group_bursts else None
+        for group, fire in zip(self.groups, self._group_fire_np):
+            sel = _np_group_sel(np_mod, group, live, instance_offset, B)
+            unfired = fire == 0
+            if group.at_round is not None:
+                newly = sel & unfired if round_index == group.at_round else None
+            else:
+                vals = (rho if group.trigger_field == "rho" else sigma)[
+                    :, group.anchor
+                ]
+                newly = sel & unfired & (vals >= group.trigger_threshold)
+            if newly is not None and newly.any():
+                fire[newly] = round_index
+            if window is not None and group.burst is not None:
+                fired = sel & (fire > 0)
+                if fired.any():
+                    rel = round_index - fire + 1
+                    cov = rel >= group.burst.start
+                    if group.burst.length is not None:
+                        cov &= rel < group.burst.start + group.burst.length
+                    window |= fired & cov
+        return window
+
+    def _np_group_drops(
+        self,
+        np_mod: Any,
+        round_index: int,
+        flight: Any,
+        live: Any,
+        instance_offset: int,
+        B: int,
+        n: int,
+    ) -> None:
+        for group, fire in zip(self.groups, self._group_fire_np or ()):
+            sel = _np_group_sel(np_mod, group, live, instance_offset, B)
+            fired = sel & (fire > 0)
+            if not fired.any():
+                continue
+            for drop in group.drops:
+                if drop.direction != self.direction:
+                    continue
+                rows = fired & (fire + drop.offset == round_index)
+                if not rows.any():
+                    continue
+                node = (group.anchor + drop.node_offset) % n
+                removed = np_mod.where(
+                    rows, np_mod.minimum(flight[:, node], drop.count), 0
+                )
+                flight[:, node] -= removed
+                self.events["det_dropped"] += int(removed.sum())
+
+    def _np_group_crashes(
+        self,
+        np_mod: Any,
+        round_index: int,
+        rho: Any,
+        sigma: Any,
+        flight: Any,
+        live: Any,
+        instance_offset: int,
+        B: int,
+        n: int,
+        extra: Any,
+    ) -> Any:
+        for group, fire in zip(self.groups, self._group_fire_np or ()):
+            if not group.crash:
+                continue
+            sel = _np_group_sel(np_mod, group, live, instance_offset, B)
+            fired = sel & (fire > 0)
+            if not fired.any():
+                continue
+            if group.restart_after is None:
+                down = fired
+                restart = None
+            else:
+                down = fired & (round_index < fire + group.restart_after)
+                restart = fired & (round_index == fire + group.restart_after)
+            if down.any():
+                lost = np_mod.where(down, flight[:, group.anchor], 0)
+                self.events["crash_lost"] += int(lost.sum())
+                flight[down, group.anchor] = 0
+            if restart is not None and restart.any():
+                rho[restart, group.anchor] = 0
+                sigma[restart, group.anchor] = 1
+                flight[restart, (group.anchor + self.shift) % n] += 1
+                self.events["restarts"] += int(restart.sum())
+                if extra is None:
+                    extra = np_mod.zeros(B, np_mod.int64)
+                extra[restart] += 1
+        return extra
+
+    def _np_crash_rate(
+        self,
+        np_mod: Any,
+        flight: Any,
+        live: Any,
+        instance_offset: int,
+        B: int,
+        n: int,
+    ) -> None:
+        if not self.model.crash_rate:
+            return
+        if self._rate_mask_np is None:
+            self._rate_mask_np = _np_rate_mask(
+                np_mod, self.model, instance_offset, B, n
+            )
+        dead = self._rate_mask_np & live[:, None]
+        lost = np_mod.where(dead, flight, 0)
+        self.events["crash_lost"] += int(lost.sum())
+        flight[dead] = 0
+
+    # -- correlated-group lowering (scalar twin) -------------------------
+
+    def _py_groups_begin(
+        self, round_index: int, instance: int, states: List[Any]
+    ) -> Any:
+        """Scalar twin of :meth:`_np_groups_begin` for one instance."""
+        if not self.groups:
+            return None
+        window = False if self.model.has_group_bursts else None
+        for i, group in enumerate(self.groups):
+            if group.instance is not None and group.instance != instance:
+                continue
+            fire = self._group_fire_py[i].get(instance, 0)
+            if fire == 0:
+                if group.at_round is not None:
+                    if round_index == group.at_round:
+                        fire = round_index
+                else:
+                    attr = (
+                        "rho_cw" if group.trigger_field == "rho" else "sigma_cw"
+                    )
+                    if getattr(states[group.anchor], attr) >= group.trigger_threshold:
+                        fire = round_index
+                if fire:
+                    self._group_fire_py[i][instance] = fire
+            if window is not None and fire and group.burst_active(round_index, fire):
+                window = True
+        return window
+
+    def _py_group_drops(
+        self, round_index: int, instance: int, flight: List[int]
+    ) -> None:
+        n = self.n
+        for i, group in enumerate(self.groups):
+            if group.instance is not None and group.instance != instance:
+                continue
+            fire = self._group_fire_py[i].get(instance, 0)
+            if not fire:
+                continue
+            for drop in group.drops:
+                if drop.direction != self.direction:
+                    continue
+                if fire + drop.offset != round_index:
+                    continue
+                node = (group.anchor + drop.node_offset) % n
+                removed = min(flight[node], drop.count)
+                flight[node] -= removed
+                self.events["det_dropped"] += removed
+
+    def _py_group_crashes(
+        self,
+        round_index: int,
+        instance: int,
+        gov: List[int],
+        states: List[Any],
+        flight: List[int],
+        kernel: Any,
+    ) -> int:
+        n = self.n
+        extra = 0
+        for i, group in enumerate(self.groups):
+            if not group.crash:
+                continue
+            if group.instance is not None and group.instance != instance:
+                continue
+            fire = self._group_fire_py[i].get(instance, 0)
+            if not fire:
+                continue
+            if group.down(round_index, fire):
+                self.events["crash_lost"] += flight[group.anchor]
+                flight[group.anchor] = 0
+            elif group.restarts_at(round_index, fire):
+                states[group.anchor] = kernel.make_state(gov[group.anchor])
+                _, emissions, _ = kernel.init(states[group.anchor])
+                for _port, cnt in emissions:
+                    flight[(group.anchor + self.shift) % n] += cnt
+                    extra += cnt
+                self.events["restarts"] += 1
+        return extra
+
+    def _py_crash_rate(self, instance: int, flight: List[int]) -> None:
+        if not self.model.crash_rate:
+            return
+        mask = self._rate_mask_py.get(instance)
+        if mask is None:
+            mask = _py_rate_mask(self.model, instance, self.n)
+            self._rate_mask_py[instance] = mask
+        for v in range(self.n):
+            if mask[v]:
+                self.events["crash_lost"] += flight[v]
+                flight[v] = 0
 
     def apply_np(
         self,
@@ -296,6 +591,9 @@ class DirectionFaults:
         per-instance loop has already exited for them)."""
         B, n = flight.shape
         extra = None
+        window = self._np_groups_begin(
+            np_mod, round_index, rho, sigma, live, instance_offset, B
+        )
         for drop in self.drops:
             if drop.round_index != round_index:
                 continue
@@ -311,6 +609,9 @@ class DirectionFaults:
                     removed = min(int(flight[row, drop.node]), drop.count)
                     flight[row, drop.node] -= removed
                     self.events["det_dropped"] += removed
+        self._np_group_drops(
+            np_mod, round_index, flight, live, instance_offset, B, n
+        )
         for crash in self.model.crashes:
             if crash.instance is None:
                 rows: Any = live
@@ -335,9 +636,14 @@ class DirectionFaults:
                 if extra is None:
                     extra = np_mod.zeros(B, np_mod.int64)
                 extra[rows] += 1
+        self._np_crash_rate(np_mod, flight, live, instance_offset, B, n)
+        extra = self._np_group_crashes(
+            np_mod, round_index, rho, sigma, flight, live, instance_offset,
+            B, n, extra,
+        )
         _apply_random_np(
             np_mod, self.model, self.events, round_index, flight,
-            instance_offset, self.chan_base, live,
+            instance_offset, self.chan_base, live, window,
         )
         for corruption in self.corruptions:
             if corruption.at_round != round_index:
@@ -366,6 +672,7 @@ class DirectionFaults:
         returns the number of extra pulses sent (restart re-inits)."""
         n = self.n
         extra = 0
+        window = self._py_groups_begin(round_index, instance, states)
         for drop in self.drops:
             if drop.round_index != round_index:
                 continue
@@ -373,6 +680,7 @@ class DirectionFaults:
                 removed = min(flight[drop.node], drop.count)
                 flight[drop.node] -= removed
                 self.events["det_dropped"] += removed
+        self._py_group_drops(round_index, instance, flight)
         for crash in self.model.crashes:
             if crash.instance is not None and crash.instance != instance:
                 continue
@@ -386,9 +694,13 @@ class DirectionFaults:
                     flight[(crash.node + self.shift) % n] += cnt
                     extra += cnt
                 self.events["restarts"] += 1
+        self._py_crash_rate(instance, flight)
+        extra += self._py_group_crashes(
+            round_index, instance, gov, states, flight, kernel
+        )
         _apply_random_py(
             self.model, self.events, round_index, flight, instance,
-            self.chan_base,
+            self.chan_base, window,
         )
         for corruption in self.corruptions:
             if corruption.at_round != round_index:
@@ -438,8 +750,262 @@ class TerminatingFaults:
             _check_node(drop.node, n, "pulse-drop")
         self.cw_drops = tuple(d for d in model.drops if d.direction == "cw")
         self.ccw_drops = tuple(d for d in model.drops if d.direction == "ccw")
-        self.allow_skips = not model.crashes
+        self.groups = model.groups
+        for group in model.groups:
+            _check_node(group.anchor, n, "group anchor")
+        self._group_fire_np: Optional[List[Any]] = None
+        self._group_fire_py: List[Dict[int, int]] = [{} for _ in model.groups]
+        self._rate_mask_np: Any = None
+        self._rate_mask_py: Dict[int, List[bool]] = {}
+        self.allow_skips = not (model.crashes or model.groups or model.crash_rate)
         self.events = _fresh_events()
+
+    # -- correlated-group lowering (np side; trigger fields read from the
+    # terminating run's primary-direction columns rho_cw/sigma_cw) ------
+
+    def _np_groups_begin(
+        self,
+        np_mod: Any,
+        round_index: int,
+        cols: Any,
+        live: Any,
+        instance_offset: int,
+        B: int,
+    ) -> Any:
+        if not self.groups:
+            return None
+        if self._group_fire_np is None:
+            self._group_fire_np = [
+                np_mod.zeros(B, np_mod.int64) for _ in self.groups
+            ]
+        window = np_mod.zeros(B, bool) if self.model.has_group_bursts else None
+        for group, fire in zip(self.groups, self._group_fire_np):
+            sel = _np_group_sel(np_mod, group, live, instance_offset, B)
+            unfired = fire == 0
+            if group.at_round is not None:
+                newly = sel & unfired if round_index == group.at_round else None
+            else:
+                source = (
+                    cols.rho_cw if group.trigger_field == "rho" else cols.sigma_cw
+                )
+                vals = source[:, group.anchor]
+                newly = sel & unfired & (vals >= group.trigger_threshold)
+            if newly is not None and newly.any():
+                fire[newly] = round_index
+            if window is not None and group.burst is not None:
+                fired = sel & (fire > 0)
+                if fired.any():
+                    rel = round_index - fire + 1
+                    cov = rel >= group.burst.start
+                    if group.burst.length is not None:
+                        cov &= rel < group.burst.start + group.burst.length
+                    window |= fired & cov
+        return window
+
+    def _np_group_drops(
+        self,
+        np_mod: Any,
+        round_index: int,
+        cw_flight: Any,
+        ccw_flight: Any,
+        live: Any,
+        instance_offset: int,
+        B: int,
+        n: int,
+    ) -> None:
+        for group, fire in zip(self.groups, self._group_fire_np or ()):
+            sel = _np_group_sel(np_mod, group, live, instance_offset, B)
+            fired = sel & (fire > 0)
+            if not fired.any():
+                continue
+            for drop in group.drops:
+                rows = fired & (fire + drop.offset == round_index)
+                if not rows.any():
+                    continue
+                flight = cw_flight if drop.direction == "cw" else ccw_flight
+                node = (group.anchor + drop.node_offset) % n
+                removed = np_mod.where(
+                    rows, np_mod.minimum(flight[:, node], drop.count), 0
+                )
+                flight[:, node] -= removed
+                self.events["det_dropped"] += int(removed.sum())
+
+    def _np_group_crashes(
+        self,
+        np_mod: Any,
+        round_index: int,
+        cols: Any,
+        cw_flight: Any,
+        ccw_flight: Any,
+        live: Any,
+        instance_offset: int,
+        B: int,
+        n: int,
+        extra: Any,
+    ) -> Any:
+        for group, fire in zip(self.groups, self._group_fire_np or ()):
+            if not group.crash:
+                continue
+            sel = _np_group_sel(np_mod, group, live, instance_offset, B)
+            fired = sel & (fire > 0)
+            if not fired.any():
+                continue
+            if group.restart_after is None:
+                down = fired
+                restart = None
+            else:
+                down = fired & (round_index < fire + group.restart_after)
+                restart = fired & (round_index == fire + group.restart_after)
+            if down.any():
+                lost = np_mod.where(
+                    down,
+                    cw_flight[:, group.anchor] + ccw_flight[:, group.anchor],
+                    0,
+                )
+                self.events["crash_lost"] += int(lost.sum())
+                cw_flight[down, group.anchor] = 0
+                ccw_flight[down, group.anchor] = 0
+            if restart is not None and restart.any():
+                cols.rho_cw[restart, group.anchor] = 0
+                cols.rho_ccw[restart, group.anchor] = 0
+                cols.pend_cw[restart, group.anchor] = 0
+                cols.pend_ccw[restart, group.anchor] = 0
+                cols.sigma_cw[restart, group.anchor] = 1
+                cols.sigma_ccw[restart, group.anchor] = 0
+                cols.term_sent[restart, group.anchor] = False
+                cols.terminated[restart, group.anchor] = False
+                cols.out_leader[restart, group.anchor] = False
+                cw_flight[restart, (group.anchor + 1) % n] += 1
+                self.events["restarts"] += int(restart.sum())
+                if extra is None:
+                    extra = np_mod.zeros(B, np_mod.int64)
+                extra[restart] += 1
+        return extra
+
+    def _np_crash_rate(
+        self,
+        np_mod: Any,
+        cw_flight: Any,
+        ccw_flight: Any,
+        live: Any,
+        instance_offset: int,
+        B: int,
+        n: int,
+    ) -> None:
+        if not self.model.crash_rate:
+            return
+        if self._rate_mask_np is None:
+            self._rate_mask_np = _np_rate_mask(
+                np_mod, self.model, instance_offset, B, n
+            )
+        dead = self._rate_mask_np & live[:, None]
+        lost = np_mod.where(dead, cw_flight + ccw_flight, 0)
+        self.events["crash_lost"] += int(lost.sum())
+        cw_flight[dead] = 0
+        ccw_flight[dead] = 0
+
+    # -- correlated-group lowering (scalar twin) -------------------------
+
+    def _py_groups_begin(
+        self, round_index: int, instance: int, states: List[Any]
+    ) -> Any:
+        if not self.groups:
+            return None
+        window = False if self.model.has_group_bursts else None
+        for i, group in enumerate(self.groups):
+            if group.instance is not None and group.instance != instance:
+                continue
+            fire = self._group_fire_py[i].get(instance, 0)
+            if fire == 0:
+                if group.at_round is not None:
+                    if round_index == group.at_round:
+                        fire = round_index
+                else:
+                    attr = (
+                        "rho_cw" if group.trigger_field == "rho" else "sigma_cw"
+                    )
+                    if getattr(states[group.anchor], attr) >= group.trigger_threshold:
+                        fire = round_index
+                if fire:
+                    self._group_fire_py[i][instance] = fire
+            if window is not None and fire and group.burst_active(round_index, fire):
+                window = True
+        return window
+
+    def _py_group_drops(
+        self,
+        round_index: int,
+        instance: int,
+        cw_flight: List[int],
+        ccw_flight: List[int],
+    ) -> None:
+        n = self.n
+        for i, group in enumerate(self.groups):
+            if group.instance is not None and group.instance != instance:
+                continue
+            fire = self._group_fire_py[i].get(instance, 0)
+            if not fire:
+                continue
+            for drop in group.drops:
+                if fire + drop.offset != round_index:
+                    continue
+                flight = cw_flight if drop.direction == "cw" else ccw_flight
+                node = (group.anchor + drop.node_offset) % n
+                removed = min(flight[node], drop.count)
+                flight[node] -= removed
+                self.events["det_dropped"] += removed
+
+    def _py_group_crashes(
+        self,
+        round_index: int,
+        instance: int,
+        ids: List[int],
+        states: List[Any],
+        out_leader: List[bool],
+        cw_flight: List[int],
+        ccw_flight: List[int],
+        kernel: Any,
+    ) -> int:
+        n = self.n
+        extra = 0
+        for i, group in enumerate(self.groups):
+            if not group.crash:
+                continue
+            if group.instance is not None and group.instance != instance:
+                continue
+            fire = self._group_fire_py[i].get(instance, 0)
+            if not fire:
+                continue
+            if group.down(round_index, fire):
+                self.events["crash_lost"] += (
+                    cw_flight[group.anchor] + ccw_flight[group.anchor]
+                )
+                cw_flight[group.anchor] = 0
+                ccw_flight[group.anchor] = 0
+            elif group.restarts_at(round_index, fire):
+                states[group.anchor] = kernel.make_state(ids[group.anchor])
+                _, emissions, _ = kernel.init(states[group.anchor])
+                for _port, cnt in emissions:
+                    cw_flight[(group.anchor + 1) % n] += cnt
+                    extra += cnt
+                out_leader[group.anchor] = False
+                self.events["restarts"] += 1
+        return extra
+
+    def _py_crash_rate(
+        self, instance: int, cw_flight: List[int], ccw_flight: List[int]
+    ) -> None:
+        if not self.model.crash_rate:
+            return
+        mask = self._rate_mask_py.get(instance)
+        if mask is None:
+            mask = _py_rate_mask(self.model, instance, self.n)
+            self._rate_mask_py[instance] = mask
+        for v in range(self.n):
+            if mask[v]:
+                self.events["crash_lost"] += cw_flight[v] + ccw_flight[v]
+                cw_flight[v] = 0
+                ccw_flight[v] = 0
 
     def _det_drops_np(
         self,
@@ -484,11 +1050,18 @@ class TerminatingFaults:
         per-instance loop exit (see :meth:`DirectionFaults.apply_np`)."""
         B, n = cw_flight.shape
         extra = None
+        window = self._np_groups_begin(
+            np_mod, round_index, cols, live, instance_offset, B
+        )
         self._det_drops_np(
             np_mod, self.cw_drops, round_index, cw_flight, instance_offset, live
         )
         self._det_drops_np(
             np_mod, self.ccw_drops, round_index, ccw_flight, instance_offset, live
+        )
+        self._np_group_drops(
+            np_mod, round_index, cw_flight, ccw_flight, live, instance_offset,
+            B, n,
         )
         for crash in self.model.crashes:
             if crash.instance is None:
@@ -524,13 +1097,20 @@ class TerminatingFaults:
                 if extra is None:
                     extra = np_mod.zeros(B, np_mod.int64)
                 extra[rows] += 1
+        self._np_crash_rate(
+            np_mod, cw_flight, ccw_flight, live, instance_offset, B, n
+        )
+        extra = self._np_group_crashes(
+            np_mod, round_index, cols, cw_flight, ccw_flight, live,
+            instance_offset, B, n, extra,
+        )
         _apply_random_np(
             np_mod, self.model, self.events, round_index, cw_flight,
-            instance_offset, 0, live,
+            instance_offset, 0, live, window,
         )
         _apply_random_np(
             np_mod, self.model, self.events, round_index, ccw_flight,
-            instance_offset, n, live,
+            instance_offset, n, live, window,
         )
         for corruption in self.model.corruptions:
             if corruption.at_round != round_index:
@@ -560,6 +1140,7 @@ class TerminatingFaults:
         """Scalar twin of :meth:`apply_np` for global ``instance``."""
         n = self.n
         extra = 0
+        window = self._py_groups_begin(round_index, instance, states)
         for drops, flight in ((self.cw_drops, cw_flight), (self.ccw_drops, ccw_flight)):
             for drop in drops:
                 if drop.round_index != round_index:
@@ -568,6 +1149,7 @@ class TerminatingFaults:
                     removed = min(flight[drop.node], drop.count)
                     flight[drop.node] -= removed
                     self.events["det_dropped"] += removed
+        self._py_group_drops(round_index, instance, cw_flight, ccw_flight)
         for crash in self.model.crashes:
             if crash.instance is not None and crash.instance != instance:
                 continue
@@ -587,11 +1169,18 @@ class TerminatingFaults:
                     extra += cnt
                 out_leader[crash.node] = False
                 self.events["restarts"] += 1
-        _apply_random_py(
-            self.model, self.events, round_index, cw_flight, instance, 0
+        self._py_crash_rate(instance, cw_flight, ccw_flight)
+        extra += self._py_group_crashes(
+            round_index, instance, ids, states, out_leader, cw_flight,
+            ccw_flight, kernel,
         )
         _apply_random_py(
-            self.model, self.events, round_index, ccw_flight, instance, n
+            self.model, self.events, round_index, cw_flight, instance, 0,
+            window,
+        )
+        _apply_random_py(
+            self.model, self.events, round_index, ccw_flight, instance, n,
+            window,
         )
         for corruption in self.model.corruptions:
             if corruption.at_round != round_index:

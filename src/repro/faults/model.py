@@ -68,6 +68,7 @@ KIND_SEND = 0xB5297A4D3A2F1C9B  # event-channel drop/duplicate roll
 KIND_SPURIOUS = 0x7FEB352D8ED4AB63  # spurious-injection roll
 KIND_DROP = 0x68E31DA4B1E8D94D  # fleet per-pulse drop roll
 KIND_DUPLICATE = 0x1B56C4E9A02C4F8B  # fleet duplicate roll
+KIND_CRASH = 0xA0761D6478BD642F  # probabilistic per-node crash roll
 
 
 def mix64(x: int) -> int:
@@ -324,6 +325,166 @@ def corruptible_fields(algorithm: str) -> Tuple[str, ...]:
 
 
 @dataclass(frozen=True)
+class GroupDrop:
+    """One timed pulse deletion *relative to its group* (anchor + trigger).
+
+    Fires at the start of round ``fire + offset`` (``fire`` is the round
+    the owning :class:`FaultGroup` triggered; ``offset=0`` is the fire
+    round itself) and removes up to ``count`` pulses in flight toward
+    node ``(anchor + node_offset) mod n`` in ``direction``.  Standalone
+    :class:`PulseDrop` clauses stay absolute; relative drops are what let
+    an adversary time interference to a trigger it cannot observe the
+    content of.
+    """
+
+    offset: int = 0
+    node_offset: int = 0
+    direction: str = "cw"
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("cw", "ccw"):
+            raise ConfigurationError(
+                f"group drop direction must be 'cw' or 'ccw', "
+                f"got {self.direction!r}"
+            )
+        if self.offset < 0:
+            raise ConfigurationError(
+                f"group drop offset is relative to the fire round and must "
+                f"be >= 0; got {self.offset}"
+            )
+        if self.count < 1:
+            raise ConfigurationError(
+                f"group drop count must be >= 1; got {self.count}"
+            )
+
+
+#: Threshold triggers read the directional governing counters every
+#: fleet lowering materializes: ``rho`` (absorbed-run counter) or
+#: ``sigma`` (sent counter) of the anchor node, in the run's primary
+#: direction (each directional half of Algorithm 3 evaluates its own).
+GROUP_TRIGGER_FIELDS = ("rho", "sigma")
+
+
+@dataclass(frozen=True)
+class FaultGroup:
+    """Correlated clauses bound to one anchor node and one shared trigger.
+
+    Independent clause draws measure average-case noise; real
+    content-oblivious adversaries *correlate* — a crash plus a burst of
+    drops at one node, timed to a counter threshold crossing.  A group
+    binds its member clauses to:
+
+    * an **anchor** — the ring position every member is relative to;
+    * a **trigger** — either an absolute round (``at_round``) or the
+      first round at which the anchor's ``trigger_field`` counter
+      reaches ``trigger_threshold`` (a *threshold-crossing* trigger:
+      the fire round then differs per instance, following each
+      instance's own trajectory).
+
+    Members (at least one is required):
+
+    * ``crash=True`` — the anchor crashes at the fire round; with
+      ``restart_after=r`` it reboots ``r`` rounds later (kernel
+      fresh-state + init, exactly :class:`NodeCrash` semantics);
+    * ``drops`` — :class:`GroupDrop` deletions at rounds/nodes relative
+      to the fire round and anchor;
+    * ``burst`` — re-anchors the model's random channel rates to the
+      fire round: rates fire only for rounds whose *relative* ordinal
+      ``round - fire + 1`` the burst covers.  A model carrying any
+      group burst must leave its own top-level ``burst`` unset (the
+      groups take over the gating).
+
+    Groups are fleet-only (like crashes) and disable lap-skips: a skip
+    compresses rounds in closed form without visiting the
+    threshold-crossing round, which would change trigger timing.
+    """
+
+    anchor: int
+    at_round: Optional[int] = None
+    trigger_field: Optional[str] = None
+    trigger_threshold: Optional[int] = None
+    crash: bool = False
+    restart_after: Optional[int] = None
+    drops: Tuple[GroupDrop, ...] = ()
+    burst: Optional[FaultBurst] = None
+    instance: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.anchor < 0:
+            raise ConfigurationError(
+                f"group anchor must be >= 0, got {self.anchor}"
+            )
+        absolute = self.at_round is not None
+        thresholded = self.trigger_field is not None
+        if absolute == thresholded:
+            raise ConfigurationError(
+                "a fault group needs exactly one trigger: either at_round "
+                "or (trigger_field, trigger_threshold)"
+            )
+        if absolute and self.at_round < 1:
+            raise ConfigurationError(
+                f"group at_round is 1-based; got {self.at_round}"
+            )
+        if thresholded:
+            if self.trigger_field not in GROUP_TRIGGER_FIELDS:
+                raise ConfigurationError(
+                    f"group trigger_field must be one of "
+                    f"{list(GROUP_TRIGGER_FIELDS)}, got {self.trigger_field!r}"
+                )
+            if self.trigger_threshold is None or self.trigger_threshold < 1:
+                raise ConfigurationError(
+                    "a threshold trigger needs trigger_threshold >= 1; "
+                    f"got {self.trigger_threshold}"
+                )
+        elif self.trigger_threshold is not None:
+            raise ConfigurationError(
+                "trigger_threshold without trigger_field: pick one trigger"
+            )
+        if self.restart_after is not None:
+            if not self.crash:
+                raise ConfigurationError(
+                    "restart_after without crash=True: nothing to restart"
+                )
+            if self.restart_after < 1:
+                raise ConfigurationError(
+                    f"restart_after must be >= 1 (or None); "
+                    f"got {self.restart_after}"
+                )
+        object.__setattr__(self, "drops", tuple(self.drops))
+        if not (self.crash or self.drops or self.burst is not None):
+            raise ConfigurationError(
+                "a fault group needs at least one member clause "
+                "(crash, drops, or burst)"
+            )
+
+    # -- fire-round helpers shared by the np/py twin compilers -----------
+
+    def down(self, round_index: int, fire: int) -> bool:
+        """Crash-down predicate given the group's fire round."""
+        if not self.crash or round_index < fire:
+            return False
+        return (
+            self.restart_after is None
+            or round_index < fire + self.restart_after
+        )
+
+    def restarts_at(self, round_index: int, fire: int) -> bool:
+        """Crash-restart predicate given the group's fire round."""
+        return (
+            self.crash
+            and self.restart_after is not None
+            and round_index == fire + self.restart_after
+        )
+
+    def burst_active(self, round_index: int, fire: int) -> bool:
+        """Whether this group's burst window covers ``round_index``."""
+        if self.burst is None or round_index < fire:
+            return False
+        return self.burst.covers(round_index - fire + 1)
+
+
+@dataclass(frozen=True)
 class FaultModel:
     """One declarative fault description, compiled onto every backend.
 
@@ -341,6 +502,11 @@ class FaultModel:
         drops: Deterministic :class:`PulseDrop` clauses (fleet only).
         crashes: :class:`NodeCrash` clauses (fleet only).
         corruptions: :class:`StateCorruption` clauses (fleet only).
+        crash_rate: Per-(instance, node) probability the node is dead
+            from round 1 (fail-stop at start; one counter roll per
+            coordinate, fleet only) — the degradation sweeps' ``crash``
+            kind.
+        groups: Correlated :class:`FaultGroup` clauses (fleet only).
 
     The all-zero model is **valid** and means "no faults" — programmatic
     call sites (sweeps, CLI plumbing) branch on :attr:`is_noop` instead
@@ -355,11 +521,14 @@ class FaultModel:
     drops: Tuple[PulseDrop, ...] = ()
     crashes: Tuple[NodeCrash, ...] = ()
     corruptions: Tuple[StateCorruption, ...] = ()
+    crash_rate: float = 0.0
+    groups: Tuple[FaultGroup, ...] = ()
 
     def __post_init__(self) -> None:
         _check_rate("drop_rate", self.drop_rate)
         _check_rate("duplicate_rate", self.duplicate_rate)
         _check_rate("spurious_rate", self.spurious_rate)
+        _check_rate("crash_rate", self.crash_rate)
         if self.drop_rate + self.duplicate_rate > 1.0:
             raise ConfigurationError(
                 "drop_rate + duplicate_rate cannot exceed 1 "
@@ -370,6 +539,15 @@ class FaultModel:
         object.__setattr__(self, "drops", tuple(self.drops))
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "corruptions", tuple(self.corruptions))
+        object.__setattr__(self, "groups", tuple(self.groups))
+        if self.burst is not None and any(
+            g.burst is not None for g in self.groups
+        ):
+            raise ConfigurationError(
+                "group bursts re-anchor the random-rate gating to their "
+                "fire rounds; a model carrying one must leave its "
+                "top-level burst unset"
+            )
 
     @classmethod
     def none(cls) -> "FaultModel":
@@ -386,12 +564,19 @@ class FaultModel:
             or self.drops
             or self.crashes
             or self.corruptions
+            or self.crash_rate
+            or self.groups
         )
 
     @property
     def has_channel_rates(self) -> bool:
         """True when any random channel-fault rate is nonzero."""
         return bool(self.drop_rate or self.duplicate_rate or self.spurious_rate)
+
+    @property
+    def has_group_bursts(self) -> bool:
+        """True when any group re-anchors the random-rate gating."""
+        return any(g.burst is not None for g in self.groups)
 
     @property
     def fleet_only_clauses(self) -> Tuple[str, ...]:
@@ -403,6 +588,10 @@ class FaultModel:
             kinds.append("crashes")
         if self.corruptions:
             kinds.append("corruptions")
+        if self.crash_rate:
+            kinds.append("crash_rate")
+        if self.groups:
+            kinds.append("groups")
         return tuple(kinds)
 
     def covers(self, ordinal: int) -> bool:

@@ -33,6 +33,11 @@ class ReplayProfile:
         self._models: Dict[int, FaultModel] = {}
         for channel in network.channels:
             if isinstance(channel, FaultyChannel) and channel.model.has_channel_rates:
+                # FaultyChannel construction already rejects fleet-only
+                # clauses (groups, crash_rate, round-indexed drops), so
+                # every model here is replayable as a pure function of
+                # (channel_id, send_index).
+                assert not channel.model.fleet_only_clauses
                 self._models[channel.channel_id] = channel.model
 
     def __bool__(self) -> bool:

@@ -295,7 +295,13 @@ def _compiled_downgrade(resolved, observer, adapter):
         return "numpy"
     if adapter is not None:
         model = (adapter[0] if isinstance(adapter, tuple) else adapter).model
-        if model.drops or model.crashes or model.corruptions:
+        if (
+            model.drops
+            or model.crashes
+            or model.corruptions
+            or model.crash_rate
+            or model.groups
+        ):
             return "numpy"
     return resolved
 

@@ -1067,6 +1067,155 @@ def run_recovery_check(
 
 
 # ---------------------------------------------------------------------------
+# Lemma 18 — the anonymous pipeline's w.h.p. success predicate.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AnonymousCounterexample:
+    """One failed anonymous-pipeline attempt, replayable by its seed.
+
+    The whole Algorithm 4 → Algorithm 3 pipeline is a pure function of
+    ``(n, c, attempt_seed)``, so the seed alone reproduces the failure
+    in a fresh process.
+    """
+
+    attempt_seed: int
+    n: int
+    c: float
+    backend: str
+    message: str
+
+    def replay(self) -> Optional[str]:
+        """Re-run exactly this attempt; the failure message, or None."""
+        from repro.simulator.fleet import run_anonymous_fleet
+
+        outcome = run_anonymous_fleet(
+            self.n, [self.attempt_seed], c=self.c, backend=self.backend
+        )
+        return None if outcome.succeeded[0] else self.message
+
+
+@dataclass
+class AnonymousWhpReport:
+    """Outcome of one Lemma 18 w.h.p. check.
+
+    ``target`` is Lemma 18's floor :math:`1 - n^{-c}`; the predicate
+    :attr:`holds` is the one-sided binomial test — the observed successes
+    are *consistent* with a true rate at or above the target exactly when
+    the Clopper–Pearson upper bound reaches it (rejecting only when even
+    the exact conservative interval excludes the floor).
+    """
+
+    n: int
+    c: float
+    trials: int
+    successes: int
+    confidence: float
+    rate_low: float
+    rate_high: float
+    target: float
+    seed: int
+    backend: str
+    counterexamples: List[AnonymousCounterexample] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        """Observed proportion of succeeded attempts."""
+        return self.successes / self.trials
+
+    @property
+    def holds(self) -> bool:
+        """Whether the data are consistent with Lemma 18's floor."""
+        return self.rate_high >= self.target
+
+    @property
+    def failures(self) -> int:
+        return self.trials - self.successes
+
+
+def _anonymous_whp_worker(job: Tuple) -> List[Tuple[int, bool]]:
+    """Picklable shard worker: (attempt_seed, succeeded) pairs."""
+    from repro.simulator.fleet import run_anonymous_fleet
+
+    n, seeds, c, backend = job
+    outcome = run_anonymous_fleet(n, list(seeds), c=c, backend=backend)
+    return list(zip(seeds, outcome.succeeded))
+
+
+def run_anonymous_whp_check(
+    n: int = 8,
+    c: float = 2.0,
+    trials: int = 400,
+    seed: int = 0,
+    backend: str = "auto",
+    confidence: float = 0.99,
+    max_counterexamples: int = 5,
+    processes: ProcessCount = 1,
+) -> AnonymousWhpReport:
+    """Check Lemma 18's w.h.p. guarantee over seeded pipeline attempts.
+
+    Attempt ``i`` runs the anonymous pipeline (Algorithm 4's geometric
+    ID sampling at exponent ``c`` feeding Algorithm 3) with seed
+    ``seed + i`` and succeeds on a unique leader + consistent
+    orientation.  The report's :attr:`~AnonymousWhpReport.holds`
+    predicate is the one-sided test of the success probability against
+    Lemma 18's :math:`1 - n^{-c}` floor via the exact Clopper–Pearson
+    upper bound; failed attempts come back as seed-replayable
+    :class:`AnonymousCounterexample` objects.
+    """
+    from repro.analysis.whp import whp_target
+
+    if trials < 1:
+        raise ConfigurationError(f"need at least one trial, got {trials}")
+    if n < 2:
+        raise ConfigurationError(f"need a ring of at least 2 nodes, got n={n}")
+    target = whp_target(n, c)
+    seeds = list(range(seed, seed + trials))
+    shards = shard_evenly(seeds, resolve_processes(processes))
+    per_shard = parallel_map(
+        _anonymous_whp_worker,
+        [(n, shard, c, backend) for shard in shards if shard],
+        processes=processes,
+    )
+    pairs = sorted(
+        (pair for shard in per_shard for pair in shard), key=lambda p: p[0]
+    )
+    successes = sum(1 for _seed, ok in pairs if ok)
+    failing = [s for s, ok in pairs if not ok]
+    low, high = clopper_pearson_interval(
+        successes, trials, confidence=confidence
+    )
+    resolved_backend = _resolved_backend(backend)
+    counterexamples = [
+        AnonymousCounterexample(
+            attempt_seed=s,
+            n=n,
+            c=c,
+            backend=resolved_backend,
+            message=(
+                f"attempt seed {s}: anonymous pipeline failed (no unique "
+                "leader with consistent orientation)"
+            ),
+        )
+        for s in failing[:max_counterexamples]
+    ]
+    return AnonymousWhpReport(
+        n=n,
+        c=c,
+        trials=trials,
+        successes=successes,
+        confidence=confidence,
+        rate_low=low,
+        rate_high=high,
+        target=target,
+        seed=seed,
+        backend=resolved_backend,
+        counterexamples=counterexamples,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Topology battery — the 2-edge-connected election's statistical contract.
 # ---------------------------------------------------------------------------
 
